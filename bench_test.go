@@ -1,0 +1,157 @@
+// Package repro's root benchmarks regenerate every table and figure in the
+// paper's evaluation (see DESIGN.md §4 for the experiment index). Each
+// benchmark runs its experiment via the registry and reports the headline
+// metrics with b.ReportMetric, so `go test -bench=. -benchmem` prints the
+// reproduced numbers next to the timings.
+//
+// Benchmarks default to the Quick configuration so the full suite finishes
+// in minutes; run cmd/experiments for full-scale output.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchCfg returns the per-iteration experiment configuration.
+func benchCfg(seed uint64) experiments.Config {
+	return experiments.Config{Quick: true, Seed: seed}
+}
+
+// runExperiment executes one registry entry b.N times, reporting the chosen
+// metrics from the final run.
+func runExperiment(b *testing.B, id string, metrics ...string) {
+	b.Helper()
+	var res *experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Run(id, benchCfg(uint64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, m := range metrics {
+		if v, ok := res.Values[m]; ok {
+			b.ReportMetric(v, m)
+		}
+	}
+}
+
+// --- Tables ----------------------------------------------------------------
+
+func BenchmarkTable1Datasets(b *testing.B) {
+	runExperiment(b, "table1", "periscope_broadcasts", "periscope_views", "meerkat_broadcasts")
+}
+
+func BenchmarkTable2SocialGraph(b *testing.B) {
+	runExperiment(b, "table2", "avg_degree", "clustering", "avg_path", "assortativity")
+}
+
+// --- Section 3 figures -------------------------------------------------------
+
+func BenchmarkFig1DailyBroadcasts(b *testing.B) {
+	runExperiment(b, "fig1", "periscope_growth", "meerkat_decline")
+}
+
+func BenchmarkFig2DailyUsers(b *testing.B) {
+	runExperiment(b, "fig2", "periscope_viewer_broadcaster_ratio")
+}
+
+func BenchmarkFig3BroadcastLength(b *testing.B) {
+	runExperiment(b, "fig3", "periscope_under_10min")
+}
+
+func BenchmarkFig4ViewersPerBroadcast(b *testing.B) {
+	runExperiment(b, "fig4", "meerkat_zero_viewer", "periscope_max_viewers")
+}
+
+func BenchmarkFig5Interactions(b *testing.B) {
+	runExperiment(b, "fig5", "periscope_hearts_over_1000")
+}
+
+func BenchmarkFig6UserActivity(b *testing.B) {
+	runExperiment(b, "fig6", "periscope_top15_vs_median_views")
+}
+
+func BenchmarkFig7FollowersViewers(b *testing.B) {
+	runExperiment(b, "fig7", "spearman_rho")
+}
+
+// --- Section 4–5 figures -----------------------------------------------------
+
+func BenchmarkFig9ServerMap(b *testing.B) {
+	runExperiment(b, "fig9", "same_city", "same_continent")
+}
+
+func BenchmarkFig11DelayBreakdown(b *testing.B) {
+	runExperiment(b, "fig11", "rtmp_total", "hls_total", "hls_buffering")
+}
+
+func BenchmarkFig12PollingDelay(b *testing.B) {
+	runExperiment(b, "fig12", "mean_2s", "mean_3s", "mean_4s")
+}
+
+func BenchmarkFig13PollingJitter(b *testing.B) {
+	runExperiment(b, "fig13", "std_2s", "std_3s", "std_4s")
+}
+
+func BenchmarkFig14ServerCPU(b *testing.B) {
+	runExperiment(b, "fig14", "gap_at_min", "gap_at_max")
+}
+
+func BenchmarkFig15Wowza2Fastly(b *testing.B) {
+	runExperiment(b, "fig15", "median_colocated", "median_under500", "colocation_gap")
+}
+
+// --- Section 6 figures -------------------------------------------------------
+
+func BenchmarkFig16RTMPBuffer(b *testing.B) {
+	runExperiment(b, "fig16", "stall_p0s", "stall_p1s", "delay_p1s")
+}
+
+func BenchmarkFig17HLSBuffer(b *testing.B) {
+	runExperiment(b, "fig17", "stall_p6s", "stall_p9s", "delay_p6s", "delay_p9s")
+}
+
+// --- Section 1 motivation -----------------------------------------------------
+
+func BenchmarkSec1Interactivity(b *testing.B) {
+	runExperiment(b, "sec1_interactivity", "misattr_hls_10s", "missed_hls_10s", "misattr_rtmp_10s")
+}
+
+// --- Section 7 ---------------------------------------------------------------
+
+func BenchmarkSec7HijackDefense(b *testing.B) {
+	runExperiment(b, "sec7", "attack_tampered", "defense_detected", "defense_delivered")
+}
+
+// --- Ablations (DESIGN.md §5) -------------------------------------------------
+
+func BenchmarkAblationChunkSize(b *testing.B) {
+	runExperiment(b, "ablation_chunksize", "total_1.5s", "total_10s")
+}
+
+func BenchmarkAblationPollInterval(b *testing.B) {
+	runExperiment(b, "ablation_pollinterval", "delay_500ms", "delay_4000ms")
+}
+
+func BenchmarkAblationGatewayRelay(b *testing.B) {
+	runExperiment(b, "ablation_gateway", "gateway_mean", "direct_mean", "penalty")
+}
+
+func BenchmarkAblationRTMPCap(b *testing.B) {
+	runExperiment(b, "ablation_rtmpcap", "origin_load_cap_100", "origin_load_cap_unlimited")
+}
+
+func BenchmarkAblationSignatureCost(b *testing.B) {
+	runExperiment(b, "ablation_signature", "sign_ns", "verify_ns")
+}
+
+func BenchmarkAblationRTMPSTransport(b *testing.B) {
+	runExperiment(b, "ablation_rtmps", "ns_per_frame_plain", "ns_per_frame_tls", "ns_per_frame_signed")
+}
+
+func BenchmarkAblationOverlayMulticast(b *testing.B) {
+	runExperiment(b, "ablation_overlay", "fanout_1000", "delay_1000")
+}

@@ -1,0 +1,110 @@
+// Command analyze computes the paper's §3 statistics from crawler output
+// (see cmd/crawl): Table 1 aggregates, daily series (Figs. 1–2), duration,
+// viewer and interaction CDFs (Figs. 3–5), per-user activity (Fig. 6), and
+// the §4.3 delay summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "broadcasts.jsonl", "broadcast records (from cmd/crawl)")
+		delays = flag.String("delays", "", "optional delay records (from cmd/crawl)")
+		cdfPts = flag.Int("cdf-points", 20, "points per printed CDF")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
+		os.Exit(1)
+	}
+	recs, err := trace.ReadBroadcasts(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
+		os.Exit(1)
+	}
+	if len(recs) == 0 {
+		fmt.Println("no broadcast records")
+		return
+	}
+
+	s := analysis.Summarize(recs)
+	t := &stats.Table{Title: "Dataset summary (Table 1 analog)", Headers: []string{"Metric", "Value"}}
+	t.AddRow("Broadcasts", fmt.Sprintf("%d", s.Broadcasts))
+	t.AddRow("Broadcasters", fmt.Sprintf("%d", s.Broadcasters))
+	t.AddRow("Viewer joins", fmt.Sprintf("%d", s.TotalJoins))
+	t.AddRow("Unique viewers", fmt.Sprintf("%d", s.UniqueViewers))
+	t.AddRow("Comments", fmt.Sprintf("%d", s.Comments))
+	t.AddRow("Hearts", fmt.Sprintf("%d", s.Hearts))
+	t.AddRow("Window", fmt.Sprintf("%s – %s", s.FirstStart.Format("2006-01-02 15:04"), s.LastEnd.Format("2006-01-02 15:04")))
+	fmt.Println(t)
+
+	fmt.Println("Daily series (Fig. 1/2 analog):")
+	for _, d := range analysis.DailySeries(recs) {
+		fmt.Printf("  %s  broadcasts=%d broadcasters=%d viewers=%d\n",
+			d.Date.Format("2006-01-02"), d.Broadcasts, d.Broadcasters, d.Viewers)
+	}
+
+	printCDF := func(name string, c *stats.CDF, unit string) {
+		fmt.Printf("\n%s (N=%d):\n", name, c.N())
+		for _, p := range c.Points(*cdfPts) {
+			fmt.Printf("  %8.2f %s  %5.2f\n", p.X, unit, p.Y)
+		}
+	}
+	printCDF("Broadcast length CDF (Fig. 3 analog)", analysis.DurationCDF(recs), "min")
+	printCDF("Viewers per broadcast CDF (Fig. 4 analog)", analysis.ViewersCDF(recs), "joins")
+	comments, hearts := analysis.InteractionCDFs(recs)
+	printCDF("Comments per broadcast CDF (Fig. 5 analog)", comments, "msgs")
+	printCDF("Hearts per broadcast CDF (Fig. 5 analog)", hearts, "msgs")
+
+	views, creates := analysis.UserActivity(recs)
+	fmt.Printf("\nPer-user activity (Fig. 6 analog): %d viewers, %d creators\n", len(views), len(creates))
+	topOf := func(m map[string]int) []string {
+		type kv struct {
+			k string
+			v int
+		}
+		var all []kv
+		for k, v := range m {
+			all = append(all, kv{k, v})
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].v > all[j].v })
+		out := []string{}
+		for i := 0; i < 3 && i < len(all); i++ {
+			out = append(out, fmt.Sprintf("%s(%d)", all[i].k, all[i].v))
+		}
+		return out
+	}
+	fmt.Printf("  most active viewers:  %v\n", topOf(views))
+	fmt.Printf("  most active creators: %v\n", topOf(creates))
+
+	if *delays != "" {
+		df, err := os.Open(*delays)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
+			os.Exit(1)
+		}
+		drecs, err := trace.ReadDelays(df)
+		df.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "analyze: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("\nDelivery delay summary (§4.3 analog):")
+		for _, d := range analysis.SummarizeDelays(drecs) {
+			fmt.Printf("  %-6s n=%-6d mean=%v p50=%v p95=%v std=%v\n",
+				d.Kind, d.N, d.Mean.Round(0), d.P50.Round(0), d.P95.Round(0), d.StdDev.Round(0))
+		}
+	}
+}

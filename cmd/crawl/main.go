@@ -1,0 +1,93 @@
+// Command crawl runs the paper's measurement crawler (§3.1, §4.3) against a
+// running platform (see cmd/livesim), writing anonymized broadcast records
+// and delay observations as JSONL.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/control"
+	"repro/internal/crawler"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		api      = flag.String("api", "", "control API base URL (e.g. http://127.0.0.1:NNNN/api)")
+		out      = flag.String("out", "broadcasts.jsonl", "broadcast records output file")
+		delayOut = flag.String("delays", "delays.jsonl", "delay records output file")
+		interval = flag.Duration("interval", 250*time.Millisecond, "global list poll interval")
+		tapRTMP  = flag.Bool("rtmp", true, "tap RTMP frame delivery")
+		tapHLS   = flag.Bool("hls", true, "poll HLS chunk availability")
+		anonKey  = flag.String("anon-key", "local-irb-key", "HMAC key for ID anonymization")
+	)
+	flag.Parse()
+	if *api == "" {
+		fmt.Fprintln(os.Stderr, "crawl: -api is required (start cmd/livesim first)")
+		os.Exit(2)
+	}
+
+	bf, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crawl: %v\n", err)
+		os.Exit(1)
+	}
+	defer bf.Close()
+	df, err := os.Create(*delayOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crawl: %v\n", err)
+		os.Exit(1)
+	}
+	defer df.Close()
+	var mu sync.Mutex
+	bw := trace.NewWriter(bf)
+	dw := trace.NewWriter(df)
+
+	cr, err := crawler.New(crawler.Config{
+		Control:       &control.Client{BaseURL: *api},
+		ListInterval:  *interval,
+		TapRTMP:       *tapRTMP,
+		TapHLS:        *tapHLS,
+		WatchMessages: true,
+		Anonymizer:    trace.NewAnonymizer([]byte(*anonKey)),
+		OnBroadcast: func(r trace.BroadcastRecord) {
+			mu.Lock()
+			defer mu.Unlock()
+			if err := bw.Write(r); err != nil {
+				fmt.Fprintf(os.Stderr, "crawl: write: %v\n", err)
+			}
+		},
+		OnDelay: func(r trace.DelayRecord) {
+			mu.Lock()
+			defer mu.Unlock()
+			if err := dw.Write(r); err != nil {
+				fmt.Fprintf(os.Stderr, "crawl: write: %v\n", err)
+			}
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crawl: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("crawling %s (ctrl-C to stop)\n", *api)
+	cr.Run(ctx)
+
+	mu.Lock()
+	bw.Flush()
+	dw.Flush()
+	mu.Unlock()
+	st := cr.Stats()
+	fmt.Printf("\ncaptured %d broadcasts (%d polls, %d frames, %d chunks)\n",
+		st.BroadcastsDone.Load(), st.ListPolls.Load(),
+		st.FramesTapped.Load(), st.ChunksTapped.Load())
+}

@@ -1,0 +1,83 @@
+// Command experiments regenerates the paper's tables and figures from the
+// reproduced system.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig11
+//	experiments -run all [-scale 100] [-seed 1] [-broadcasts 300] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		runID      = flag.String("run", "all", "experiment id to run, or 'all'")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		scale      = flag.Float64("scale", 100, "workload scale divisor (1 = full paper volume)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		broadcasts = flag.Int("broadcasts", 300, "trace count for delay experiments")
+		quick      = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
+		values     = flag.Bool("values", false, "also print the key metric values")
+		outDir     = flag.String("out", "", "also write each experiment to <out>/<id>.txt")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-22s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Scale:      *scale,
+		Seed:       *seed,
+		Broadcasts: *broadcasts,
+		Quick:      *quick,
+	}
+	ids := []string{*runID}
+	if *runID == "all" {
+		ids = experiments.IDs()
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for _, id := range ids {
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s: %s ====\n\n%s\n", res.ID, res.Title, res.Text)
+		if *outDir != "" {
+			path := filepath.Join(*outDir, res.ID+".txt")
+			if err := os.WriteFile(path, []byte(res.Text), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: write %s: %v\n", path, err)
+				os.Exit(1)
+			}
+		}
+		if *values {
+			keys := make([]string, 0, len(res.Values))
+			for k := range res.Values {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Printf("  %s = %g\n", k, res.Values[k])
+			}
+			fmt.Println()
+		}
+	}
+}

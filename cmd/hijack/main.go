@@ -1,0 +1,30 @@
+// Command hijack demonstrates the §7 stream-hijacking vulnerability and the
+// proposed signature defense on a local platform: a victim broadcaster's
+// upload passes through an ARP-spoofing-style man-in-the-middle that
+// replaces every frame with black video, invisibly to the broadcaster —
+// then the same attack is repeated against a signed stream and defeated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", uint64(time.Now().UnixNano()), "random seed")
+	flag.Parse()
+
+	fmt.Println("§7 stream hijacking: proof-of-concept on the reproduced platform")
+	fmt.Println("(all parties are local processes we own, as in the paper's ethics setup)")
+	fmt.Println()
+	res, err := experiments.Run("sec7", experiments.Config{Seed: *seed, Quick: true})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hijack: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Text)
+}

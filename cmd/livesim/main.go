@@ -1,0 +1,132 @@
+// Command livesim runs the reproduced livestreaming platform as a server:
+// control plane, RTMP origins, HLS edges and the message hub, all bound to
+// loopback. With -demo it also spawns synthetic broadcasters and viewers so
+// the crawler (cmd/crawl) has something to measure.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/media"
+	"repro/internal/pubsub"
+	"repro/internal/rng"
+	"repro/internal/rtmp"
+)
+
+func main() {
+	var (
+		chunkSecs = flag.Float64("chunk", 3, "HLS chunk duration in seconds")
+		rtmpCap   = flag.Int("rtmp-cap", 100, "RTMP viewer limit per broadcast")
+		demo      = flag.Bool("demo", false, "run synthetic broadcasters/viewers")
+		demoRate  = flag.Float64("demo-rate", 0.5, "demo broadcasts started per second")
+		retention = flag.Duration("retention", 10*time.Minute, "GC ended broadcasts after this (0 keeps everything)")
+		apiRPS    = flag.Float64("api-rps", 0, "per-client control API rate limit (0 = unlimited)")
+		whitelist = flag.String("api-whitelist", "127.0.0.1", "comma-separated hosts exempt from the API limit")
+		seed      = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := core.PlatformConfig{
+		ChunkDuration:   time.Duration(*chunkSecs * float64(time.Second)),
+		RTMPViewerLimit: *rtmpCap,
+		Retention:       *retention,
+		Seed:            *seed,
+	}
+	if *apiRPS > 0 {
+		cfg.APIRate = &control.RateLimiterConfig{
+			RequestsPerSecond: *apiRPS,
+			Burst:             *apiRPS * 2,
+			Whitelist:         strings.Split(*whitelist, ","),
+		}
+	}
+	p := core.NewPlatform(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := p.Start(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "livesim: %v\n", err)
+		os.Exit(1)
+	}
+	defer p.Stop()
+
+	fmt.Printf("platform up\n")
+	fmt.Printf("  control API : %s\n", p.ControlURL())
+	fmt.Printf("  messages    : %s\n", p.MessageURL())
+	fmt.Printf("  origins     : %d RTMP listeners\n", len(p.Topo.Origins))
+	fmt.Printf("  edges       : %d HLS caches\n", len(p.Topo.Edges))
+
+	if *demo {
+		go runDemo(ctx, p, *demoRate, *seed)
+	}
+	<-ctx.Done()
+	fmt.Println("\nshutting down")
+}
+
+// runDemo continuously starts short broadcasts with a few viewers each.
+func runDemo(ctx context.Context, p *core.Platform, rate float64, seed uint64) {
+	cc := &control.Client{BaseURL: p.ControlURL()}
+	src := rng.New(seed)
+	cities := geo.CityCatalog()
+	interval := time.Duration(float64(time.Second) / rate)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	n := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		n++
+		loc := cities[src.Intn(len(cities))]
+		go runDemoBroadcast(ctx, cc, uint64(n), loc, src.Uint64())
+	}
+}
+
+func runDemoBroadcast(ctx context.Context, cc *control.Client, n uint64, loc geo.Location, seed uint64) {
+	uid, err := cc.Register(ctx, fmt.Sprintf("demo-%d", n))
+	if err != nil {
+		return
+	}
+	grant, err := cc.StartBroadcast(ctx, uid, loc)
+	if err != nil {
+		return
+	}
+	pub, err := rtmp.Publish(ctx, grant.RTMPAddr, grant.BroadcastID, grant.Token, nil)
+	if err != nil {
+		return
+	}
+	src := rng.New(seed)
+	enc := media.NewEncoder(media.EncoderConfig{}, src)
+	mc := &pubsub.Client{BaseURL: grant.MessageURL}
+	frames := 100 + src.Intn(400) // 4–20 s of video
+	ticker := time.NewTicker(media.FrameDuration)
+	defer ticker.Stop()
+	for i := 0; i < frames; i++ {
+		select {
+		case <-ctx.Done():
+			pub.End()
+			return
+		case <-ticker.C:
+		}
+		f := enc.Next(time.Now())
+		if err := pub.Send(&f); err != nil {
+			return
+		}
+		if src.Bool(0.02) {
+			mc.Publish(ctx, grant.BroadcastID, pubsub.Event{
+				UserID: fmt.Sprintf("viewer-%d", src.Intn(50)), Kind: pubsub.KindHeart,
+			})
+		}
+	}
+	pub.End()
+}

@@ -1,0 +1,96 @@
+// Private broadcast: the §2.1 invite-only mode over RTMPS (§7.2). The host
+// invites one friend; the platform mints per-viewer tokens, hides the
+// broadcast from the public global list, and moves the video path onto TLS
+// — which is why the §7 tampering attack cannot touch private streams.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/media"
+	"repro/internal/rng"
+	"repro/internal/rtmp"
+	"repro/internal/security"
+)
+
+func main() {
+	platform := core.NewPlatform(core.PlatformConfig{ChunkDuration: time.Second})
+	ctx := context.Background()
+	if err := platform.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
+	defer platform.Stop()
+	cc := &control.Client{BaseURL: platform.ControlURL()}
+
+	host, _ := cc.Register(ctx, "host")
+	friend, _ := cc.Register(ctx, "friend")
+	stranger, _ := cc.Register(ctx, "stranger")
+
+	nyc := geo.Location{City: "New York", Continent: geo.NorthAmerica, Lat: 40.71, Lon: -74.01}
+	grant, err := cc.StartPrivateBroadcast(ctx, host, nyc, []uint64{friend})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("private broadcast %s: upload via RTMPS %s\n", grant.BroadcastID, grant.RTMPSAddr)
+
+	// The CA certificate arrives over the authenticated control channel;
+	// a data-path attacker never gets to substitute it.
+	tlsCfg, err := security.ClientConfigFromPEM(grant.CAPEM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pub, err := rtmp.PublishTLS(ctx, grant.RTMPSAddr, grant.BroadcastID, grant.Token, nil, tlsCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		enc := media.NewEncoder(media.EncoderConfig{}, rng.New(1))
+		ticker := time.NewTicker(media.FrameDuration)
+		defer ticker.Stop()
+		for i := 0; i < 50; i++ {
+			<-ticker.C
+			f := enc.Next(time.Now())
+			if pub.Send(&f) != nil {
+				return
+			}
+		}
+		pub.End()
+	}()
+
+	// The public list shows nothing.
+	list, _ := cc.GlobalList(ctx)
+	fmt.Printf("public global list: %d broadcasts (private stays hidden)\n", len(list))
+
+	// The stranger is refused; the friend gets a personal token.
+	if _, err := cc.Join(ctx, stranger, grant.BroadcastID, nyc); errors.Is(err, control.ErrNotInvited) {
+		fmt.Println("stranger join: refused (not invited)")
+	}
+	vg, err := cc.Join(ctx, friend, grant.BroadcastID, nyc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("friend join: protocol=%s, per-viewer token issued\n", vg.Protocol)
+
+	viewerTLS, err := security.ClientConfigFromPEM(vg.CAPEM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	viewer, err := rtmp.SubscribeTLS(ctx, vg.RTMPSAddr, grant.BroadcastID, vg.ViewerToken, rtmp.ViewerOptions{}, viewerTLS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer viewer.Close()
+	n := 0
+	for range viewer.Frames() {
+		n++
+	}
+	fmt.Printf("friend watched %d frames over TLS\n", n)
+	fmt.Println("(§7's interceptor cannot parse, let alone rewrite, this stream — see internal/core/private_test.go)")
+}

@@ -1,0 +1,119 @@
+// Quickstart: boot the full reproduced platform in-process, start a
+// broadcast, watch it over both delivery paths (RTMP push and HLS polling),
+// and interact through the message channel — the complete Figure 8
+// architecture in one program.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/hls"
+	"repro/internal/media"
+	"repro/internal/pubsub"
+	"repro/internal/rng"
+	"repro/internal/rtmp"
+)
+
+func main() {
+	// 1. Boot the platform: control plane, 8 Wowza-like origins,
+	//    23 Fastly-like edges, message hub — all on loopback.
+	platform := core.NewPlatform(core.PlatformConfig{
+		ChunkDuration:   time.Second, // shorter chunks keep the demo snappy
+		RTMPViewerLimit: 100,
+	})
+	ctx := context.Background()
+	if err := platform.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
+	defer platform.Stop()
+	fmt.Println("platform up:", platform.ControlURL())
+
+	// 2. Register a broadcaster and go live from New York.
+	cc := &control.Client{BaseURL: platform.ControlURL()}
+	uid, err := cc.Register(ctx, "alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	nyc := geo.Location{City: "New York", Continent: geo.NorthAmerica, Lat: 40.71, Lon: -74.01}
+	grant, err := cc.StartBroadcast(ctx, uid, nyc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("broadcast %s live via origin %s\n", grant.BroadcastID, grant.OriginID)
+
+	// 3. The broadcaster uploads 2.5 s of video over persistent RTMP.
+	pub, err := rtmp.Publish(ctx, grant.RTMPAddr, grant.BroadcastID, grant.Token, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		enc := media.NewEncoder(media.EncoderConfig{}, rng.New(1))
+		ticker := time.NewTicker(media.FrameDuration)
+		defer ticker.Stop()
+		for i := 0; i < 63; i++ {
+			<-ticker.C
+			f := enc.Next(time.Now())
+			if err := pub.Send(&f); err != nil {
+				return
+			}
+		}
+		pub.End()
+	}()
+
+	// 4. An early viewer joins: routed to low-latency RTMP (§4.1).
+	viewGrant, err := cc.Join(ctx, 1001, grant.BroadcastID, nyc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("first viewer routed to:", viewGrant.Protocol)
+	viewer, err := rtmp.Subscribe(ctx, viewGrant.RTMPAddr, grant.BroadcastID, "", rtmp.ViewerOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer viewer.Close()
+
+	// 5. The viewer hearts the stream through the PubNub-like channel.
+	mc := &pubsub.Client{BaseURL: viewGrant.MessageURL}
+	if _, err := mc.Publish(ctx, grant.BroadcastID, pubsub.Event{
+		UserID: "viewer-1001", Kind: pubsub.KindHeart,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := mc.Publish(ctx, grant.BroadcastID, pubsub.Event{
+		UserID: "viewer-1001", Kind: pubsub.KindComment, Text: "hello from the quickstart!",
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 6. Drain the RTMP stream and report per-frame latency.
+	var n int
+	var totalDelay time.Duration
+	for rf := range viewer.Frames() {
+		n++
+		totalDelay += rf.ReceivedAt.Sub(rf.Frame.CapturedAt)
+	}
+	fmt.Printf("RTMP viewer: %d frames, mean capture→screen delay %v\n", n, totalDelay/time.Duration(n))
+
+	// 7. A late viewer reads the same content over HLS from its edge.
+	hlsClient := &hls.Client{BaseURL: viewGrant.HLSBaseURL}
+	cl, err := hlsClient.FetchChunkList(ctx, grant.BroadcastID, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HLS edge has %d chunks (playlist v%d, ended=%v)\n", len(cl.Chunks), cl.Version, cl.Ended)
+	chunk, err := hlsClient.FetchChunk(ctx, grant.BroadcastID, cl.Chunks[0].Seq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("downloaded chunk %d: %d frames, %d bytes\n", chunk.Seq, len(chunk.Frames), chunk.Size())
+
+	// 8. Interactions, as recorded by the channel.
+	comments, hearts := platform.Hub.Counts(grant.BroadcastID)
+	fmt.Printf("interactions: %d comment(s), %d heart(s)\n", comments, hearts)
+}

@@ -1,0 +1,194 @@
+// Package analysis turns crawler output (trace records) into the paper's §3
+// statistics, completing the measurement pipeline: cmd/livesim runs the
+// platform, cmd/crawl captures it, and this package computes daily series,
+// duration/viewer/interaction CDFs, and per-user activity — the same
+// analyses the paper ran over its 19.6M-broadcast corpus.
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// DatasetStats is the Table 1 row computed from crawled records.
+type DatasetStats struct {
+	Broadcasts    int
+	Broadcasters  int
+	TotalJoins    int
+	UniqueViewers int
+	Comments      int
+	Hearts        int
+	FirstStart    time.Time
+	LastEnd       time.Time
+}
+
+// Summarize computes Table 1 aggregates over records.
+func Summarize(recs []trace.BroadcastRecord) DatasetStats {
+	var s DatasetStats
+	bcasters := map[string]bool{}
+	viewers := map[string]bool{}
+	for _, r := range recs {
+		s.Broadcasts++
+		bcasters[r.Broadcaster] = true
+		s.TotalJoins += len(r.Joins)
+		for _, j := range r.Joins {
+			viewers[j.UserID] = true
+		}
+		for _, e := range r.Events {
+			switch e.Kind {
+			case "comment":
+				s.Comments++
+			case "heart":
+				s.Hearts++
+			}
+		}
+		if s.FirstStart.IsZero() || r.StartedAt.Before(s.FirstStart) {
+			s.FirstStart = r.StartedAt
+		}
+		if r.EndedAt.After(s.LastEnd) {
+			s.LastEnd = r.EndedAt
+		}
+	}
+	s.Broadcasters = len(bcasters)
+	s.UniqueViewers = len(viewers)
+	return s
+}
+
+// DailyCounts is one day of the Figure 1/2 series.
+type DailyCounts struct {
+	Date         time.Time
+	Broadcasts   int
+	Broadcasters int
+	Viewers      int
+}
+
+// DailySeries buckets records by start day (UTC), producing the Fig. 1/2
+// series from crawled data.
+func DailySeries(recs []trace.BroadcastRecord) []DailyCounts {
+	type day struct {
+		n        int
+		bcasters map[string]bool
+		viewers  map[string]bool
+	}
+	days := map[time.Time]*day{}
+	for _, r := range recs {
+		if r.StartedAt.IsZero() {
+			continue
+		}
+		k := r.StartedAt.UTC().Truncate(24 * time.Hour)
+		d, ok := days[k]
+		if !ok {
+			d = &day{bcasters: map[string]bool{}, viewers: map[string]bool{}}
+			days[k] = d
+		}
+		d.n++
+		d.bcasters[r.Broadcaster] = true
+		for _, j := range r.Joins {
+			d.viewers[j.UserID] = true
+		}
+	}
+	out := make([]DailyCounts, 0, len(days))
+	for k, d := range days {
+		out = append(out, DailyCounts{Date: k, Broadcasts: d.n, Broadcasters: len(d.bcasters), Viewers: len(d.viewers)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Date.Before(out[j].Date) })
+	return out
+}
+
+// DurationCDF builds the Fig. 3 CDF (minutes) from crawled records; records
+// without an end timestamp are skipped.
+func DurationCDF(recs []trace.BroadcastRecord) *stats.CDF {
+	var xs []float64
+	for _, r := range recs {
+		if r.EndedAt.IsZero() || r.StartedAt.IsZero() {
+			continue
+		}
+		xs = append(xs, r.EndedAt.Sub(r.StartedAt).Minutes())
+	}
+	return stats.NewCDF(xs)
+}
+
+// ViewersCDF builds the Fig. 4 CDF (joins per broadcast).
+func ViewersCDF(recs []trace.BroadcastRecord) *stats.CDF {
+	var xs []float64
+	for _, r := range recs {
+		xs = append(xs, float64(len(r.Joins)))
+	}
+	return stats.NewCDF(xs)
+}
+
+// InteractionCDFs builds the Fig. 5 CDFs (comments, hearts per broadcast).
+func InteractionCDFs(recs []trace.BroadcastRecord) (comments, hearts *stats.CDF) {
+	var cs, hs []float64
+	for _, r := range recs {
+		var c, h float64
+		for _, e := range r.Events {
+			switch e.Kind {
+			case "comment":
+				c++
+			case "heart":
+				h++
+			}
+		}
+		cs = append(cs, c)
+		hs = append(hs, h)
+	}
+	return stats.NewCDF(cs), stats.NewCDF(hs)
+}
+
+// UserActivity tallies the Fig. 6 distributions: broadcasts viewed and
+// created per user.
+func UserActivity(recs []trace.BroadcastRecord) (views, creates map[string]int) {
+	views = map[string]int{}
+	creates = map[string]int{}
+	for _, r := range recs {
+		creates[r.Broadcaster]++
+		for _, j := range r.Joins {
+			views[j.UserID]++
+		}
+	}
+	return views, creates
+}
+
+// DelayStats aggregates crawler delay records per kind.
+type DelayStats struct {
+	Kind   string
+	N      int
+	Mean   time.Duration
+	P50    time.Duration
+	P95    time.Duration
+	StdDev time.Duration
+}
+
+// SummarizeDelays computes per-kind delay statistics from the §4.3 crawler
+// observations.
+func SummarizeDelays(recs []trace.DelayRecord) []DelayStats {
+	byKind := map[string][]float64{}
+	for _, r := range recs {
+		if r.Delay > 0 {
+			byKind[r.Kind] = append(byKind[r.Kind], float64(r.Delay))
+		}
+	}
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	out := make([]DelayStats, 0, len(kinds))
+	for _, k := range kinds {
+		xs := byKind[k]
+		s := stats.Summarize(xs)
+		out = append(out, DelayStats{
+			Kind:   k,
+			N:      s.N,
+			Mean:   time.Duration(s.Mean),
+			P50:    time.Duration(stats.Quantile(xs, 0.5)),
+			P95:    time.Duration(stats.Quantile(xs, 0.95)),
+			StdDev: time.Duration(s.StdDev),
+		})
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+var day0 = time.Date(2015, 5, 15, 0, 0, 0, 0, time.UTC)
+
+func sampleRecords() []trace.BroadcastRecord {
+	return []trace.BroadcastRecord{
+		{
+			BroadcastID: "b1", Broadcaster: "alice",
+			StartedAt: day0.Add(10 * time.Hour),
+			EndedAt:   day0.Add(10*time.Hour + 5*time.Minute),
+			Joins: []trace.Join{
+				{UserID: "v1", At: day0.Add(10 * time.Hour)},
+				{UserID: "v2", At: day0.Add(10 * time.Hour)},
+			},
+			Events: []trace.Event{
+				{UserID: "v1", Kind: "comment", At: day0},
+				{UserID: "v2", Kind: "heart", At: day0},
+				{UserID: "v2", Kind: "heart", At: day0},
+			},
+		},
+		{
+			BroadcastID: "b2", Broadcaster: "alice",
+			StartedAt: day0.Add(26 * time.Hour), // next day
+			EndedAt:   day0.Add(26*time.Hour + 20*time.Minute),
+			Joins:     []trace.Join{{UserID: "v1", At: day0.Add(26 * time.Hour)}},
+		},
+		{
+			BroadcastID: "b3", Broadcaster: "bob",
+			StartedAt: day0.Add(27 * time.Hour),
+			EndedAt:   day0.Add(27*time.Hour + time.Minute),
+		},
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(sampleRecords())
+	if s.Broadcasts != 3 || s.Broadcasters != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.TotalJoins != 3 || s.UniqueViewers != 2 {
+		t.Fatalf("joins = %d unique = %d", s.TotalJoins, s.UniqueViewers)
+	}
+	if s.Comments != 1 || s.Hearts != 2 {
+		t.Fatalf("comments = %d hearts = %d", s.Comments, s.Hearts)
+	}
+	if !s.FirstStart.Equal(day0.Add(10 * time.Hour)) {
+		t.Fatalf("first start = %v", s.FirstStart)
+	}
+}
+
+func TestDailySeries(t *testing.T) {
+	days := DailySeries(sampleRecords())
+	if len(days) != 2 {
+		t.Fatalf("days = %d", len(days))
+	}
+	if days[0].Broadcasts != 1 || days[1].Broadcasts != 2 {
+		t.Fatalf("series = %+v", days)
+	}
+	if days[1].Broadcasters != 2 {
+		t.Fatalf("day 2 broadcasters = %d", days[1].Broadcasters)
+	}
+	if !days[0].Date.Before(days[1].Date) {
+		t.Fatal("series not sorted")
+	}
+}
+
+func TestDurationCDF(t *testing.T) {
+	cdf := DurationCDF(sampleRecords())
+	if cdf.N() != 3 {
+		t.Fatalf("N = %d", cdf.N())
+	}
+	if got := cdf.At(10); got < 0.66 || got > 0.67 {
+		t.Fatalf("P(<10min) = %v, want 2/3", got)
+	}
+}
+
+func TestViewersCDF(t *testing.T) {
+	cdf := ViewersCDF(sampleRecords())
+	if cdf.At(0) < 0.33 || cdf.At(0) > 0.34 {
+		t.Fatalf("zero-viewer share = %v, want 1/3", cdf.At(0))
+	}
+}
+
+func TestInteractionCDFs(t *testing.T) {
+	comments, hearts := InteractionCDFs(sampleRecords())
+	if comments.N() != 3 || hearts.N() != 3 {
+		t.Fatal("CDF sizes wrong")
+	}
+	if hearts.Quantile(1) != 2 {
+		t.Fatalf("max hearts = %v", hearts.Quantile(1))
+	}
+}
+
+func TestUserActivity(t *testing.T) {
+	views, creates := UserActivity(sampleRecords())
+	if views["v1"] != 2 || views["v2"] != 1 {
+		t.Fatalf("views = %v", views)
+	}
+	if creates["alice"] != 2 || creates["bob"] != 1 {
+		t.Fatalf("creates = %v", creates)
+	}
+}
+
+func TestSummarizeDelays(t *testing.T) {
+	recs := []trace.DelayRecord{
+		{Kind: "frame", Delay: 100 * time.Millisecond},
+		{Kind: "frame", Delay: 300 * time.Millisecond},
+		{Kind: "chunk", Delay: 5 * time.Second},
+		{Kind: "chunk", Delay: 7 * time.Second},
+		{Kind: "chunk", Delay: 0}, // skipped
+	}
+	out := SummarizeDelays(recs)
+	if len(out) != 2 {
+		t.Fatalf("kinds = %d", len(out))
+	}
+	if out[0].Kind != "chunk" || out[0].N != 2 {
+		t.Fatalf("chunk stats = %+v", out[0])
+	}
+	if out[0].Mean != 6*time.Second {
+		t.Fatalf("chunk mean = %v", out[0].Mean)
+	}
+	if out[1].Kind != "frame" || out[1].Mean != 200*time.Millisecond {
+		t.Fatalf("frame stats = %+v", out[1])
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if s := Summarize(nil); s.Broadcasts != 0 {
+		t.Fatal("non-zero summary from empty input")
+	}
+	if d := DailySeries(nil); len(d) != 0 {
+		t.Fatal("non-empty series from empty input")
+	}
+	if out := SummarizeDelays(nil); len(out) != 0 {
+		t.Fatal("non-empty delay stats from empty input")
+	}
+}

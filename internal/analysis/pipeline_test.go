@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/crawler"
+	"repro/internal/geo"
+	"repro/internal/media"
+	"repro/internal/pubsub"
+	"repro/internal/rng"
+	"repro/internal/rtmp"
+	"repro/internal/trace"
+)
+
+// TestFullMeasurementPipeline exercises the complete paper workflow in one
+// process: run the platform, crawl it, persist JSONL, re-read and analyze —
+// the livesim→crawl→analyze toolchain.
+func TestFullMeasurementPipeline(t *testing.T) {
+	w := geo.WowzaSites()
+	f := geo.FastlySites()
+	p := core.NewPlatform(core.PlatformConfig{
+		OriginSites:   []geo.Datacenter{w[0]},
+		EdgeSites:     []geo.Datacenter{f[8]},
+		ChunkDuration: time.Second,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := p.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	cc := &control.Client{BaseURL: p.ControlURL()}
+
+	// Persist crawler output as JSONL, as cmd/crawl does.
+	var mu sync.Mutex
+	var bbuf, dbuf bytes.Buffer
+	bw := trace.NewWriter(&bbuf)
+	dw := trace.NewWriter(&dbuf)
+	cr, err := crawler.New(crawler.Config{
+		Control:       cc,
+		ListInterval:  15 * time.Millisecond,
+		TapRTMP:       true,
+		WatchMessages: true,
+		OnBroadcast: func(r trace.BroadcastRecord) {
+			mu.Lock()
+			bw.Write(r)
+			mu.Unlock()
+		},
+		OnDelay: func(r trace.DelayRecord) {
+			mu.Lock()
+			dw.Write(r)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crawlCtx, crawlCancel := context.WithCancel(ctx)
+	crawlDone := make(chan struct{})
+	go func() { cr.Run(crawlCtx); close(crawlDone) }()
+
+	// Two broadcasts with interactions.
+	for b := 0; b < 2; b++ {
+		uid, _ := cc.Register(ctx, "bcaster")
+		grant, err := cc.StartBroadcast(ctx, uid, geo.Location{City: "Ashburn", Lat: 39, Lon: -77})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pub, err := rtmp.Publish(ctx, grant.RTMPAddr, grant.BroadcastID, grant.Token, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := media.NewEncoder(media.EncoderConfig{}, rng.New(uint64(b)))
+		mc := &pubsub.Client{BaseURL: grant.MessageURL}
+		for i := 0; i < 40; i++ {
+			fr := enc.Next(time.Now())
+			if err := pub.Send(&fr); err != nil {
+				t.Fatal(err)
+			}
+			if i == 20 {
+				mc.Publish(ctx, grant.BroadcastID, pubsub.Event{UserID: "v1", Kind: pubsub.KindHeart})
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		pub.End()
+	}
+
+	// Wait for the crawler to finish both records.
+	deadline := time.Now().Add(15 * time.Second)
+	for cr.Stats().BroadcastsDone.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("crawler finished %d/2 broadcasts", cr.Stats().BroadcastsDone.Load())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	crawlCancel()
+	<-crawlDone
+	mu.Lock()
+	bw.Flush()
+	dw.Flush()
+	mu.Unlock()
+
+	// Re-read the persisted JSONL and analyze.
+	recs, err := trace.ReadBroadcasts(&bbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	sum := Summarize(recs)
+	if sum.Broadcasts != 2 || sum.Hearts != 2 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	days := DailySeries(recs)
+	if len(days) != 1 || days[0].Broadcasts != 2 {
+		t.Fatalf("daily series = %+v", days)
+	}
+	if cdf := DurationCDF(recs); cdf.N() != 2 {
+		t.Fatalf("duration CDF N = %d", cdf.N())
+	}
+
+	drecs, err := trace.ReadDelays(&dbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drecs) == 0 {
+		t.Fatal("no delay records")
+	}
+	ds := SummarizeDelays(drecs)
+	if len(ds) != 1 || ds[0].Kind != "frame" || ds[0].Mean <= 0 {
+		t.Fatalf("delay stats = %+v", ds)
+	}
+}

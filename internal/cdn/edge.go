@@ -1,0 +1,234 @@
+package cdn
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/hls"
+	"repro/internal/media"
+)
+
+// Upstream resolves which store an edge pulls a broadcast from: the origin
+// directly (co-located/gateway edges) or another edge acting as gateway
+// (§5.3). The returned TransferDelay, if non-nil, is slept before each pull
+// to model the WAN hop in real-socket mode.
+type Upstream struct {
+	Store hls.Store
+	// TransferDelay injects per-pull WAN latency; may be nil.
+	TransferDelay func() time.Duration
+}
+
+// EdgeConfig configures an Edge.
+type EdgeConfig struct {
+	// Site is the edge's datacenter.
+	Site geo.Datacenter
+	// Resolve maps a broadcast to its upstream. Required.
+	Resolve func(broadcastID string) (Upstream, error)
+}
+
+// EdgeStats count cache behaviour, the scalability currency of HLS.
+type EdgeStats struct {
+	ListHits    atomic.Int64 // polls served from the cached, fresh list
+	ListPulls   atomic.Int64 // polls that triggered an upstream pull (⑩)
+	ChunkHits   atomic.Int64
+	ChunkPulls  atomic.Int64
+	Invalidates atomic.Int64
+}
+
+// Edge is the Fastly analog: a pull-through cache for chunklists and chunks.
+// A viewer poll that finds the cached chunklist expired triggers the
+// upstream pull (⑨→⑩→⑪ in Fig. 10); chunks referenced by a fresh list are
+// copied eagerly so subsequent polls are served locally.
+type Edge struct {
+	cfg   EdgeConfig
+	stats EdgeStats
+
+	mu    sync.Mutex
+	cache map[string]*edgeEntry
+}
+
+type edgeEntry struct {
+	list  *media.ChunkList
+	stale bool
+	// chunkArrivedAt records when each chunk was copied to this edge
+	// (timestamp ⑪), for measurement.
+	chunkArrivedAt map[uint64]time.Time
+	chunks         map[uint64]*media.Chunk
+}
+
+// NewEdge builds an Edge.
+func NewEdge(cfg EdgeConfig) *Edge {
+	return &Edge{cfg: cfg, cache: make(map[string]*edgeEntry)}
+}
+
+// Site returns the edge's datacenter.
+func (e *Edge) Site() geo.Datacenter { return e.cfg.Site }
+
+// Stats exposes the cache counters.
+func (e *Edge) Stats() *EdgeStats { return &e.stats }
+
+// Invalidate implements Invalidator: it marks the cached list stale. The
+// fresh copy is NOT fetched here — the paper's architecture defers that to
+// the first subsequent viewer poll.
+func (e *Edge) Invalidate(broadcastID string, version uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ent, ok := e.cache[broadcastID]; ok {
+		if ent.list == nil || version > ent.list.Version {
+			ent.stale = true
+		}
+	}
+	e.stats.Invalidates.Add(1)
+}
+
+// ChunkList implements hls.Store for viewers. A fresh cached list is served
+// directly; a stale or missing one triggers the upstream pull.
+func (e *Edge) ChunkList(ctx context.Context, id string) (*media.ChunkList, error) {
+	e.mu.Lock()
+	ent, ok := e.cache[id]
+	if ok && ent.list != nil && !ent.stale {
+		cl := ent.list.Clone()
+		e.mu.Unlock()
+		e.stats.ListHits.Add(1)
+		return cl, nil
+	}
+	e.mu.Unlock()
+	return e.pull(ctx, id)
+}
+
+// pull refreshes the cached list and eagerly copies new chunks.
+func (e *Edge) pull(ctx context.Context, id string) (*media.ChunkList, error) {
+	up, err := e.cfg.Resolve(id)
+	if err != nil {
+		return nil, err
+	}
+	if up.TransferDelay != nil {
+		if err := sleepCtx(ctx, up.TransferDelay()); err != nil {
+			return nil, err
+		}
+	}
+	list, err := up.Store.ChunkList(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	e.stats.ListPulls.Add(1)
+
+	// Copy chunks we do not have yet (the ⑪ transfer).
+	e.mu.Lock()
+	ent, ok := e.cache[id]
+	if !ok {
+		ent = &edgeEntry{
+			chunks:         make(map[uint64]*media.Chunk),
+			chunkArrivedAt: make(map[uint64]time.Time),
+		}
+		e.cache[id] = ent
+	}
+	var missing []media.ChunkRef
+	for _, ref := range list.Chunks {
+		if _, have := ent.chunks[ref.Seq]; !have {
+			missing = append(missing, ref)
+		}
+	}
+	e.mu.Unlock()
+
+	for _, ref := range missing {
+		if up.TransferDelay != nil {
+			if err := sleepCtx(ctx, up.TransferDelay()); err != nil {
+				return nil, err
+			}
+		}
+		c, err := up.Store.Chunk(ctx, id, ref.Seq)
+		if err != nil {
+			continue // chunk may have rolled out of the origin window
+		}
+		e.stats.ChunkPulls.Add(1)
+		e.mu.Lock()
+		ent.chunks[ref.Seq] = c
+		ent.chunkArrivedAt[ref.Seq] = time.Now()
+		e.mu.Unlock()
+	}
+
+	e.mu.Lock()
+	ent.list = list.Clone()
+	ent.stale = false
+	cl := ent.list.Clone()
+	e.mu.Unlock()
+	return cl, nil
+}
+
+// Chunk implements hls.Store for viewers, pulling through on miss.
+func (e *Edge) Chunk(ctx context.Context, id string, seq uint64) (*media.Chunk, error) {
+	e.mu.Lock()
+	if ent, ok := e.cache[id]; ok {
+		if c, ok := ent.chunks[seq]; ok {
+			e.mu.Unlock()
+			e.stats.ChunkHits.Add(1)
+			return c, nil
+		}
+	}
+	e.mu.Unlock()
+
+	up, err := e.cfg.Resolve(id)
+	if err != nil {
+		return nil, err
+	}
+	if up.TransferDelay != nil {
+		if err := sleepCtx(ctx, up.TransferDelay()); err != nil {
+			return nil, err
+		}
+	}
+	c, err := up.Store.Chunk(ctx, id, seq)
+	if err != nil {
+		return nil, err
+	}
+	e.stats.ChunkPulls.Add(1)
+	e.mu.Lock()
+	ent, ok := e.cache[id]
+	if !ok {
+		ent = &edgeEntry{
+			chunks:         make(map[uint64]*media.Chunk),
+			chunkArrivedAt: make(map[uint64]time.Time),
+		}
+		e.cache[id] = ent
+	}
+	ent.chunks[seq] = c
+	ent.chunkArrivedAt[seq] = time.Now()
+	e.mu.Unlock()
+	return c, nil
+}
+
+// ChunkArrivedAt returns when chunk seq was copied to this edge (⑪).
+func (e *Edge) ChunkArrivedAt(id string, seq uint64) (time.Time, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ent, ok := e.cache[id]
+	if !ok {
+		return time.Time{}, false
+	}
+	t, ok := ent.chunkArrivedAt[seq]
+	return t, ok
+}
+
+// Evict drops a broadcast from the cache.
+func (e *Edge) Evict(id string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.cache, id)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

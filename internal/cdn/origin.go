@@ -1,0 +1,247 @@
+// Package cdn implements the two-tier video CDN the paper reverse-engineered
+// (§4.1): a Wowza-like Origin that ingests RTMP, fans frames out to RTMP
+// viewers, and assembles HLS chunks; and Fastly-like Edge caches that serve
+// HLS viewers, pulling from the origin only when a viewer poll finds an
+// expired chunklist — optionally through a co-located gateway edge, the
+// §5.3 relay structure that explains the Figure 15 co-location gap.
+package cdn
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/hls"
+	"repro/internal/media"
+	"repro/internal/rtmp"
+)
+
+// Invalidator is notified when a broadcast's chunklist changes, the
+// "Wowza notifies Fastly to expire its old chunklist" step (⑧ in Fig. 10).
+type Invalidator interface {
+	Invalidate(broadcastID string, version uint64)
+}
+
+// OriginConfig configures an Origin.
+type OriginConfig struct {
+	// Site is the datacenter this origin runs in.
+	Site geo.Datacenter
+	// ChunkDuration for HLS assembly; zero means the 3 s default.
+	ChunkDuration time.Duration
+	// RTMP configures the ingest/fan-out server. Tap and OnEnd are
+	// chained: the origin installs its own and forwards to any set here.
+	RTMP rtmp.ServerConfig
+	// Retention keeps ended broadcasts queryable for this long before
+	// Sweep removes them; zero means keep until Remove is called.
+	Retention time.Duration
+}
+
+// Origin is the Wowza analog: RTMP ingest plus authoritative chunk store.
+type Origin struct {
+	cfg  OriginConfig
+	rtmp *rtmp.Server
+
+	mu      sync.Mutex
+	streams map[string]*originStream
+	edges   []Invalidator
+	endedAt map[string]time.Time
+}
+
+type originStream struct {
+	chunker *media.Chunker
+	list    *media.ChunkList
+	chunks  map[uint64]*media.Chunk
+	// chunkReadyAt records when each chunk became available at the origin
+	// (timestamp ⑦), consumed by measurement taps.
+	chunkReadyAt map[uint64]time.Time
+}
+
+// NewOrigin builds an Origin and its embedded RTMP server.
+func NewOrigin(cfg OriginConfig) *Origin {
+	o := &Origin{
+		cfg:     cfg,
+		streams: make(map[string]*originStream),
+		endedAt: make(map[string]time.Time),
+	}
+	userTap := cfg.RTMP.Tap
+	userEnd := cfg.RTMP.OnEnd
+	rc := cfg.RTMP
+	rc.Tap = func(id string, f media.Frame, at time.Time) {
+		o.ingest(id, f, at)
+		if userTap != nil {
+			userTap(id, f, at)
+		}
+	}
+	rc.OnEnd = func(id string) {
+		o.endBroadcast(id)
+		if userEnd != nil {
+			userEnd(id)
+		}
+	}
+	o.rtmp = rtmp.NewServer(rc)
+	return o
+}
+
+// RTMP exposes the embedded ingest/fan-out server.
+func (o *Origin) RTMP() *rtmp.Server { return o.rtmp }
+
+// Site returns the origin's datacenter.
+func (o *Origin) Site() geo.Datacenter { return o.cfg.Site }
+
+// RegisterEdge subscribes an edge (or any Invalidator) to chunklist expiry
+// notifications.
+func (o *Origin) RegisterEdge(e Invalidator) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.edges = append(o.edges, e)
+}
+
+// Ingest feeds one frame into the HLS chunker directly, bypassing the RTMP
+// listener. The benchmark harness uses it to isolate viewer-serving cost;
+// production traffic arrives through the RTMP tap, which calls it too.
+func (o *Origin) Ingest(id string, f media.Frame, at time.Time) { o.ingest(id, f, at) }
+
+// ingest feeds one accepted RTMP frame into the HLS chunker.
+func (o *Origin) ingest(id string, f media.Frame, at time.Time) {
+	o.mu.Lock()
+	st, ok := o.streams[id]
+	if !ok {
+		st = &originStream{
+			chunker:      media.NewChunker(o.cfg.ChunkDuration),
+			list:         &media.ChunkList{BroadcastID: id},
+			chunks:       make(map[uint64]*media.Chunk),
+			chunkReadyAt: make(map[uint64]time.Time),
+		}
+		o.streams[id] = st
+	}
+	chunk := st.chunker.Add(f)
+	var version uint64
+	if chunk != nil {
+		st.chunks[chunk.Seq] = chunk
+		st.chunkReadyAt[chunk.Seq] = at
+		st.list.Append(media.ChunkRef{
+			Seq:      chunk.Seq,
+			Duration: chunk.Duration(),
+			URI:      fmt.Sprintf("/hls/%s/chunk/%d", id, chunk.Seq),
+		})
+		version = st.list.Version
+	}
+	o.mu.Unlock()
+	if chunk != nil {
+		o.notify(id, version)
+	}
+}
+
+func (o *Origin) endBroadcast(id string) {
+	o.mu.Lock()
+	st, ok := o.streams[id]
+	if !ok {
+		o.mu.Unlock()
+		return
+	}
+	if chunk := st.chunker.Flush(); chunk != nil {
+		st.chunks[chunk.Seq] = chunk
+		st.chunkReadyAt[chunk.Seq] = time.Now()
+		st.list.Append(media.ChunkRef{
+			Seq:      chunk.Seq,
+			Duration: chunk.Duration(),
+			URI:      fmt.Sprintf("/hls/%s/chunk/%d", id, chunk.Seq),
+		})
+	}
+	st.list.Ended = true
+	st.list.Version++
+	version := st.list.Version
+	o.endedAt[id] = time.Now()
+	o.mu.Unlock()
+	o.notify(id, version)
+}
+
+func (o *Origin) notify(id string, version uint64) {
+	o.mu.Lock()
+	edges := append([]Invalidator(nil), o.edges...)
+	o.mu.Unlock()
+	for _, e := range edges {
+		e.Invalidate(id, version)
+	}
+}
+
+// ChunkList implements hls.Store.
+func (o *Origin) ChunkList(_ context.Context, id string) (*media.ChunkList, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st, ok := o.streams[id]
+	if !ok {
+		return nil, hls.ErrNotFound
+	}
+	return st.list.Clone(), nil
+}
+
+// Chunk implements hls.Store.
+func (o *Origin) Chunk(_ context.Context, id string, seq uint64) (*media.Chunk, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st, ok := o.streams[id]
+	if !ok {
+		return nil, hls.ErrNotFound
+	}
+	c, ok := st.chunks[seq]
+	if !ok {
+		return nil, hls.ErrNotFound
+	}
+	return c, nil
+}
+
+// ChunkReadyAt returns when chunk seq became available at the origin
+// (timestamp ⑦), for delay measurement.
+func (o *Origin) ChunkReadyAt(id string, seq uint64) (time.Time, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st, ok := o.streams[id]
+	if !ok {
+		return time.Time{}, false
+	}
+	t, ok := st.chunkReadyAt[seq]
+	return t, ok
+}
+
+// Remove drops all state for a broadcast.
+func (o *Origin) Remove(id string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	delete(o.streams, id)
+	delete(o.endedAt, id)
+}
+
+// Sweep removes broadcasts that ended more than the retention period ago.
+// It is a no-op when retention is unset. Returns the number removed.
+func (o *Origin) Sweep(now time.Time) int {
+	if o.cfg.Retention == 0 {
+		return 0
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n := 0
+	for id, at := range o.endedAt {
+		if now.Sub(at) > o.cfg.Retention {
+			delete(o.streams, id)
+			delete(o.endedAt, id)
+			n++
+		}
+	}
+	return n
+}
+
+// Live reports the number of active (not yet ended) broadcasts with chunks.
+func (o *Origin) Live() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n := 0
+	for id := range o.streams {
+		if _, ended := o.endedAt[id]; !ended {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,69 @@
+package cdn
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/hls"
+)
+
+// TestEdgePullsOverHTTP wires an edge to its origin across a real HTTP hop
+// (the deployment shape of the Wowza→Fastly path) and verifies the full
+// pull-through behaviour survives the network boundary.
+func TestEdgePullsOverHTTP(t *testing.T) {
+	origin := NewOrigin(OriginConfig{Site: site("o1", "X"), ChunkDuration: time.Second})
+	originSrv := httptest.NewServer(hls.Handler("/hls", origin))
+	defer originSrv.Close()
+
+	remote := hls.RemoteStore{Client: &hls.Client{BaseURL: originSrv.URL + "/hls"}}
+	edge := NewEdge(EdgeConfig{
+		Site:    site("e1", "Y"),
+		Resolve: func(string) (Upstream, error) { return Upstream{Store: remote}, nil },
+	})
+	origin.RegisterEdge(edge)
+
+	feedFrames(origin, "b1", 60) // two 1s chunks
+	ctx := context.Background()
+	cl, err := edge.ChunkList(ctx, "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Chunks) != 2 {
+		t.Fatalf("edge chunks over HTTP = %d, want 2", len(cl.Chunks))
+	}
+	c, err := edge.Chunk(ctx, "b1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Seq != 1 || len(c.Frames) != 25 {
+		t.Fatalf("chunk = seq %d, %d frames", c.Seq, len(c.Frames))
+	}
+	// Chunks were copied during the list pull: the fetch above was a hit.
+	if edge.Stats().ChunkHits.Load() != 1 {
+		t.Fatalf("ChunkHits = %d", edge.Stats().ChunkHits.Load())
+	}
+
+	// A second edge, served BY the first edge over HTTP: the gateway
+	// relay across a real network boundary.
+	gwSrv := httptest.NewServer(hls.Handler("/hls", edge))
+	defer gwSrv.Close()
+	far := NewEdge(EdgeConfig{
+		Site: site("e2", "Z"),
+		Resolve: func(string) (Upstream, error) {
+			return Upstream{Store: hls.RemoteStore{Client: &hls.Client{BaseURL: gwSrv.URL + "/hls"}}}, nil
+		},
+	})
+	origin.RegisterEdge(far)
+	cl2, err := far.ChunkList(ctx, "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl2.Chunks) != 2 {
+		t.Fatalf("relayed chunks = %d", len(cl2.Chunks))
+	}
+	if _, err := far.Chunk(ctx, "b1", 0); err != nil {
+		t.Fatal(err)
+	}
+}

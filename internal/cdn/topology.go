@@ -1,0 +1,194 @@
+package cdn
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/hls"
+	"repro/internal/netsim"
+	"repro/internal/rtmp"
+)
+
+// Topology wires origins and edges into the paper's two-tier structure:
+// every Wowza origin registers all Fastly edges for invalidation; each edge
+// pulls either directly from the origin (when co-located) or through the
+// origin's co-located gateway edge (§5.3's relay hypothesis, the source of
+// the Figure 15 gap).
+type Topology struct {
+	Origins []*Origin
+	Edges   []*Edge
+
+	mu       sync.Mutex
+	originOf map[string]*Origin // broadcastID → origin
+	net      *netsim.Model
+	useGW    bool
+}
+
+// TopologyConfig configures Build.
+type TopologyConfig struct {
+	// OriginSites and EdgeSites define the datacenters; defaults are the
+	// paper's catalogs (geo.WowzaSites / geo.FastlySites).
+	OriginSites []geo.Datacenter
+	EdgeSites   []geo.Datacenter
+	// ChunkDuration for HLS assembly at every origin.
+	ChunkDuration time.Duration
+	// ViewerCap is the per-broadcast RTMP cap at every origin (≈100).
+	ViewerCap int
+	// Auth validates RTMP handshakes at every origin (control.Auth in
+	// the assembled platform); nil admits everyone.
+	Auth rtmp.Auth
+	// OnBroadcastEnd is invoked when any origin's broadcaster session
+	// ends (the platform uses it to close the control-plane record).
+	OnBroadcastEnd func(broadcastID string)
+	// Retention keeps ended broadcasts queryable at origins for this
+	// long before Sweep removes them; zero keeps them indefinitely.
+	Retention time.Duration
+	// Net injects WAN transfer delays on origin↔edge pulls; nil disables
+	// latency injection (pure functional mode).
+	Net *netsim.Model
+	// DisableGateway pulls every edge directly from the origin — the
+	// ablation contrasting §5.3's relay structure.
+	DisableGateway bool
+	// Seed drives latency jitter when Net is nil but injection is wanted.
+	Seed uint64
+}
+
+// Build assembles a Topology.
+func Build(cfg TopologyConfig) *Topology {
+	if cfg.OriginSites == nil {
+		cfg.OriginSites = geo.WowzaSites()
+	}
+	if cfg.EdgeSites == nil {
+		cfg.EdgeSites = geo.FastlySites()
+	}
+	t := &Topology{
+		originOf: make(map[string]*Origin),
+		net:      cfg.Net,
+		useGW:    !cfg.DisableGateway,
+	}
+	for _, site := range cfg.OriginSites {
+		t.Origins = append(t.Origins, NewOrigin(OriginConfig{
+			Site:          site,
+			ChunkDuration: cfg.ChunkDuration,
+			Retention:     cfg.Retention,
+			RTMP: rtmp.ServerConfig{
+				ViewerCap: cfg.ViewerCap,
+				Auth:      cfg.Auth,
+				OnEnd:     cfg.OnBroadcastEnd,
+			},
+		}))
+	}
+	for _, site := range cfg.EdgeSites {
+		site := site
+		edge := NewEdge(EdgeConfig{
+			Site:    site,
+			Resolve: nil, // set below, needs the edge list
+		})
+		t.Edges = append(t.Edges, edge)
+	}
+	for _, edge := range t.Edges {
+		edge := edge
+		edge.cfg.Resolve = func(broadcastID string) (Upstream, error) {
+			return t.resolve(edge, broadcastID)
+		}
+	}
+	for _, o := range t.Origins {
+		for _, e := range t.Edges {
+			o.RegisterEdge(e)
+		}
+	}
+	return t
+}
+
+// AssignBroadcast records that a broadcast is ingested at the given origin.
+// The control plane calls this when it routes a broadcaster.
+func (t *Topology) AssignBroadcast(broadcastID string, o *Origin) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.originOf[broadcastID] = o
+}
+
+// ReleaseBroadcast forgets an assignment.
+func (t *Topology) ReleaseBroadcast(broadcastID string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.originOf, broadcastID)
+}
+
+// OriginFor returns the ingest origin for a broadcast.
+func (t *Topology) OriginFor(broadcastID string) (*Origin, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	o, ok := t.originOf[broadcastID]
+	return o, ok
+}
+
+// NearestOrigin returns the origin closest to loc — the broadcaster
+// assignment policy the paper observed (§5.3).
+func (t *Topology) NearestOrigin(loc geo.Location) *Origin {
+	best := t.Origins[0]
+	for _, o := range t.Origins[1:] {
+		if geo.DistanceKm(loc, o.Site().Location) < geo.DistanceKm(loc, best.Site().Location) {
+			best = o
+		}
+	}
+	return best
+}
+
+// NearestEdge returns the edge closest to loc — the IP-anycast viewer
+// routing (§5.3).
+func (t *Topology) NearestEdge(loc geo.Location) *Edge {
+	best := t.Edges[0]
+	for _, e := range t.Edges[1:] {
+		if geo.DistanceKm(loc, e.Site().Location) < geo.DistanceKm(loc, best.Site().Location) {
+			best = e
+		}
+	}
+	return best
+}
+
+// GatewayFor returns the edge co-located with the origin, or nil.
+func (t *Topology) GatewayFor(o *Origin) *Edge {
+	for _, e := range t.Edges {
+		if geo.CoLocated(e.Site(), o.Site()) {
+			return e
+		}
+	}
+	return nil
+}
+
+// resolve computes the upstream path for edge→broadcast: direct to the
+// origin when the edge is co-located (or is itself the gateway, or gateways
+// are disabled), otherwise through the origin's gateway edge.
+func (t *Topology) resolve(e *Edge, broadcastID string) (Upstream, error) {
+	o, ok := t.OriginFor(broadcastID)
+	if !ok {
+		return Upstream{}, hls.ErrNotFound
+	}
+	gw := t.GatewayFor(o)
+	direct := !t.useGW || gw == nil || gw == e || geo.CoLocated(e.Site(), o.Site())
+	if direct {
+		return Upstream{
+			Store:         o,
+			TransferDelay: t.delayFn(e.Site().Location, o.Site().Location),
+		}, nil
+	}
+	// Relay: this edge pulls from the gateway edge, which in turn pulls
+	// from the origin over its own (co-located, near-zero) hop.
+	return Upstream{
+		Store:         gw,
+		TransferDelay: t.delayFn(e.Site().Location, gw.Site().Location),
+	}, nil
+}
+
+func (t *Topology) delayFn(a, b geo.Location) func() time.Duration {
+	if t.net == nil {
+		return nil
+	}
+	return func() time.Duration {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		return t.net.RTT(a, b)
+	}
+}

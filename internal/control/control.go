@@ -1,0 +1,563 @@
+// Package control implements the Periscope-server analog of Figure 8(a): the
+// control plane users talk to over a secure channel. It registers users with
+// sequential IDs (the property the paper used to count registrations, §3.1),
+// issues broadcast tokens, routes broadcasters to their nearest origin and
+// viewers to RTMP or HLS (first ~100 viewers get the low-latency RTMP path,
+// §4.1), serves the 50-random global broadcast list the crawler samples, and
+// holds the broadcaster public keys of the §7.2 signature defense — the one
+// exchange that happens over the authenticated channel.
+package control
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+// Errors returned by the service.
+var (
+	ErrNoBroadcast = errors.New("control: no such broadcast")
+	ErrBadToken    = errors.New("control: bad token")
+	ErrEnded       = errors.New("control: broadcast ended")
+	ErrNotInvited  = errors.New("control: user not invited to private broadcast")
+)
+
+// GlobalListSize is how many random broadcasts one global-list query
+// returns (§3.1).
+const GlobalListSize = 50
+
+// DefaultRTMPViewerLimit is the viewer count beyond which joins are routed
+// to HLS (§4.1: "around 100").
+const DefaultRTMPViewerLimit = 100
+
+// User is a registered account. IDs are sequential, mirroring the Periscope
+// property the paper exploited to count registrations.
+type User struct {
+	ID   uint64
+	Name string
+}
+
+// Routes tells the service where the data plane lives. The platform wires
+// these to real listener addresses; simulations use symbolic names.
+type Routes struct {
+	// AssignOrigin picks the ingest origin for a broadcaster location,
+	// returning its ID and RTMP address.
+	AssignOrigin func(loc geo.Location) (originID, rtmpAddr string)
+	// RTMPSAddr returns an origin's TLS listener address for private
+	// broadcasts (§7.2); nil disables private broadcasts.
+	RTMPSAddr func(originID string) string
+	// AssignEdge picks the HLS edge base URL for a viewer location.
+	AssignEdge func(broadcastID string, loc geo.Location) (hlsBaseURL string)
+	// MessageURL is the pubsub channel base URL handed to every client.
+	MessageURL string
+	// TLSCertPEM is the platform CA handed to private-broadcast clients
+	// over this (authenticated) channel, so the data-path attacker can
+	// never substitute a certificate.
+	TLSCertPEM []byte
+}
+
+// Config configures a Service.
+type Config struct {
+	Routes Routes
+	// RTMPViewerLimit is the RTMP→HLS cutoff; zero means the default 100.
+	RTMPViewerLimit int
+	// Clock defaults to the real clock.
+	Clock clock.Clock
+	// Seed drives global-list sampling.
+	Seed uint64
+}
+
+// BroadcastGrant is what a broadcaster gets back from StartBroadcast.
+type BroadcastGrant struct {
+	BroadcastID string
+	Token       string
+	OriginID    string
+	RTMPAddr    string
+	MessageURL  string
+	// Private broadcasts upload over RTMPS instead (§7.2); RTMPSAddr and
+	// CAPEM are only set for them.
+	Private   bool
+	RTMPSAddr string
+	CAPEM     []byte
+}
+
+// Protocol selects a viewer's delivery path.
+type Protocol string
+
+// Viewer delivery protocols.
+const (
+	ProtoRTMP Protocol = "rtmp"
+	ProtoHLS  Protocol = "hls"
+)
+
+// ViewerGrant is what a viewer gets back from Join. Mirroring Periscope,
+// RTMP joins also receive the HLS URL (the paper's crawler exploited this to
+// obtain both, §4.3). Private-broadcast grants instead carry an RTMPS
+// address, a per-viewer token, and the platform CA.
+type ViewerGrant struct {
+	Protocol    Protocol
+	RTMPAddr    string
+	HLSBaseURL  string
+	MessageURL  string
+	Private     bool
+	RTMPSAddr   string
+	ViewerToken string
+	CAPEM       []byte
+}
+
+// ProtoRTMPS is the private-broadcast delivery path.
+const ProtoRTMPS Protocol = "rtmps"
+
+// ViewerJoin is one recorded join.
+type ViewerJoin struct {
+	UserID uint64
+	At     time.Time
+}
+
+// Summary is the public view of a broadcast.
+type Summary struct {
+	BroadcastID string
+	Broadcaster uint64
+	StartedAt   time.Time
+	EndedAt     time.Time
+	Live        bool
+	Viewers     int
+	Location    geo.Location
+}
+
+type broadcastState struct {
+	id          string
+	token       string
+	broadcaster uint64
+	originID    string
+	rtmpAddr    string
+	rtmpsAddr   string
+	startedAt   time.Time
+	endedAt     time.Time
+	ended       bool
+	loc         geo.Location
+	joins       []ViewerJoin
+	pubKey      ed25519.PublicKey
+	// Private broadcasts admit only the allowed set, each with a minted
+	// per-viewer token the origin validates.
+	private      bool
+	allowed      map[uint64]bool
+	viewerTokens map[string]bool
+}
+
+// Service is the control plane.
+type Service struct {
+	cfg   Config
+	clock clock.Clock
+
+	mu         sync.Mutex
+	src        *rng.Source
+	nextUser   uint64
+	users      map[uint64]User
+	broadcasts map[string]*broadcastState
+	liveIDs    []string // maintained for O(1) random sampling
+	livePos    map[string]int
+	nextBcast  uint64
+
+	// listeners are notified on start/end, used by the platform to open
+	// and close pubsub channels and topology assignments.
+	onStart []func(id string, origin string)
+	onEnd   []func(id string)
+}
+
+// NewService builds a Service.
+func NewService(cfg Config) *Service {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewReal()
+	}
+	if cfg.RTMPViewerLimit == 0 {
+		cfg.RTMPViewerLimit = DefaultRTMPViewerLimit
+	}
+	return &Service{
+		cfg:        cfg,
+		clock:      cfg.Clock,
+		src:        rng.New(cfg.Seed),
+		users:      make(map[uint64]User),
+		broadcasts: make(map[string]*broadcastState),
+		livePos:    make(map[string]int),
+	}
+}
+
+// OnStart registers a callback fired when a broadcast starts.
+func (s *Service) OnStart(fn func(broadcastID, originID string)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onStart = append(s.onStart, fn)
+}
+
+// OnEnd registers a callback fired when a broadcast ends.
+func (s *Service) OnEnd(fn func(broadcastID string)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onEnd = append(s.onEnd, fn)
+}
+
+// SetMessageURL updates the pubsub base URL handed out in grants. The
+// platform calls this once its HTTP listener is bound.
+func (s *Service) SetMessageURL(url string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.Routes.MessageURL = url
+}
+
+func (s *Service) messageURL() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg.Routes.MessageURL
+}
+
+// Register creates a user with the next sequential ID.
+func (s *Service) Register(name string) User {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextUser++
+	u := User{ID: s.nextUser, Name: name}
+	s.users[u.ID] = u
+	return u
+}
+
+// UserCount returns the total registered users (the paper's §3.1 estimate
+// read this off the latest sequential ID).
+func (s *Service) UserCount() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextUser
+}
+
+// newToken mints an unguessable broadcast token over the secure channel.
+func newToken() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("control: token entropy: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// StartBroadcast creates a live public broadcast for userID at loc.
+func (s *Service) StartBroadcast(userID uint64, loc geo.Location) (BroadcastGrant, error) {
+	return s.startBroadcast(userID, loc, nil)
+}
+
+// StartPrivateBroadcast creates a broadcast only the allowed users may
+// join, delivered over RTMPS (§2.1's private broadcasts, §7.2's transport).
+// It fails when the platform has no TLS listeners configured.
+func (s *Service) StartPrivateBroadcast(userID uint64, loc geo.Location, allowed []uint64) (BroadcastGrant, error) {
+	if s.cfg.Routes.RTMPSAddr == nil {
+		return BroadcastGrant{}, errors.New("control: private broadcasts not enabled")
+	}
+	set := make(map[uint64]bool, len(allowed))
+	for _, u := range allowed {
+		set[u] = true
+	}
+	return s.startBroadcast(userID, loc, set)
+}
+
+func (s *Service) startBroadcast(userID uint64, loc geo.Location, allowed map[uint64]bool) (BroadcastGrant, error) {
+	token, err := newToken()
+	if err != nil {
+		return BroadcastGrant{}, err
+	}
+	originID, rtmpAddr := "", ""
+	if s.cfg.Routes.AssignOrigin != nil {
+		originID, rtmpAddr = s.cfg.Routes.AssignOrigin(loc)
+	}
+	private := allowed != nil
+	rtmpsAddr := ""
+	if private {
+		rtmpsAddr = s.cfg.Routes.RTMPSAddr(originID)
+	}
+	s.mu.Lock()
+	s.nextBcast++
+	id := fmt.Sprintf("bcast-%d", s.nextBcast)
+	st := &broadcastState{
+		id:          id,
+		token:       token,
+		broadcaster: userID,
+		originID:    originID,
+		rtmpAddr:    rtmpAddr,
+		rtmpsAddr:   rtmpsAddr,
+		startedAt:   s.clock.Now(),
+		loc:         loc,
+		private:     private,
+		allowed:     allowed,
+	}
+	if private {
+		st.viewerTokens = make(map[string]bool)
+	}
+	s.broadcasts[id] = st
+	if !private {
+		// Private broadcasts never appear on the public global list.
+		s.livePos[id] = len(s.liveIDs)
+		s.liveIDs = append(s.liveIDs, id)
+	}
+	callbacks := make([]func(broadcastID, originID string), len(s.onStart))
+	copy(callbacks, s.onStart)
+	s.mu.Unlock()
+	for _, fn := range callbacks {
+		fn(id, originID)
+	}
+	g := BroadcastGrant{
+		BroadcastID: id,
+		Token:       token,
+		OriginID:    originID,
+		RTMPAddr:    rtmpAddr,
+		MessageURL:  s.messageURL(),
+		Private:     private,
+	}
+	if private {
+		g.RTMPSAddr = rtmpsAddr
+		g.CAPEM = s.cfg.Routes.TLSCertPEM
+		g.RTMPAddr = "" // private uploads must not use plaintext RTMP
+	}
+	return g, nil
+}
+
+// RegisterPublicKey stores a broadcaster's signing key, authenticated by the
+// broadcast token. This is the §7.2 key exchange over the secure channel.
+func (s *Service) RegisterPublicKey(broadcastID, token string, pub ed25519.PublicKey) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.broadcasts[broadcastID]
+	if !ok {
+		return ErrNoBroadcast
+	}
+	if st.token != token {
+		return ErrBadToken
+	}
+	st.pubKey = append(ed25519.PublicKey(nil), pub...)
+	return nil
+}
+
+// PublicKey returns the registered key for a broadcast, or nil. Viewers use
+// this (over the secure channel) to verify signed streams.
+func (s *Service) PublicKey(broadcastID string) ed25519.PublicKey {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.broadcasts[broadcastID]
+	if !ok {
+		return nil
+	}
+	return st.pubKey
+}
+
+// EndBroadcast finishes a broadcast; requires the broadcast token.
+func (s *Service) EndBroadcast(broadcastID, token string) error {
+	s.mu.Lock()
+	st, ok := s.broadcasts[broadcastID]
+	if !ok {
+		s.mu.Unlock()
+		return ErrNoBroadcast
+	}
+	if st.token != token {
+		s.mu.Unlock()
+		return ErrBadToken
+	}
+	if st.ended {
+		s.mu.Unlock()
+		return nil
+	}
+	st.ended = true
+	st.endedAt = s.clock.Now()
+	s.removeLiveLocked(broadcastID)
+	callbacks := make([]func(broadcastID string), len(s.onEnd))
+	copy(callbacks, s.onEnd)
+	s.mu.Unlock()
+	for _, fn := range callbacks {
+		fn(broadcastID)
+	}
+	return nil
+}
+
+// ForceEnd finishes a broadcast without a token. It is for server-internal
+// use: the data plane reports that the broadcaster's RTMP session closed.
+func (s *Service) ForceEnd(broadcastID string) {
+	s.mu.Lock()
+	st, ok := s.broadcasts[broadcastID]
+	if !ok || st.ended {
+		s.mu.Unlock()
+		return
+	}
+	st.ended = true
+	st.endedAt = s.clock.Now()
+	s.removeLiveLocked(broadcastID)
+	callbacks := make([]func(broadcastID string), len(s.onEnd))
+	copy(callbacks, s.onEnd)
+	s.mu.Unlock()
+	for _, fn := range callbacks {
+		fn(broadcastID)
+	}
+}
+
+func (s *Service) removeLiveLocked(id string) {
+	pos, ok := s.livePos[id]
+	if !ok {
+		return
+	}
+	last := len(s.liveIDs) - 1
+	s.liveIDs[pos] = s.liveIDs[last]
+	s.livePos[s.liveIDs[pos]] = pos
+	s.liveIDs = s.liveIDs[:last]
+	delete(s.livePos, id)
+}
+
+// Join records a viewer joining and routes them: joins below the RTMP limit
+// get the RTMP path, later ones HLS (§4.1).
+func (s *Service) Join(userID uint64, broadcastID string, loc geo.Location) (ViewerGrant, error) {
+	s.mu.Lock()
+	st, ok := s.broadcasts[broadcastID]
+	if !ok {
+		s.mu.Unlock()
+		return ViewerGrant{}, ErrNoBroadcast
+	}
+	if st.ended {
+		s.mu.Unlock()
+		return ViewerGrant{}, ErrEnded
+	}
+	if st.private {
+		if !st.allowed[userID] && st.broadcaster != userID {
+			s.mu.Unlock()
+			return ViewerGrant{}, ErrNotInvited
+		}
+		vt, err := newToken()
+		if err != nil {
+			s.mu.Unlock()
+			return ViewerGrant{}, err
+		}
+		st.viewerTokens[vt] = true
+		st.joins = append(st.joins, ViewerJoin{UserID: userID, At: s.clock.Now()})
+		rtmpsAddr := st.rtmpsAddr
+		s.mu.Unlock()
+		return ViewerGrant{
+			Protocol:    ProtoRTMPS,
+			Private:     true,
+			RTMPSAddr:   rtmpsAddr,
+			ViewerToken: vt,
+			CAPEM:       s.cfg.Routes.TLSCertPEM,
+			MessageURL:  s.messageURL(),
+		}, nil
+	}
+	st.joins = append(st.joins, ViewerJoin{UserID: userID, At: s.clock.Now()})
+	idx := len(st.joins)
+	rtmpAddr := st.rtmpAddr
+	s.mu.Unlock()
+
+	grant := ViewerGrant{MessageURL: s.messageURL()}
+	if s.cfg.Routes.AssignEdge != nil {
+		grant.HLSBaseURL = s.cfg.Routes.AssignEdge(broadcastID, loc)
+	}
+	if idx <= s.cfg.RTMPViewerLimit {
+		grant.Protocol = ProtoRTMP
+		grant.RTMPAddr = rtmpAddr
+	} else {
+		grant.Protocol = ProtoHLS
+	}
+	return grant, nil
+}
+
+// GlobalList returns up to GlobalListSize randomly selected live broadcasts,
+// the API surface the paper's crawler polled every 250 ms (§3.1).
+func (s *Service) GlobalList() []Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.liveIDs)
+	k := GlobalListSize
+	if n <= k {
+		out := make([]Summary, 0, n)
+		for _, id := range s.liveIDs {
+			out = append(out, s.summaryLocked(s.broadcasts[id]))
+		}
+		return out
+	}
+	// Partial Fisher–Yates over a copy for an unbiased k-sample.
+	ids := append([]string(nil), s.liveIDs...)
+	out := make([]Summary, 0, k)
+	for i := 0; i < k; i++ {
+		j := i + s.src.Intn(n-i)
+		ids[i], ids[j] = ids[j], ids[i]
+		out = append(out, s.summaryLocked(s.broadcasts[ids[i]]))
+	}
+	return out
+}
+
+// Info returns the summary of one broadcast.
+func (s *Service) Info(broadcastID string) (Summary, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.broadcasts[broadcastID]
+	if !ok {
+		return Summary{}, ErrNoBroadcast
+	}
+	return s.summaryLocked(st), nil
+}
+
+// Joins returns the recorded viewer joins for a broadcast.
+func (s *Service) Joins(broadcastID string) ([]ViewerJoin, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.broadcasts[broadcastID]
+	if !ok {
+		return nil, ErrNoBroadcast
+	}
+	return append([]ViewerJoin(nil), st.joins...), nil
+}
+
+// LiveCount returns the number of live broadcasts.
+func (s *Service) LiveCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.liveIDs)
+}
+
+func (s *Service) summaryLocked(st *broadcastState) Summary {
+	return Summary{
+		BroadcastID: st.id,
+		Broadcaster: st.broadcaster,
+		StartedAt:   st.startedAt,
+		EndedAt:     st.endedAt,
+		Live:        !st.ended,
+		Viewers:     len(st.joins),
+		Location:    st.loc,
+	}
+}
+
+// Auth adapts the service to rtmp.Auth: broadcasters must present the exact
+// broadcast token; viewers are admitted to any live broadcast (public
+// broadcasts, the Periscope default).
+type Auth struct{ S *Service }
+
+// Authorize implements rtmp.Auth.
+func (a Auth) Authorize(broadcastID, token, role string) bool {
+	a.S.mu.Lock()
+	defer a.S.mu.Unlock()
+	st, ok := a.S.broadcasts[broadcastID]
+	if !ok || st.ended {
+		return false
+	}
+	if role == wire.RoleBroadcaster {
+		return st.token == token
+	}
+	if st.private {
+		// Private viewers present the per-user token minted at Join.
+		return st.viewerTokens[token]
+	}
+	return true
+}
+
+// PublicKey implements rtmp.Auth.
+func (a Auth) PublicKey(broadcastID string) ed25519.PublicKey {
+	return a.S.PublicKey(broadcastID)
+}

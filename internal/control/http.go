@@ -1,0 +1,447 @@
+package control
+
+import (
+	"bytes"
+	"context"
+	"crypto/ed25519"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// The control plane's HTTP surface stands in for Periscope's HTTPS API: the
+// one channel that IS authenticated and confidential in the real system.
+// (We serve plain HTTP on loopback; the trust property we reproduce is that
+// the §7 attacker taps only the RTMP/HLS data path, never this channel.)
+
+type registerReq struct {
+	Name string `json:"name"`
+}
+
+type registerResp struct {
+	ID uint64 `json:"id"`
+}
+
+type startReq struct {
+	UserID  uint64   `json:"user_id"`
+	City    string   `json:"city"`
+	Lat     float64  `json:"lat"`
+	Lon     float64  `json:"lon"`
+	Private bool     `json:"private,omitempty"`
+	Allowed []uint64 `json:"allowed,omitempty"`
+}
+
+type grantResp struct {
+	BroadcastID string `json:"broadcast_id"`
+	Token       string `json:"token"`
+	OriginID    string `json:"origin_id"`
+	RTMPAddr    string `json:"rtmp_addr,omitempty"`
+	MessageURL  string `json:"message_url"`
+	Private     bool   `json:"private,omitempty"`
+	RTMPSAddr   string `json:"rtmps_addr,omitempty"`
+	CAPEM       []byte `json:"ca_pem,omitempty"`
+}
+
+type endReq struct {
+	Token string `json:"token"`
+}
+
+type pubKeyReq struct {
+	Token     string `json:"token"`
+	PubKeyHex string `json:"pubkey_hex"`
+}
+
+type pubKeyResp struct {
+	PubKeyHex string `json:"pubkey_hex"`
+}
+
+type joinReq struct {
+	UserID uint64  `json:"user_id"`
+	City   string  `json:"city"`
+	Lat    float64 `json:"lat"`
+	Lon    float64 `json:"lon"`
+}
+
+type joinResp struct {
+	Protocol    string `json:"protocol"`
+	RTMPAddr    string `json:"rtmp_addr,omitempty"`
+	HLSBaseURL  string `json:"hls_base_url,omitempty"`
+	MessageURL  string `json:"message_url"`
+	Private     bool   `json:"private,omitempty"`
+	RTMPSAddr   string `json:"rtmps_addr,omitempty"`
+	ViewerToken string `json:"viewer_token,omitempty"`
+	CAPEM       []byte `json:"ca_pem,omitempty"`
+}
+
+type summaryJSON struct {
+	BroadcastID string    `json:"broadcast_id"`
+	Broadcaster uint64    `json:"broadcaster"`
+	StartedAt   time.Time `json:"started_at"`
+	EndedAt     time.Time `json:"ended_at,omitempty"`
+	Live        bool      `json:"live"`
+	Viewers     int       `json:"viewers"`
+	City        string    `json:"city"`
+}
+
+func toSummaryJSON(s Summary) summaryJSON {
+	return summaryJSON{
+		BroadcastID: s.BroadcastID,
+		Broadcaster: s.Broadcaster,
+		StartedAt:   s.StartedAt,
+		EndedAt:     s.EndedAt,
+		Live:        s.Live,
+		Viewers:     s.Viewers,
+		City:        s.Location.City,
+	}
+}
+
+// Handler exposes the service over HTTP under prefix (e.g. "/api").
+func Handler(prefix string, s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(prefix+"/users", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var req registerReq
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		u := s.Register(req.Name)
+		writeJSON(w, registerResp{ID: u.ID})
+	})
+	mux.HandleFunc(prefix+"/global", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		list := s.GlobalList()
+		out := make([]summaryJSON, 0, len(list))
+		for _, b := range list {
+			out = append(out, toSummaryJSON(b))
+		}
+		writeJSON(w, struct {
+			Broadcasts []summaryJSON `json:"broadcasts"`
+		}{out})
+	})
+	mux.HandleFunc(prefix+"/broadcasts", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var req startReq
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		loc := geo.Location{City: req.City, Lat: req.Lat, Lon: req.Lon}
+		var grant BroadcastGrant
+		var err error
+		if req.Private {
+			grant, err = s.StartPrivateBroadcast(req.UserID, loc, req.Allowed)
+		} else {
+			grant, err = s.StartBroadcast(req.UserID, loc)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, grantResp{
+			BroadcastID: grant.BroadcastID,
+			Token:       grant.Token,
+			OriginID:    grant.OriginID,
+			RTMPAddr:    grant.RTMPAddr,
+			MessageURL:  grant.MessageURL,
+			Private:     grant.Private,
+			RTMPSAddr:   grant.RTMPSAddr,
+			CAPEM:       grant.CAPEM,
+		})
+	})
+	mux.HandleFunc(prefix+"/broadcasts/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, prefix+"/broadcasts/")
+		parts := strings.Split(rest, "/")
+		id := parts[0]
+		switch {
+		case len(parts) == 1 && r.Method == http.MethodGet:
+			info, err := s.Info(id)
+			if respondErr(w, err) {
+				return
+			}
+			writeJSON(w, toSummaryJSON(info))
+		case len(parts) == 2 && parts[1] == "end" && r.Method == http.MethodPost:
+			var req endReq
+			if !decodeJSON(w, r, &req) {
+				return
+			}
+			if respondErr(w, s.EndBroadcast(id, req.Token)) {
+				return
+			}
+			writeJSON(w, struct{}{})
+		case len(parts) == 2 && parts[1] == "join" && r.Method == http.MethodPost:
+			var req joinReq
+			if !decodeJSON(w, r, &req) {
+				return
+			}
+			grant, err := s.Join(req.UserID, id, geo.Location{City: req.City, Lat: req.Lat, Lon: req.Lon})
+			if respondErr(w, err) {
+				return
+			}
+			writeJSON(w, joinResp{
+				Protocol:    string(grant.Protocol),
+				RTMPAddr:    grant.RTMPAddr,
+				HLSBaseURL:  grant.HLSBaseURL,
+				MessageURL:  grant.MessageURL,
+				Private:     grant.Private,
+				RTMPSAddr:   grant.RTMPSAddr,
+				ViewerToken: grant.ViewerToken,
+				CAPEM:       grant.CAPEM,
+			})
+		case len(parts) == 2 && parts[1] == "pubkey" && r.Method == http.MethodPost:
+			var req pubKeyReq
+			if !decodeJSON(w, r, &req) {
+				return
+			}
+			key, err := hex.DecodeString(req.PubKeyHex)
+			if err != nil || len(key) != ed25519.PublicKeySize {
+				http.Error(w, "bad public key", http.StatusBadRequest)
+				return
+			}
+			if respondErr(w, s.RegisterPublicKey(id, req.Token, key)) {
+				return
+			}
+			writeJSON(w, struct{}{})
+		case len(parts) == 2 && parts[1] == "pubkey" && r.Method == http.MethodGet:
+			key := s.PublicKey(id)
+			writeJSON(w, pubKeyResp{PubKeyHex: hex.EncodeToString(key)})
+		default:
+			http.NotFound(w, r)
+		}
+	})
+	return mux
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<10))
+	if err != nil || json.Unmarshal(body, v) != nil {
+		http.Error(w, "bad request body", http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func respondErr(w http.ResponseWriter, err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, ErrNoBroadcast):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, ErrBadToken):
+		http.Error(w, err.Error(), http.StatusForbidden)
+	case errors.Is(err, ErrNotInvited):
+		http.Error(w, err.Error(), http.StatusUnauthorized)
+	case errors.Is(err, ErrEnded):
+		http.Error(w, err.Error(), http.StatusGone)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		_ = err // response already started
+	}
+}
+
+// Client is the app/crawler side of the control API.
+type Client struct {
+	// BaseURL includes the prefix, e.g. "http://ctrl:8080/api".
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out interface{}) error {
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fmt.Errorf("control: %s %s: %w", req.Method, req.URL.Path, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return ErrNoBroadcast
+	case http.StatusForbidden:
+		return ErrBadToken
+	case http.StatusUnauthorized:
+		return ErrNotInvited
+	case http.StatusGone:
+		return ErrEnded
+	default:
+		return fmt.Errorf("control: %s %s: status %d", req.Method, req.URL.Path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Register creates a user.
+func (c *Client) Register(ctx context.Context, name string) (uint64, error) {
+	var resp registerResp
+	if err := c.post(ctx, "/users", registerReq{Name: name}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.ID, nil
+}
+
+// StartBroadcast opens a public broadcast for user at loc.
+func (c *Client) StartBroadcast(ctx context.Context, userID uint64, loc geo.Location) (BroadcastGrant, error) {
+	return c.startBroadcast(ctx, startReq{UserID: userID, City: loc.City, Lat: loc.Lat, Lon: loc.Lon})
+}
+
+// StartPrivateBroadcast opens an invite-only broadcast over RTMPS.
+func (c *Client) StartPrivateBroadcast(ctx context.Context, userID uint64, loc geo.Location, allowed []uint64) (BroadcastGrant, error) {
+	return c.startBroadcast(ctx, startReq{
+		UserID: userID, City: loc.City, Lat: loc.Lat, Lon: loc.Lon,
+		Private: true, Allowed: allowed,
+	})
+}
+
+func (c *Client) startBroadcast(ctx context.Context, req startReq) (BroadcastGrant, error) {
+	var resp grantResp
+	if err := c.post(ctx, "/broadcasts", req, &resp); err != nil {
+		return BroadcastGrant{}, err
+	}
+	return BroadcastGrant{
+		BroadcastID: resp.BroadcastID,
+		Token:       resp.Token,
+		OriginID:    resp.OriginID,
+		RTMPAddr:    resp.RTMPAddr,
+		MessageURL:  resp.MessageURL,
+		Private:     resp.Private,
+		RTMPSAddr:   resp.RTMPSAddr,
+		CAPEM:       resp.CAPEM,
+	}, nil
+}
+
+// EndBroadcast finishes a broadcast.
+func (c *Client) EndBroadcast(ctx context.Context, broadcastID, token string) error {
+	return c.post(ctx, "/broadcasts/"+broadcastID+"/end", endReq{Token: token}, nil)
+}
+
+// RegisterPublicKey uploads the §7.2 signing key over the secure channel.
+func (c *Client) RegisterPublicKey(ctx context.Context, broadcastID, token string, pub ed25519.PublicKey) error {
+	return c.post(ctx, "/broadcasts/"+broadcastID+"/pubkey",
+		pubKeyReq{Token: token, PubKeyHex: hex.EncodeToString(pub)}, nil)
+}
+
+// PublicKey fetches a broadcast's signing key; empty means unsigned.
+func (c *Client) PublicKey(ctx context.Context, broadcastID string) (ed25519.PublicKey, error) {
+	var resp pubKeyResp
+	if err := c.get(ctx, "/broadcasts/"+broadcastID+"/pubkey", &resp); err != nil {
+		return nil, err
+	}
+	if resp.PubKeyHex == "" {
+		return nil, nil
+	}
+	key, err := hex.DecodeString(resp.PubKeyHex)
+	if err != nil {
+		return nil, err
+	}
+	return key, nil
+}
+
+// Join requests viewer access to a broadcast.
+func (c *Client) Join(ctx context.Context, userID uint64, broadcastID string, loc geo.Location) (ViewerGrant, error) {
+	var resp joinResp
+	err := c.post(ctx, "/broadcasts/"+broadcastID+"/join",
+		joinReq{UserID: userID, City: loc.City, Lat: loc.Lat, Lon: loc.Lon}, &resp)
+	if err != nil {
+		return ViewerGrant{}, err
+	}
+	return ViewerGrant{
+		Protocol:    Protocol(resp.Protocol),
+		RTMPAddr:    resp.RTMPAddr,
+		HLSBaseURL:  resp.HLSBaseURL,
+		MessageURL:  resp.MessageURL,
+		Private:     resp.Private,
+		RTMPSAddr:   resp.RTMPSAddr,
+		ViewerToken: resp.ViewerToken,
+		CAPEM:       resp.CAPEM,
+	}, nil
+}
+
+// GlobalList fetches the 50-random live list.
+func (c *Client) GlobalList(ctx context.Context) ([]Summary, error) {
+	var resp struct {
+		Broadcasts []summaryJSON `json:"broadcasts"`
+	}
+	if err := c.get(ctx, "/global", &resp); err != nil {
+		return nil, err
+	}
+	out := make([]Summary, 0, len(resp.Broadcasts))
+	for _, b := range resp.Broadcasts {
+		out = append(out, Summary{
+			BroadcastID: b.BroadcastID,
+			Broadcaster: b.Broadcaster,
+			StartedAt:   b.StartedAt,
+			EndedAt:     b.EndedAt,
+			Live:        b.Live,
+			Viewers:     b.Viewers,
+			Location:    geo.Location{City: b.City},
+		})
+	}
+	return out, nil
+}
+
+// Info fetches one broadcast summary.
+func (c *Client) Info(ctx context.Context, broadcastID string) (Summary, error) {
+	var b summaryJSON
+	if err := c.get(ctx, "/broadcasts/"+broadcastID, &b); err != nil {
+		return Summary{}, err
+	}
+	return Summary{
+		BroadcastID: b.BroadcastID,
+		Broadcaster: b.Broadcaster,
+		StartedAt:   b.StartedAt,
+		EndedAt:     b.EndedAt,
+		Live:        b.Live,
+		Viewers:     b.Viewers,
+		Location:    geo.Location{City: b.City},
+	}, nil
+}

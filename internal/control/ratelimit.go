@@ -1,0 +1,126 @@
+package control
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Periscope rate-limited API clients; the paper's crawlers ran from a
+// whitelisted IP range and still "were unable to keep up with the growing
+// volume of broadcasts" (§3.1). RateLimiter reproduces that surface: a
+// per-client token bucket over the control API with a whitelist bypass.
+
+// RateLimiterConfig tunes the limiter.
+type RateLimiterConfig struct {
+	// RequestsPerSecond is the sustained per-client rate (default 5).
+	RequestsPerSecond float64
+	// Burst is the bucket depth (default 10).
+	Burst float64
+	// Whitelist lists client hosts (no port) exempt from limiting — the
+	// paper's whitelisted measurement range.
+	Whitelist []string
+	// Clock defaults to the real clock.
+	Clock clock.Clock
+}
+
+// RateLimiter is an http middleware enforcing per-client token buckets.
+type RateLimiter struct {
+	cfg       RateLimiterConfig
+	clock     clock.Clock
+	whitelist map[string]bool
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter builds a RateLimiter.
+func NewRateLimiter(cfg RateLimiterConfig) *RateLimiter {
+	if cfg.RequestsPerSecond <= 0 {
+		cfg.RequestsPerSecond = 5
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = 10
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewReal()
+	}
+	wl := make(map[string]bool, len(cfg.Whitelist))
+	for _, h := range cfg.Whitelist {
+		wl[h] = true
+	}
+	return &RateLimiter{
+		cfg:       cfg,
+		clock:     cfg.Clock,
+		whitelist: wl,
+		buckets:   make(map[string]*bucket),
+	}
+}
+
+// Allow reports whether a request from client may proceed now.
+func (rl *RateLimiter) Allow(client string) bool {
+	if rl.whitelist[client] {
+		return true
+	}
+	now := rl.clock.Now()
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b, ok := rl.buckets[client]
+	if !ok {
+		b = &bucket{tokens: rl.cfg.Burst, last: now}
+		rl.buckets[client] = b
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * rl.cfg.RequestsPerSecond
+		if b.tokens > rl.cfg.Burst {
+			b.tokens = rl.cfg.Burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Wrap applies the limiter to a handler, answering 429 when exhausted.
+func (rl *RateLimiter) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		host, _, err := net.SplitHostPort(r.RemoteAddr)
+		if err != nil {
+			host = r.RemoteAddr
+		}
+		if !rl.Allow(host) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Sweep drops buckets idle longer than maxIdle, bounding memory; returns
+// the number removed.
+func (rl *RateLimiter) Sweep(maxIdle time.Duration) int {
+	now := rl.clock.Now()
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	n := 0
+	for k, b := range rl.buckets {
+		if now.Sub(b.last) > maxIdle {
+			delete(rl.buckets, k)
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/control"
+	"repro/internal/geo"
+	"repro/internal/hls"
+	"repro/internal/media"
+	"repro/internal/rng"
+	"repro/internal/rtmp"
+)
+
+// TestRTMPFullFallsBackToHLS exercises the §4.1 overflow path end-to-end:
+// once the origin's RTMP cap is reached, a direct RTMP attempt is refused
+// with "full" and the viewer consumes the same broadcast over HLS.
+func TestRTMPFullFallsBackToHLS(t *testing.T) {
+	p := startPlatform(t, PlatformConfig{
+		ChunkDuration:   time.Second,
+		RTMPViewerLimit: 1,
+	})
+	ctx := context.Background()
+	cc := &control.Client{BaseURL: p.ControlURL()}
+	uid, _ := cc.Register(ctx, "b")
+	loc := geo.Location{City: "Ashburn", Lat: 39.04, Lon: -77.49}
+	grant, err := cc.StartBroadcast(ctx, uid, loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := rtmp.Publish(ctx, grant.RTMPAddr, grant.BroadcastID, grant.Token, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First viewer takes the single RTMP slot at the origin.
+	g1, err := cc.Join(ctx, 101, grant.BroadcastID, loc)
+	if err != nil || g1.Protocol != control.ProtoRTMP {
+		t.Fatalf("first join = %+v, %v", g1, err)
+	}
+	v1, err := rtmp.Subscribe(ctx, g1.RTMPAddr, grant.BroadcastID, "", rtmp.ViewerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1.Close()
+
+	// A client that ignores the control plane's HLS routing and tries
+	// RTMP anyway (the paper documents exactly these circumvention
+	// hacks) is refused by the origin itself.
+	if _, err := rtmp.Subscribe(ctx, g1.RTMPAddr, grant.BroadcastID, "", rtmp.ViewerOptions{}); !errors.Is(err, rtmp.ErrFull) {
+		t.Fatalf("cap bypass attempt error = %v, want ErrFull", err)
+	}
+
+	// The legitimate second viewer is routed to HLS and can watch.
+	g2, err := cc.Join(ctx, 102, grant.BroadcastID, loc)
+	if err != nil || g2.Protocol != control.ProtoHLS {
+		t.Fatalf("second join = %+v, %v", g2, err)
+	}
+	enc := media.NewEncoder(media.EncoderConfig{}, rng.New(1))
+	base := time.Now()
+	for i := 0; i < 30; i++ {
+		f := enc.Next(base.Add(time.Duration(i) * media.FrameDuration))
+		if err := pub.Send(&f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hc := &hls.Client{BaseURL: g2.HLSBaseURL}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		cl, err := hc.FetchChunkList(ctx, grant.BroadcastID, 0)
+		if err == nil && len(cl.Chunks) >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("HLS fallback never produced chunks: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	pub.End()
+}
+
+// TestPlatformFullCatalog boots the complete 8-origin/23-edge platform to
+// make sure the full Figure 9 deployment assembles and serves.
+func TestPlatformFullCatalog(t *testing.T) {
+	p := NewPlatform(PlatformConfig{ChunkDuration: time.Second})
+	if err := p.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	if len(p.Topo.Origins) != 8 || len(p.Topo.Edges) != 23 {
+		t.Fatalf("topology = %d/%d", len(p.Topo.Origins), len(p.Topo.Edges))
+	}
+	ctx := context.Background()
+	cc := &control.Client{BaseURL: p.ControlURL()}
+	uid, _ := cc.Register(ctx, "b")
+	// A broadcaster in Tokyo must land on the Tokyo origin; a viewer in
+	// Paris must be served by the Paris edge.
+	grant, err := cc.StartBroadcast(ctx, uid, geo.Location{City: "Tokyo", Lat: 35.68, Lon: 139.69})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grant.OriginID != "wowza-tokyo" {
+		t.Fatalf("origin = %s", grant.OriginID)
+	}
+	g, err := cc.Join(ctx, 7, grant.BroadcastID, geo.Location{City: "Paris", Lat: 48.86, Lon: 2.35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "/edge/fastly-paris/hls"; len(g.HLSBaseURL) == 0 || !contains(g.HLSBaseURL, want) {
+		t.Fatalf("HLS URL = %q, want suffix %q", g.HLSBaseURL, want)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,8 @@
+package core
+
+import "crypto/ed25519"
+
+// generateKeys wraps Ed25519 key generation for platform tests and helpers.
+func generateKeys() (ed25519.PublicKey, ed25519.PrivateKey, error) {
+	return ed25519.GenerateKey(nil)
+}

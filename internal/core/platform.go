@@ -1,0 +1,349 @@
+// Package core assembles the complete platform of Figure 8 into a runnable
+// system on real sockets: control plane (HTTPS analog), Wowza-like RTMP
+// origins, Fastly-like HLS edges, and the PubNub-like message hub. It is the
+// thing the paper measured, rebuilt — the crawler, the examples, the
+// security demonstration and the Fig. 14 scalability benchmark all run
+// against a Platform.
+package core
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/cdn"
+	"repro/internal/control"
+	"repro/internal/geo"
+	"repro/internal/hls"
+	"repro/internal/netsim"
+	"repro/internal/pubsub"
+	"repro/internal/rtmp"
+	"repro/internal/security"
+)
+
+// PlatformConfig configures a Platform.
+type PlatformConfig struct {
+	// OriginSites/EdgeSites default to the paper's full catalogs. Tests
+	// and small demos can pass reduced sets.
+	OriginSites []geo.Datacenter
+	EdgeSites   []geo.Datacenter
+	// ChunkDuration for HLS (default 3 s).
+	ChunkDuration time.Duration
+	// RTMPViewerLimit routes joins beyond it to HLS (default 100, §4.1);
+	// it is enforced both at the control plane and at the origins.
+	RTMPViewerLimit int
+	// CommenterCap bounds commenters per broadcast (default 100, §2.1);
+	// negative means unlimited.
+	CommenterCap int
+	// Net, when set, injects WAN latency into edge pulls.
+	Net *netsim.Model
+	// DisableGateway turns off the §5.3 relay structure.
+	DisableGateway bool
+	// Retention garbage-collects ended broadcasts (origin chunks, edge
+	// caches, message channels) this long after they end; zero keeps
+	// everything (small demos, tests).
+	Retention time.Duration
+	// APIRate, when set, throttles the control API per client host — the
+	// limits the paper's crawler ran into (§3.1). Whitelisted hosts are
+	// exempt, like the paper's measurement range.
+	APIRate *control.RateLimiterConfig
+	// Seed drives global-list sampling.
+	Seed uint64
+}
+
+// Platform is the assembled, runnable livestreaming service.
+type Platform struct {
+	cfg  PlatformConfig
+	Topo *cdn.Topology
+	Ctrl *control.Service
+	Hub  *pubsub.Hub
+
+	mu         sync.Mutex
+	rtmpAddrs  map[string]string // origin ID → listen address
+	rtmpsAddrs map[string]string // origin ID → TLS listen address
+	originByID map[string]*cdn.Origin
+	tlsCreds   *security.TLSCredentials
+	limiter    *control.RateLimiter
+	endedAt    map[string]time.Time // broadcast → end time, for the janitor
+	httpLn     net.Listener
+	httpSrv    *http.Server
+	cancel     context.CancelFunc
+	started    bool
+}
+
+// NewPlatform wires the components; call Start to open sockets.
+func NewPlatform(cfg PlatformConfig) *Platform {
+	p := &Platform{
+		cfg:        cfg,
+		rtmpAddrs:  make(map[string]string),
+		rtmpsAddrs: make(map[string]string),
+		originByID: make(map[string]*cdn.Origin),
+		endedAt:    make(map[string]time.Time),
+	}
+	if cfg.APIRate != nil {
+		p.limiter = control.NewRateLimiter(*cfg.APIRate)
+	}
+	p.Hub = pubsub.NewHub(cfg.CommenterCap)
+	// TLS credentials back the RTMPS (private broadcast) listeners; the
+	// CA travels to clients via the authenticated control channel.
+	creds, err := security.GenerateTLS()
+	if err == nil {
+		p.tlsCreds = creds
+	}
+	routes := control.Routes{
+		AssignOrigin: p.assignOrigin,
+		AssignEdge:   p.assignEdge,
+		// MessageURL is filled in Start once the listener is up;
+		// the closure-based routes read live state instead.
+	}
+	if p.tlsCreds != nil {
+		routes.RTMPSAddr = p.rtmpsAddr
+		routes.TLSCertPEM = p.tlsCreds.CertPEM
+	}
+	p.Ctrl = control.NewService(control.Config{
+		RTMPViewerLimit: cfg.RTMPViewerLimit,
+		Seed:            cfg.Seed,
+		Routes:          routes,
+	})
+	p.Topo = cdn.Build(cdn.TopologyConfig{
+		OriginSites:    cfg.OriginSites,
+		EdgeSites:      cfg.EdgeSites,
+		ChunkDuration:  cfg.ChunkDuration,
+		Retention:      cfg.Retention,
+		ViewerCap:      valueOr(cfg.RTMPViewerLimit, control.DefaultRTMPViewerLimit),
+		Auth:           control.Auth{S: p.Ctrl},
+		OnBroadcastEnd: func(id string) { p.Ctrl.ForceEnd(id) },
+		Net:            cfg.Net,
+		DisableGateway: cfg.DisableGateway,
+	})
+	for _, o := range p.Topo.Origins {
+		p.originByID[o.Site().ID] = o
+	}
+	p.Ctrl.OnStart(func(id, originID string) {
+		if o, ok := p.originByID[originID]; ok {
+			p.Topo.AssignBroadcast(id, o)
+		}
+		p.Hub.Open(id)
+	})
+	p.Ctrl.OnEnd(func(id string) {
+		p.Hub.Close(id)
+		if cfg.Retention > 0 {
+			p.mu.Lock()
+			p.endedAt[id] = time.Now()
+			p.mu.Unlock()
+		}
+	})
+	return p
+}
+
+// janitor periodically garbage-collects ended broadcasts: origin chunk
+// stores (origin.Sweep), edge caches, message channels, and topology
+// assignments.
+func (p *Platform) janitor(ctx context.Context) {
+	interval := p.cfg.Retention / 2
+	if interval < time.Second {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		p.SweepEnded(time.Now())
+	}
+}
+
+// SweepEnded removes all state for broadcasts that ended more than the
+// retention period before now. It returns how many broadcasts were
+// collected. Exposed for tests and manual operation.
+func (p *Platform) SweepEnded(now time.Time) int {
+	if p.cfg.Retention == 0 {
+		return 0
+	}
+	p.mu.Lock()
+	var expired []string
+	for id, at := range p.endedAt {
+		if now.Sub(at) > p.cfg.Retention {
+			expired = append(expired, id)
+			delete(p.endedAt, id)
+		}
+	}
+	p.mu.Unlock()
+	for _, o := range p.Topo.Origins {
+		o.Sweep(now)
+	}
+	for _, id := range expired {
+		for _, e := range p.Topo.Edges {
+			e.Evict(id)
+		}
+		p.Hub.Remove(id)
+		p.Topo.ReleaseBroadcast(id)
+	}
+	if p.limiter != nil {
+		p.limiter.Sweep(10 * p.cfg.Retention)
+	}
+	return len(expired)
+}
+
+func valueOr(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+func (p *Platform) assignOrigin(loc geo.Location) (string, string) {
+	o := p.Topo.NearestOrigin(loc)
+	p.mu.Lock()
+	addr := p.rtmpAddrs[o.Site().ID]
+	p.mu.Unlock()
+	return o.Site().ID, addr
+}
+
+func (p *Platform) assignEdge(broadcastID string, loc geo.Location) string {
+	e := p.Topo.NearestEdge(loc)
+	return p.EdgeURL(e)
+}
+
+func (p *Platform) rtmpsAddr(originID string) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rtmpsAddrs[originID]
+}
+
+// Start opens one RTMP listener per origin and a single HTTP listener
+// multiplexing the control API (/api), the message hub (/channel), and
+// every edge (/edge/{id}/hls). All sockets bind loopback ephemeral ports.
+func (p *Platform) Start(ctx context.Context) error {
+	p.mu.Lock()
+	if p.started {
+		p.mu.Unlock()
+		return fmt.Errorf("core: platform already started")
+	}
+	p.started = true
+	p.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(ctx)
+	p.cancel = cancel
+
+	for _, o := range p.Topo.Origins {
+		ln, err := o.RTMP().Listen(ctx, "127.0.0.1:0")
+		if err != nil {
+			cancel()
+			return fmt.Errorf("core: origin %s: %w", o.Site().ID, err)
+		}
+		p.mu.Lock()
+		p.rtmpAddrs[o.Site().ID] = ln.Addr().String()
+		p.mu.Unlock()
+		if p.tlsCreds != nil {
+			tln, err := o.RTMP().ListenTLS(ctx, "127.0.0.1:0", p.tlsCreds.ServerConfig())
+			if err != nil {
+				cancel()
+				return fmt.Errorf("core: origin %s rtmps: %w", o.Site().ID, err)
+			}
+			p.mu.Lock()
+			p.rtmpsAddrs[o.Site().ID] = tln.Addr().String()
+			p.mu.Unlock()
+		}
+	}
+
+	mux := http.NewServeMux()
+	var apiHandler http.Handler = control.Handler("/api", p.Ctrl)
+	if p.limiter != nil {
+		apiHandler = p.limiter.Wrap(apiHandler)
+	}
+	mux.Handle("/api/", apiHandler)
+	mux.Handle("/channel/", pubsub.Handler("/channel", p.Hub))
+	for _, e := range p.Topo.Edges {
+		prefix := "/edge/" + e.Site().ID + "/hls"
+		mux.Handle(prefix+"/", hls.Handler(prefix, e))
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		cancel()
+		return fmt.Errorf("core: http listen: %w", err)
+	}
+	p.mu.Lock()
+	p.httpLn = ln
+	p.httpSrv = &http.Server{Handler: mux}
+	p.mu.Unlock()
+	p.Ctrl.SetMessageURL("http://" + ln.Addr().String() + "/channel")
+	if p.cfg.Retention > 0 {
+		go p.janitor(ctx)
+	}
+	go func() {
+		p.httpSrv.Serve(ln)
+	}()
+	go func() {
+		<-ctx.Done()
+		p.httpSrv.Close()
+	}()
+	return nil
+}
+
+// Stop tears the platform down.
+func (p *Platform) Stop() {
+	p.mu.Lock()
+	cancel := p.cancel
+	srv := p.httpSrv
+	p.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if srv != nil {
+		srv.Close()
+	}
+	for _, o := range p.Topo.Origins {
+		o.RTMP().Close()
+	}
+}
+
+// BaseURL returns the platform's HTTP root.
+func (p *Platform) BaseURL() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.httpLn == nil {
+		return ""
+	}
+	return "http://" + p.httpLn.Addr().String()
+}
+
+// ControlURL returns the control API base (for control.Client).
+func (p *Platform) ControlURL() string { return p.BaseURL() + "/api" }
+
+// MessageURL returns the pubsub base (for pubsub.Client).
+func (p *Platform) MessageURL() string { return p.BaseURL() + "/channel" }
+
+// EdgeURL returns the HLS base URL of an edge (for hls.Client).
+func (p *Platform) EdgeURL(e *cdn.Edge) string {
+	return p.BaseURL() + "/edge/" + e.Site().ID + "/hls"
+}
+
+// RTMPAddr returns an origin's listener address.
+func (p *Platform) RTMPAddr(originID string) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rtmpAddrs[originID]
+}
+
+// OriginFor exposes the ingest origin serving a broadcast.
+func (p *Platform) OriginFor(broadcastID string) (*cdn.Origin, bool) {
+	return p.Topo.OriginFor(broadcastID)
+}
+
+// Stats aggregates origin RTMP counters across the platform.
+func (p *Platform) Stats() (framesIn, framesOut int64) {
+	for _, o := range p.Topo.Origins {
+		framesIn += o.RTMP().Stats().FramesIn.Load()
+		framesOut += o.RTMP().Stats().FramesOut.Load()
+	}
+	return framesIn, framesOut
+}
+
+var _ rtmp.Auth = control.Auth{} // the control plane satisfies origin auth

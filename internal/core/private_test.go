@@ -1,0 +1,203 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/control"
+	"repro/internal/geo"
+	"repro/internal/media"
+	"repro/internal/rng"
+	"repro/internal/rtmp"
+	"repro/internal/security"
+)
+
+// TestPrivateBroadcastOverRTMPS exercises the §2.1/§7.2 private-broadcast
+// path: invite-only access, per-viewer tokens, and TLS transport with the
+// CA delivered over the control channel.
+func TestPrivateBroadcastOverRTMPS(t *testing.T) {
+	p := startPlatform(t, PlatformConfig{ChunkDuration: time.Second})
+	ctx := context.Background()
+	cc := &control.Client{BaseURL: p.ControlURL()}
+
+	host, _ := cc.Register(ctx, "host")
+	friend, _ := cc.Register(ctx, "friend")
+	stranger, _ := cc.Register(ctx, "stranger")
+
+	grant, err := cc.StartPrivateBroadcast(ctx, host, geo.Location{City: "Ashburn", Lat: 39, Lon: -77}, []uint64{friend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !grant.Private || grant.RTMPSAddr == "" || len(grant.CAPEM) == 0 {
+		t.Fatalf("grant = %+v, want RTMPS + CA", grant)
+	}
+	if grant.RTMPAddr != "" {
+		t.Fatal("private grant leaked a plaintext RTMP address")
+	}
+
+	// Private broadcasts never show on the public global list.
+	list, err := cc.GlobalList(ctx)
+	if err != nil || len(list) != 0 {
+		t.Fatalf("private broadcast listed publicly: %v, %v", list, err)
+	}
+
+	tlsCfg, err := security.ClientConfigFromPEM(grant.CAPEM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := rtmp.PublishTLS(ctx, grant.RTMPSAddr, grant.BroadcastID, grant.Token, nil, tlsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The invited friend joins; the stranger is refused at the control
+	// plane; a forged viewer token is refused at the origin.
+	vg, err := cc.Join(ctx, friend, grant.BroadcastID, geo.Location{})
+	if err != nil || vg.Protocol != control.ProtoRTMPS || vg.ViewerToken == "" {
+		t.Fatalf("friend join = %+v, %v", vg, err)
+	}
+	if _, err := cc.Join(ctx, stranger, grant.BroadcastID, geo.Location{}); !errors.Is(err, control.ErrNotInvited) {
+		t.Fatalf("stranger join err = %v, want ErrNotInvited", err)
+	}
+	if _, err := rtmp.SubscribeTLS(ctx, vg.RTMPSAddr, grant.BroadcastID, "forged", rtmp.ViewerOptions{}, tlsCfg); err == nil {
+		t.Fatal("forged viewer token accepted at origin")
+	}
+
+	viewer, err := rtmp.SubscribeTLS(ctx, vg.RTMPSAddr, grant.BroadcastID, vg.ViewerToken, rtmp.ViewerOptions{}, tlsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer viewer.Close()
+
+	enc := media.NewEncoder(media.EncoderConfig{}, rng.New(5))
+	for i := 0; i < 10; i++ {
+		f := enc.Next(time.Now())
+		if err := pub.Send(&f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pub.End()
+	n := 0
+	for range viewer.Frames() {
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("private viewer received %d/10 frames over TLS", n)
+	}
+}
+
+// TestRTMPSDefeatsProtocolMITM shows the §7.2 transport defense: the
+// protocol-aware interceptor that silently rewrites plaintext RTMP cannot
+// even parse RTMPS traffic — the attack degrades to a visible outage.
+func TestRTMPSDefeatsProtocolMITM(t *testing.T) {
+	p := startPlatform(t, PlatformConfig{ChunkDuration: time.Second})
+	ctx := context.Background()
+	cc := &control.Client{BaseURL: p.ControlURL()}
+	host, _ := cc.Register(ctx, "host")
+	grant, err := cc.StartPrivateBroadcast(ctx, host, geo.Location{City: "Ashburn", Lat: 39, Lon: -77}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlsCfg, err := security.ClientConfigFromPEM(grant.CAPEM)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The §7.1 interceptor sits on the broadcaster's network.
+	mitm := security.NewInterceptor(security.InterceptorConfig{
+		Target: grant.RTMPSAddr, Tamper: security.BlackFrames(), TamperSigned: true,
+	})
+	mctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	mln, err := mitm.Listen(mctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mitm.Close()
+
+	// The victim connects "through" the attacker. TLS verification is
+	// against the platform CA, and the attacker cannot read or rewrite
+	// frames inside the tunnel; its protocol parser chokes on
+	// ciphertext and the session dies — no silent tampering.
+	tlsCfg.ServerName = "localhost"
+	_, err = rtmp.PublishTLS(ctx, mln.Addr().String(), grant.BroadcastID, grant.Token, nil, tlsCfg)
+	if err == nil {
+		t.Fatal("publish succeeded through a parsing MITM — TLS bytes were parseable?")
+	}
+	if mitm.Stats().FramesTampered.Load() != 0 {
+		t.Fatal("MITM claims to have tampered TLS frames")
+	}
+}
+
+// TestRTMPSSurvivesPassthroughRelay confirms the failure is specifically
+// the attacker's: a byte-level relay (no parsing, no tampering possible)
+// carries RTMPS fine.
+func TestRTMPSSurvivesPassthroughRelay(t *testing.T) {
+	p := startPlatform(t, PlatformConfig{ChunkDuration: time.Second})
+	ctx := context.Background()
+	cc := &control.Client{BaseURL: p.ControlURL()}
+	host, _ := cc.Register(ctx, "host")
+	grant, err := cc.StartPrivateBroadcast(ctx, host, geo.Location{City: "Ashburn", Lat: 39, Lon: -77}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlsCfg, err := security.ClientConfigFromPEM(grant.CAPEM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlsCfg.ServerName = "localhost"
+
+	relayAddr, tampered := startByteRelay(t, grant.RTMPSAddr)
+	pub, err := rtmp.PublishTLS(ctx, relayAddr, grant.BroadcastID, grant.Token, nil, tlsCfg)
+	if err != nil {
+		t.Fatalf("publish through passive relay: %v", err)
+	}
+	enc := media.NewEncoder(media.EncoderConfig{}, rng.New(6))
+	for i := 0; i < 5; i++ {
+		f := enc.Next(time.Now())
+		if err := pub.Send(&f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pub.End()
+	if tampered.Load() != 0 {
+		t.Fatal("byte relay should not alter anything")
+	}
+}
+
+// startByteRelay forwards raw bytes both ways without interpretation.
+func startByteRelay(t *testing.T, target string) (string, *atomic.Int64) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var tampered atomic.Int64
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				up, err := net.Dial("tcp", target)
+				if err != nil {
+					return
+				}
+				defer up.Close()
+				done := make(chan struct{}, 2)
+				go func() { io.Copy(up, c); done <- struct{}{} }()
+				go func() { io.Copy(c, up); done <- struct{}{} }()
+				<-done
+			}(c)
+		}
+	}()
+	return ln.Addr().String(), &tampered
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/control"
+	"repro/internal/geo"
+	"repro/internal/media"
+	"repro/internal/rng"
+	"repro/internal/rtmp"
+)
+
+// TestPlatformSoak drives many concurrent broadcasts with RTMP viewers
+// through the full platform and checks conservation: every viewer of every
+// broadcast receives exactly the frames pushed after it subscribed, and the
+// control plane's accounting matches.
+func TestPlatformSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test under -short")
+	}
+	const (
+		nBroadcasts     = 24
+		framesPerBcast  = 40
+		viewersPerBcast = 3
+	)
+	p := startPlatform(t, PlatformConfig{ChunkDuration: time.Second})
+	ctx := context.Background()
+	cc := &control.Client{BaseURL: p.ControlURL()}
+	cities := geo.CityCatalog()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, nBroadcasts*(viewersPerBcast+1))
+	for b := 0; b < nBroadcasts; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			uid, err := cc.Register(ctx, fmt.Sprintf("soak-%d", b))
+			if err != nil {
+				errs <- err
+				return
+			}
+			grant, err := cc.StartBroadcast(ctx, uid, cities[b%len(cities)])
+			if err != nil {
+				errs <- err
+				return
+			}
+			pub, err := rtmp.Publish(ctx, grant.RTMPAddr, grant.BroadcastID, grant.Token, nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+
+			// Viewers subscribe BEFORE any frame is pushed, so each
+			// must see the complete stream.
+			var vwg sync.WaitGroup
+			for v := 0; v < viewersPerBcast; v++ {
+				viewer, err := rtmp.Subscribe(ctx, grant.RTMPAddr, grant.BroadcastID, "", rtmp.ViewerOptions{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				vwg.Add(1)
+				go func(viewer *rtmp.Viewer, v int) {
+					defer vwg.Done()
+					defer viewer.Close()
+					n := 0
+					for range viewer.Frames() {
+						n++
+					}
+					if n != framesPerBcast {
+						errs <- fmt.Errorf("broadcast %d viewer %d: %d/%d frames", b, v, n, framesPerBcast)
+					}
+				}(viewer, v)
+			}
+
+			enc := media.NewEncoder(media.EncoderConfig{}, rng.New(uint64(b)))
+			for i := 0; i < framesPerBcast; i++ {
+				f := enc.Next(time.Now())
+				if err := pub.Send(&f); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if err := pub.End(); err != nil {
+				errs <- err
+				return
+			}
+			vwg.Wait()
+		}(b)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Control-plane accounting: all broadcasts ended, all joins recorded.
+	deadline := time.Now().Add(3 * time.Second)
+	for p.Ctrl.LiveCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d broadcasts still live", p.Ctrl.LiveCount())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Origin counters: frames in = broadcasts × frames; frames out =
+	// frames in × viewers (every viewer subscribed before frame 1).
+	in, out := p.Stats()
+	if in != nBroadcasts*framesPerBcast {
+		t.Fatalf("frames in = %d, want %d", in, nBroadcasts*framesPerBcast)
+	}
+	if out != in*viewersPerBcast {
+		t.Fatalf("frames out = %d, want %d", out, in*viewersPerBcast)
+	}
+}

@@ -1,0 +1,272 @@
+package crawler
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/control"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/media"
+	"repro/internal/pubsub"
+	"repro/internal/rng"
+	"repro/internal/rtmp"
+	"repro/internal/trace"
+)
+
+func startPlatform(t *testing.T) (*core.Platform, *control.Client) {
+	t.Helper()
+	w := geo.WowzaSites()
+	f := geo.FastlySites()
+	p := core.NewPlatform(core.PlatformConfig{
+		OriginSites:   []geo.Datacenter{w[0]},
+		EdgeSites:     []geo.Datacenter{f[8]},
+		ChunkDuration: time.Second,
+	})
+	if err := p.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Stop)
+	return p, &control.Client{BaseURL: p.ControlURL()}
+}
+
+// runBroadcast publishes n frames then ends, sending a comment and a heart
+// midway.
+func runBroadcast(t *testing.T, cc *control.Client, n int) control.BroadcastGrant {
+	t.Helper()
+	ctx := context.Background()
+	uid, err := cc.Register(ctx, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grant, err := cc.StartBroadcast(ctx, uid, geo.Location{City: "Ashburn", Lat: 39, Lon: -77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		pub, err := rtmp.Publish(ctx, grant.RTMPAddr, grant.BroadcastID, grant.Token, nil)
+		if err != nil {
+			t.Errorf("publish: %v", err)
+			return
+		}
+		enc := media.NewEncoder(media.EncoderConfig{}, rng.New(4))
+		mc := &pubsub.Client{BaseURL: grant.MessageURL}
+		for i := 0; i < n; i++ {
+			f := enc.Next(time.Now())
+			if err := pub.Send(&f); err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+			if i == n/2 {
+				mc.Publish(ctx, grant.BroadcastID, pubsub.Event{UserID: "u1", Kind: pubsub.KindComment, Text: "hi"})
+				mc.Publish(ctx, grant.BroadcastID, pubsub.Event{UserID: "u2", Kind: pubsub.KindHeart})
+			}
+			time.Sleep(2 * time.Millisecond) // paced upload
+		}
+		pub.End()
+	}()
+	return grant
+}
+
+func TestCrawlerCapturesBroadcastLifecycle(t *testing.T) {
+	_, cc := startPlatform(t)
+	var mu sync.Mutex
+	var recs []trace.BroadcastRecord
+	var delays []trace.DelayRecord
+	cr, err := New(Config{
+		Control:         cc,
+		ListInterval:    20 * time.Millisecond,
+		TapRTMP:         true,
+		TapHLS:          true,
+		WatchMessages:   true,
+		HLSPollInterval: 20 * time.Millisecond,
+		OnBroadcast: func(r trace.BroadcastRecord) {
+			mu.Lock()
+			recs = append(recs, r)
+			mu.Unlock()
+		},
+		OnDelay: func(r trace.DelayRecord) {
+			mu.Lock()
+			delays = append(delays, r)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	crawlDone := make(chan struct{})
+	go func() {
+		cr.Run(ctx)
+		close(crawlDone)
+	}()
+
+	grant := runBroadcast(t, cc, 80) // 3.2 s of video → 3 chunks at 1 s
+
+	// Wait for the crawler to finish monitoring the broadcast.
+	deadline := time.After(15 * time.Second)
+	for {
+		mu.Lock()
+		done := len(recs) > 0
+		mu.Unlock()
+		if done {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("crawler never finished the broadcast record")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	cancel()
+	<-crawlDone
+
+	mu.Lock()
+	defer mu.Unlock()
+	rec := recs[0]
+	if rec.BroadcastID != grant.BroadcastID {
+		t.Fatalf("record for %s, want %s", rec.BroadcastID, grant.BroadcastID)
+	}
+	if rec.StartedAt.IsZero() || rec.EndedAt.IsZero() {
+		t.Fatalf("missing start/end timestamps: %+v", rec)
+	}
+	if len(rec.Events) != 2 {
+		t.Fatalf("events = %d, want comment + heart", len(rec.Events))
+	}
+
+	frames, chunks := 0, 0
+	for _, d := range delays {
+		switch d.Kind {
+		case "frame":
+			frames++
+			if d.Delay <= 0 {
+				t.Fatal("non-positive frame delay")
+			}
+		case "chunk":
+			chunks++
+			if d.CapturedAt.IsZero() {
+				t.Fatal("chunk record missing capture timestamp")
+			}
+		}
+	}
+	// The crawler joins after discovery, so it misses frames pushed
+	// before its subscription — exactly like a late viewer on Periscope.
+	if frames < 30 || frames > 80 {
+		t.Fatalf("frames tapped = %d, want most of 80", frames)
+	}
+	if chunks < 2 {
+		t.Fatalf("chunks tapped = %d, want ≥2", chunks)
+	}
+	if cr.Stats().BroadcastsSeen.Load() != 1 || cr.Stats().BroadcastsDone.Load() != 1 {
+		t.Fatalf("stats = %+v", cr.Stats())
+	}
+}
+
+func TestCrawlerCapturesAllConcurrentBroadcasts(t *testing.T) {
+	_, cc := startPlatform(t)
+	var mu sync.Mutex
+	got := map[string]bool{}
+	cr, err := New(Config{
+		Control:      cc,
+		ListInterval: 15 * time.Millisecond,
+		OnBroadcast: func(r trace.BroadcastRecord) {
+			mu.Lock()
+			got[r.BroadcastID] = true
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { cr.Run(ctx); close(done) }()
+
+	const nBcasts = 8
+	var want []string
+	for i := 0; i < nBcasts; i++ {
+		g := runBroadcast(t, cc, 30)
+		want = append(want, g.BroadcastID)
+	}
+
+	deadline := time.After(20 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == nBcasts {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("crawler captured %d/%d broadcasts", n, nBcasts)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	cancel()
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	for _, id := range want {
+		if !got[id] {
+			t.Fatalf("broadcast %s never captured", id)
+		}
+	}
+}
+
+func TestCrawlerAnonymizes(t *testing.T) {
+	_, cc := startPlatform(t)
+	var mu sync.Mutex
+	var recs []trace.BroadcastRecord
+	cr, err := New(Config{
+		Control:      cc,
+		ListInterval: 15 * time.Millisecond,
+		Anonymizer:   trace.NewAnonymizer([]byte("irb-key")),
+		OnBroadcast: func(r trace.BroadcastRecord) {
+			mu.Lock()
+			recs = append(recs, r)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { cr.Run(ctx); close(done) }()
+	grant := runBroadcast(t, cc, 20)
+
+	deadline := time.After(15 * time.Second)
+	for {
+		mu.Lock()
+		n := len(recs)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("no record produced")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	cancel()
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	if recs[0].BroadcastID == grant.BroadcastID {
+		t.Fatal("broadcast ID not anonymized")
+	}
+	if len(recs[0].BroadcastID) != 16 {
+		t.Fatalf("pseudonym length = %d", len(recs[0].BroadcastID))
+	}
+}
+
+func TestNewRequiresControl(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("missing control client accepted")
+	}
+}

@@ -1,0 +1,149 @@
+package delay
+
+import (
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+)
+
+// DefaultGatewayOverhead is the extra coordination delay of the gateway
+// relay, calibrated to the >0.25 s gap the paper measures between co-located
+// and nearby datacenter pairs (Fig. 15, §5.3).
+const DefaultGatewayOverhead = 250 * time.Millisecond
+
+// ControlledConfig reproduces the §4.3 controlled experiment: one
+// broadcaster, one RTMP viewer, one HLS viewer, stable WiFi, repeated runs.
+type ControlledConfig struct {
+	// Repetitions averages this many runs (the paper used 10).
+	Repetitions int
+	// BroadcastDuration per run (content time).
+	BroadcastDuration time.Duration
+	// ChunkDuration for HLS (default 3 s).
+	ChunkDuration time.Duration
+	// PollInterval of the HLS viewer (default 2.8 s, §5.2 upper bound).
+	PollInterval time.Duration
+	// RTMPPreBuffer / HLSPreBuffer are the client P values (defaults 1 s
+	// and 9 s, the shipped Periscope configuration, §6).
+	RTMPPreBuffer time.Duration
+	HLSPreBuffer  time.Duration
+	// Broadcaster / Viewer locations; defaults put both in San Francisco
+	// with the San Jose origin and edge (the paper's lab setting keeps
+	// the WAN short).
+	Broadcaster geo.Location
+	Viewer      geo.Location
+	// Access profiles; default WiFi on both ends.
+	UploadProfile netsim.AccessProfile
+	ViewerProfile netsim.AccessProfile
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c ControlledConfig) withDefaults() ControlledConfig {
+	if c.Repetitions == 0 {
+		c.Repetitions = 10
+	}
+	if c.BroadcastDuration == 0 {
+		c.BroadcastDuration = 2 * time.Minute
+	}
+	if c.PollInterval == 0 {
+		c.PollInterval = 2800 * time.Millisecond
+	}
+	if c.RTMPPreBuffer == 0 {
+		c.RTMPPreBuffer = time.Second
+	}
+	if c.HLSPreBuffer == 0 {
+		c.HLSPreBuffer = 9 * time.Second
+	}
+	zero := geo.Location{}
+	if c.Broadcaster == zero {
+		c.Broadcaster = geo.Location{City: "San Francisco", Continent: geo.NorthAmerica, Lat: 37.77, Lon: -122.42}
+	}
+	if c.Viewer == zero {
+		c.Viewer = geo.Location{City: "San Francisco", Continent: geo.NorthAmerica, Lat: 37.77, Lon: -122.42}
+	}
+	if c.UploadProfile.Name == "" {
+		c.UploadProfile = netsim.WiFi
+	}
+	if c.ViewerProfile.Name == "" {
+		c.ViewerProfile = netsim.WiFi
+	}
+	return c
+}
+
+// RunControlled executes the controlled experiment and returns the averaged
+// RTMP and HLS component breakdowns — the two bars of Figure 11.
+func RunControlled(cfg ControlledConfig) (rtmpAvg, hlsAvg Components) {
+	cfg = cfg.withDefaults()
+	src := rng.New(cfg.Seed)
+	origin := geo.Nearest(cfg.Broadcaster, geo.WowzaSites())
+	edge := geo.Nearest(cfg.Viewer, geo.FastlySites())
+	gw := gatewayFor(origin)
+
+	var rSum, hSum Components
+	for rep := 0; rep < cfg.Repetitions; rep++ {
+		model := netsim.NewModel(netsim.Params{}, src.Split("rep"))
+		tr := GenTrace(TraceConfig{
+			Duration:      cfg.BroadcastDuration,
+			ChunkDuration: cfg.ChunkDuration,
+			Broadcaster:   cfg.Broadcaster,
+			Origin:        origin,
+			Upload:        cfg.UploadProfile,
+		}, model, src)
+
+		rtmpView := ViewerConfig{
+			Location:  cfg.Viewer,
+			LastMile:  cfg.ViewerProfile,
+			PreBuffer: cfg.RTMPPreBuffer,
+		}
+		rSum = addComponents(rSum, RTMPComponents(tr, origin, rtmpView, model))
+
+		path := EdgePath{Edge: edge, GatewayOverhead: DefaultGatewayOverhead}
+		if gw != nil && !geo.CoLocated(*gw, edge) {
+			path.Gateway = gw
+		}
+		hlsView := ViewerConfig{
+			Location:     cfg.Viewer,
+			LastMile:     cfg.ViewerProfile,
+			PollInterval: cfg.PollInterval,
+			PollPhase:    time.Duration(src.Float64() * float64(cfg.PollInterval)),
+			PreBuffer:    cfg.HLSPreBuffer,
+		}
+		hSum = addComponents(hSum, HLSComponents(tr, origin, path, hlsView, model))
+	}
+	n := time.Duration(cfg.Repetitions)
+	return divComponents(rSum, n), divComponents(hSum, n)
+}
+
+func gatewayFor(origin geo.Datacenter) *geo.Datacenter {
+	for _, e := range geo.FastlySites() {
+		if geo.CoLocated(e, origin) {
+			e := e
+			return &e
+		}
+	}
+	return nil
+}
+
+func addComponents(a, b Components) Components {
+	return Components{
+		Upload:       a.Upload + b.Upload,
+		Chunking:     a.Chunking + b.Chunking,
+		Wowza2Fastly: a.Wowza2Fastly + b.Wowza2Fastly,
+		Polling:      a.Polling + b.Polling,
+		LastMile:     a.LastMile + b.LastMile,
+		Buffering:    a.Buffering + b.Buffering,
+	}
+}
+
+func divComponents(a Components, n time.Duration) Components {
+	return Components{
+		Upload:       a.Upload / n,
+		Chunking:     a.Chunking / n,
+		Wowza2Fastly: a.Wowza2Fastly / n,
+		Polling:      a.Polling / n,
+		LastMile:     a.LastMile / n,
+		Buffering:    a.Buffering / n,
+	}
+}

@@ -1,0 +1,250 @@
+package delay
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/media"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func testSetup(seed uint64) (*netsim.Model, *rng.Source, geo.Datacenter) {
+	src := rng.New(seed)
+	model := netsim.NewModel(netsim.Params{}, src.Split("net"))
+	origin := geo.Nearest(geo.Location{City: "SF", Lat: 37.77, Lon: -122.42}, geo.WowzaSites())
+	return model, src, origin
+}
+
+func sfTrace(t *testing.T, seed uint64, dur time.Duration, bursty bool) (*Trace, *netsim.Model, geo.Datacenter) {
+	t.Helper()
+	model, src, origin := testSetup(seed)
+	tr := GenTrace(TraceConfig{
+		Duration:    dur,
+		Broadcaster: geo.Location{City: "SF", Lat: 37.77, Lon: -122.42},
+		Origin:      origin,
+		Upload:      netsim.WiFi,
+		Bursty:      bursty,
+	}, model, src)
+	return tr, model, origin
+}
+
+func TestGenTraceShape(t *testing.T) {
+	tr, _, _ := sfTrace(t, 1, 30*time.Second, false)
+	if len(tr.Captured) != 750 {
+		t.Fatalf("frames = %d, want 750 (30s at 25fps)", len(tr.Captured))
+	}
+	if len(tr.Chunks) != 10 {
+		t.Fatalf("chunks = %d, want 10", len(tr.Chunks))
+	}
+	for i := 1; i < len(tr.OriginAt); i++ {
+		if tr.OriginAt[i].Before(tr.OriginAt[i-1]) {
+			t.Fatal("origin arrivals out of order (TCP must deliver in order)")
+		}
+	}
+	for i, ch := range tr.Chunks {
+		if ch.Seq != i {
+			t.Fatalf("chunk seq %d at index %d", ch.Seq, i)
+		}
+		if ch.ReadyAt.Before(ch.FirstOriginAt) {
+			t.Fatal("chunk ready before its first frame arrived")
+		}
+		// Chunking delay ≈ chunk duration (⑦−⑥ ≈ 3 s, §5.1).
+		d := ch.ReadyAt.Sub(ch.FirstOriginAt)
+		if d < 2*time.Second || d > 5*time.Second {
+			t.Fatalf("chunking delay = %v, want ≈3s", d)
+		}
+	}
+}
+
+func TestGenTraceUploadDelayPlausible(t *testing.T) {
+	tr, _, _ := sfTrace(t, 2, 10*time.Second, false)
+	var ups []float64
+	for i := range tr.Captured {
+		ups = append(ups, tr.OriginAt[i].Sub(tr.Captured[i]).Seconds())
+	}
+	mean := stats.Mean(ups)
+	// Device (150 ms) + WiFi + short WAN: the paper's upload bar ≈ 0.2 s.
+	if mean < 0.12 || mean > 0.6 {
+		t.Fatalf("mean upload delay = %vs, want ≈0.2s", mean)
+	}
+}
+
+func TestBurstyTraceHasLargerBacklog(t *testing.T) {
+	smooth, _, _ := sfTrace(t, 3, 30*time.Second, false)
+	bursty, _, _ := sfTrace(t, 3, 30*time.Second, true)
+	maxDelay := func(tr *Trace) time.Duration {
+		var m time.Duration
+		for i := range tr.Captured {
+			if d := tr.OriginAt[i].Sub(tr.Captured[i]); d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	if maxDelay(bursty) < 2*maxDelay(smooth) {
+		t.Fatalf("bursty upload max delay %v not clearly above smooth %v",
+			maxDelay(bursty), maxDelay(smooth))
+	}
+}
+
+func TestEdgeArrivalsOrdering(t *testing.T) {
+	tr, model, origin := sfTrace(t, 4, 60*time.Second, false)
+	edge := geo.Nearest(origin.Location, geo.FastlySites())
+	at := EdgeArrivals(tr, origin, EdgePath{Edge: edge}, model)
+	if len(at) != len(tr.Chunks) {
+		t.Fatalf("edge arrivals = %d, want %d", len(at), len(tr.Chunks))
+	}
+	for i := range at {
+		if at[i].Before(tr.Chunks[i].ReadyAt) {
+			t.Fatal("chunk at edge before ready at origin")
+		}
+		if i > 0 && at[i].Before(at[i-1]) {
+			t.Fatal("edge arrivals out of order")
+		}
+	}
+}
+
+func TestGatewayAddsDelay(t *testing.T) {
+	tr, model, origin := sfTrace(t, 5, 60*time.Second, false)
+	edge := geo.Datacenter{ID: "far", Location: geo.Location{City: "London", Lat: 51.5, Lon: -0.13}}
+	gw := geo.Nearest(origin.Location, geo.FastlySites())
+
+	model2 := netsim.NewModel(netsim.Params{JitterSigma: 1e-9}, rng.New(5))
+	direct := EdgeArrivals(tr, origin, EdgePath{Edge: edge}, model2)
+	model3 := netsim.NewModel(netsim.Params{JitterSigma: 1e-9}, rng.New(5))
+	relayed := EdgeArrivals(tr, origin, EdgePath{Edge: edge, Gateway: &gw, GatewayOverhead: DefaultGatewayOverhead}, model3)
+	var dSum, rSum time.Duration
+	for i := range direct {
+		dSum += direct[i].Sub(tr.Chunks[i].ReadyAt)
+		rSum += relayed[i].Sub(tr.Chunks[i].ReadyAt)
+	}
+	if rSum <= dSum {
+		t.Fatalf("gateway relay not slower: %v vs %v", rSum, dSum)
+	}
+	_ = model
+}
+
+func TestPollingDelayMeanHalfInterval(t *testing.T) {
+	// With chunk arrivals incommensurate to the poll interval, the mean
+	// polling delay ≈ interval/2 (Fig. 12's 2 s and 4 s cases).
+	tr, model, origin := sfTrace(t, 6, 5*time.Minute, false)
+	edge := geo.Nearest(origin.Location, geo.FastlySites())
+	edgeAt := EdgeArrivals(tr, origin, EdgePath{Edge: edge}, model)
+	for _, interval := range []time.Duration{2 * time.Second, 4 * time.Second} {
+		var means []float64
+		for phase := 0; phase < 20; phase++ {
+			seen := PollObservations(edgeAt, interval, time.Duration(phase)*interval/20)
+			ds := PollingDelays(edgeAt, seen)
+			var s float64
+			for _, d := range ds {
+				if d < 0 {
+					t.Fatal("negative polling delay")
+				}
+				s += d.Seconds()
+			}
+			means = append(means, s/float64(len(ds)))
+		}
+		m := stats.Mean(means)
+		want := interval.Seconds() / 2
+		if m < want*0.6 || m > want*1.4 {
+			t.Fatalf("interval %v: mean polling delay %vs, want ≈%vs", interval, m, want)
+		}
+	}
+}
+
+func TestPolling3sResonance(t *testing.T) {
+	// Fig. 12: with a 3 s interval matching the 3 s chunk cadence, the
+	// per-broadcast mean polling delay varies widely across broadcasts
+	// (phase lock) — much wider than for 2 s or 4 s.
+	spread := func(interval time.Duration) float64 {
+		var means []float64
+		for b := 0; b < 30; b++ {
+			tr, model, origin := sfTrace(t, uint64(100+b), 4*time.Minute, false)
+			edge := geo.Nearest(origin.Location, geo.FastlySites())
+			edgeAt := EdgeArrivals(tr, origin, EdgePath{Edge: edge}, model)
+			phase := time.Duration(b) * interval / 30
+			seen := PollObservations(edgeAt, interval, phase)
+			ds := PollingDelays(edgeAt, seen)
+			var s float64
+			for _, d := range ds {
+				s += d.Seconds()
+			}
+			means = append(means, s/float64(len(ds)))
+		}
+		return stats.StdDev(means)
+	}
+	if s3, s2 := spread(3*time.Second), spread(2*time.Second); s3 <= s2 {
+		t.Fatalf("3s polling spread (%v) not above 2s spread (%v): no resonance", s3, s2)
+	}
+}
+
+func TestRTMPComponentsShape(t *testing.T) {
+	tr, model, origin := sfTrace(t, 7, time.Minute, false)
+	v := ViewerConfig{
+		Location:  geo.Location{City: "SF", Lat: 37.77, Lon: -122.42},
+		LastMile:  netsim.WiFi,
+		PreBuffer: time.Second,
+	}
+	c := RTMPComponents(tr, origin, v, model)
+	if c.Chunking != 0 || c.Wowza2Fastly != 0 || c.Polling != 0 {
+		t.Fatalf("RTMP has HLS components: %+v", c)
+	}
+	if c.Upload <= 0 || c.LastMile <= 0 || c.Buffering <= 0 {
+		t.Fatalf("non-positive components: %+v", c)
+	}
+	// Paper Fig. 11: RTMP end-to-end ≈ 1.4 s.
+	total := c.Total()
+	if total < 500*time.Millisecond || total > 3*time.Second {
+		t.Fatalf("RTMP total = %v, want ≈1.4s", total)
+	}
+}
+
+func TestHLSComponentsShape(t *testing.T) {
+	tr, model, origin := sfTrace(t, 8, 2*time.Minute, false)
+	edge := geo.Nearest(origin.Location, geo.FastlySites())
+	v := ViewerConfig{
+		Location:     geo.Location{City: "SF", Lat: 37.77, Lon: -122.42},
+		LastMile:     netsim.WiFi,
+		PollInterval: 2800 * time.Millisecond,
+		PreBuffer:    9 * time.Second,
+	}
+	c := HLSComponents(tr, origin, EdgePath{Edge: edge}, v, model)
+	// Paper Fig. 11 ordering: buffering > chunking > polling > W2F.
+	if !(c.Buffering > c.Chunking && c.Chunking > c.Polling && c.Polling > c.Wowza2Fastly) {
+		t.Fatalf("HLS component ordering wrong: %+v", c)
+	}
+	// Chunking ≈ 3 s.
+	if c.Chunking < 2*time.Second || c.Chunking > 4*time.Second {
+		t.Fatalf("chunking = %v, want ≈3s", c.Chunking)
+	}
+	// Total ≈ 11.7 s.
+	if c.Total() < 7*time.Second || c.Total() > 17*time.Second {
+		t.Fatalf("HLS total = %v, want ≈11.7s", c.Total())
+	}
+}
+
+func TestRunControlledMatchesFig11(t *testing.T) {
+	r, h := RunControlled(ControlledConfig{Seed: 9, Repetitions: 5, BroadcastDuration: 90 * time.Second})
+	if r.Total() >= h.Total() {
+		t.Fatalf("RTMP (%v) not faster than HLS (%v)", r.Total(), h.Total())
+	}
+	ratio := float64(h.Total()) / float64(r.Total())
+	// Paper: 11.7s / 1.4s ≈ 8.4×; accept a broad band.
+	if ratio < 4 || ratio > 16 {
+		t.Fatalf("HLS/RTMP ratio = %v, want ≈8", ratio)
+	}
+	// HLS buffering is the single largest component (6.9 s of 11.7 s).
+	if !(h.Buffering > h.Chunking && h.Buffering > h.Polling && h.Buffering > h.Upload) {
+		t.Fatalf("buffering not dominant: %+v", h)
+	}
+}
+
+func TestChunkDurationMatchesMedia(t *testing.T) {
+	tr, _, _ := sfTrace(t, 10, 30*time.Second, false)
+	if tr.ChunkDuration != media.DefaultChunkDuration {
+		t.Fatalf("chunk duration = %v", tr.ChunkDuration)
+	}
+}

@@ -1,0 +1,359 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/social"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("table1", "Basic statistics of the broadcast datasets", runTable1)
+	register("table2", "Basic statistics of the social graphs", runTable2)
+	register("fig1", "Number of daily broadcasts", runFig1)
+	register("fig2", "Number of daily active users", runFig2)
+	register("fig3", "CDF of broadcast length", runFig3)
+	register("fig4", "Total number of viewers per broadcast", runFig4)
+	register("fig5", "Total number of comments (hearts) per broadcast", runFig5)
+	register("fig6", "Distribution of broadcast views and creation over users", runFig6)
+	register("fig7", "Broadcaster's followers vs number of viewers", runFig7)
+	register("fig9", "Wowza and Fastly server locations", runFig9)
+}
+
+// graphConfig scales the default social-graph calibration to a node count,
+// keeping community size constant.
+func graphConfig(nodes int, seed uint64) social.Config {
+	gcfg := social.DefaultConfig()
+	gcfg.Seed = seed
+	if nodes < 100 {
+		nodes = 100
+	}
+	gcfg.Nodes = nodes
+	gcfg.Communities = nodes / 200
+	if gcfg.Communities < 1 {
+		gcfg.Communities = 1
+	}
+	return gcfg
+}
+
+// corpus generates the Periscope and Meerkat datasets plus the follower
+// array that links Periscope broadcasts to the social graph. Meerkat's
+// corpus is small even at full scale, so its scaling is capped at 1:100 to
+// keep sample noise below the figures' signal.
+func corpus(cfg Config) (peri, meer *workload.Dataset, graph *social.Graph) {
+	pprof := workload.Periscope(cfg.Scale)
+	graph = social.Generate(graphConfig(pprof.BroadcasterPool, cfg.Seed))
+	peri = workload.Generate(pprof, graph.FollowerCounts(), cfg.Seed)
+	meerScale := cfg.Scale
+	if meerScale > 100 {
+		meerScale = 100
+	}
+	meer = workload.Generate(workload.Meerkat(meerScale), nil, cfg.Seed+1)
+	return peri, meer, graph
+}
+
+func runTable1(cfg Config) (*Result, error) {
+	peri, meer, _ := corpus(cfg)
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Table 1: Basic statistics of our broadcast datasets (scale 1:%.0f)", cfg.Scale),
+		Headers: []string{"App", "Days", "Broadcasts", "Broadcasters", "Total Views", "Unique Viewers"},
+	}
+	add := func(ds *workload.Dataset) {
+		t.AddRow(ds.Profile.Name,
+			fmt.Sprintf("%d", ds.Profile.Days),
+			stats.FormatCount(int64(len(ds.Broadcasts))),
+			stats.FormatCount(int64(ds.UniqueBroadcasters())),
+			stats.FormatCount(ds.TotalViews),
+			stats.FormatCount(int64(ds.UniqueViewers())))
+	}
+	add(peri)
+	add(meer)
+	t.AddRow("", "", "", "", "", "")
+	t.AddRow("Periscope (paper, 1:1)", "98", "19.6M", "1.85M", "705M", "7.65M")
+	t.AddRow("Meerkat (paper, 1:1)", "34", "164K", "57K", "3.8M", "183K")
+	return &Result{
+		Text: t.String(),
+		Values: map[string]float64{
+			"periscope_broadcasts":   float64(len(peri.Broadcasts)),
+			"periscope_broadcasters": float64(peri.UniqueBroadcasters()),
+			"periscope_views":        float64(peri.TotalViews),
+			"periscope_viewers":      float64(peri.UniqueViewers()),
+			"meerkat_broadcasts":     float64(len(meer.Broadcasts)),
+			"meerkat_views":          float64(meer.TotalViews),
+		},
+	}, nil
+}
+
+func runTable2(cfg Config) (*Result, error) {
+	nodes := int(12_000_000 / cfg.Scale)
+	if nodes < 2000 {
+		nodes = 2000
+	}
+	if cfg.Quick && nodes > 6000 {
+		nodes = 6000
+	}
+	g := social.Generate(graphConfig(nodes, cfg.Seed))
+	m := social.ComputeMetrics(g, social.MetricsOptions{Seed: cfg.Seed})
+	return &Result{
+		Text: social.Table2(m).String(),
+		Values: map[string]float64{
+			"nodes":         float64(m.Nodes),
+			"edges":         float64(m.Edges),
+			"avg_degree":    m.AvgDegree,
+			"clustering":    m.Clustering,
+			"avg_path":      m.AvgPath,
+			"assortativity": m.Assortativity,
+		},
+	}, nil
+}
+
+func runFig1(cfg Config) (*Result, error) {
+	peri, meer, _ := corpus(cfg)
+	fig := &stats.Figure{Title: "Figure 1: # of daily broadcasts", XLabel: "day", YLabel: "observed broadcasts/day"}
+	series := func(ds *workload.Dataset) []stats.Point {
+		pts := make([]stats.Point, 0, len(ds.Days))
+		for i, d := range ds.Days {
+			pts = append(pts, stats.Point{X: float64(i), Y: float64(d.ObservedBroadcasts)})
+		}
+		return pts
+	}
+	fig.Add("Periscope", series(peri))
+	fig.Add("Meerkat", series(meer))
+
+	growth := weekRatio(peri, true)
+	decline := weekRatio(meer, true)
+	return &Result{
+		Text: fig.String(),
+		Values: map[string]float64{
+			"periscope_growth": growth,
+			"meerkat_decline":  decline,
+		},
+	}, nil
+}
+
+// weekRatio compares the last week's volume to the first week's.
+func weekRatio(ds *workload.Dataset, observed bool) float64 {
+	first, last := 0, 0
+	n := len(ds.Days)
+	for d := 0; d < 7 && d < n; d++ {
+		a, b := ds.Days[d], ds.Days[n-1-d]
+		if observed {
+			first += a.Broadcasts
+			last += b.Broadcasts
+		}
+	}
+	if first == 0 {
+		return 0
+	}
+	return float64(last) / float64(first)
+}
+
+func runFig2(cfg Config) (*Result, error) {
+	peri, meer, _ := corpus(cfg)
+	fig := &stats.Figure{Title: "Figure 2: # of daily active users", XLabel: "day", YLabel: "users/day"}
+	for _, ds := range []*workload.Dataset{peri, meer} {
+		var viewers, bcasters []stats.Point
+		for i, d := range ds.Days {
+			viewers = append(viewers, stats.Point{X: float64(i), Y: float64(d.ActiveViewers)})
+			bcasters = append(bcasters, stats.Point{X: float64(i), Y: float64(d.ActiveBroadcasters)})
+		}
+		fig.Add(ds.Profile.Name+" viewers", viewers)
+		fig.Add(ds.Profile.Name+" broadcasters", bcasters)
+	}
+	var ratios []float64
+	for _, d := range peri.Days[len(peri.Days)/3:] {
+		if d.ActiveBroadcasters > 0 {
+			ratios = append(ratios, float64(d.ActiveViewers)/float64(d.ActiveBroadcasters))
+		}
+	}
+	return &Result{
+		Text: fig.String(),
+		Values: map[string]float64{
+			"periscope_viewer_broadcaster_ratio": stats.Mean(ratios),
+		},
+	}, nil
+}
+
+func runFig3(cfg Config) (*Result, error) {
+	peri, meer, _ := corpus(cfg)
+	fig := &stats.Figure{Title: "Figure 3: CDF of broadcast length", XLabel: "minutes", YLabel: "CDF"}
+	durCDF := func(ds *workload.Dataset) *stats.CDF {
+		var xs []float64
+		for _, b := range ds.Broadcasts {
+			xs = append(xs, b.Duration.Minutes())
+		}
+		return stats.NewCDF(xs)
+	}
+	pc, mc := durCDF(peri), durCDF(meer)
+	fig.Add("Periscope", pc.Points(100))
+	fig.Add("Meerkat", mc.Points(100))
+	return &Result{
+		Text: fig.String(),
+		Values: map[string]float64{
+			"periscope_under_10min": pc.At(10),
+			"meerkat_under_10min":   mc.At(10),
+		},
+	}, nil
+}
+
+func runFig4(cfg Config) (*Result, error) {
+	peri, meer, _ := corpus(cfg)
+	fig := &stats.Figure{Title: "Figure 4: total # of viewers per broadcast", XLabel: "viewers", YLabel: "CDF"}
+	viewCDF := func(ds *workload.Dataset) *stats.CDF {
+		var xs []float64
+		for _, b := range ds.Broadcasts {
+			xs = append(xs, float64(b.Viewers))
+		}
+		return stats.NewCDF(xs)
+	}
+	pc, mc := viewCDF(peri), viewCDF(meer)
+	fig.Add("Periscope", pc.Points(100))
+	fig.Add("Meerkat", mc.Points(100))
+	return &Result{
+		Text: fig.String(),
+		Values: map[string]float64{
+			"meerkat_zero_viewer":   mc.At(0),
+			"periscope_zero_viewer": pc.At(0),
+			"periscope_max_viewers": pc.Quantile(1),
+		},
+	}, nil
+}
+
+func runFig5(cfg Config) (*Result, error) {
+	peri, meer, _ := corpus(cfg)
+	fig := &stats.Figure{Title: "Figure 5: total # of comments (hearts) per broadcast", XLabel: "count", YLabel: "CDF"}
+	collect := func(ds *workload.Dataset, hearts bool) *stats.CDF {
+		var xs []float64
+		for _, b := range ds.Broadcasts {
+			if hearts {
+				xs = append(xs, float64(b.Hearts))
+			} else {
+				xs = append(xs, float64(b.Comments))
+			}
+		}
+		return stats.NewCDF(xs)
+	}
+	ph := collect(peri, true)
+	pcm := collect(peri, false)
+	fig.Add("Periscope Heart", ph.Points(100))
+	fig.Add("Periscope Comment", pcm.Points(100))
+	fig.Add("Meerkat Heart", collect(meer, true).Points(100))
+	fig.Add("Meerkat Comment", collect(meer, false).Points(100))
+	return &Result{
+		Text: fig.String(),
+		Values: map[string]float64{
+			// Paper: ~10% of Periscope broadcasts get >1000 hearts
+			// and >100 comments.
+			"periscope_hearts_over_1000":  1 - ph.At(1000),
+			"periscope_comments_over_100": 1 - pcm.At(100),
+			"periscope_max_hearts":        ph.Quantile(1),
+		},
+	}, nil
+}
+
+func runFig6(cfg Config) (*Result, error) {
+	peri, meer, _ := corpus(cfg)
+	fig := &stats.Figure{Title: "Figure 6: broadcasts viewed/created per user", XLabel: "count", YLabel: "CDF"}
+	activity := func(counts []int32) *stats.CDF {
+		var xs []float64
+		for _, c := range counts {
+			if c > 0 {
+				xs = append(xs, float64(c))
+			}
+		}
+		return stats.NewCDF(xs)
+	}
+	pv := activity(peri.ViewsByUser)
+	fig.Add("Periscope View", pv.Points(100))
+	fig.Add("Periscope Create", activity(peri.CreatesByUser).Points(100))
+	fig.Add("Meerkat View", activity(meer.ViewsByUser).Points(100))
+	fig.Add("Meerkat Create", activity(meer.CreatesByUser).Points(100))
+	// Fig. 6's anchor: the most active 15% of viewers watch ~10x the
+	// median viewer — mean of the top 15% over the median.
+	median := pv.Quantile(0.5)
+	var xs []float64
+	for _, v := range peri.ViewsByUser {
+		if v > 0 {
+			xs = append(xs, float64(v))
+		}
+	}
+	sort.Float64s(xs)
+	top := xs[int(float64(len(xs))*0.85):]
+	ratio := math.Inf(1)
+	if median > 0 && len(top) > 0 {
+		var sum float64
+		for _, v := range top {
+			sum += v
+		}
+		ratio = sum / float64(len(top)) / median
+	}
+	return &Result{
+		Text: fig.String(),
+		Values: map[string]float64{
+			"periscope_top15_vs_median_views": ratio,
+		},
+	}, nil
+}
+
+func runFig7(cfg Config) (*Result, error) {
+	peri, _, _ := corpus(cfg)
+	fig := &stats.Figure{Title: "Figure 7: broadcaster's followers vs # of viewers", XLabel: "followers", YLabel: "viewers"}
+	var pts []stats.Point
+	var fs, vs []float64
+	for _, b := range peri.Broadcasts {
+		if b.Followers > 0 && b.Viewers > 0 {
+			fs = append(fs, float64(b.Followers))
+			vs = append(vs, float64(b.Viewers))
+			if len(pts) < 2000 {
+				pts = append(pts, stats.Point{X: float64(b.Followers), Y: float64(b.Viewers)})
+			}
+		}
+	}
+	fig.Add("broadcasts", pts)
+	return &Result{
+		Text: fig.String(),
+		Values: map[string]float64{
+			"spearman_rho": stats.SpearmanRho(fs, vs),
+		},
+	}, nil
+}
+
+func runFig9(cfg Config) (*Result, error) {
+	// Static infrastructure map: catalog + co-location audit (§4.1).
+	t := &stats.Table{
+		Title:   "Figure 9: Wowza and Fastly server locations (co-location audit)",
+		Headers: []string{"Wowza DC", "City", "Fastly same city", "Fastly same continent"},
+	}
+	audits := auditRows()
+	sameCity, sameCont := 0, 0
+	for _, a := range audits {
+		t.AddRow(a.WowzaID, a.City, yesNo(a.SameCity), yesNo(a.SameContinent))
+		if a.SameCity {
+			sameCity++
+		}
+		if a.SameContinent {
+			sameCont++
+		}
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nPaper §4.1: 6/8 co-located same-city, 7/8 same-continent; exception South America.\n")
+	return &Result{
+		Text: b.String(),
+		Values: map[string]float64{
+			"same_city":      float64(sameCity),
+			"same_continent": float64(sameCont),
+		},
+	}, nil
+}
+
+func yesNo(v bool) string {
+	if v {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDeterministicExperiments: the simulation-backed experiments must be
+// bit-reproducible under a fixed seed — the property that makes every
+// number in EXPERIMENTS.md regenerable. (Wall-clock experiments like fig14
+// and the throughput ablations are excluded: they measure real CPU.)
+func TestDeterministicExperiments(t *testing.T) {
+	deterministic := []string{
+		"table1", "table2", "fig1", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig9", "fig11", "fig12", "fig13", "fig15", "fig16",
+		"fig17", "ablation_chunksize", "ablation_gateway",
+		"ablation_rtmpcap", "ablation_overlay", "sec1_interactivity",
+	}
+	for _, id := range deterministic {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			a, err := Run(id, Config{Quick: true, Seed: 17})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(id, Config{Quick: true, Seed: 17})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a.Values) != len(b.Values) {
+				t.Fatalf("value sets differ: %d vs %d", len(a.Values), len(b.Values))
+			}
+			for k, va := range a.Values {
+				vb, ok := b.Values[k]
+				if !ok {
+					t.Fatalf("key %s missing on rerun", k)
+				}
+				if va != vb && !(math.IsNaN(va) && math.IsNaN(vb)) {
+					t.Fatalf("%s: %v != %v across identical seeds", k, va, vb)
+				}
+			}
+			if a.Text != b.Text {
+				t.Fatal("rendered text differs across identical seeds")
+			}
+		})
+	}
+}
+
+// TestSeedsChangeResults: different seeds must actually change the
+// stochastic outputs (guards against a silently ignored seed).
+func TestSeedsChangeResults(t *testing.T) {
+	a, err := Run("fig12", Config{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("fig12", Config{Quick: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for k, va := range a.Values {
+		if b.Values[k] != va {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical results: seed unused?")
+	}
+}

@@ -1,0 +1,108 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation from the reproduced system. Each experiment is a named Runner
+// in the Registry; cmd/experiments and the repo-root benchmarks invoke them,
+// and EXPERIMENTS.md records paper-vs-measured for each.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Scale divides the paper's workload volumes (default 100 → 1:100).
+	Scale float64
+	// Seed drives all randomness.
+	Seed uint64
+	// Broadcasts is the trace count for the delay experiments (the paper
+	// crawled 16,013; default 300 keeps a laptop run under a minute).
+	Broadcasts int
+	// Quick shrinks every experiment for unit tests and -short runs.
+	Quick bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Broadcasts <= 0 {
+		c.Broadcasts = 300
+	}
+	if c.Quick {
+		if c.Scale < 2000 {
+			c.Scale = 2000
+		}
+		if c.Broadcasts > 40 {
+			c.Broadcasts = 40
+		}
+	}
+	return c
+}
+
+// Result is one experiment's output: rendered text plus the key scalar
+// metrics tests and EXPERIMENTS.md check.
+type Result struct {
+	ID     string
+	Title  string
+	Text   string
+	Values map[string]float64
+}
+
+// Runner produces one table or figure.
+type Runner func(cfg Config) (*Result, error)
+
+type entry struct {
+	id    string
+	title string
+	run   Runner
+	order int
+}
+
+var registry = map[string]entry{}
+var nextOrder int
+
+func register(id, title string, run Runner) {
+	registry[id] = entry{id: id, title: title, run: run, order: nextOrder}
+	nextOrder++
+}
+
+// IDs returns all experiment identifiers in registration (paper) order.
+func IDs() []string {
+	out := make([]entry, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].order < out[j].order })
+	ids := make([]string, len(out))
+	for i, e := range out {
+		ids[i] = e.id
+	}
+	return ids
+}
+
+// Title returns an experiment's description.
+func Title(id string) string { return registry[id].title }
+
+// Run executes one experiment by ID.
+func Run(id string, cfg Config) (*Result, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have: %s)", id, strings.Join(IDs(), ", "))
+	}
+	res, err := e.run(cfg.withDefaults())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	res.ID = e.id
+	if res.Title == "" {
+		res.Title = e.title
+	}
+	return res, nil
+}
+
+func secs(v float64) string { return fmt.Sprintf("%.2fs", v) }

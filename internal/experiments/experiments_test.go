@@ -1,0 +1,341 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config {
+	return Config{Quick: true, Seed: 3}
+}
+
+func run(t *testing.T, id string) *Result {
+	t.Helper()
+	res, err := Run(id, quickCfg())
+	if err != nil {
+		t.Fatalf("Run(%s): %v", id, err)
+	}
+	if res.Text == "" {
+		t.Fatalf("%s produced no output", id)
+	}
+	return res
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig9", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"fig16", "fig17", "sec7", "sec1_interactivity",
+		"ablation_chunksize", "ablation_pollinterval", "ablation_gateway",
+		"ablation_rtmpcap", "ablation_signature", "ablation_overlay",
+		"ablation_rtmps",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+		if Title(id) == "" {
+			t.Fatalf("experiment %s has no title", id)
+		}
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Fatalf("registry missing %s", id)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("fig99", quickCfg()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	res := run(t, "table1")
+	v := res.Values
+	// Quick mode is 1:2000 scale → ≈9.8K broadcasts.
+	if v["periscope_broadcasts"] < 6000 || v["periscope_broadcasts"] > 15000 {
+		t.Fatalf("periscope broadcasts = %v", v["periscope_broadcasts"])
+	}
+	if v["meerkat_broadcasts"] >= v["periscope_broadcasts"] {
+		t.Fatal("Meerkat larger than Periscope")
+	}
+	if v["periscope_views"] < 20*v["periscope_broadcasts"] {
+		t.Fatalf("views/broadcast = %v, want ≈36",
+			v["periscope_views"]/v["periscope_broadcasts"])
+	}
+	if !strings.Contains(res.Text, "19.6M") {
+		t.Fatal("paper reference row missing")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	v := run(t, "table2").Values
+	if v["assortativity"] >= 0 {
+		t.Fatalf("assortativity = %v, want negative", v["assortativity"])
+	}
+	if v["avg_degree"] < 20 || v["avg_degree"] > 60 {
+		t.Fatalf("avg degree = %v", v["avg_degree"])
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	v := run(t, "fig1").Values
+	if v["periscope_growth"] < 2 {
+		t.Fatalf("Periscope growth = %v, want ≈3x", v["periscope_growth"])
+	}
+	if v["meerkat_decline"] > 0.8 {
+		t.Fatalf("Meerkat decline = %v, want ≈0.5", v["meerkat_decline"])
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	v := run(t, "fig2").Values
+	r := v["periscope_viewer_broadcaster_ratio"]
+	if r < 2 || r > 30 {
+		t.Fatalf("viewer:broadcaster = %v, want ≈10", r)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	v := run(t, "fig3").Values
+	if v["periscope_under_10min"] < 0.75 || v["periscope_under_10min"] > 0.95 {
+		t.Fatalf("P(<10min) = %v, want ≈0.85", v["periscope_under_10min"])
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	v := run(t, "fig4").Values
+	if v["meerkat_zero_viewer"] < 0.5 || v["meerkat_zero_viewer"] > 0.7 {
+		t.Fatalf("Meerkat zero-viewer = %v, want ≈0.6", v["meerkat_zero_viewer"])
+	}
+	if v["periscope_zero_viewer"] > 0.05 {
+		t.Fatalf("Periscope zero-viewer = %v", v["periscope_zero_viewer"])
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	v := run(t, "fig5").Values
+	if v["periscope_hearts_over_1000"] < 0.02 || v["periscope_hearts_over_1000"] > 0.3 {
+		t.Fatalf("P(hearts>1000) = %v, want ≈0.1", v["periscope_hearts_over_1000"])
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	v := run(t, "fig6").Values
+	if v["periscope_top15_vs_median_views"] < 2 {
+		t.Fatalf("top15/median = %v: viewer skew too weak", v["periscope_top15_vs_median_views"])
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	v := run(t, "fig7").Values
+	if v["spearman_rho"] < 0.2 {
+		t.Fatalf("rho = %v, want clearly positive", v["spearman_rho"])
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	v := run(t, "fig9").Values
+	if v["same_city"] != 6 || v["same_continent"] != 7 {
+		t.Fatalf("audit = %v/%v, want 6/7", v["same_city"], v["same_continent"])
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	v := run(t, "fig11").Values
+	if v["hls_total"] <= v["rtmp_total"] {
+		t.Fatal("HLS not slower than RTMP")
+	}
+	if v["hls_over_rtmp"] < 4 || v["hls_over_rtmp"] > 16 {
+		t.Fatalf("HLS/RTMP = %v, want ≈8", v["hls_over_rtmp"])
+	}
+	if v["hls_buffering"] < v["hls_chunking"] {
+		t.Fatal("buffering should dominate chunking")
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	v := run(t, "fig12").Values
+	// Mean ≈ interval/2 for 2s and 4s.
+	if v["mean_2s"] < 0.5 || v["mean_2s"] > 1.6 {
+		t.Fatalf("mean@2s = %v, want ≈1", v["mean_2s"])
+	}
+	if v["mean_4s"] < 1.2 || v["mean_4s"] > 3.0 {
+		t.Fatalf("mean@4s = %v, want ≈2", v["mean_4s"])
+	}
+	// 3s resonates with 3s chunks: per-broadcast means vary widely.
+	if v["spread_3s"] <= v["spread_2s"] {
+		t.Fatalf("spread@3s (%v) not above spread@2s (%v)", v["spread_3s"], v["spread_2s"])
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	v := run(t, "fig13").Values
+	for _, k := range []string{"std_2s", "std_3s", "std_4s"} {
+		if v[k] <= 0 {
+			t.Fatalf("%s = %v, want positive jitter", k, v[k])
+		}
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CPU measurement under -short")
+	}
+	v := run(t, "fig14").Values
+	// RTMP must cost more than HLS at the largest audience, and the gap
+	// must widen with audience size (paper Fig. 14).
+	if v["gap_at_max"] <= 0 {
+		t.Fatalf("RTMP-HLS gap at max viewers = %v, want positive", v["gap_at_max"])
+	}
+	if v["gap_at_max"] <= v["gap_at_min"] {
+		t.Fatalf("gap did not widen: min=%v max=%v", v["gap_at_min"], v["gap_at_max"])
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	v := run(t, "fig15").Values
+	if v["median_colocated"] >= v["median_under500"] {
+		t.Fatal("co-located not faster than nearby")
+	}
+	if v["median_under5000"] >= v["median_over10000"] {
+		t.Fatal("distance ordering broken")
+	}
+	// The paper's >0.25s co-location gap.
+	if v["colocation_gap"] < 0.2 {
+		t.Fatalf("co-location gap = %v, want >0.25s", v["colocation_gap"])
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	v := run(t, "fig16").Values
+	if v["stall_p0s"] < v["stall_p1s"] {
+		t.Fatal("pre-buffer did not reduce RTMP stalls")
+	}
+	if v["delay_p1s"] <= v["delay_p0s"] {
+		t.Fatal("pre-buffer did not raise RTMP delay")
+	}
+}
+
+func TestFig17Shape(t *testing.T) {
+	v := run(t, "fig17").Values
+	// §6's headline: P=6s gives similar smoothness to P=9s at much
+	// lower delay.
+	if v["stall_p0s"] <= v["stall_p9s"] {
+		t.Fatal("pre-buffer did not reduce HLS stalls")
+	}
+	if v["stall_p6s"] > v["stall_p9s"]+0.02 {
+		t.Fatalf("P=6 stalls (%v) much worse than P=9 (%v)", v["stall_p6s"], v["stall_p9s"])
+	}
+	if v["delay_p6s"] > v["delay_p9s"]*0.75 {
+		t.Fatalf("P=6 delay (%v) not clearly below P=9 (%v)", v["delay_p6s"], v["delay_p9s"])
+	}
+}
+
+func TestSec7Shape(t *testing.T) {
+	v := run(t, "sec7").Values
+	if v["attack_tampered"] != v["attack_delivered"] || v["attack_tampered"] == 0 {
+		t.Fatalf("attack: %v/%v tampered", v["attack_tampered"], v["attack_delivered"])
+	}
+	if v["defense_delivered"] != 0 {
+		t.Fatalf("defense leaked %v frames", v["defense_delivered"])
+	}
+	if v["defense_detected"] == 0 {
+		t.Fatal("defense detected nothing")
+	}
+}
+
+func TestSec1InteractivityShape(t *testing.T) {
+	v := run(t, "sec1_interactivity").Values
+	// The paper's motivating claim: HLS delay wrecks feedback fidelity
+	// far more than RTMP's.
+	if v["misattr_hls_10s"] <= v["misattr_rtmp_10s"] {
+		t.Fatal("HLS misattribution not above RTMP")
+	}
+	if v["misattr_hls_10s"] < 0.8 {
+		t.Fatalf("HLS misattribution at 10s events = %v, want near-total", v["misattr_hls_10s"])
+	}
+	if v["missed_hls_10s"] <= v["missed_rtmp_10s"] {
+		t.Fatal("HLS vote discounting not above RTMP")
+	}
+	// Longer cadences/windows recover fidelity monotonically.
+	if v["misattr_hls_60s"] >= v["misattr_hls_10s"] {
+		t.Fatal("misattribution not improving with cadence")
+	}
+	if v["missed_hls_30s"] >= v["missed_hls_10s"] {
+		t.Fatal("vote discounting not improving with window")
+	}
+}
+
+func TestAblationChunkSize(t *testing.T) {
+	v := run(t, "ablation_chunksize").Values
+	if v["total_1.5s"] >= v["total_10s"] {
+		t.Fatal("bigger chunks should cost more delay")
+	}
+	if v["rate_1.5s"] <= v["rate_10s"] {
+		t.Fatal("smaller chunks should cost more requests")
+	}
+}
+
+func TestAblationPollInterval(t *testing.T) {
+	v := run(t, "ablation_pollinterval").Values
+	if v["delay_500ms"] >= v["delay_4000ms"] {
+		t.Fatal("longer polls should add delay")
+	}
+}
+
+func TestAblationGateway(t *testing.T) {
+	v := run(t, "ablation_gateway").Values
+	if v["penalty"] <= 0 {
+		t.Fatalf("gateway penalty = %v, want positive", v["penalty"])
+	}
+}
+
+func TestAblationRTMPCap(t *testing.T) {
+	v := run(t, "ablation_rtmpcap").Values
+	if v["origin_load_cap_100"] >= v["origin_load_cap_unlimited"] {
+		t.Fatal("cap did not bound origin load")
+	}
+}
+
+func TestAblationSignature(t *testing.T) {
+	v := run(t, "ablation_signature").Values
+	if v["sign_ns"] <= 0 || v["verify_ns"] <= 0 {
+		t.Fatal("no signature timings")
+	}
+	// Per-frame signing at 25fps must stay well under one core.
+	if v["broadcaster_ms_per_s_k1"] > 100 {
+		t.Fatalf("signing cost = %vms/s, implausibly heavy", v["broadcaster_ms_per_s_k1"])
+	}
+}
+
+func TestAblationRTMPS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput measurement under -short")
+	}
+	v := run(t, "ablation_rtmps").Values
+	for _, k := range []string{"ns_per_frame_plain", "ns_per_frame_tls", "ns_per_frame_signed"} {
+		if v[k] <= 0 {
+			t.Fatalf("%s = %v", k, v[k])
+		}
+	}
+	// Per-frame signing must cost measurably more than plaintext; TLS
+	// overhead varies with hardware so only sanity-bound it.
+	if v["signed_overhead_x"] < 1.1 {
+		t.Fatalf("signed overhead = %vx, want >1.1x", v["signed_overhead_x"])
+	}
+	if v["tls_overhead_x"] > 10 {
+		t.Fatalf("TLS overhead = %vx, implausible", v["tls_overhead_x"])
+	}
+}
+
+func TestAblationOverlay(t *testing.T) {
+	v := run(t, "ablation_overlay").Values
+	if v["fanout_1000"] > 4 {
+		t.Fatalf("overlay fanout at 1000 viewers = %v, want ≤ hubs", v["fanout_1000"])
+	}
+	if v["delay_1000"] > 1.5 {
+		t.Fatalf("overlay delay = %vs, want transport-scale", v["delay_1000"])
+	}
+}

@@ -1,0 +1,7 @@
+package experiments
+
+import "repro/internal/geo"
+
+func auditRows() []geo.CoLocationAudit {
+	return geo.AuditCoLocation(geo.WowzaSites(), geo.FastlySites())
+}

@@ -1,0 +1,277 @@
+// Package hls implements the HLS-like half of the delivery path (§4.1):
+// chunklists served over HTTP, binary chunk downloads, and the viewer-side
+// periodic poller. HLS trades latency for scalability — viewers poll instead
+// of holding per-viewer server state, which is why Periscope routes every
+// viewer beyond the first ~100 here.
+package hls
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/media"
+)
+
+// ErrNotFound is returned by stores for unknown broadcasts or chunks.
+var ErrNotFound = errors.New("hls: not found")
+
+// Store supplies chunklists and chunks for serving. Implementations are the
+// CDN origin (authoritative) and edge caches.
+type Store interface {
+	// ChunkList returns the current chunklist for a broadcast.
+	ChunkList(ctx context.Context, broadcastID string) (*media.ChunkList, error)
+	// Chunk returns one chunk of a broadcast.
+	Chunk(ctx context.Context, broadcastID string, seq uint64) (*media.Chunk, error)
+}
+
+// VersionHeader carries the chunklist version so pollers and edges can
+// detect staleness without parsing.
+const VersionHeader = "X-Chunklist-Version"
+
+// Handler serves the HLS HTTP surface over a Store:
+//
+//	GET {prefix}/{broadcastID}/chunklist.m3u8
+//	GET {prefix}/{broadcastID}/chunk/{seq}
+//
+// The prefix must not end in '/'.
+func Handler(prefix string, store Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		rest, ok := strings.CutPrefix(r.URL.Path, prefix+"/")
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		parts := strings.Split(rest, "/")
+		switch {
+		case len(parts) == 2 && parts[1] == "chunklist.m3u8":
+			serveChunkList(w, r, store, parts[0])
+		case len(parts) == 3 && parts[1] == "chunk":
+			seq, err := strconv.ParseUint(parts[2], 10, 64)
+			if err != nil {
+				http.Error(w, "bad chunk seq", http.StatusBadRequest)
+				return
+			}
+			serveChunk(w, r, store, parts[0], seq)
+		default:
+			http.NotFound(w, r)
+		}
+	})
+}
+
+func serveChunkList(w http.ResponseWriter, r *http.Request, store Store, id string) {
+	cl, err := store.ChunkList(r.Context(), id)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	// Conditional fetch: a poller or edge that already has this version
+	// gets an empty 304, the paper's "chunklist not yet expired" case.
+	if v := r.URL.Query().Get("have_version"); v != "" {
+		if have, err := strconv.ParseUint(v, 10, 64); err == nil && have == cl.Version {
+			w.Header().Set(VersionHeader, strconv.FormatUint(cl.Version, 10))
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/vnd.apple.mpegurl")
+	w.Header().Set(VersionHeader, strconv.FormatUint(cl.Version, 10))
+	w.Write(cl.Marshal())
+}
+
+func serveChunk(w http.ResponseWriter, r *http.Request, store Store, id string, seq uint64) {
+	c, err := store.Chunk(r.Context(), id, seq)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(media.MarshalChunk(c))
+}
+
+// Client fetches chunklists and chunks from an HLS server.
+type Client struct {
+	// BaseURL is the server root including prefix, e.g.
+	// "http://edge1:8080/hls".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// ErrNotModified reports a conditional chunklist fetch that matched.
+var ErrNotModified = errors.New("hls: chunklist not modified")
+
+// FetchChunkList downloads the playlist. If haveVersion is non-zero it is
+// sent as a conditional and ErrNotModified is returned on a match.
+func (c *Client) FetchChunkList(ctx context.Context, broadcastID string, haveVersion uint64) (*media.ChunkList, error) {
+	url := fmt.Sprintf("%s/%s/chunklist.m3u8", c.BaseURL, broadcastID)
+	if haveVersion != 0 {
+		url += "?have_version=" + strconv.FormatUint(haveVersion, 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("hls: fetch chunklist: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotModified:
+		return nil, ErrNotModified
+	case http.StatusNotFound:
+		return nil, ErrNotFound
+	default:
+		return nil, fmt.Errorf("hls: chunklist status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	return media.ParseChunkList(data)
+}
+
+// FetchChunk downloads one chunk.
+func (c *Client) FetchChunk(ctx context.Context, broadcastID string, seq uint64) (*media.Chunk, error) {
+	url := fmt.Sprintf("%s/%s/chunk/%d", c.BaseURL, broadcastID, seq)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("hls: fetch chunk: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return nil, ErrNotFound
+	default:
+		return nil, fmt.Errorf("hls: chunk status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	return media.UnmarshalChunk(data)
+}
+
+// ChunkEvent describes one newly observed chunk, with the timestamps the
+// paper's measurement methodology records (§4.3).
+type ChunkEvent struct {
+	Ref media.ChunkRef
+	// Chunk is the downloaded data (nil when the poller runs list-only).
+	Chunk *media.Chunk
+	// PolledAt is when the poll that discovered the chunk was issued (⑨/⑭).
+	PolledAt time.Time
+	// ListFetchedAt is when the updated chunklist arrived.
+	ListFetchedAt time.Time
+	// FetchedAt is when the chunk download finished (⑫/⑮).
+	FetchedAt time.Time
+}
+
+// PollerConfig tunes a Poller.
+type PollerConfig struct {
+	// Interval between chunklist polls. Periscope clients use 2–2.8 s
+	// (§5.2); the paper's measurement crawler uses 100 ms.
+	Interval time.Duration
+	// ListOnly skips chunk downloads (crawler mode measuring only
+	// chunklist freshness).
+	ListOnly bool
+	// OnChunk receives every newly observed chunk in order.
+	OnChunk func(ev ChunkEvent)
+	// OnEnd fires once when the playlist carries the end marker.
+	OnEnd func()
+}
+
+// Poll runs the periodic polling loop until the broadcast ends or ctx is
+// done. It returns nil on a clean end-of-broadcast.
+func (c *Client) Poll(ctx context.Context, broadcastID string, cfg PollerConfig) error {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	var lastSeq uint64
+	var haveAny bool
+	var version uint64
+	ticker := time.NewTicker(cfg.Interval)
+	defer ticker.Stop()
+	for {
+		polledAt := time.Now()
+		cl, err := c.FetchChunkList(ctx, broadcastID, version)
+		switch {
+		case err == nil:
+			listAt := time.Now()
+			version = cl.Version
+			for _, ref := range cl.Chunks {
+				if haveAny && ref.Seq <= lastSeq {
+					continue
+				}
+				ev := ChunkEvent{Ref: ref, PolledAt: polledAt, ListFetchedAt: listAt}
+				if !cfg.ListOnly {
+					chunk, err := c.FetchChunk(ctx, broadcastID, ref.Seq)
+					if err != nil {
+						if ctx.Err() != nil {
+							return ctx.Err()
+						}
+						continue
+					}
+					ev.Chunk = chunk
+					ev.FetchedAt = time.Now()
+				} else {
+					ev.FetchedAt = listAt
+				}
+				lastSeq, haveAny = ref.Seq, true
+				if cfg.OnChunk != nil {
+					cfg.OnChunk(ev)
+				}
+			}
+			if cl.Ended {
+				if cfg.OnEnd != nil {
+					cfg.OnEnd()
+				}
+				return nil
+			}
+		case errors.Is(err, ErrNotModified):
+			// Nothing new; poll again next tick.
+		case errors.Is(err, ErrNotFound):
+			return err
+		default:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			// Transient error: keep polling.
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package hls
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/rng"
+)
+
+// memStore is an in-memory Store for tests.
+type memStore struct {
+	mu     sync.Mutex
+	lists  map[string]*media.ChunkList
+	chunks map[string]map[uint64]*media.Chunk
+}
+
+func newMemStore() *memStore {
+	return &memStore{
+		lists:  make(map[string]*media.ChunkList),
+		chunks: make(map[string]map[uint64]*media.Chunk),
+	}
+}
+
+func (m *memStore) add(id string, c *media.Chunk) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cl, ok := m.lists[id]
+	if !ok {
+		cl = &media.ChunkList{BroadcastID: id}
+		m.lists[id] = cl
+		m.chunks[id] = make(map[uint64]*media.Chunk)
+	}
+	cl.Append(media.ChunkRef{
+		Seq:      c.Seq,
+		Duration: c.Duration(),
+		URI:      fmt.Sprintf("/hls/%s/chunk/%d", id, c.Seq),
+	})
+	m.chunks[id][c.Seq] = c
+}
+
+func (m *memStore) end(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cl, ok := m.lists[id]; ok {
+		cl.Ended = true
+		cl.Version++
+	}
+}
+
+func (m *memStore) ChunkList(_ context.Context, id string) (*media.ChunkList, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cl, ok := m.lists[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return cl.Clone(), nil
+}
+
+func (m *memStore) Chunk(_ context.Context, id string, seq uint64) (*media.Chunk, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.chunks[id][seq]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return c, nil
+}
+
+func makeChunks(n int) []*media.Chunk {
+	enc := media.NewEncoder(media.EncoderConfig{}, rng.New(5))
+	ck := media.NewChunker(time.Second)
+	base := time.Now()
+	var out []*media.Chunk
+	i := 0
+	for len(out) < n {
+		if c := ck.Add(enc.Next(base.Add(time.Duration(i) * media.FrameDuration))); c != nil {
+			out = append(out, c)
+		}
+		i++
+	}
+	return out
+}
+
+func startHLS(t *testing.T) (*memStore, *Client) {
+	t.Helper()
+	store := newMemStore()
+	srv := httptest.NewServer(Handler("/hls", store))
+	t.Cleanup(srv.Close)
+	return store, &Client{BaseURL: srv.URL + "/hls"}
+}
+
+func TestFetchChunkListAndChunk(t *testing.T) {
+	store, client := startHLS(t)
+	chunks := makeChunks(3)
+	for _, c := range chunks {
+		store.add("b1", c)
+	}
+	ctx := context.Background()
+	cl, err := client.FetchChunkList(ctx, "b1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Chunks) != 3 || cl.Version != 3 {
+		t.Fatalf("chunklist = %+v", cl)
+	}
+	got, err := client.FetchChunk(ctx, "b1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 1 || len(got.Frames) != len(chunks[1].Frames) {
+		t.Fatalf("chunk roundtrip mismatch: %+v", got.Seq)
+	}
+}
+
+func TestFetchNotFound(t *testing.T) {
+	_, client := startHLS(t)
+	ctx := context.Background()
+	if _, err := client.FetchChunkList(ctx, "missing", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("chunklist err = %v", err)
+	}
+	if _, err := client.FetchChunk(ctx, "missing", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("chunk err = %v", err)
+	}
+}
+
+func TestConditionalFetch(t *testing.T) {
+	store, client := startHLS(t)
+	store.add("b1", makeChunks(1)[0])
+	ctx := context.Background()
+	cl, err := client.FetchChunkList(ctx, "b1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.FetchChunkList(ctx, "b1", cl.Version); !errors.Is(err, ErrNotModified) {
+		t.Fatalf("conditional fetch err = %v, want ErrNotModified", err)
+	}
+	// A stale version still gets the full list.
+	if _, err := client.FetchChunkList(ctx, "b1", cl.Version+100); err != nil {
+		t.Fatalf("mismatched version fetch err = %v", err)
+	}
+}
+
+func TestHandlerRejectsBadRequests(t *testing.T) {
+	store := newMemStore()
+	srv := httptest.NewServer(Handler("/hls", store))
+	defer srv.Close()
+	cases := []struct {
+		method, path string
+		want         int
+	}{
+		{http.MethodPost, "/hls/b1/chunklist.m3u8", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/other/b1/chunklist.m3u8", http.StatusNotFound},
+		{http.MethodGet, "/hls/b1/chunk/notanumber", http.StatusBadRequest},
+		{http.MethodGet, "/hls/b1/bogus", http.StatusNotFound},
+		{http.MethodGet, "/hls/b1/chunk/1/extra", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		req, _ := http.NewRequest(tc.method, srv.URL+tc.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("%s %s = %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestPollReceivesChunksInOrder(t *testing.T) {
+	store, client := startHLS(t)
+	chunks := makeChunks(5)
+	store.add("b1", chunks[0])
+
+	var mu sync.Mutex
+	var seqs []uint64
+	done := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() {
+		done <- client.Poll(ctx, "b1", PollerConfig{
+			Interval: 10 * time.Millisecond,
+			OnChunk: func(ev ChunkEvent) {
+				mu.Lock()
+				seqs = append(seqs, ev.Ref.Seq)
+				mu.Unlock()
+				if ev.Chunk == nil {
+					t.Error("missing chunk data")
+				}
+				if ev.PolledAt.After(ev.ListFetchedAt) || ev.ListFetchedAt.After(ev.FetchedAt) {
+					t.Error("timestamps out of order")
+				}
+			},
+		})
+	}()
+
+	for _, c := range chunks[1:] {
+		time.Sleep(25 * time.Millisecond)
+		store.add("b1", c)
+	}
+	time.Sleep(25 * time.Millisecond)
+	store.end("b1")
+
+	if err := <-done; err != nil {
+		t.Fatalf("Poll returned %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seqs) != 5 {
+		t.Fatalf("observed %d chunks, want 5: %v", len(seqs), seqs)
+	}
+	for i, s := range seqs {
+		if s != uint64(i) {
+			t.Fatalf("chunks out of order: %v", seqs)
+		}
+	}
+}
+
+func TestPollEndCallback(t *testing.T) {
+	store, client := startHLS(t)
+	store.add("b1", makeChunks(1)[0])
+	store.end("b1")
+	ended := false
+	err := client.Poll(context.Background(), "b1", PollerConfig{
+		Interval: 5 * time.Millisecond,
+		ListOnly: true,
+		OnEnd:    func() { ended = true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ended {
+		t.Fatal("OnEnd not called")
+	}
+}
+
+func TestPollUnknownBroadcast(t *testing.T) {
+	_, client := startHLS(t)
+	err := client.Poll(context.Background(), "missing", PollerConfig{Interval: time.Millisecond})
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Poll err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestPollContextCancel(t *testing.T) {
+	store, client := startHLS(t)
+	store.add("b1", makeChunks(1)[0])
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	err := client.Poll(ctx, "b1", PollerConfig{Interval: 5 * time.Millisecond, ListOnly: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Poll err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPollListOnlySkipsDownloads(t *testing.T) {
+	store, client := startHLS(t)
+	store.add("b1", makeChunks(1)[0])
+	store.end("b1")
+	err := client.Poll(context.Background(), "b1", PollerConfig{
+		Interval: time.Millisecond,
+		ListOnly: true,
+		OnChunk: func(ev ChunkEvent) {
+			if ev.Chunk != nil {
+				t.Error("list-only poll downloaded a chunk")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

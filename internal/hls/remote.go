@@ -1,0 +1,24 @@
+package hls
+
+import (
+	"context"
+
+	"repro/internal/media"
+)
+
+// RemoteStore adapts a Client to the Store interface, letting an edge cache
+// pull from an origin (or a gateway edge) over real HTTP instead of
+// in-process calls — the deployment shape of the actual Wowza→Fastly path.
+type RemoteStore struct {
+	Client *Client
+}
+
+// ChunkList implements Store.
+func (r RemoteStore) ChunkList(ctx context.Context, broadcastID string) (*media.ChunkList, error) {
+	return r.Client.FetchChunkList(ctx, broadcastID, 0)
+}
+
+// Chunk implements Store.
+func (r RemoteStore) Chunk(ctx context.Context, broadcastID string, seq uint64) (*media.Chunk, error) {
+	return r.Client.FetchChunk(ctx, broadcastID, seq)
+}

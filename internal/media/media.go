@@ -1,0 +1,372 @@
+// Package media models the video data plane of the reproduction: 40 ms
+// frames carrying broadcaster-side capture timestamps in keyframe metadata
+// (the paper reads timestamp ① / ⑤ from exactly this metadata, §4.3), the
+// 3-second chunks HLS operates on, chunk lists, and a compact binary wire
+// codec used by the RTMP-like protocol.
+package media
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// FrameDuration is the length of one video frame (§4.1: ≈40 ms, 25 fps).
+const FrameDuration = 40 * time.Millisecond
+
+// DefaultChunkDuration is the chunk length the paper observed for >85.9% of
+// HLS broadcasts (§5.2): 3 s = 75 frames.
+const DefaultChunkDuration = 3 * time.Second
+
+// FramesPerChunk converts a chunk duration to a frame count.
+func FramesPerChunk(chunk time.Duration) int {
+	n := int(chunk / FrameDuration)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Frame is one unit of the RTMP data path.
+type Frame struct {
+	// Seq is the frame sequence number within its broadcast, from 0.
+	Seq uint64
+	// CapturedAt is the broadcaster-device capture timestamp. For
+	// keyframes it is embedded in metadata on the wire, mirroring how the
+	// paper extracted ① and ⑤; for delta frames it travels in the header
+	// of our protocol (a simplification that does not affect delay
+	// accounting, which only reads keyframe timestamps).
+	CapturedAt time.Time
+	// Keyframe marks an intra-coded frame.
+	Keyframe bool
+	// Payload is the (synthetic) encoded video data.
+	Payload []byte
+	// Sig optionally carries the §7.2 Ed25519 signature over the frame's
+	// unsigned wire bytes. It rides inside chunks so HLS viewers can
+	// verify integrity end-to-end, exactly as the paper's countermeasure
+	// proposes ("Wowza can securely forward the broadcaster's public key
+	// to each viewer, and they can verify the integrity of the stream").
+	Sig []byte
+}
+
+// UnsignedBytes returns the frame's wire form without its signature — the
+// exact bytes the §7.2 signature covers.
+func (f *Frame) UnsignedBytes() []byte {
+	cp := *f
+	cp.Sig = nil
+	return MarshalFrame(nil, &cp)
+}
+
+// Chunk is a group of consecutive frames — the HLS data unit.
+type Chunk struct {
+	// Seq is the chunk sequence number within its broadcast, from 0.
+	Seq uint64
+	// Frames are the member frames in order.
+	Frames []Frame
+}
+
+// Duration returns the play time covered by the chunk.
+func (c *Chunk) Duration() time.Duration {
+	return time.Duration(len(c.Frames)) * FrameDuration
+}
+
+// Size returns the total payload bytes in the chunk.
+func (c *Chunk) Size() int {
+	n := 0
+	for i := range c.Frames {
+		n += len(c.Frames[i].Payload)
+	}
+	return n
+}
+
+// FirstCapturedAt returns the capture time of the chunk's first frame, the
+// timestamp the paper uses for chunk-level delay (⑤).
+func (c *Chunk) FirstCapturedAt() time.Time {
+	if len(c.Frames) == 0 {
+		return time.Time{}
+	}
+	return c.Frames[0].CapturedAt
+}
+
+// Chunker assembles frames into fixed-duration chunks, the Wowza-side
+// process that creates HLS chunking delay (⑦−⑥ in Fig. 10).
+type Chunker struct {
+	perChunk int
+	next     uint64
+	pending  []Frame
+}
+
+// NewChunker returns a Chunker producing chunks of the given duration.
+// Zero means DefaultChunkDuration.
+func NewChunker(chunkDur time.Duration) *Chunker {
+	if chunkDur == 0 {
+		chunkDur = DefaultChunkDuration
+	}
+	return &Chunker{perChunk: FramesPerChunk(chunkDur)}
+}
+
+// Add appends a frame and returns a completed chunk when one fills, else
+// nil. The returned chunk owns its frame slice.
+func (ck *Chunker) Add(f Frame) *Chunk {
+	ck.pending = append(ck.pending, f)
+	if len(ck.pending) < ck.perChunk {
+		return nil
+	}
+	return ck.flush()
+}
+
+// Flush returns any partial chunk (e.g. at broadcast end), or nil.
+func (ck *Chunker) Flush() *Chunk {
+	if len(ck.pending) == 0 {
+		return nil
+	}
+	return ck.flush()
+}
+
+func (ck *Chunker) flush() *Chunk {
+	c := &Chunk{Seq: ck.next, Frames: ck.pending}
+	ck.next++
+	ck.pending = nil
+	return c
+}
+
+// FramesPerChunkCount exposes the configured chunk size in frames.
+func (ck *Chunker) FramesPerChunkCount() int { return ck.perChunk }
+
+// Encoder synthesizes a frame stream with a realistic size profile: a
+// configurable bitrate, periodic keyframes several times larger than delta
+// frames, and lognormal size variation.
+type Encoder struct {
+	seq         uint64
+	bytesPerFrm float64
+	keyInterval int
+	keyMultiple float64
+	sizeJitter  float64
+	src         *rng.Source
+	sinceKey    int
+}
+
+// EncoderConfig parameterizes an Encoder.
+type EncoderConfig struct {
+	// BitsPerSec is the target video bitrate (default 500 kbit/s, typical
+	// of 2015 mobile livestreams).
+	BitsPerSec float64
+	// KeyframeInterval is frames between keyframes (default 75 = one per
+	// 3 s chunk, which lets every chunk start with a keyframe).
+	KeyframeInterval int
+	// KeyframeMultiple is the size ratio keyframe:delta (default 6).
+	KeyframeMultiple float64
+	// SizeJitterSigma is lognormal sigma on frame size (default 0.2).
+	SizeJitterSigma float64
+}
+
+// NewEncoder builds an Encoder; zero config fields take defaults.
+func NewEncoder(cfg EncoderConfig, src *rng.Source) *Encoder {
+	if cfg.BitsPerSec == 0 {
+		cfg.BitsPerSec = 500_000
+	}
+	if cfg.KeyframeInterval == 0 {
+		cfg.KeyframeInterval = FramesPerChunk(DefaultChunkDuration)
+	}
+	if cfg.KeyframeMultiple == 0 {
+		cfg.KeyframeMultiple = 6
+	}
+	if cfg.SizeJitterSigma == 0 {
+		cfg.SizeJitterSigma = 0.2
+	}
+	fps := float64(time.Second / FrameDuration)
+	return &Encoder{
+		bytesPerFrm: cfg.BitsPerSec / 8 / fps,
+		keyInterval: cfg.KeyframeInterval,
+		keyMultiple: cfg.KeyframeMultiple,
+		sizeJitter:  cfg.SizeJitterSigma,
+		src:         src,
+	}
+}
+
+// Next produces the next frame with the given capture timestamp.
+func (e *Encoder) Next(capturedAt time.Time) Frame {
+	key := e.sinceKey == 0
+	e.sinceKey++
+	if e.sinceKey >= e.keyInterval {
+		e.sinceKey = 0
+	}
+	// Keep the average frame size at bytesPerFrm: deltas shrink to
+	// compensate for keyframe inflation.
+	k := float64(e.keyInterval)
+	deltaShare := k / (k - 1 + e.keyMultiple)
+	size := e.bytesPerFrm * deltaShare
+	if key {
+		size *= e.keyMultiple
+	}
+	size *= e.src.LogNormal(0, e.sizeJitter)
+	if size < 16 {
+		size = 16
+	}
+	f := Frame{
+		Seq:        e.seq,
+		CapturedAt: capturedAt,
+		Keyframe:   key,
+		Payload:    make([]byte, int(size)),
+	}
+	// Fill a recognizable pattern so tampering tests can detect rewrites.
+	for i := range f.Payload {
+		f.Payload[i] = byte(f.Seq + uint64(i))
+	}
+	e.seq++
+	return f
+}
+
+// --- Wire codec -----------------------------------------------------------
+
+// Frame wire layout (big-endian):
+//
+//	seq        uint64
+//	capturedAt int64 (UnixNano)
+//	flags      uint8 (bit0 = keyframe, bit1 = signed)
+//	payloadLen uint32
+//	payload    [payloadLen]byte
+//	sig        [64]byte (only when bit1 set)
+const frameHeaderSize = 8 + 8 + 1 + 4
+
+// FrameSigSize is the embedded Ed25519 signature length.
+const FrameSigSize = 64
+
+// MaxFramePayload bounds a decoded payload to keep a corrupted or malicious
+// length prefix from exhausting memory.
+const MaxFramePayload = 16 << 20
+
+// ErrFrameTooLarge is returned when a length prefix exceeds MaxFramePayload.
+var ErrFrameTooLarge = errors.New("media: frame payload exceeds limit")
+
+// MarshalFrame appends the wire form of f to dst and returns the result.
+// A frame with a 64-byte Sig is marshalled with the signed flag; any other
+// Sig length is ignored.
+func MarshalFrame(dst []byte, f *Frame) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint64(hdr[0:8], f.Seq)
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(f.CapturedAt.UnixNano()))
+	signed := len(f.Sig) == FrameSigSize
+	if f.Keyframe {
+		hdr[16] |= 1
+	}
+	if signed {
+		hdr[16] |= 2
+	}
+	binary.BigEndian.PutUint32(hdr[17:21], uint32(len(f.Payload)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, f.Payload...)
+	if signed {
+		dst = append(dst, f.Sig...)
+	}
+	return dst
+}
+
+// UnmarshalFrame parses one frame from data, returning the frame and the
+// number of bytes consumed.
+func UnmarshalFrame(data []byte) (Frame, int, error) {
+	if len(data) < frameHeaderSize {
+		return Frame{}, 0, fmt.Errorf("media: short frame header: %d bytes", len(data))
+	}
+	if data[16]&^3 != 0 {
+		return Frame{}, 0, fmt.Errorf("media: unknown frame flags %#x", data[16])
+	}
+	plen := binary.BigEndian.Uint32(data[17:21])
+	if plen > MaxFramePayload {
+		return Frame{}, 0, ErrFrameTooLarge
+	}
+	total := frameHeaderSize + int(plen)
+	signed := data[16]&2 != 0
+	if signed {
+		total += FrameSigSize
+	}
+	if len(data) < total {
+		return Frame{}, 0, fmt.Errorf("media: short frame payload: have %d want %d", len(data), total)
+	}
+	f := Frame{
+		Seq:        binary.BigEndian.Uint64(data[0:8]),
+		CapturedAt: time.Unix(0, int64(binary.BigEndian.Uint64(data[8:16]))).UTC(),
+		Keyframe:   data[16]&1 != 0,
+		Payload:    append([]byte(nil), data[frameHeaderSize:frameHeaderSize+int(plen)]...),
+	}
+	if signed {
+		f.Sig = append([]byte(nil), data[frameHeaderSize+int(plen):total]...)
+	}
+	return f, total, nil
+}
+
+// WriteFrame writes f to w in wire form.
+func WriteFrame(w io.Writer, f *Frame) error {
+	buf := MarshalFrame(nil, f)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame from r.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	if hdr[16]&^3 != 0 {
+		return Frame{}, fmt.Errorf("media: unknown frame flags %#x", hdr[16])
+	}
+	plen := binary.BigEndian.Uint32(hdr[17:21])
+	if plen > MaxFramePayload {
+		return Frame{}, ErrFrameTooLarge
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Frame{}, fmt.Errorf("media: reading payload: %w", err)
+	}
+	f := Frame{
+		Seq:        binary.BigEndian.Uint64(hdr[0:8]),
+		CapturedAt: time.Unix(0, int64(binary.BigEndian.Uint64(hdr[8:16]))).UTC(),
+		Keyframe:   hdr[16]&1 != 0,
+		Payload:    payload,
+	}
+	if hdr[16]&2 != 0 {
+		f.Sig = make([]byte, FrameSigSize)
+		if _, err := io.ReadFull(r, f.Sig); err != nil {
+			return Frame{}, fmt.Errorf("media: reading signature: %w", err)
+		}
+	}
+	return f, nil
+}
+
+// MarshalChunk encodes a chunk: seq, frame count, then each frame.
+func MarshalChunk(c *Chunk) []byte {
+	buf := make([]byte, 12, 12+c.Size()+len(c.Frames)*frameHeaderSize)
+	binary.BigEndian.PutUint64(buf[0:8], c.Seq)
+	binary.BigEndian.PutUint32(buf[8:12], uint32(len(c.Frames)))
+	for i := range c.Frames {
+		buf = MarshalFrame(buf, &c.Frames[i])
+	}
+	return buf
+}
+
+// UnmarshalChunk decodes a chunk produced by MarshalChunk.
+func UnmarshalChunk(data []byte) (*Chunk, error) {
+	if len(data) < 12 {
+		return nil, fmt.Errorf("media: short chunk header: %d bytes", len(data))
+	}
+	c := &Chunk{Seq: binary.BigEndian.Uint64(data[0:8])}
+	n := binary.BigEndian.Uint32(data[8:12])
+	if n > 1<<20 {
+		return nil, fmt.Errorf("media: implausible frame count %d", n)
+	}
+	off := 12
+	for i := uint32(0); i < n; i++ {
+		f, used, err := UnmarshalFrame(data[off:])
+		if err != nil {
+			return nil, fmt.Errorf("media: frame %d: %w", i, err)
+		}
+		c.Frames = append(c.Frames, f)
+		off += used
+	}
+	return c, nil
+}

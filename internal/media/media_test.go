@@ -1,0 +1,219 @@
+package media
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func TestFramesPerChunk(t *testing.T) {
+	if n := FramesPerChunk(3 * time.Second); n != 75 {
+		t.Fatalf("3s chunk = %d frames, want 75 (paper §5.2)", n)
+	}
+	if n := FramesPerChunk(0); n != 1 {
+		t.Fatalf("zero duration should clamp to 1, got %d", n)
+	}
+}
+
+func TestChunkerFillsAt75(t *testing.T) {
+	ck := NewChunker(0)
+	base := time.Unix(1000, 0)
+	var chunks []*Chunk
+	for i := 0; i < 200; i++ {
+		f := Frame{Seq: uint64(i), CapturedAt: base.Add(time.Duration(i) * FrameDuration)}
+		if c := ck.Add(f); c != nil {
+			chunks = append(chunks, c)
+		}
+	}
+	if len(chunks) != 2 {
+		t.Fatalf("got %d chunks from 200 frames, want 2", len(chunks))
+	}
+	if chunks[0].Seq != 0 || chunks[1].Seq != 1 {
+		t.Fatalf("chunk seqs = %d, %d", chunks[0].Seq, chunks[1].Seq)
+	}
+	if len(chunks[0].Frames) != 75 {
+		t.Fatalf("chunk has %d frames", len(chunks[0].Frames))
+	}
+	if d := chunks[0].Duration(); d != 3*time.Second {
+		t.Fatalf("chunk duration = %v", d)
+	}
+	if got := chunks[0].FirstCapturedAt(); !got.Equal(base) {
+		t.Fatalf("first capture = %v", got)
+	}
+	rem := ck.Flush()
+	if rem == nil || len(rem.Frames) != 50 || rem.Seq != 2 {
+		t.Fatalf("flush = %+v", rem)
+	}
+	if ck.Flush() != nil {
+		t.Fatal("double flush returned a chunk")
+	}
+}
+
+func TestChunkerCustomDuration(t *testing.T) {
+	ck := NewChunker(1 * time.Second)
+	if ck.FramesPerChunkCount() != 25 {
+		t.Fatalf("1s chunker = %d frames", ck.FramesPerChunkCount())
+	}
+}
+
+func TestEncoderBitrate(t *testing.T) {
+	e := NewEncoder(EncoderConfig{BitsPerSec: 500_000}, rng.New(1))
+	var total int
+	const n = 750 // 30 s of video
+	now := time.Unix(0, 0)
+	keyframes := 0
+	for i := 0; i < n; i++ {
+		f := e.Next(now.Add(time.Duration(i) * FrameDuration))
+		if f.Seq != uint64(i) {
+			t.Fatalf("seq = %d, want %d", f.Seq, i)
+		}
+		total += len(f.Payload)
+		if f.Keyframe {
+			keyframes++
+		}
+	}
+	bps := float64(total) * 8 / 30
+	if bps < 350_000 || bps > 700_000 {
+		t.Fatalf("effective bitrate = %v, want ≈500k", bps)
+	}
+	if keyframes != 10 {
+		t.Fatalf("keyframes = %d in 750 frames, want 10", keyframes)
+	}
+}
+
+func TestEncoderKeyframesLarger(t *testing.T) {
+	e := NewEncoder(EncoderConfig{}, rng.New(2))
+	now := time.Unix(0, 0)
+	var keySum, deltaSum, keyN, deltaN float64
+	for i := 0; i < 1500; i++ {
+		f := e.Next(now)
+		if f.Keyframe {
+			keySum += float64(len(f.Payload))
+			keyN++
+		} else {
+			deltaSum += float64(len(f.Payload))
+			deltaN++
+		}
+	}
+	if keySum/keyN < 3*(deltaSum/deltaN) {
+		t.Fatalf("keyframes not materially larger: key=%v delta=%v", keySum/keyN, deltaSum/deltaN)
+	}
+}
+
+func TestFrameRoundtrip(t *testing.T) {
+	f := Frame{
+		Seq:        42,
+		CapturedAt: time.Unix(12345, 67890).UTC(),
+		Keyframe:   true,
+		Payload:    []byte{1, 2, 3, 4, 5},
+	}
+	buf := MarshalFrame(nil, &f)
+	got, used, err := UnmarshalFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != len(buf) {
+		t.Fatalf("used %d of %d bytes", used, len(buf))
+	}
+	if got.Seq != f.Seq || !got.CapturedAt.Equal(f.CapturedAt) ||
+		got.Keyframe != f.Keyframe || !bytes.Equal(got.Payload, f.Payload) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, f)
+	}
+}
+
+func TestFrameStreamRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(EncoderConfig{}, rng.New(3))
+	now := time.Unix(500, 0).UTC()
+	var sent []Frame
+	for i := 0; i < 10; i++ {
+		f := e.Next(now.Add(time.Duration(i) * FrameDuration))
+		sent = append(sent, f)
+		if err := WriteFrame(&buf, &f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Seq != sent[i].Seq || !bytes.Equal(got.Payload, sent[i].Payload) {
+			t.Fatalf("frame %d mismatch", i)
+		}
+	}
+}
+
+func TestUnmarshalFrameErrors(t *testing.T) {
+	if _, _, err := UnmarshalFrame([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short header accepted")
+	}
+	f := Frame{Payload: []byte{1}}
+	buf := MarshalFrame(nil, &f)
+	if _, _, err := UnmarshalFrame(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	// Oversized length prefix must be rejected, not allocated.
+	bad := MarshalFrame(nil, &Frame{})
+	bad[17], bad[18], bad[19], bad[20] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, _, err := UnmarshalFrame(bad); err != ErrFrameTooLarge {
+		t.Fatalf("oversized frame error = %v", err)
+	}
+}
+
+func TestChunkRoundtrip(t *testing.T) {
+	e := NewEncoder(EncoderConfig{}, rng.New(4))
+	ck := NewChunker(1 * time.Second)
+	now := time.Unix(0, 0).UTC()
+	var chunk *Chunk
+	for i := 0; chunk == nil; i++ {
+		chunk = ck.Add(e.Next(now.Add(time.Duration(i) * FrameDuration)))
+	}
+	data := MarshalChunk(chunk)
+	got, err := UnmarshalChunk(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != chunk.Seq || len(got.Frames) != len(chunk.Frames) {
+		t.Fatalf("chunk roundtrip: %d frames vs %d", len(got.Frames), len(chunk.Frames))
+	}
+	for i := range got.Frames {
+		if !bytes.Equal(got.Frames[i].Payload, chunk.Frames[i].Payload) {
+			t.Fatalf("frame %d payload mismatch", i)
+		}
+	}
+	if got.Size() != chunk.Size() {
+		t.Fatal("size mismatch after roundtrip")
+	}
+}
+
+func TestUnmarshalChunkErrors(t *testing.T) {
+	if _, err := UnmarshalChunk([]byte{1}); err == nil {
+		t.Fatal("short chunk accepted")
+	}
+	bad := make([]byte, 12)
+	bad[8], bad[9], bad[10], bad[11] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := UnmarshalChunk(bad); err == nil {
+		t.Fatal("implausible frame count accepted")
+	}
+}
+
+// Property: frame marshal/unmarshal is a lossless roundtrip.
+func TestFrameRoundtripProperty(t *testing.T) {
+	f := func(seq uint64, nanos int64, key bool, payload []byte) bool {
+		in := Frame{Seq: seq, CapturedAt: time.Unix(0, nanos).UTC(), Keyframe: key, Payload: payload}
+		buf := MarshalFrame(nil, &in)
+		out, used, err := UnmarshalFrame(buf)
+		if err != nil || used != len(buf) {
+			return false
+		}
+		return out.Seq == in.Seq && out.CapturedAt.Equal(in.CapturedAt) &&
+			out.Keyframe == in.Keyframe && bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package media
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ChunkRef is one entry in a chunk list: enough for a viewer to decide
+// whether the chunk is new and to fetch it.
+type ChunkRef struct {
+	Seq      uint64
+	Duration time.Duration
+	URI      string
+}
+
+// ChunkList is the HLS playlist analog: the rolling window of recent chunks
+// a viewer polls for (§4.1). Version increments on every update so edges can
+// detect staleness.
+type ChunkList struct {
+	BroadcastID string
+	Version     uint64
+	// Ended marks the broadcast as finished (HLS endlist).
+	Ended  bool
+	Chunks []ChunkRef
+}
+
+// WindowSize is how many trailing chunks a list advertises, as live HLS
+// playlists do.
+const WindowSize = 6
+
+// Append adds a chunk reference, trimming to WindowSize, and bumps Version.
+func (cl *ChunkList) Append(ref ChunkRef) {
+	cl.Chunks = append(cl.Chunks, ref)
+	if len(cl.Chunks) > WindowSize {
+		cl.Chunks = cl.Chunks[len(cl.Chunks)-WindowSize:]
+	}
+	cl.Version++
+}
+
+// Latest returns the newest chunk reference and whether one exists.
+func (cl *ChunkList) Latest() (ChunkRef, bool) {
+	if len(cl.Chunks) == 0 {
+		return ChunkRef{}, false
+	}
+	return cl.Chunks[len(cl.Chunks)-1], true
+}
+
+// NewerThan returns the refs with Seq strictly greater than seq.
+func (cl *ChunkList) NewerThan(seq uint64) []ChunkRef {
+	var out []ChunkRef
+	for _, r := range cl.Chunks {
+		if r.Seq > seq {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy safe to hand across goroutines.
+func (cl *ChunkList) Clone() *ChunkList {
+	cp := *cl
+	cp.Chunks = append([]ChunkRef(nil), cl.Chunks...)
+	return &cp
+}
+
+// Marshal renders the list in an m3u8-like text format:
+//
+//	#EXTM3U
+//	#X-BROADCAST:<id>
+//	#X-VERSION:<n>
+//	#EXTINF:<seconds>,<seq>
+//	<uri>
+//	...
+//	#EXT-X-ENDLIST          (only when ended)
+func (cl *ChunkList) Marshal() []byte {
+	var b strings.Builder
+	b.WriteString("#EXTM3U\n")
+	fmt.Fprintf(&b, "#X-BROADCAST:%s\n", cl.BroadcastID)
+	fmt.Fprintf(&b, "#X-VERSION:%d\n", cl.Version)
+	for _, c := range cl.Chunks {
+		fmt.Fprintf(&b, "#EXTINF:%.3f,%d\n%s\n", c.Duration.Seconds(), c.Seq, c.URI)
+	}
+	if cl.Ended {
+		b.WriteString("#EXT-X-ENDLIST\n")
+	}
+	return []byte(b.String())
+}
+
+// ParseChunkList parses the Marshal format.
+func ParseChunkList(data []byte) (*ChunkList, error) {
+	lines := strings.Split(string(data), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != "#EXTM3U" {
+		return nil, fmt.Errorf("media: missing #EXTM3U header")
+	}
+	cl := &ChunkList{}
+	var pending *ChunkRef
+	for _, raw := range lines[1:] {
+		line := strings.TrimSpace(raw)
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "#X-BROADCAST:"):
+			cl.BroadcastID = strings.TrimPrefix(line, "#X-BROADCAST:")
+		case strings.HasPrefix(line, "#X-VERSION:"):
+			v, err := strconv.ParseUint(strings.TrimPrefix(line, "#X-VERSION:"), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("media: bad version: %w", err)
+			}
+			cl.Version = v
+		case strings.HasPrefix(line, "#EXTINF:"):
+			body := strings.TrimPrefix(line, "#EXTINF:")
+			parts := strings.SplitN(body, ",", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("media: bad EXTINF %q", line)
+			}
+			secs, err := strconv.ParseFloat(parts[0], 64)
+			if err != nil {
+				return nil, fmt.Errorf("media: bad EXTINF duration: %w", err)
+			}
+			seq, err := strconv.ParseUint(parts[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("media: bad EXTINF seq: %w", err)
+			}
+			pending = &ChunkRef{Seq: seq, Duration: time.Duration(secs * float64(time.Second))}
+		case line == "#EXT-X-ENDLIST":
+			cl.Ended = true
+		case strings.HasPrefix(line, "#"):
+			// Unknown tag: ignore for forward compatibility.
+		default:
+			if pending == nil {
+				return nil, fmt.Errorf("media: URI %q without EXTINF", line)
+			}
+			pending.URI = line
+			cl.Chunks = append(cl.Chunks, *pending)
+			pending = nil
+		}
+	}
+	if pending != nil {
+		return nil, fmt.Errorf("media: EXTINF without URI")
+	}
+	return cl, nil
+}

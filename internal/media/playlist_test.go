@@ -1,0 +1,143 @@
+package media
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestChunkListAppendWindow(t *testing.T) {
+	cl := &ChunkList{BroadcastID: "b1"}
+	for i := 0; i < 10; i++ {
+		cl.Append(ChunkRef{Seq: uint64(i), Duration: 3 * time.Second, URI: "chunk"})
+	}
+	if len(cl.Chunks) != WindowSize {
+		t.Fatalf("window = %d, want %d", len(cl.Chunks), WindowSize)
+	}
+	if cl.Chunks[0].Seq != 4 || cl.Chunks[len(cl.Chunks)-1].Seq != 9 {
+		t.Fatalf("window contents wrong: %+v", cl.Chunks)
+	}
+	if cl.Version != 10 {
+		t.Fatalf("version = %d, want 10", cl.Version)
+	}
+}
+
+func TestChunkListLatest(t *testing.T) {
+	cl := &ChunkList{}
+	if _, ok := cl.Latest(); ok {
+		t.Fatal("empty list reported a latest chunk")
+	}
+	cl.Append(ChunkRef{Seq: 7})
+	ref, ok := cl.Latest()
+	if !ok || ref.Seq != 7 {
+		t.Fatalf("Latest = %+v, %v", ref, ok)
+	}
+}
+
+func TestChunkListNewerThan(t *testing.T) {
+	cl := &ChunkList{}
+	for i := 0; i < 5; i++ {
+		cl.Append(ChunkRef{Seq: uint64(i)})
+	}
+	newer := cl.NewerThan(2)
+	if len(newer) != 2 || newer[0].Seq != 3 || newer[1].Seq != 4 {
+		t.Fatalf("NewerThan(2) = %+v", newer)
+	}
+	if got := cl.NewerThan(100); len(got) != 0 {
+		t.Fatalf("NewerThan(100) = %+v", got)
+	}
+}
+
+func TestChunkListCloneIsDeep(t *testing.T) {
+	cl := &ChunkList{BroadcastID: "b"}
+	cl.Append(ChunkRef{Seq: 1})
+	cp := cl.Clone()
+	cl.Append(ChunkRef{Seq: 2})
+	if len(cp.Chunks) != 1 {
+		t.Fatal("clone shares backing storage with original")
+	}
+}
+
+func TestChunkListMarshalRoundtrip(t *testing.T) {
+	cl := &ChunkList{BroadcastID: "bcast-123", Version: 42, Ended: true}
+	cl.Chunks = []ChunkRef{
+		{Seq: 10, Duration: 3 * time.Second, URI: "/hls/bcast-123/chunk/10"},
+		{Seq: 11, Duration: 2800 * time.Millisecond, URI: "/hls/bcast-123/chunk/11"},
+	}
+	got, err := ParseChunkList(cl.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BroadcastID != cl.BroadcastID || got.Version != cl.Version || !got.Ended {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Chunks) != 2 {
+		t.Fatalf("chunks = %d", len(got.Chunks))
+	}
+	for i := range got.Chunks {
+		if got.Chunks[i].Seq != cl.Chunks[i].Seq ||
+			got.Chunks[i].URI != cl.Chunks[i].URI ||
+			got.Chunks[i].Duration != cl.Chunks[i].Duration {
+			t.Fatalf("chunk %d mismatch: %+v vs %+v", i, got.Chunks[i], cl.Chunks[i])
+		}
+	}
+}
+
+func TestParseChunkListErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not a playlist",
+		"#EXTM3U\n#X-VERSION:abc\n",
+		"#EXTM3U\n#EXTINF:bad\nuri\n",
+		"#EXTM3U\n#EXTINF:1.0,notanum\nuri\n",
+		"#EXTM3U\nuri-without-extinf\n",
+		"#EXTM3U\n#EXTINF:1.0,5\n",
+	}
+	for _, in := range cases {
+		if _, err := ParseChunkList([]byte(in)); err == nil {
+			t.Fatalf("ParseChunkList(%q) accepted invalid input", in)
+		}
+	}
+}
+
+func TestParseChunkListIgnoresUnknownTags(t *testing.T) {
+	in := "#EXTM3U\n#X-BROADCAST:b\n#EXT-X-FUTURE-TAG:yes\n#EXTINF:3.000,0\nuri\n"
+	cl, err := ParseChunkList([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Chunks) != 1 {
+		t.Fatalf("chunks = %d", len(cl.Chunks))
+	}
+}
+
+// Property: any list built through Append survives a marshal/parse roundtrip.
+func TestChunkListRoundtripProperty(t *testing.T) {
+	f := func(seqs []uint16, ended bool) bool {
+		cl := &ChunkList{BroadcastID: "prop", Ended: ended}
+		for i, s := range seqs {
+			cl.Append(ChunkRef{
+				Seq:      uint64(s),
+				Duration: time.Duration(i%5+1) * time.Second,
+				URI:      "chunk-" + strings.Repeat("x", i%3+1),
+			})
+		}
+		got, err := ParseChunkList(cl.Marshal())
+		if err != nil {
+			return false
+		}
+		if got.Version != cl.Version || got.Ended != cl.Ended || len(got.Chunks) != len(cl.Chunks) {
+			return false
+		}
+		for i := range got.Chunks {
+			if got.Chunks[i] != cl.Chunks[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+// Package netsim models wide-area network latency for the reproduction. The
+// paper measured a planet-scale deployment; we replace the physical WAN with
+// a distance-based delay model: great-circle propagation at fiber speed with
+// route inflation, lognormal queueing jitter, bandwidth-dependent
+// serialization, and last-mile access profiles (§4.3's "stable WiFi" setup
+// and its degraded variants).
+//
+// All randomness comes from an explicit rng.Source, so delays are
+// reproducible under a seed in virtual-time experiments. In real-socket mode
+// the same model produces the sleep durations injected on loopback.
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+// Params configures the WAN model. NewModel applies defaults for zero fields.
+type Params struct {
+	// FiberKmPerMs is signal speed in fiber (~200 km/ms = 2/3 c).
+	FiberKmPerMs float64
+	// RouteInflation scales great-circle distance to realistic routed
+	// path length (typically 1.5–2.0 on the public Internet).
+	RouteInflation float64
+	// JitterSigma is the sigma of the lognormal multiplicative jitter on
+	// one-way delay.
+	JitterSigma float64
+	// ProcessingDelay is fixed per-hop server processing time.
+	ProcessingDelay time.Duration
+	// BackboneBytesPerSec is the inter-datacenter transfer bandwidth.
+	BackboneBytesPerSec float64
+}
+
+// DefaultParams returns the calibrated model used by the experiments.
+func DefaultParams() Params {
+	return Params{
+		FiberKmPerMs:        200,
+		RouteInflation:      1.7,
+		JitterSigma:         0.25,
+		ProcessingDelay:     2 * time.Millisecond,
+		BackboneBytesPerSec: 50e6, // 400 Mbit/s effective DC-to-DC
+	}
+}
+
+// Model produces WAN delays. Not safe for concurrent use; Split the
+// underlying source per goroutine.
+type Model struct {
+	p   Params
+	src *rng.Source
+}
+
+// NewModel builds a Model, filling zero Params fields with defaults.
+func NewModel(p Params, src *rng.Source) *Model {
+	d := DefaultParams()
+	if p.FiberKmPerMs == 0 {
+		p.FiberKmPerMs = d.FiberKmPerMs
+	}
+	if p.RouteInflation == 0 {
+		p.RouteInflation = d.RouteInflation
+	}
+	if p.JitterSigma == 0 {
+		p.JitterSigma = d.JitterSigma
+	}
+	if p.ProcessingDelay == 0 {
+		p.ProcessingDelay = d.ProcessingDelay
+	}
+	if p.BackboneBytesPerSec == 0 {
+		p.BackboneBytesPerSec = d.BackboneBytesPerSec
+	}
+	return &Model{p: p, src: src}
+}
+
+// Propagation returns the deterministic one-way propagation delay between
+// two locations (no jitter): routed distance over fiber speed plus
+// processing.
+func (m *Model) Propagation(a, b geo.Location) time.Duration {
+	km := geo.DistanceKm(a, b) * m.p.RouteInflation
+	ms := km / m.p.FiberKmPerMs
+	return time.Duration(ms*float64(time.Millisecond)) + m.p.ProcessingDelay
+}
+
+// OneWay returns a jittered one-way delay between two locations.
+func (m *Model) OneWay(a, b geo.Location) time.Duration {
+	base := m.Propagation(a, b)
+	mult := m.src.LogNormal(0, m.p.JitterSigma)
+	return time.Duration(float64(base) * mult)
+}
+
+// RTT returns a jittered round-trip time.
+func (m *Model) RTT(a, b geo.Location) time.Duration {
+	return m.OneWay(a, b) + m.OneWay(b, a)
+}
+
+// Transfer returns the time to move size bytes from a to b over the
+// backbone: one jittered one-way delay plus serialization at backbone
+// bandwidth. Callers add handshake RTTs explicitly where protocols need
+// them.
+func (m *Model) Transfer(a, b geo.Location, size int) time.Duration {
+	ser := time.Duration(float64(size) / m.p.BackboneBytesPerSec * float64(time.Second))
+	return m.OneWay(a, b) + ser
+}
+
+// AccessProfile models the viewer or broadcaster last-mile link (§4.3 used
+// stable WiFi; we also provide LTE and congested profiles for robustness
+// experiments).
+type AccessProfile struct {
+	Name string
+	// Base is the median one-way last-mile latency.
+	Base time.Duration
+	// JitterSigma is lognormal sigma on the base.
+	JitterSigma float64
+	// LossBurstProb is the chance a given packet hits a delay burst
+	// (retransmission / deep queue), adding BurstPenalty.
+	LossBurstProb float64
+	BurstPenalty  time.Duration
+	// BytesPerSec is last-mile bandwidth.
+	BytesPerSec float64
+}
+
+// The canonical access profiles.
+var (
+	WiFi = AccessProfile{
+		Name: "wifi", Base: 8 * time.Millisecond, JitterSigma: 0.3,
+		LossBurstProb: 0.002, BurstPenalty: 80 * time.Millisecond,
+		BytesPerSec: 4e6,
+	}
+	LTE = AccessProfile{
+		Name: "lte", Base: 45 * time.Millisecond, JitterSigma: 0.45,
+		LossBurstProb: 0.01, BurstPenalty: 200 * time.Millisecond,
+		BytesPerSec: 1.5e6,
+	}
+	Congested = AccessProfile{
+		Name: "congested", Base: 90 * time.Millisecond, JitterSigma: 0.7,
+		LossBurstProb: 0.05, BurstPenalty: 600 * time.Millisecond,
+		BytesPerSec: 400e3,
+	}
+)
+
+// LastMile returns a jittered last-mile delay for a payload of size bytes
+// under profile p.
+func (m *Model) LastMile(p AccessProfile, size int) time.Duration {
+	d := time.Duration(float64(p.Base) * m.src.LogNormal(0, p.JitterSigma))
+	if p.BytesPerSec > 0 {
+		d += time.Duration(float64(size) / p.BytesPerSec * float64(time.Second))
+	}
+	if m.src.Bool(p.LossBurstProb) {
+		d += time.Duration(float64(p.BurstPenalty) * m.src.LogNormal(0, 0.3))
+	}
+	return d
+}
+
+// UploadPattern models broadcaster frame-release behaviour. The paper found
+// ~10% of broadcasts suffer bursty uploading that produces >5 s buffering
+// tails (Fig. 16b); Bursty reproduces that by holding frames and releasing
+// them in clumps.
+type UploadPattern struct {
+	// BurstProb is the chance a broadcast is a bursty uploader.
+	BurstProb float64
+	// BurstHold is the mean time a bursty uploader accumulates frames
+	// before flushing them at once.
+	BurstHold time.Duration
+}
+
+// DefaultUploadPattern matches the Fig. 16 tail: ~10% bursty broadcasters.
+func DefaultUploadPattern() UploadPattern {
+	return UploadPattern{BurstProb: 0.10, BurstHold: 3 * time.Second}
+}
+
+// IsBursty draws whether a broadcast follows the bursty pattern.
+func (m *Model) IsBursty(p UploadPattern) bool { return m.src.Bool(p.BurstProb) }
+
+// BurstHold draws the accumulate-then-flush interval for a bursty uploader.
+func (m *Model) BurstHold(p UploadPattern) time.Duration {
+	return time.Duration(m.src.Exp(float64(p.BurstHold)))
+}

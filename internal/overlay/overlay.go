@@ -1,0 +1,208 @@
+// Package overlay implements the alternative delivery architecture the
+// paper sketches in §8: a receiver-driven overlay multicast tree (in the
+// spirit of Scribe and Akamai's streaming CDN) layered over geographically
+// clustered forwarding servers. A viewer's join request travels from its
+// local leaf server up the hierarchy, installing a reverse forwarding path;
+// once built, video frames flow down the tree with no per-viewer state at
+// the origin and no periodic polling — the paper's proposed escape from the
+// RTMP-cost vs HLS-delay dilemma.
+//
+// The tree here is three-tiered: origin root → one hub per continent →
+// leaf servers (the edge sites) → viewers.
+package overlay
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/netsim"
+)
+
+// Node is one forwarding server in the tree.
+type Node struct {
+	Site   geo.Datacenter
+	Parent *Node
+
+	mu       sync.Mutex
+	children map[*Node]int // child → active subscriptions through it
+	viewers  int           // viewers attached directly to this node
+}
+
+func newNode(site geo.Datacenter, parent *Node) *Node {
+	return &Node{Site: site, Parent: parent, children: make(map[*Node]int)}
+}
+
+// ActiveChildren returns how many children currently need a copy of each
+// frame.
+func (n *Node) ActiveChildren() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.children)
+}
+
+// Viewers returns directly attached viewer count.
+func (n *Node) Viewers() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.viewers
+}
+
+// Tree is one broadcast's multicast tree.
+type Tree struct {
+	Root   *Node
+	Hubs   []*Node
+	Leaves []*Node
+}
+
+// Build constructs the hierarchy for an origin over the given leaf sites:
+// one hub per continent (the leaf nearest that continent's sites' mean
+// position), every leaf parented to its continent's hub, hubs parented to
+// the root. Continents without leaves fall back to the root directly.
+func Build(origin geo.Datacenter, leafSites []geo.Datacenter) *Tree {
+	t := &Tree{Root: newNode(origin, nil)}
+	byContinent := map[string][]geo.Datacenter{}
+	for _, s := range leafSites {
+		byContinent[s.Location.Continent] = append(byContinent[s.Location.Continent], s)
+	}
+	for _, sites := range byContinent {
+		centroid := geo.Location{}
+		for _, s := range sites {
+			centroid.Lat += s.Location.Lat / float64(len(sites))
+			centroid.Lon += s.Location.Lon / float64(len(sites))
+		}
+		hubSite := geo.Nearest(centroid, sites)
+		hub := newNode(hubSite, t.Root)
+		t.Hubs = append(t.Hubs, hub)
+		for _, s := range sites {
+			if s.ID == hubSite.ID {
+				// The hub doubles as its own leaf.
+				t.Leaves = append(t.Leaves, hub)
+				continue
+			}
+			leaf := newNode(s, hub)
+			t.Leaves = append(t.Leaves, leaf)
+		}
+	}
+	return t
+}
+
+// Path is one viewer's installed reverse forwarding path.
+type Path struct {
+	Leaf  *Node
+	nodes []*Node // leaf → … → root
+}
+
+// Hops returns the server-to-server hop count from root to leaf.
+func (p *Path) Hops() int { return len(p.nodes) - 1 }
+
+// Join attaches a viewer at loc: the request enters the nearest leaf and
+// propagates rootward, installing forwarding state on each hop that lacks
+// it (§8: "setting up a reverse forwarding path in the process").
+func (t *Tree) Join(loc geo.Location) *Path {
+	leaf := t.Leaves[0]
+	best := geo.DistanceKm(loc, leaf.Site.Location)
+	for _, l := range t.Leaves[1:] {
+		if d := geo.DistanceKm(loc, l.Site.Location); d < best {
+			leaf, best = l, d
+		}
+	}
+	p := &Path{Leaf: leaf}
+	leaf.mu.Lock()
+	leaf.viewers++
+	leaf.mu.Unlock()
+	for n := leaf; n != nil; n = n.Parent {
+		p.nodes = append(p.nodes, n)
+		if n.Parent != nil {
+			n.Parent.mu.Lock()
+			n.Parent.children[n]++
+			n.Parent.mu.Unlock()
+		}
+	}
+	return p
+}
+
+// Leave removes a viewer, pruning forwarding state that no longer carries
+// subscribers.
+func (t *Tree) Leave(p *Path) {
+	p.Leaf.mu.Lock()
+	if p.Leaf.viewers > 0 {
+		p.Leaf.viewers--
+	}
+	p.Leaf.mu.Unlock()
+	for _, n := range p.nodes {
+		if n.Parent == nil {
+			continue
+		}
+		n.Parent.mu.Lock()
+		n.Parent.children[n]--
+		if n.Parent.children[n] <= 0 {
+			delete(n.Parent.children, n)
+		}
+		n.Parent.mu.Unlock()
+	}
+}
+
+// DeliveryDelay returns one frame's root→viewer latency along a path: the
+// sum of jittered one-way hops plus the viewer's last mile. No chunking, no
+// polling — the structural win over HLS.
+func (t *Tree) DeliveryDelay(p *Path, viewerLoc geo.Location, lastMile netsim.AccessProfile, frameBytes int, model *netsim.Model) time.Duration {
+	var d time.Duration
+	// nodes is leaf→root; frames travel root→leaf, same hop set.
+	for i := len(p.nodes) - 1; i > 0; i-- {
+		d += model.OneWay(p.nodes[i].Site.Location, p.nodes[i-1].Site.Location)
+	}
+	d += model.OneWay(p.Leaf.Site.Location, viewerLoc)
+	d += model.LastMile(lastMile, frameBytes)
+	return d
+}
+
+// OriginFanout is how many copies of each frame the origin must send — the
+// per-frame cost that replaces RTMP's per-viewer fan-out.
+func (t *Tree) OriginFanout() int { return t.Root.ActiveChildren() }
+
+// TotalForwards is the per-frame message count across the whole tree
+// (every active parent→child edge plus every leaf→viewer delivery).
+func (t *Tree) TotalForwards() int {
+	total := 0
+	var walk func(n *Node)
+	var mu sync.Mutex
+	walk = func(n *Node) {
+		n.mu.Lock()
+		children := make([]*Node, 0, len(n.children))
+		for c := range n.children {
+			children = append(children, c)
+		}
+		viewers := n.viewers
+		n.mu.Unlock()
+		mu.Lock()
+		total += len(children) + viewers
+		mu.Unlock()
+		for _, c := range children {
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return total
+}
+
+// Validate checks structural invariants; it returns an error describing the
+// first violation (used by property tests).
+func (t *Tree) Validate() error {
+	for _, hub := range t.Hubs {
+		if hub.Parent != t.Root {
+			return fmt.Errorf("overlay: hub %s not parented to root", hub.Site.ID)
+		}
+	}
+	for _, leaf := range t.Leaves {
+		n := leaf
+		for n.Parent != nil {
+			n = n.Parent
+		}
+		if n != t.Root {
+			return fmt.Errorf("overlay: leaf %s not rooted", leaf.Site.ID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package overlay
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+)
+
+// Property: after any sequence of joins and leaves, (a) origin fan-out never
+// exceeds the hub count, (b) total forwards equals active tree edges plus
+// attached viewers, and (c) leaving everyone returns the tree to zero state.
+func TestJoinLeaveInvariantsProperty(t *testing.T) {
+	cities := geo.CityCatalog()
+	f := func(joinIdx []uint8, leaveOrder []uint8) bool {
+		tr := Build(geo.WowzaSites()[0], geo.FastlySites())
+		var paths []*Path
+		for _, j := range joinIdx {
+			p := tr.Join(cities[int(j)%len(cities)])
+			paths = append(paths, p)
+			if tr.OriginFanout() > len(tr.Hubs) {
+				return false
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		// Leave in an arbitrary order (duplicates skipped).
+		left := make(map[int]bool)
+		for _, l := range leaveOrder {
+			i := int(l) % max(len(paths), 1)
+			if len(paths) == 0 || left[i] {
+				continue
+			}
+			left[i] = true
+			tr.Leave(paths[i])
+		}
+		for i, p := range paths {
+			if !left[i] {
+				tr.Leave(p)
+			}
+		}
+		return tr.OriginFanout() == 0 && tr.TotalForwards() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,55 @@
+package player
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func benchItems(n int) []Item {
+	src := rng.New(1)
+	items := make([]Item, n)
+	for i := range items {
+		jitter := time.Duration(src.Exp(float64(500 * time.Millisecond)))
+		items[i] = Item{
+			Seq:      uint64(i),
+			Duration: 3 * time.Second,
+			ArriveAt: t0.Add(time.Duration(i)*3*time.Second + jitter),
+		}
+	}
+	return items
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	items := benchItems(1200) // a one-hour broadcast of 3s chunks
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Simulate(items, Config{PreBuffer: 6 * time.Second})
+	}
+}
+
+func BenchmarkSweep(b *testing.B) {
+	items := benchItems(1200)
+	ps := []time.Duration{0, 3 * time.Second, 6 * time.Second, 9 * time.Second}
+	for i := 0; i < b.N; i++ {
+		Sweep(items, ps)
+	}
+}
+
+func BenchmarkMergeTimeline(b *testing.B) {
+	video := mkVideo(1000, time.Second, 5*time.Second)
+	var msgs []Message
+	src := rng.New(2)
+	for i := 0; i < 2000; i++ {
+		msgs = append(msgs, Message{
+			Kind:       EventHeart,
+			StreamTime: t0.Add(time.Duration(src.Float64() * 1000 * float64(time.Second))),
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeTimeline(video, msgs)
+	}
+}

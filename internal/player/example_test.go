@@ -1,0 +1,56 @@
+package player_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/player"
+)
+
+// ExampleSimulate replays the §6 buffering strategy over a jittery chunk
+// stream and shows the smoothness/latency trade-off of the pre-buffer.
+func ExampleSimulate() {
+	start := time.Date(2015, 5, 15, 0, 0, 0, 0, time.UTC)
+	var items []player.Item
+	for i := 0; i < 10; i++ {
+		late := time.Duration(0)
+		if i == 5 {
+			late = 7 * time.Second // one chunk arrives far too late
+		}
+		items = append(items, player.Item{
+			Seq:      uint64(i),
+			Duration: 3 * time.Second,
+			ArriveAt: start.Add(time.Duration(i)*3*time.Second + late),
+		})
+	}
+	for _, p := range []time.Duration{0, 9 * time.Second} {
+		r := player.Simulate(items, player.Config{PreBuffer: p})
+		fmt.Printf("P=%v: stall=%.2f delay=%v\n", p, r.StallRatio, r.MeanBufferingDelay)
+	}
+	// Output:
+	// P=0s: stall=0.10 delay=0s
+	// P=9s: stall=0.00 delay=5.4s
+}
+
+// ExampleMergeTimeline aligns a delayed comment with the video moment it
+// refers to (§4.1's client-side merge by timestamps).
+func ExampleMergeTimeline() {
+	start := time.Date(2015, 5, 15, 0, 0, 0, 0, time.UTC)
+	video := []player.VideoItem{
+		{Seq: 0, StreamTime: start, PlayAt: start.Add(10 * time.Second), Duration: 3 * time.Second},
+		{Seq: 1, StreamTime: start.Add(3 * time.Second), PlayAt: start.Add(13 * time.Second), Duration: 3 * time.Second},
+	}
+	msgs := []player.Message{{
+		Kind:       player.EventComment,
+		StreamTime: start.Add(4 * time.Second),
+		UserID:     "fan",
+		Text:       "what lake is that?",
+	}}
+	for _, e := range player.MergeTimeline(video, msgs) {
+		if e.Kind == player.EventComment {
+			fmt.Printf("comment shows during chunk %d at +%v\n", e.Seq, e.PlayAt.Sub(start))
+		}
+	}
+	// Output:
+	// comment shows during chunk 1 at +14s
+}

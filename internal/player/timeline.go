@@ -1,0 +1,112 @@
+package player
+
+import (
+	"sort"
+	"time"
+)
+
+// The platform delivers video and messages on independent channels;
+// "viewers receive video frames and messages and combine them on the client
+// side based on timestamps" (§4.1). Timeline is that client-side merger: it
+// aligns comment/heart events against the video play-out so the UI shows
+// each message at the stream moment it refers to.
+
+// EventKind labels a timeline entry.
+type EventKind int
+
+// Timeline entry kinds.
+const (
+	EventVideo EventKind = iota
+	EventComment
+	EventHeart
+)
+
+// Entry is one merged timeline element.
+type Entry struct {
+	Kind EventKind
+	// StreamTime is the broadcaster-side timestamp this entry refers to.
+	StreamTime time.Time
+	// PlayAt is when the local client should surface it.
+	PlayAt time.Time
+	// Seq identifies the video item (frames/chunks) this entry maps to.
+	Seq uint64
+	// UserID/Text carry message payloads.
+	UserID string
+	Text   string
+}
+
+// VideoItem is a played video unit with both timestamps known after the
+// buffering simulation.
+type VideoItem struct {
+	Seq        uint64
+	StreamTime time.Time // capture timestamp (broadcaster clock)
+	PlayAt     time.Time // local play time
+	Duration   time.Duration
+}
+
+// Message is one comment or heart with its broadcaster-side timestamp.
+type Message struct {
+	Kind       EventKind
+	StreamTime time.Time
+	UserID     string
+	Text       string
+}
+
+// MergeTimeline aligns messages to the video play-out: each message is
+// scheduled at the local play time of the video item whose stream interval
+// contains the message's timestamp. Messages before the first item attach
+// to it; messages after the last item attach to the last. The result is
+// ordered by PlayAt, then by kind (video first).
+func MergeTimeline(video []VideoItem, msgs []Message) []Entry {
+	if len(video) == 0 {
+		return nil
+	}
+	items := append([]VideoItem(nil), video...)
+	sort.Slice(items, func(i, j int) bool { return items[i].StreamTime.Before(items[j].StreamTime) })
+
+	entries := make([]Entry, 0, len(items)+len(msgs))
+	for _, it := range items {
+		entries = append(entries, Entry{
+			Kind:       EventVideo,
+			StreamTime: it.StreamTime,
+			PlayAt:     it.PlayAt,
+			Seq:        it.Seq,
+		})
+	}
+	for _, m := range msgs {
+		idx := sort.Search(len(items), func(i int) bool {
+			return items[i].StreamTime.After(m.StreamTime)
+		}) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		it := items[idx]
+		// Offset within the item keeps sub-item ordering stable.
+		offset := m.StreamTime.Sub(it.StreamTime)
+		if offset < 0 {
+			offset = 0
+		}
+		if offset > it.Duration {
+			offset = it.Duration
+		}
+		kind := EventComment
+		if m.Kind == EventHeart {
+			kind = EventHeart
+		}
+		entries = append(entries, Entry{
+			Kind:       kind,
+			StreamTime: m.StreamTime,
+			PlayAt:     it.PlayAt.Add(offset),
+			Seq:        it.Seq,
+			UserID:     m.UserID,
+			Text:       m.Text,
+		})
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		if !entries[i].PlayAt.Equal(entries[j].PlayAt) {
+			return entries[i].PlayAt.Before(entries[j].PlayAt)
+		}
+		return entries[i].Kind < entries[j].Kind
+	})
+	return entries
+}

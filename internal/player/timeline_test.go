@@ -1,0 +1,112 @@
+package player
+
+import (
+	"testing"
+	"time"
+)
+
+func mkVideo(n int, dur, playDelay time.Duration) []VideoItem {
+	items := make([]VideoItem, n)
+	for i := range items {
+		st := t0.Add(time.Duration(i) * dur)
+		items[i] = VideoItem{
+			Seq:        uint64(i),
+			StreamTime: st,
+			PlayAt:     st.Add(playDelay),
+			Duration:   dur,
+		}
+	}
+	return items
+}
+
+func TestMergeTimelineEmpty(t *testing.T) {
+	if got := MergeTimeline(nil, []Message{{Kind: EventHeart}}); got != nil {
+		t.Fatalf("merge without video = %v", got)
+	}
+}
+
+func TestMergeAlignsMessagesToItems(t *testing.T) {
+	video := mkVideo(5, time.Second, 10*time.Second)
+	msgs := []Message{
+		{Kind: EventComment, StreamTime: t0.Add(1500 * time.Millisecond), UserID: "u1", Text: "hi"},
+		{Kind: EventHeart, StreamTime: t0.Add(3 * time.Second), UserID: "u2"},
+	}
+	entries := MergeTimeline(video, msgs)
+	if len(entries) != 7 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	var comment, heart *Entry
+	for i := range entries {
+		switch entries[i].Kind {
+		case EventComment:
+			comment = &entries[i]
+		case EventHeart:
+			heart = &entries[i]
+		}
+	}
+	// Comment at stream 1.5s belongs to item 1 (stream [1s,2s)), plays at
+	// its play time + 0.5s offset.
+	if comment.Seq != 1 {
+		t.Fatalf("comment mapped to seq %d", comment.Seq)
+	}
+	if want := t0.Add(11500 * time.Millisecond); !comment.PlayAt.Equal(want) {
+		t.Fatalf("comment PlayAt = %v, want %v", comment.PlayAt, want)
+	}
+	// Heart at exactly 3s belongs to item 3.
+	if heart.Seq != 3 {
+		t.Fatalf("heart mapped to seq %d", heart.Seq)
+	}
+}
+
+func TestMergeClampsOutOfRangeMessages(t *testing.T) {
+	video := mkVideo(3, time.Second, 0)
+	msgs := []Message{
+		{Kind: EventHeart, StreamTime: t0.Add(-time.Hour)}, // before stream
+		{Kind: EventHeart, StreamTime: t0.Add(time.Hour)},  // after stream
+	}
+	entries := MergeTimeline(video, msgs)
+	var hearts []Entry
+	for _, e := range entries {
+		if e.Kind == EventHeart {
+			hearts = append(hearts, e)
+		}
+	}
+	if len(hearts) != 2 {
+		t.Fatalf("hearts = %d", len(hearts))
+	}
+	if hearts[0].Seq != 0 {
+		t.Fatalf("early heart → seq %d, want 0", hearts[0].Seq)
+	}
+	if hearts[1].Seq != 2 {
+		t.Fatalf("late heart → seq %d, want last item", hearts[1].Seq)
+	}
+}
+
+func TestMergeOrderedByPlayTime(t *testing.T) {
+	video := mkVideo(10, time.Second, 5*time.Second)
+	var msgs []Message
+	for i := 0; i < 20; i++ {
+		msgs = append(msgs, Message{
+			Kind:       EventHeart,
+			StreamTime: t0.Add(time.Duration(19-i) * 500 * time.Millisecond),
+		})
+	}
+	entries := MergeTimeline(video, msgs)
+	for i := 1; i < len(entries); i++ {
+		if entries[i].PlayAt.Before(entries[i-1].PlayAt) {
+			t.Fatal("timeline not ordered by PlayAt")
+		}
+	}
+}
+
+func TestMergeUnsortedVideoInput(t *testing.T) {
+	video := mkVideo(4, time.Second, 0)
+	video[0], video[3] = video[3], video[0]
+	msgs := []Message{{Kind: EventComment, StreamTime: t0.Add(2500 * time.Millisecond)}}
+	entries := MergeTimeline(video, msgs)
+	for _, e := range entries {
+		if e.Kind == EventComment && e.Seq != 2 {
+			t.Fatalf("comment → seq %d, want 2", e.Seq)
+		}
+	}
+}

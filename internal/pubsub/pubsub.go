@@ -1,0 +1,389 @@
+// Package pubsub implements the message channel of the platform — the
+// PubNub analog of Figure 8(c). Comments and hearts flow over HTTPS-style
+// HTTP, separate from the video path, and are merged client-side by
+// timestamp. Periscope's policy of allowing only the first ~100 viewers to
+// comment (§2.1) is enforced here as a per-channel commenter cap; hearts are
+// unlimited.
+package pubsub
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind distinguishes the two interaction types.
+type Kind string
+
+// Interaction kinds.
+const (
+	KindComment Kind = "comment"
+	KindHeart   Kind = "heart"
+)
+
+// Event is one published interaction.
+type Event struct {
+	Seq         uint64    `json:"seq"`
+	BroadcastID string    `json:"broadcast_id"`
+	UserID      string    `json:"user_id"`
+	Kind        Kind      `json:"kind"`
+	Text        string    `json:"text,omitempty"`
+	At          time.Time `json:"at"`
+}
+
+// ErrNotCommenter reports a comment from a user outside the commenter set.
+var ErrNotCommenter = errors.New("pubsub: commenter cap reached")
+
+// ErrNoChannel reports a publish or subscribe on a missing channel.
+var ErrNoChannel = errors.New("pubsub: no such channel")
+
+// DefaultCommenterCap is Periscope's observed comment limit (§2.1).
+const DefaultCommenterCap = 100
+
+// Hub is the in-process message service: one channel per broadcast.
+type Hub struct {
+	commenterCap int
+
+	mu       sync.Mutex
+	channels map[string]*channel
+}
+
+type channel struct {
+	mu         sync.Mutex
+	seq        uint64
+	events     []Event
+	commenters map[string]bool
+	waiters    []chan struct{}
+	closed     bool
+}
+
+// NewHub returns a Hub with the given commenter cap; cap<0 means unlimited,
+// cap==0 means DefaultCommenterCap.
+func NewHub(commenterCap int) *Hub {
+	if commenterCap == 0 {
+		commenterCap = DefaultCommenterCap
+	}
+	return &Hub{commenterCap: commenterCap, channels: make(map[string]*channel)}
+}
+
+// Open creates the channel for a broadcast. Opening twice is a no-op.
+func (h *Hub) Open(broadcastID string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.channels[broadcastID]; !ok {
+		h.channels[broadcastID] = &channel{commenters: make(map[string]bool)}
+	}
+}
+
+// Close marks a channel finished, waking all waiters. Events stay readable.
+func (h *Hub) Close(broadcastID string) {
+	h.mu.Lock()
+	ch := h.channels[broadcastID]
+	h.mu.Unlock()
+	if ch == nil {
+		return
+	}
+	ch.mu.Lock()
+	ch.closed = true
+	ch.wakeLocked()
+	ch.mu.Unlock()
+}
+
+// Remove deletes a channel entirely.
+func (h *Hub) Remove(broadcastID string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.channels, broadcastID)
+}
+
+func (h *Hub) channel(broadcastID string) (*channel, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ch, ok := h.channels[broadcastID]
+	if !ok {
+		return nil, ErrNoChannel
+	}
+	return ch, nil
+}
+
+// Publish appends an interaction. Comments enforce the commenter cap: the
+// first cap distinct users to comment join the commenter set; later users
+// get ErrNotCommenter. The event's Seq and At (if zero) are assigned here.
+func (h *Hub) Publish(broadcastID string, ev Event) (Event, error) {
+	ch, err := h.channel(broadcastID)
+	if err != nil {
+		return Event{}, err
+	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if ch.closed {
+		return Event{}, ErrNoChannel
+	}
+	if ev.Kind == KindComment && h.commenterCap > 0 {
+		if !ch.commenters[ev.UserID] {
+			if len(ch.commenters) >= h.commenterCap {
+				return Event{}, ErrNotCommenter
+			}
+			ch.commenters[ev.UserID] = true
+		}
+	}
+	ch.seq++
+	ev.Seq = ch.seq
+	ev.BroadcastID = broadcastID
+	if ev.At.IsZero() {
+		ev.At = time.Now()
+	}
+	ch.events = append(ch.events, ev)
+	ch.wakeLocked()
+	return ev, nil
+}
+
+// CanComment reports whether user may still comment on the channel.
+func (h *Hub) CanComment(broadcastID, userID string) bool {
+	ch, err := h.channel(broadcastID)
+	if err != nil {
+		return false
+	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if h.commenterCap <= 0 {
+		return true
+	}
+	return ch.commenters[userID] || len(ch.commenters) < h.commenterCap
+}
+
+// EventsSince returns events with Seq > since and whether the channel is
+// closed.
+func (h *Hub) EventsSince(broadcastID string, since uint64) ([]Event, bool, error) {
+	ch, err := h.channel(broadcastID)
+	if err != nil {
+		return nil, false, err
+	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return eventsAfterLocked(ch, since), ch.closed, nil
+}
+
+func eventsAfterLocked(ch *channel, since uint64) []Event {
+	// Events are in Seq order starting at 1, so the suffix is an index.
+	if since >= uint64(len(ch.events)) {
+		return nil
+	}
+	return append([]Event(nil), ch.events[since:]...)
+}
+
+// Wait blocks until the channel has events newer than since, is closed, or
+// ctx is done, then returns the new events.
+func (h *Hub) Wait(ctx context.Context, broadcastID string, since uint64) ([]Event, bool, error) {
+	for {
+		ch, err := h.channel(broadcastID)
+		if err != nil {
+			return nil, false, err
+		}
+		ch.mu.Lock()
+		evs := eventsAfterLocked(ch, since)
+		closed := ch.closed
+		if len(evs) > 0 || closed {
+			ch.mu.Unlock()
+			return evs, closed, nil
+		}
+		wake := make(chan struct{})
+		ch.waiters = append(ch.waiters, wake)
+		ch.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		case <-wake:
+		}
+	}
+}
+
+func (ch *channel) wakeLocked() {
+	for _, w := range ch.waiters {
+		close(w)
+	}
+	ch.waiters = nil
+}
+
+// Counts returns (comments, hearts) totals for a broadcast.
+func (h *Hub) Counts(broadcastID string) (comments, hearts int) {
+	ch, err := h.channel(broadcastID)
+	if err != nil {
+		return 0, 0
+	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	for _, ev := range ch.events {
+		switch ev.Kind {
+		case KindComment:
+			comments++
+		case KindHeart:
+			hearts++
+		}
+	}
+	return comments, hearts
+}
+
+// --- HTTP surface ----------------------------------------------------------
+
+// Handler serves the hub over HTTP:
+//
+//	POST {prefix}/{broadcastID}/publish          body: Event JSON
+//	GET  {prefix}/{broadcastID}/events?since=N[&wait=1]
+func Handler(prefix string, hub *Hub) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rest, ok := strings.CutPrefix(r.URL.Path, prefix+"/")
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		parts := strings.Split(rest, "/")
+		if len(parts) != 2 {
+			http.NotFound(w, r)
+			return
+		}
+		id, op := parts[0], parts[1]
+		switch {
+		case op == "publish" && r.Method == http.MethodPost:
+			var ev Event
+			body, err := io.ReadAll(io.LimitReader(r.Body, 64<<10))
+			if err != nil || json.Unmarshal(body, &ev) != nil {
+				http.Error(w, "bad event", http.StatusBadRequest)
+				return
+			}
+			stored, err := hub.Publish(id, ev)
+			switch {
+			case errors.Is(err, ErrNotCommenter):
+				http.Error(w, err.Error(), http.StatusForbidden)
+			case errors.Is(err, ErrNoChannel):
+				http.Error(w, err.Error(), http.StatusNotFound)
+			case err != nil:
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			default:
+				writeJSON(w, stored)
+			}
+		case op == "events" && r.Method == http.MethodGet:
+			since, _ := strconv.ParseUint(r.URL.Query().Get("since"), 10, 64)
+			var evs []Event
+			var closed bool
+			var err error
+			if r.URL.Query().Get("wait") == "1" {
+				ctx, cancel := context.WithTimeout(r.Context(), 25*time.Second)
+				defer cancel()
+				evs, closed, err = hub.Wait(ctx, id, since)
+				if errors.Is(err, context.DeadlineExceeded) {
+					evs, err = nil, nil
+				}
+			} else {
+				evs, closed, err = hub.EventsSince(id, since)
+			}
+			if errors.Is(err, ErrNoChannel) {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			writeJSON(w, struct {
+				Events []Event `json:"events"`
+				Closed bool    `json:"closed"`
+			}{Events: evs, Closed: closed})
+		default:
+			http.NotFound(w, r)
+		}
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Response already started; nothing more to do.
+		_ = err
+	}
+}
+
+// Client talks to a remote hub.
+type Client struct {
+	// BaseURL includes the prefix, e.g. "http://msg:8080/channel".
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Publish sends one event.
+func (c *Client) Publish(ctx context.Context, broadcastID string, ev Event) (Event, error) {
+	body, err := json.Marshal(ev)
+	if err != nil {
+		return Event{}, err
+	}
+	url := fmt.Sprintf("%s/%s/publish", c.BaseURL, broadcastID)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(string(body)))
+	if err != nil {
+		return Event{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return Event{}, fmt.Errorf("pubsub: publish: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusForbidden:
+		return Event{}, ErrNotCommenter
+	case http.StatusNotFound:
+		return Event{}, ErrNoChannel
+	default:
+		return Event{}, fmt.Errorf("pubsub: publish status %d", resp.StatusCode)
+	}
+	var stored Event
+	if err := json.NewDecoder(resp.Body).Decode(&stored); err != nil {
+		return Event{}, err
+	}
+	return stored, nil
+}
+
+// Events fetches events after since; wait enables server-side long polling.
+func (c *Client) Events(ctx context.Context, broadcastID string, since uint64, wait bool) ([]Event, bool, error) {
+	url := fmt.Sprintf("%s/%s/events?since=%d", c.BaseURL, broadcastID, since)
+	if wait {
+		url += "&wait=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, false, fmt.Errorf("pubsub: events: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return nil, false, ErrNoChannel
+	default:
+		return nil, false, fmt.Errorf("pubsub: events status %d", resp.StatusCode)
+	}
+	var out struct {
+		Events []Event `json:"events"`
+		Closed bool    `json:"closed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, false, err
+	}
+	return out.Events, out.Closed, nil
+}

@@ -1,0 +1,236 @@
+package pubsub
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestPublishAndRead(t *testing.T) {
+	h := NewHub(0)
+	h.Open("b1")
+	ev, err := h.Publish("b1", Event{UserID: "u1", Kind: KindComment, Text: "hi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Seq != 1 || ev.BroadcastID != "b1" || ev.At.IsZero() {
+		t.Fatalf("stored event = %+v", ev)
+	}
+	h.Publish("b1", Event{UserID: "u2", Kind: KindHeart})
+	evs, closed, err := h.EventsSince("b1", 0)
+	if err != nil || closed {
+		t.Fatalf("EventsSince: %v closed=%v", err, closed)
+	}
+	if len(evs) != 2 || evs[0].Kind != KindComment || evs[1].Kind != KindHeart {
+		t.Fatalf("events = %+v", evs)
+	}
+	evs, _, _ = h.EventsSince("b1", 1)
+	if len(evs) != 1 || evs[0].Seq != 2 {
+		t.Fatalf("incremental read = %+v", evs)
+	}
+}
+
+func TestPublishNoChannel(t *testing.T) {
+	h := NewHub(0)
+	if _, err := h.Publish("missing", Event{Kind: KindHeart}); !errors.Is(err, ErrNoChannel) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := h.EventsSince("missing", 0); !errors.Is(err, ErrNoChannel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCommenterCap(t *testing.T) {
+	h := NewHub(3)
+	h.Open("b1")
+	for i := 0; i < 3; i++ {
+		u := fmt.Sprintf("u%d", i)
+		if _, err := h.Publish("b1", Event{UserID: u, Kind: KindComment, Text: "x"}); err != nil {
+			t.Fatalf("commenter %d rejected: %v", i, err)
+		}
+	}
+	if _, err := h.Publish("b1", Event{UserID: "u99", Kind: KindComment}); !errors.Is(err, ErrNotCommenter) {
+		t.Fatalf("4th commenter err = %v", err)
+	}
+	// Existing commenters can keep commenting.
+	if _, err := h.Publish("b1", Event{UserID: "u0", Kind: KindComment}); err != nil {
+		t.Fatalf("existing commenter rejected: %v", err)
+	}
+	// Hearts are never capped (§2.1: all viewers can send hearts).
+	if _, err := h.Publish("b1", Event{UserID: "u99", Kind: KindHeart}); err != nil {
+		t.Fatalf("heart rejected: %v", err)
+	}
+	if h.CanComment("b1", "u99") {
+		t.Fatal("capped user reported as commenter")
+	}
+	if !h.CanComment("b1", "u0") {
+		t.Fatal("existing commenter reported as capped")
+	}
+}
+
+func TestUnlimitedCap(t *testing.T) {
+	h := NewHub(-1)
+	h.Open("b1")
+	for i := 0; i < 200; i++ {
+		if _, err := h.Publish("b1", Event{UserID: fmt.Sprintf("u%d", i), Kind: KindComment}); err != nil {
+			t.Fatalf("comment %d rejected: %v", i, err)
+		}
+	}
+}
+
+func TestDefaultCapIs100(t *testing.T) {
+	h := NewHub(0)
+	h.Open("b1")
+	for i := 0; i < DefaultCommenterCap; i++ {
+		if _, err := h.Publish("b1", Event{UserID: fmt.Sprintf("u%d", i), Kind: KindComment}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.Publish("b1", Event{UserID: "overflow", Kind: KindComment}); !errors.Is(err, ErrNotCommenter) {
+		t.Fatalf("101st commenter err = %v", err)
+	}
+}
+
+func TestWaitWakesOnPublish(t *testing.T) {
+	h := NewHub(0)
+	h.Open("b1")
+	got := make(chan []Event, 1)
+	go func() {
+		evs, _, err := h.Wait(context.Background(), "b1", 0)
+		if err != nil {
+			t.Errorf("Wait: %v", err)
+		}
+		got <- evs
+	}()
+	time.Sleep(10 * time.Millisecond)
+	h.Publish("b1", Event{UserID: "u1", Kind: KindHeart})
+	select {
+	case evs := <-got:
+		if len(evs) != 1 || evs[0].Kind != KindHeart {
+			t.Fatalf("woke with %+v", evs)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait never woke")
+	}
+}
+
+func TestWaitWakesOnClose(t *testing.T) {
+	h := NewHub(0)
+	h.Open("b1")
+	done := make(chan bool, 1)
+	go func() {
+		_, closed, err := h.Wait(context.Background(), "b1", 0)
+		if err != nil {
+			t.Errorf("Wait: %v", err)
+		}
+		done <- closed
+	}()
+	time.Sleep(10 * time.Millisecond)
+	h.Close("b1")
+	select {
+	case closed := <-done:
+		if !closed {
+			t.Fatal("Wait returned without closed flag")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait never woke on close")
+	}
+}
+
+func TestWaitContextCancel(t *testing.T) {
+	h := NewHub(0)
+	h.Open("b1")
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, _, err := h.Wait(ctx, "b1", 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPublishAfterCloseFails(t *testing.T) {
+	h := NewHub(0)
+	h.Open("b1")
+	h.Close("b1")
+	if _, err := h.Publish("b1", Event{Kind: KindHeart}); !errors.Is(err, ErrNoChannel) {
+		t.Fatalf("publish after close err = %v", err)
+	}
+	// Events remain readable after close.
+	if _, closed, err := h.EventsSince("b1", 0); err != nil || !closed {
+		t.Fatalf("read after close: %v closed=%v", err, closed)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	h := NewHub(0)
+	h.Open("b1")
+	for i := 0; i < 3; i++ {
+		h.Publish("b1", Event{UserID: "u1", Kind: KindHeart})
+	}
+	h.Publish("b1", Event{UserID: "u1", Kind: KindComment, Text: "x"})
+	c, hearts := h.Counts("b1")
+	if c != 1 || hearts != 3 {
+		t.Fatalf("counts = %d comments, %d hearts", c, hearts)
+	}
+}
+
+func TestHTTPRoundtrip(t *testing.T) {
+	h := NewHub(2)
+	h.Open("b1")
+	srv := httptest.NewServer(Handler("/channel", h))
+	defer srv.Close()
+	client := &Client{BaseURL: srv.URL + "/channel"}
+	ctx := context.Background()
+
+	ev, err := client.Publish(ctx, "b1", Event{UserID: "u1", Kind: KindComment, Text: "hello"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Seq != 1 {
+		t.Fatalf("seq = %d", ev.Seq)
+	}
+	client.Publish(ctx, "b1", Event{UserID: "u2", Kind: KindComment})
+	if _, err := client.Publish(ctx, "b1", Event{UserID: "u3", Kind: KindComment}); !errors.Is(err, ErrNotCommenter) {
+		t.Fatalf("cap not enforced over HTTP: %v", err)
+	}
+	evs, closed, err := client.Events(ctx, "b1", 0, false)
+	if err != nil || closed {
+		t.Fatalf("Events: %v", err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if _, _, err := client.Events(ctx, "missing", 0, false); !errors.Is(err, ErrNoChannel) {
+		t.Fatalf("missing channel err = %v", err)
+	}
+}
+
+func TestHTTPLongPoll(t *testing.T) {
+	h := NewHub(0)
+	h.Open("b1")
+	srv := httptest.NewServer(Handler("/channel", h))
+	defer srv.Close()
+	client := &Client{BaseURL: srv.URL + "/channel"}
+
+	got := make(chan int, 1)
+	go func() {
+		evs, _, err := client.Events(context.Background(), "b1", 0, true)
+		if err != nil {
+			t.Errorf("long poll: %v", err)
+		}
+		got <- len(evs)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	h.Publish("b1", Event{UserID: "u1", Kind: KindHeart})
+	select {
+	case n := <-got:
+		if n != 1 {
+			t.Fatalf("long poll returned %d events", n)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("long poll never returned")
+	}
+}

@@ -1,0 +1,24 @@
+package rtmp
+
+import (
+	"crypto/ed25519"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/rng"
+)
+
+// testFramesB builds frames without a *testing.T (usable from benchmarks).
+func testFramesB(n int) []media.Frame {
+	enc := media.NewEncoder(media.EncoderConfig{}, rng.New(99))
+	base := time.Now()
+	frames := make([]media.Frame, n)
+	for i := range frames {
+		frames[i] = enc.Next(base.Add(time.Duration(i) * media.FrameDuration))
+	}
+	return frames
+}
+
+func generateBenchKeys() (ed25519.PublicKey, ed25519.PrivateKey, error) {
+	return ed25519.GenerateKey(nil)
+}

@@ -1,0 +1,238 @@
+package rtmp
+
+import (
+	"context"
+	"crypto/ed25519"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/wire"
+)
+
+// ErrFull is returned when the server refuses a viewer because the RTMP cap
+// is reached — the signal that sends later arrivals to HLS (§4.1).
+var ErrFull = errors.New("rtmp: broadcast full, use HLS")
+
+// ErrRejected is returned for any other refused handshake.
+type ErrRejected struct{ Status, Message string }
+
+// Error implements error.
+func (e *ErrRejected) Error() string {
+	return fmt.Sprintf("rtmp: handshake rejected: %s (%s)", e.Status, e.Message)
+}
+
+func dialAndHandshake(ctx context.Context, addr string, hs wire.Handshake) (net.Conn, error) {
+	return dialAndHandshakeTLS(ctx, addr, hs, nil)
+}
+
+// dialAndHandshakeTLS opens the session over TLS when tlsCfg is non-nil —
+// the RTMPS variant Periscope reserves for private broadcasts (§7.2).
+func dialAndHandshakeTLS(ctx context.Context, addr string, hs wire.Handshake, tlsCfg *tls.Config) (net.Conn, error) {
+	var conn net.Conn
+	var err error
+	if tlsCfg != nil {
+		td := &tls.Dialer{Config: tlsCfg}
+		conn, err = td.DialContext(ctx, "tcp", addr)
+	} else {
+		var d net.Dialer
+		conn, err = d.DialContext(ctx, "tcp", addr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("rtmp: dial %s: %w", addr, err)
+	}
+	m := wire.Message{Type: wire.MsgHandshake, Body: wire.MarshalHandshake(hs)}
+	if err := wire.WriteMessage(conn, m); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	reply, err := wire.ReadMessage(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("rtmp: reading handshake ack: %w", err)
+	}
+	if reply.Type != wire.MsgHandshakeAck {
+		conn.Close()
+		return nil, fmt.Errorf("rtmp: unexpected reply type %d", reply.Type)
+	}
+	ack, err := wire.UnmarshalAck(reply.Body)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	switch ack.Status {
+	case wire.StatusOK:
+		return conn, nil
+	case wire.StatusFull:
+		conn.Close()
+		return nil, ErrFull
+	default:
+		conn.Close()
+		return nil, &ErrRejected{Status: ack.Status, Message: ack.Message}
+	}
+}
+
+// Publisher is a broadcaster-side RTMP session.
+type Publisher struct {
+	conn   net.Conn
+	signer ed25519.PrivateKey
+}
+
+// Publish opens a broadcaster session. A non-nil signer enables the §7.2
+// defense: every frame is signed before upload.
+func Publish(ctx context.Context, addr, broadcastID, token string, signer ed25519.PrivateKey) (*Publisher, error) {
+	return PublishTLS(ctx, addr, broadcastID, token, signer, nil)
+}
+
+// PublishTLS opens a broadcaster session over RTMPS (TLS) when tlsCfg is
+// non-nil — Periscope's private-broadcast transport and Facebook Live's
+// default (§7.2).
+func PublishTLS(ctx context.Context, addr, broadcastID, token string, signer ed25519.PrivateKey, tlsCfg *tls.Config) (*Publisher, error) {
+	conn, err := dialAndHandshakeTLS(ctx, addr, wire.Handshake{
+		Role: wire.RoleBroadcaster, BroadcastID: broadcastID, Token: token,
+	}, tlsCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Publisher{conn: conn, signer: signer}, nil
+}
+
+// Send uploads one frame, signed when the publisher has a signing key.
+func (p *Publisher) Send(f *media.Frame) error {
+	frameBytes := media.MarshalFrame(nil, f)
+	if p.signer == nil {
+		return wire.WriteMessage(p.conn, wire.Message{Type: wire.MsgFrame, Body: frameBytes})
+	}
+	sig := ed25519.Sign(p.signer, frameBytes)
+	body, err := wire.MarshalSignedFrame(frameBytes, sig)
+	if err != nil {
+		return err
+	}
+	return wire.WriteMessage(p.conn, wire.Message{Type: wire.MsgSignedFrame, Body: body})
+}
+
+// End announces a clean end of broadcast and closes the connection.
+func (p *Publisher) End() error {
+	err := wire.WriteMessage(p.conn, wire.Message{Type: wire.MsgEnd})
+	if cerr := p.conn.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Close aborts the session without an end marker.
+func (p *Publisher) Close() error { return p.conn.Close() }
+
+// ReceivedFrame is one frame as seen by a viewer, with its local arrival
+// time (timestamp ③ of Fig. 10) and signature status.
+type ReceivedFrame struct {
+	Frame      media.Frame
+	ReceivedAt time.Time
+	// Signed reports whether the frame arrived with a signature.
+	Signed bool
+	// Verified reports whether the signature checked out against the
+	// viewer's copy of the broadcaster key; always false for unsigned
+	// frames or when the viewer has no key.
+	Verified bool
+}
+
+// Viewer is a viewer-side RTMP session receiving pushed frames.
+type Viewer struct {
+	conn   net.Conn
+	frames chan ReceivedFrame
+	errc   chan error
+	pubKey ed25519.PublicKey
+}
+
+// ViewerOptions tune a Subscribe call.
+type ViewerOptions struct {
+	// BufferMs is the requested stream buffer; the paper's crawler uses 0
+	// so every frame arrives as soon as available (§4.3).
+	BufferMs uint32
+	// PubKey, when set, verifies the §7.2 signature on each frame.
+	PubKey ed25519.PublicKey
+	// Queue is the local frame queue size (default 1024).
+	Queue int
+}
+
+// Subscribe opens a viewer session. The returned Viewer's Frames channel is
+// closed when the broadcast ends or the connection drops; Err reports the
+// terminal error, if any.
+func Subscribe(ctx context.Context, addr, broadcastID, token string, opts ViewerOptions) (*Viewer, error) {
+	return SubscribeTLS(ctx, addr, broadcastID, token, opts, nil)
+}
+
+// SubscribeTLS opens a viewer session over RTMPS when tlsCfg is non-nil.
+func SubscribeTLS(ctx context.Context, addr, broadcastID, token string, opts ViewerOptions, tlsCfg *tls.Config) (*Viewer, error) {
+	conn, err := dialAndHandshakeTLS(ctx, addr, wire.Handshake{
+		Role: wire.RoleViewer, BroadcastID: broadcastID, Token: token, BufferMs: opts.BufferMs,
+	}, tlsCfg)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Queue == 0 {
+		opts.Queue = 1024
+	}
+	v := &Viewer{
+		conn:   conn,
+		frames: make(chan ReceivedFrame, opts.Queue),
+		errc:   make(chan error, 1),
+		pubKey: opts.PubKey,
+	}
+	go v.receiveLoop()
+	return v, nil
+}
+
+func (v *Viewer) receiveLoop() {
+	defer close(v.frames)
+	for {
+		msg, err := wire.ReadMessage(v.conn)
+		if err != nil {
+			v.errc <- err
+			return
+		}
+		switch msg.Type {
+		case wire.MsgEnd:
+			return
+		case wire.MsgFrame, wire.MsgSignedFrame:
+			rf := ReceivedFrame{ReceivedAt: time.Now()}
+			frameBytes := msg.Body
+			if msg.Type == wire.MsgSignedFrame {
+				fb, sig, err := wire.UnmarshalSignedFrame(msg.Body)
+				if err != nil {
+					continue
+				}
+				rf.Signed = true
+				if v.pubKey != nil {
+					rf.Verified = ed25519.Verify(v.pubKey, fb, sig)
+				}
+				frameBytes = fb
+			}
+			f, _, err := media.UnmarshalFrame(frameBytes)
+			if err != nil {
+				continue
+			}
+			rf.Frame = f
+			v.frames <- rf
+		}
+	}
+}
+
+// Frames returns the pushed-frame channel.
+func (v *Viewer) Frames() <-chan ReceivedFrame { return v.frames }
+
+// Err returns the terminal receive error, or nil after a clean MsgEnd.
+func (v *Viewer) Err() error {
+	select {
+	case err := <-v.errc:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Close tears down the session.
+func (v *Viewer) Close() error { return v.conn.Close() }

@@ -1,0 +1,473 @@
+// Package rtmp implements the RTMP-like half of the delivery path (§4.1): a
+// persistent-TCP protocol where the broadcaster publishes 40 ms frames and
+// the server pushes each frame to every subscribed viewer the moment it
+// arrives. This is the low-latency path Periscope gives the first ~100
+// viewers; the per-frame push is also what makes it expensive to scale
+// (Fig. 14).
+//
+// Faithful to §7, the transport is unencrypted and the broadcast token
+// travels in plaintext. The optional signature defense (§7.2) verifies an
+// Ed25519 signature on every frame when the control plane has registered a
+// broadcaster public key.
+package rtmp
+
+import (
+	"context"
+	"crypto/ed25519"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/wire"
+)
+
+// Auth validates a handshake. Implementations come from the control plane.
+type Auth interface {
+	// Authorize reports whether token may open broadcastID in role.
+	Authorize(broadcastID, token, role string) bool
+	// PublicKey returns the broadcaster's registered Ed25519 key for
+	// signed streams, or nil when the broadcast is unsigned.
+	PublicKey(broadcastID string) ed25519.PublicKey
+}
+
+// AuthFunc adapts a function to Auth with no signing keys.
+type AuthFunc func(broadcastID, token, role string) bool
+
+// Authorize implements Auth.
+func (f AuthFunc) Authorize(broadcastID, token, role string) bool {
+	return f(broadcastID, token, role)
+}
+
+// PublicKey implements Auth; AuthFunc streams are unsigned.
+func (AuthFunc) PublicKey(string) ed25519.PublicKey { return nil }
+
+// AllowAll authorizes every handshake (used by tests and the attack demo).
+var AllowAll = AuthFunc(func(string, string, string) bool { return true })
+
+// FrameTap observes every frame accepted from a broadcaster, with the server
+// arrival time (timestamps ② and ⑥ of Fig. 10). The CDN origin uses it to
+// feed the HLS chunker.
+type FrameTap func(broadcastID string, f media.Frame, arrivedAt time.Time)
+
+// ServerConfig configures a Server.
+type ServerConfig struct {
+	// Auth validates handshakes; nil means AllowAll.
+	Auth Auth
+	// ViewerCap is the per-broadcast RTMP viewer limit; beyond it
+	// handshakes are refused with StatusFull so clients fall back to HLS
+	// (§4.1: ≈100). Zero means unlimited.
+	ViewerCap int
+	// Tap observes accepted frames; may be nil.
+	Tap FrameTap
+	// OnEnd is called when a broadcast finishes; may be nil.
+	OnEnd func(broadcastID string)
+	// ViewerQueue is the per-viewer outgoing frame queue length; a viewer
+	// that falls this far behind is disconnected (it would re-join via
+	// HLS in production). Zero means 256.
+	ViewerQueue int
+	// WriteTimeout bounds each push to a viewer connection; a viewer
+	// whose socket stays unwritable this long is dropped (a dead or
+	// wedged client must never pin a server goroutine). Zero means 30s.
+	WriteTimeout time.Duration
+	// DropSignedFrames controls the verification failure policy: when a
+	// signature check fails the frame is always excluded from fan-out,
+	// and the whole broadcast is additionally terminated when this is
+	// true.
+	DropSignedFrames bool
+	// Logf sinks diagnostics; nil discards.
+	Logf func(format string, args ...interface{})
+}
+
+// Stats are cumulative server counters, readable concurrently.
+type Stats struct {
+	FramesIn         atomic.Int64
+	FramesOut        atomic.Int64
+	BytesIn          atomic.Int64
+	BytesOut         atomic.Int64
+	ViewersRejected  atomic.Int64
+	TamperedFrames   atomic.Int64
+	ActiveBroadcasts atomic.Int64
+	ActiveViewers    atomic.Int64
+}
+
+// Server is the Wowza-analog RTMP endpoint.
+type Server struct {
+	cfg   ServerConfig
+	stats Stats
+
+	mu         sync.Mutex
+	broadcasts map[string]*broadcast
+	lns        []net.Listener
+	closed     bool
+	wg         sync.WaitGroup
+}
+
+type broadcast struct {
+	id     string
+	pubKey ed25519.PublicKey
+
+	mu      sync.Mutex
+	viewers map[*viewerConn]struct{}
+	ended   bool
+}
+
+type viewerConn struct {
+	out  chan wire.Message
+	done chan struct{}
+}
+
+// NewServer builds a Server from cfg.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.Auth == nil {
+		cfg.Auth = AllowAll
+	}
+	if cfg.ViewerQueue == 0 {
+		cfg.ViewerQueue = 256
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 30 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...interface{}) {}
+	}
+	return &Server{cfg: cfg, broadcasts: make(map[string]*broadcast)}
+}
+
+// Stats exposes the live counters.
+func (s *Server) Stats() *Stats { return &s.stats }
+
+// Serve accepts connections on ln until ln is closed or ctx is done.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	s.mu.Lock()
+	s.lns = append(s.lns, ln)
+	s.mu.Unlock()
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				s.wg.Wait()
+				return nil
+			}
+			return fmt.Errorf("rtmp: accept: %w", err)
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Listen starts serving on addr in a background goroutine and returns the
+// bound listener.
+func (s *Server) Listen(ctx context.Context, addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rtmp: listen: %w", err)
+	}
+	go func() {
+		if err := s.Serve(ctx, ln); err != nil {
+			s.cfg.Logf("rtmp server: %v", err)
+		}
+	}()
+	return ln, nil
+}
+
+// ListenTLS starts an RTMPS listener: the same protocol under TLS, which is
+// how Periscope serves private broadcasts and Facebook Live serves
+// everything (§7.2). The transport encryption defeats the §7 on-path
+// tampering attack at the cost of per-byte crypto.
+func (s *Server) ListenTLS(ctx context.Context, addr string, tlsCfg *tls.Config) (net.Listener, error) {
+	ln, err := tls.Listen("tcp", addr, tlsCfg)
+	if err != nil {
+		return nil, fmt.Errorf("rtmp: listen tls: %w", err)
+	}
+	go func() {
+		if err := s.Serve(ctx, ln); err != nil {
+			s.cfg.Logf("rtmps server: %v", err)
+		}
+	}()
+	return ln, nil
+}
+
+// Close stops accepting and disconnects every session.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	lns := append([]net.Listener(nil), s.lns...)
+	bs := make([]*broadcast, 0, len(s.broadcasts))
+	for _, b := range s.broadcasts {
+		bs = append(bs, b)
+	}
+	s.mu.Unlock()
+	var err error
+	for _, ln := range lns {
+		if cerr := ln.Close(); err == nil {
+			err = cerr
+		}
+	}
+	for _, b := range bs {
+		s.endBroadcast(b)
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	msg, err := wire.ReadMessage(conn)
+	if err != nil {
+		return
+	}
+	if msg.Type != wire.MsgHandshake {
+		return
+	}
+	hs, err := wire.UnmarshalHandshake(msg.Body)
+	if err != nil {
+		return
+	}
+	if !s.cfg.Auth.Authorize(hs.BroadcastID, hs.Token, hs.Role) {
+		s.ack(conn, wire.StatusBadToken, "token rejected")
+		return
+	}
+	switch hs.Role {
+	case wire.RoleBroadcaster:
+		s.handleBroadcaster(conn, hs)
+	case wire.RoleViewer:
+		s.handleViewer(conn, hs)
+	default:
+		s.ack(conn, wire.StatusBadToken, "unknown role "+hs.Role)
+	}
+}
+
+func (s *Server) ack(conn net.Conn, status, message string) {
+	m := wire.Message{Type: wire.MsgHandshakeAck, Body: wire.MarshalAck(wire.Ack{Status: status, Message: message})}
+	if err := wire.WriteMessage(conn, m); err != nil {
+		s.cfg.Logf("rtmp ack: %v", err)
+	}
+}
+
+func (s *Server) handleBroadcaster(conn net.Conn, hs wire.Handshake) {
+	b := &broadcast{
+		id:      hs.BroadcastID,
+		pubKey:  s.cfg.Auth.PublicKey(hs.BroadcastID),
+		viewers: make(map[*viewerConn]struct{}),
+	}
+	s.mu.Lock()
+	if _, dup := s.broadcasts[hs.BroadcastID]; dup {
+		s.mu.Unlock()
+		s.ack(conn, wire.StatusDuplicate, "broadcast already live")
+		return
+	}
+	s.broadcasts[hs.BroadcastID] = b
+	s.mu.Unlock()
+	s.stats.ActiveBroadcasts.Add(1)
+	defer func() {
+		s.mu.Lock()
+		delete(s.broadcasts, hs.BroadcastID)
+		s.mu.Unlock()
+		s.stats.ActiveBroadcasts.Add(-1)
+		s.endBroadcast(b)
+		if s.cfg.OnEnd != nil {
+			s.cfg.OnEnd(hs.BroadcastID)
+		}
+	}()
+	s.ack(conn, wire.StatusOK, "publishing")
+
+	for {
+		msg, err := wire.ReadMessage(conn)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.cfg.Logf("rtmp publish %s: %v", hs.BroadcastID, err)
+			}
+			return
+		}
+		switch msg.Type {
+		case wire.MsgEnd:
+			return
+		case wire.MsgFrame, wire.MsgSignedFrame:
+			if !s.acceptFrame(b, msg) {
+				if s.cfg.DropSignedFrames {
+					return
+				}
+			}
+		default:
+			s.cfg.Logf("rtmp publish %s: unexpected message type %d", hs.BroadcastID, msg.Type)
+		}
+	}
+}
+
+// acceptFrame validates, records, taps, and fans out one frame message.
+// It reports false when the frame failed signature verification.
+func (s *Server) acceptFrame(b *broadcast, msg wire.Message) bool {
+	frameBytes := msg.Body
+	var sig []byte
+	if msg.Type == wire.MsgSignedFrame {
+		fb, sg, err := wire.UnmarshalSignedFrame(msg.Body)
+		if err != nil {
+			s.stats.TamperedFrames.Add(1)
+			return false
+		}
+		if b.pubKey != nil && !ed25519.Verify(b.pubKey, fb, sg) {
+			s.stats.TamperedFrames.Add(1)
+			return false
+		}
+		frameBytes, sig = fb, sg
+	} else if b.pubKey != nil {
+		// A signed broadcast must not accept unsigned frames: that is
+		// exactly the downgrade a §7 attacker would try.
+		s.stats.TamperedFrames.Add(1)
+		return false
+	}
+	f, _, err := media.UnmarshalFrame(frameBytes)
+	if err != nil {
+		return false
+	}
+	// Carry the signature into the HLS path: chunks assembled from the
+	// tap retain per-frame signatures so HLS viewers can verify too
+	// (§7.2's viewer-side defense).
+	if sig != nil {
+		f.Sig = append([]byte(nil), sig...)
+	}
+	arrived := time.Now()
+	s.stats.FramesIn.Add(1)
+	s.stats.BytesIn.Add(int64(len(msg.Body)))
+	if s.cfg.Tap != nil {
+		s.cfg.Tap(b.id, f, arrived)
+	}
+	b.mu.Lock()
+	for v := range b.viewers {
+		select {
+		case v.out <- msg:
+		default:
+			// Viewer too slow: disconnect it (production clients
+			// would rejoin via HLS).
+			delete(b.viewers, v)
+			close(v.done)
+		}
+	}
+	b.mu.Unlock()
+	return true
+}
+
+func (s *Server) endBroadcast(b *broadcast) {
+	b.mu.Lock()
+	if b.ended {
+		b.mu.Unlock()
+		return
+	}
+	b.ended = true
+	viewers := make([]*viewerConn, 0, len(b.viewers))
+	for v := range b.viewers {
+		viewers = append(viewers, v)
+	}
+	b.viewers = make(map[*viewerConn]struct{})
+	b.mu.Unlock()
+	for _, v := range viewers {
+		select {
+		case v.out <- wire.Message{Type: wire.MsgEnd}:
+		default:
+		}
+		close(v.done)
+	}
+}
+
+func (s *Server) handleViewer(conn net.Conn, hs wire.Handshake) {
+	s.mu.Lock()
+	b := s.broadcasts[hs.BroadcastID]
+	s.mu.Unlock()
+	if b == nil {
+		s.ack(conn, wire.StatusNotFound, "no such broadcast")
+		return
+	}
+	v := &viewerConn{
+		out:  make(chan wire.Message, s.cfg.ViewerQueue),
+		done: make(chan struct{}),
+	}
+	b.mu.Lock()
+	if b.ended {
+		b.mu.Unlock()
+		s.ack(conn, wire.StatusNotFound, "broadcast ended")
+		return
+	}
+	if s.cfg.ViewerCap > 0 && len(b.viewers) >= s.cfg.ViewerCap {
+		b.mu.Unlock()
+		s.stats.ViewersRejected.Add(1)
+		s.ack(conn, wire.StatusFull, "RTMP viewer cap reached; use HLS")
+		return
+	}
+	b.viewers[v] = struct{}{}
+	b.mu.Unlock()
+	s.stats.ActiveViewers.Add(1)
+	defer func() {
+		b.mu.Lock()
+		if _, ok := b.viewers[v]; ok {
+			delete(b.viewers, v)
+			close(v.done)
+		}
+		b.mu.Unlock()
+		s.stats.ActiveViewers.Add(-1)
+	}()
+	s.ack(conn, wire.StatusOK, "subscribed")
+
+	// Reader goroutine: detect client hangup.
+	hangup := make(chan struct{})
+	go func() {
+		defer close(hangup)
+		for {
+			if _, err := wire.ReadMessage(conn); err != nil {
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case <-hangup:
+			return
+		case <-v.done:
+			// Flush anything already queued, then end.
+			for {
+				select {
+				case m := <-v.out:
+					if err := s.pushToViewer(conn, m); err != nil {
+						return
+					}
+				default:
+					_ = wire.WriteMessage(conn, wire.Message{Type: wire.MsgEnd})
+					return
+				}
+			}
+		case m := <-v.out:
+			if err := s.pushToViewer(conn, m); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) pushToViewer(conn net.Conn, m wire.Message) error {
+	if s.cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+	if err := wire.WriteMessage(conn, m); err != nil {
+		return err
+	}
+	if m.Type == wire.MsgFrame || m.Type == wire.MsgSignedFrame {
+		s.stats.FramesOut.Add(1)
+		s.stats.BytesOut.Add(int64(len(m.Body)))
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package rtmp
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestSlowViewerDoesNotBlockBroadcast verifies the backpressure policy: a
+// viewer that stops draining its connection never stalls the broadcast —
+// frames keep flowing to healthy viewers and, once its queue overflows, the
+// stalled session is dropped (production clients would rejoin via HLS).
+func TestSlowViewerDoesNotBlockBroadcast(t *testing.T) {
+	s, addr := startServer(t, ServerConfig{ViewerQueue: 8192})
+	ctx := context.Background()
+	pub, err := Publish(ctx, addr, "b1", "tok", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.End()
+
+	// A raw conn that handshakes as viewer and then never reads.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hs := wire.Handshake{Role: wire.RoleViewer, BroadcastID: "b1"}
+	if err := wire.WriteMessage(conn, wire.Message{Type: wire.MsgHandshake, Body: wire.MarshalHandshake(hs)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ReadMessage(conn); err != nil { // ack
+		t.Fatal(err)
+	}
+
+	// Fast, healthy viewer for comparison.
+	healthy, err := Subscribe(ctx, addr, "b1", "", ViewerOptions{Queue: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+	received := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range healthy.Frames() {
+			received++
+		}
+	}()
+
+	// Overwhelm the stalled viewer's queue. The server never blocks:
+	// frames keep flowing to the healthy viewer.
+	frames := testFrames(600)
+	for i := range frames {
+		if err := pub.Send(&frames[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pub.End()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("healthy viewer starved behind a slow one")
+	}
+	if received != 600 {
+		t.Fatalf("healthy viewer received %d/600", received)
+	}
+	if s.Stats().ActiveViewers.Load() != 0 {
+		t.Fatalf("ActiveViewers = %d after end", s.Stats().ActiveViewers.Load())
+	}
+}
+
+// TestViewerHangupMidStream verifies the server notices a viewer that
+// disconnects abruptly and keeps serving others.
+func TestViewerHangupMidStream(t *testing.T) {
+	s, addr := startServer(t, ServerConfig{})
+	ctx := context.Background()
+	pub, err := Publish(ctx, addr, "b1", "tok", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := Subscribe(ctx, addr, "b1", "", ViewerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Subscribe(ctx, addr, "b1", "", ViewerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+
+	frames := testFrames(20)
+	for i := 0; i < 10; i++ {
+		pub.Send(&frames[i])
+	}
+	v1.Close() // abrupt hangup
+	for i := 10; i < 20; i++ {
+		pub.Send(&frames[i])
+	}
+	pub.End()
+	n := 0
+	for range v2.Frames() {
+		n++
+	}
+	if n != 20 {
+		t.Fatalf("surviving viewer received %d/20", n)
+	}
+	// Active viewer gauge drains to zero.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().ActiveViewers.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("ActiveViewers = %d", s.Stats().ActiveViewers.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestBroadcasterAbruptDisconnect: a crash (no MsgEnd) still ends the
+// broadcast for viewers and fires OnEnd.
+func TestBroadcasterAbruptDisconnect(t *testing.T) {
+	ended := make(chan string, 1)
+	_, addr := startServer(t, ServerConfig{OnEnd: func(id string) { ended <- id }})
+	ctx := context.Background()
+	pub, err := Publish(ctx, addr, "b1", "tok", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Subscribe(ctx, addr, "b1", "", ViewerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	frames := testFrames(3)
+	for i := range frames {
+		pub.Send(&frames[i])
+	}
+	pub.Close() // abort without MsgEnd
+	n := 0
+	for range v.Frames() {
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("viewer received %d/3 before crash", n)
+	}
+	select {
+	case id := <-ended:
+		if id != "b1" {
+			t.Fatalf("OnEnd(%q)", id)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnEnd never fired after broadcaster crash")
+	}
+}
+
+// TestConcurrentBroadcasts checks stream isolation.
+func TestConcurrentBroadcasts(t *testing.T) {
+	_, addr := startServer(t, ServerConfig{})
+	ctx := context.Background()
+	pubA, err := Publish(ctx, addr, "a", "tok", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubB, err := Publish(ctx, addr, "b", "tok", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vA, err := Subscribe(ctx, addr, "a", "", ViewerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vA.Close()
+	vB, err := Subscribe(ctx, addr, "b", "", ViewerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vB.Close()
+
+	fa := testFrames(5)
+	fb := testFrames(9)
+	for i := range fa {
+		pubA.Send(&fa[i])
+	}
+	for i := range fb {
+		pubB.Send(&fb[i])
+	}
+	pubA.End()
+	pubB.End()
+	na, nb := 0, 0
+	for range vA.Frames() {
+		na++
+	}
+	for range vB.Frames() {
+		nb++
+	}
+	if na != 5 || nb != 9 {
+		t.Fatalf("cross-stream leak: a=%d b=%d", na, nb)
+	}
+}
+
+// TestGarbageHandshakeIgnored: junk connections must not crash the server.
+func TestGarbageHandshakeIgnored(t *testing.T) {
+	_, addr := startServer(t, ServerConfig{})
+	for _, junk := range [][]byte{
+		{},
+		{0xFF, 0xFF},
+		{byte(wire.MsgFrame), 0, 0, 0, 1, 42}, // valid frame msg, but not a handshake
+		{byte(wire.MsgHandshake), 0, 0, 0, 2, 1, 2}, // handshake with garbage body
+	} {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Write(junk)
+		conn.Close()
+	}
+	// Server still serves.
+	pub, err := Publish(context.Background(), addr, "ok", "tok", nil)
+	if err != nil {
+		t.Fatalf("server unusable after junk: %v", err)
+	}
+	pub.End()
+}

@@ -1,0 +1,120 @@
+package security
+
+import (
+	"crypto/ed25519"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/media"
+)
+
+// The §7.1 attack applies to both delivery paths: "the attacker can modify
+// the RTMP packets or HLS chunks using a similar approach". HTTPInterceptor
+// is the HLS-side man-in-the-middle: a transparent proxy on the viewer's
+// network that rewrites chunk downloads in flight.
+
+// HTTPInterceptorStats count the HLS attack's activity.
+type HTTPInterceptorStats struct {
+	Requests       atomic.Int64
+	ChunksSeen     atomic.Int64
+	ChunksTampered atomic.Int64
+}
+
+// HTTPInterceptor rewrites HLS chunk responses passing through it.
+type HTTPInterceptor struct {
+	// Target is the genuine edge base URL (scheme://host:port).
+	Target string
+	// Tamper rewrites frames inside chunks; nil relays untouched.
+	Tamper Tamper
+	// Client performs upstream fetches; defaults to http.DefaultClient.
+	Client *http.Client
+
+	stats HTTPInterceptorStats
+}
+
+// Stats exposes the counters.
+func (h *HTTPInterceptor) Stats() *HTTPInterceptorStats { return &h.stats }
+
+func (h *HTTPInterceptor) client() *http.Client {
+	if h.Client != nil {
+		return h.Client
+	}
+	return http.DefaultClient
+}
+
+// ServeHTTP implements the transparent proxy.
+func (h *HTTPInterceptor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.stats.Requests.Add(1)
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, h.Target+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	resp, err := h.client().Do(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	if resp.StatusCode == http.StatusOK && isChunkPath(r.URL.Path) && h.Tamper != nil {
+		if chunk, err := media.UnmarshalChunk(body); err == nil {
+			h.stats.ChunksSeen.Add(1)
+			changed := false
+			for i := range chunk.Frames {
+				// The attacker rewrites payloads; it cannot forge
+				// the embedded §7.2 signatures, which now cover
+				// stale content.
+				if h.Tamper(&chunk.Frames[i]) {
+					changed = true
+				}
+			}
+			if changed {
+				body = media.MarshalChunk(chunk)
+				h.stats.ChunksTampered.Add(1)
+			}
+		}
+	}
+	for k, vs := range resp.Header {
+		if strings.EqualFold(k, "Content-Length") {
+			continue
+		}
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	if _, err := w.Write(body); err != nil {
+		return
+	}
+}
+
+func isChunkPath(p string) bool {
+	return strings.Contains(p, "/chunk/")
+}
+
+// VerifyChunk checks every signed frame in a chunk against the broadcaster
+// key, returning (verified, tampered, unsigned) counts. A §7.2-protected
+// viewer treats tampered > 0 or unsigned > 0 on a signed stream as an
+// attack indicator.
+func VerifyChunk(pub ed25519.PublicKey, c *media.Chunk) (verified, tampered, unsigned int) {
+	for i := range c.Frames {
+		f := &c.Frames[i]
+		if len(f.Sig) != media.FrameSigSize {
+			unsigned++
+			continue
+		}
+		if ed25519.Verify(pub, f.UnsignedBytes(), f.Sig) {
+			verified++
+		} else {
+			tampered++
+		}
+	}
+	return verified, tampered, unsigned
+}

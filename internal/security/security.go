@@ -1,0 +1,250 @@
+// Package security reproduces §7: the stream-hijacking vulnerability and its
+// countermeasure. Because the RTMP-like path is unencrypted and frames are
+// unauthenticated, an on-path attacker (the paper used ARP spoofing on a
+// shared WiFi) can silently replace video content at the broadcaster's or a
+// viewer's edge network. The Interceptor here is that attacker: a
+// protocol-aware man-in-the-middle that rewrites MsgFrame bodies in flight.
+//
+// The defense (§7.2) is the signature scheme the paper proposed to both
+// companies: the broadcaster exchanges an Ed25519 key pair with the control
+// plane over the secure channel, signs a hash of every frame, and servers
+// and viewers verify — implemented in the rtmp and control packages; this
+// package supplies the key utilities and canonical tamper payloads.
+package security
+
+import (
+	"context"
+	"crypto/ed25519"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/media"
+	"repro/internal/wire"
+)
+
+// GenerateKeyPair creates the broadcaster's signing keys (§7.2 exchanges the
+// public half with the server over TLS).
+func GenerateKeyPair() (ed25519.PublicKey, ed25519.PrivateKey, error) {
+	pub, priv, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("security: keygen: %w", err)
+	}
+	return pub, priv, nil
+}
+
+// FrameDigest hashes a frame's wire bytes; §7.2 signs "a secure one-way
+// hash of each frame".
+func FrameDigest(frameBytes []byte) [32]byte { return sha256.Sum256(frameBytes) }
+
+// SignFrame signs a frame's wire bytes.
+func SignFrame(priv ed25519.PrivateKey, frameBytes []byte) []byte {
+	return ed25519.Sign(priv, frameBytes)
+}
+
+// VerifyFrame checks a frame signature.
+func VerifyFrame(pub ed25519.PublicKey, frameBytes, sig []byte) bool {
+	return ed25519.Verify(pub, frameBytes, sig)
+}
+
+// Tamper mutates a frame in place and reports whether it changed anything.
+type Tamper func(f *media.Frame) bool
+
+// BlackFrames is the paper's proof-of-concept payload: replace the video
+// content with black frames while keeping size, sequence and timestamps so
+// neither endpoint notices at the protocol level.
+func BlackFrames() Tamper {
+	return func(f *media.Frame) bool {
+		for i := range f.Payload {
+			f.Payload[i] = 0
+		}
+		return true
+	}
+}
+
+// ReplacePayload substitutes attacker-chosen content.
+func ReplacePayload(content []byte) Tamper {
+	return func(f *media.Frame) bool {
+		f.Payload = append([]byte(nil), content...)
+		return true
+	}
+}
+
+// InterceptorStats count what the attacker saw and changed.
+type InterceptorStats struct {
+	Connections    atomic.Int64
+	FramesSeen     atomic.Int64
+	FramesTampered atomic.Int64
+	SignedSeen     atomic.Int64
+}
+
+// InterceptorConfig configures the man-in-the-middle.
+type InterceptorConfig struct {
+	// Target is the genuine server address the victim believes it talks
+	// to (the ARP-spoofing attacker transparently forwards there).
+	Target string
+	// Tamper rewrites plaintext frames; nil relays untouched.
+	Tamper Tamper
+	// TamperSigned also rewrites signed frames. The attacker cannot
+	// re-sign, so this demonstrates the defense: the rewritten frame
+	// fails verification downstream.
+	TamperSigned bool
+}
+
+// Interceptor is the §7.1 attacker process.
+type Interceptor struct {
+	cfg   InterceptorConfig
+	stats InterceptorStats
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewInterceptor builds an Interceptor.
+func NewInterceptor(cfg InterceptorConfig) *Interceptor {
+	return &Interceptor{cfg: cfg}
+}
+
+// Stats exposes the attack counters.
+func (ic *Interceptor) Stats() *InterceptorStats { return &ic.stats }
+
+// Listen starts the MITM on addr; victims connecting there are relayed to
+// the target with frames rewritten.
+func (ic *Interceptor) Listen(ctx context.Context, addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("security: interceptor listen: %w", err)
+	}
+	ic.mu.Lock()
+	ic.ln = ln
+	ic.mu.Unlock()
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	go ic.acceptLoop(ln)
+	return ln, nil
+}
+
+func (ic *Interceptor) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		ic.stats.Connections.Add(1)
+		ic.wg.Add(1)
+		go func() {
+			defer ic.wg.Done()
+			ic.handle(conn)
+		}()
+	}
+}
+
+// Close stops the interceptor.
+func (ic *Interceptor) Close() error {
+	ic.mu.Lock()
+	ic.closed = true
+	ln := ic.ln
+	ic.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	ic.wg.Wait()
+	return err
+}
+
+func (ic *Interceptor) handle(victim net.Conn) {
+	defer victim.Close()
+	upstream, err := net.Dial("tcp", ic.cfg.Target)
+	if err != nil {
+		return
+	}
+	defer upstream.Close()
+	done := make(chan struct{}, 2)
+	// Tamper both directions: broadcaster-side attacks rewrite uploads,
+	// viewer-side attacks rewrite downloads. Frames only flow one way on
+	// a given connection, so this covers both §7.1 scenarios.
+	go func() { ic.relay(upstream, victim); done <- struct{}{} }()
+	go func() { ic.relay(victim, upstream); done <- struct{}{} }()
+	<-done
+}
+
+// relay copies protocol messages from src to dst, rewriting frames.
+func (ic *Interceptor) relay(dst io.Writer, src io.Reader) {
+	for {
+		msg, err := wire.ReadMessage(src)
+		if err != nil {
+			return
+		}
+		switch msg.Type {
+		case wire.MsgFrame:
+			ic.stats.FramesSeen.Add(1)
+			if ic.cfg.Tamper != nil {
+				if f, _, err := media.UnmarshalFrame(msg.Body); err == nil {
+					if ic.cfg.Tamper(&f) {
+						msg.Body = media.MarshalFrame(nil, &f)
+						ic.stats.FramesTampered.Add(1)
+					}
+				}
+			}
+		case wire.MsgSignedFrame:
+			ic.stats.FramesSeen.Add(1)
+			ic.stats.SignedSeen.Add(1)
+			if ic.cfg.Tamper != nil && ic.cfg.TamperSigned {
+				if fb, sig, err := wire.UnmarshalSignedFrame(msg.Body); err == nil {
+					if f, _, err := media.UnmarshalFrame(fb); err == nil && ic.cfg.Tamper(&f) {
+						// The attacker cannot forge the
+						// signature; it re-attaches the old
+						// one, which will fail verification.
+						if body, err := wire.MarshalSignedFrame(media.MarshalFrame(nil, &f), sig); err == nil {
+							msg.Body = body
+							ic.stats.FramesTampered.Add(1)
+						}
+					}
+				}
+			}
+		}
+		if err := wire.WriteMessage(dst, msg); err != nil {
+			return
+		}
+	}
+}
+
+// ErrTampered reports that a received frame failed its integrity check.
+var ErrTampered = errors.New("security: frame failed verification")
+
+// AuditFrames compares sent and received payload patterns, returning how
+// many were altered in flight — the validation step of the paper's
+// proof-of-concept (Figure 18's black screen).
+func AuditFrames(sent, received []media.Frame) (tampered int) {
+	n := len(sent)
+	if len(received) < n {
+		n = len(received)
+	}
+	for i := 0; i < n; i++ {
+		if !equalBytes(sent[i].Payload, received[i].Payload) {
+			tampered++
+		}
+	}
+	return tampered
+}
+
+func equalBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

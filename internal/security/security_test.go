@@ -1,0 +1,326 @@
+package security
+
+import (
+	"context"
+	"crypto/ed25519"
+	"testing"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/rng"
+	"repro/internal/rtmp"
+)
+
+func frames(n int) []media.Frame {
+	enc := media.NewEncoder(media.EncoderConfig{}, rng.New(1))
+	base := time.Now()
+	out := make([]media.Frame, n)
+	for i := range out {
+		out[i] = enc.Next(base.Add(time.Duration(i) * media.FrameDuration))
+	}
+	return out
+}
+
+func TestSignVerifyRoundtrip(t *testing.T) {
+	pub, priv, err := GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := frames(1)[0]
+	fb := media.MarshalFrame(nil, &f)
+	sig := SignFrame(priv, fb)
+	if !VerifyFrame(pub, fb, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	fb[len(fb)-1] ^= 1
+	if VerifyFrame(pub, fb, sig) {
+		t.Fatal("tampered frame verified")
+	}
+}
+
+func TestFrameDigestDeterministic(t *testing.T) {
+	f := frames(1)[0]
+	fb := media.MarshalFrame(nil, &f)
+	if FrameDigest(fb) != FrameDigest(fb) {
+		t.Fatal("digest not deterministic")
+	}
+	fb2 := append([]byte(nil), fb...)
+	fb2[0] ^= 1
+	if FrameDigest(fb) == FrameDigest(fb2) {
+		t.Fatal("distinct inputs collided")
+	}
+}
+
+func TestTamperFuncs(t *testing.T) {
+	f := frames(1)[0]
+	orig := append([]byte(nil), f.Payload...)
+	if !BlackFrames()(&f) {
+		t.Fatal("BlackFrames reported no change")
+	}
+	for _, b := range f.Payload {
+		if b != 0 {
+			t.Fatal("payload not blacked out")
+		}
+	}
+	if len(f.Payload) != len(orig) {
+		t.Fatal("BlackFrames changed payload size (detectable)")
+	}
+	ReplacePayload([]byte("pwned"))(&f)
+	if string(f.Payload) != "pwned" {
+		t.Fatal("ReplacePayload failed")
+	}
+}
+
+// startVictimServer runs an rtmp server acting as the Wowza target.
+func startVictimServer(t *testing.T, cfg rtmp.ServerConfig) (srv *rtmp.Server, addr string) {
+	t.Helper()
+	s := rtmp.NewServer(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	ln, err := s.Listen(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cancel(); s.Close() })
+	return s, ln.Addr().String()
+}
+
+func startMITM(t *testing.T, cfg InterceptorConfig) string {
+	t.Helper()
+	ic := NewInterceptor(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	ln, err := ic.Listen(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cancel(); ic.Close() })
+	return ln.Addr().String()
+}
+
+func TestBroadcasterSideHijack(t *testing.T) {
+	// §7.1: attacker on the broadcaster's WiFi rewrites the upload; all
+	// viewers see black frames while the broadcaster sees the original.
+	_, serverAddr := startVictimServer(t, rtmp.ServerConfig{})
+	mitmAddr := startMITM(t, InterceptorConfig{Target: serverAddr, Tamper: BlackFrames()})
+	ctx := context.Background()
+
+	// The victim broadcaster unknowingly connects through the attacker.
+	pub, err := rtmp.Publish(ctx, mitmAddr, "b1", "tok", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := rtmp.Subscribe(ctx, serverAddr, "b1", "tok", rtmp.ViewerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer view.Close()
+
+	sent := frames(10)
+	for i := range sent {
+		if err := pub.Send(&sent[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pub.End()
+
+	var received []media.Frame
+	for rf := range view.Frames() {
+		received = append(received, rf.Frame)
+	}
+	if len(received) != 10 {
+		t.Fatalf("viewer received %d/10 frames", len(received))
+	}
+	if n := AuditFrames(sent, received); n != 10 {
+		t.Fatalf("tampered frames = %d, want all 10", n)
+	}
+	for _, f := range received {
+		for _, b := range f.Payload {
+			if b != 0 {
+				t.Fatal("viewer frame not fully blacked out")
+			}
+		}
+	}
+}
+
+func TestViewerSideHijack(t *testing.T) {
+	// §7.1 variant: attacker on one viewer's network; only that viewer
+	// is affected.
+	_, serverAddr := startVictimServer(t, rtmp.ServerConfig{})
+	mitmAddr := startMITM(t, InterceptorConfig{Target: serverAddr, Tamper: BlackFrames()})
+	ctx := context.Background()
+
+	pub, err := rtmp.Publish(ctx, serverAddr, "b1", "tok", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := rtmp.Subscribe(ctx, mitmAddr, "b1", "tok", rtmp.ViewerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Close()
+	clean, err := rtmp.Subscribe(ctx, serverAddr, "b1", "tok", rtmp.ViewerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clean.Close()
+
+	sent := frames(5)
+	for i := range sent {
+		pub.Send(&sent[i])
+	}
+	pub.End()
+
+	var victimGot, cleanGot []media.Frame
+	for rf := range victim.Frames() {
+		victimGot = append(victimGot, rf.Frame)
+	}
+	for rf := range clean.Frames() {
+		cleanGot = append(cleanGot, rf.Frame)
+	}
+	if n := AuditFrames(sent, victimGot); n != 5 {
+		t.Fatalf("victim tampered frames = %d, want 5", n)
+	}
+	if n := AuditFrames(sent, cleanGot); n != 0 {
+		t.Fatalf("clean viewer tampered frames = %d, want 0", n)
+	}
+}
+
+type keyAuth struct{ pub ed25519.PublicKey }
+
+func (keyAuth) Authorize(string, string, string) bool { return true }
+func (a keyAuth) PublicKey(string) ed25519.PublicKey  { return a.pub }
+
+func TestDefenseBlocksBroadcasterSideTamper(t *testing.T) {
+	// §7.2: with signed frames, the server detects the rewrite and drops
+	// the tampered content.
+	pub, priv, err := GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, serverAddr := startVictimServer(t, rtmp.ServerConfig{Auth: keyAuth{pub: pub}})
+	mitmAddr := startMITM(t, InterceptorConfig{
+		Target: serverAddr, Tamper: BlackFrames(), TamperSigned: true,
+	})
+	ctx := context.Background()
+
+	publisher, err := rtmp.Publish(ctx, mitmAddr, "b1", "tok", priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := rtmp.Subscribe(ctx, serverAddr, "b1", "tok", rtmp.ViewerOptions{PubKey: pub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer view.Close()
+
+	sent := frames(5)
+	for i := range sent {
+		publisher.Send(&sent[i])
+	}
+	publisher.End()
+
+	got := 0
+	for range view.Frames() {
+		got++
+	}
+	if got != 0 {
+		t.Fatalf("viewer received %d tampered frames through defense", got)
+	}
+	if srv.Stats().TamperedFrames.Load() != 5 {
+		t.Fatalf("server detected %d/5 tampered frames", srv.Stats().TamperedFrames.Load())
+	}
+}
+
+func TestDefensePassesUntamperedSignedStream(t *testing.T) {
+	pub, priv, err := GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, serverAddr := startVictimServer(t, rtmp.ServerConfig{Auth: keyAuth{pub: pub}})
+	// MITM present but only relaying (it cannot alter without detection,
+	// so a rational attacker gains nothing).
+	mitmAddr := startMITM(t, InterceptorConfig{Target: serverAddr})
+	ctx := context.Background()
+
+	publisher, err := rtmp.Publish(ctx, mitmAddr, "b1", "tok", priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := rtmp.Subscribe(ctx, serverAddr, "b1", "tok", rtmp.ViewerOptions{PubKey: pub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer view.Close()
+
+	sent := frames(5)
+	for i := range sent {
+		publisher.Send(&sent[i])
+	}
+	publisher.End()
+
+	got := 0
+	for rf := range view.Frames() {
+		if !rf.Verified {
+			t.Fatal("relayed signed frame failed viewer verification")
+		}
+		got++
+	}
+	if got != 5 {
+		t.Fatalf("received %d/5 signed frames through passive MITM", got)
+	}
+}
+
+func TestViewerSideDefenseDetection(t *testing.T) {
+	// Viewer-side rewrite of a signed stream: the viewer's own
+	// verification flags every frame (Wowza forwarded the key, §7.2).
+	pub, priv, err := GenerateKeyPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, serverAddr := startVictimServer(t, rtmp.ServerConfig{Auth: keyAuth{pub: pub}})
+	mitmAddr := startMITM(t, InterceptorConfig{
+		Target: serverAddr, Tamper: BlackFrames(), TamperSigned: true,
+	})
+	ctx := context.Background()
+
+	publisher, err := rtmp.Publish(ctx, serverAddr, "b1", "tok", priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := rtmp.Subscribe(ctx, mitmAddr, "b1", "tok", rtmp.ViewerOptions{PubKey: pub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Close()
+
+	sent := frames(5)
+	for i := range sent {
+		publisher.Send(&sent[i])
+	}
+	publisher.End()
+
+	flagged, total := 0, 0
+	for rf := range victim.Frames() {
+		total++
+		if !rf.Verified {
+			flagged++
+		}
+	}
+	if total != 5 || flagged != 5 {
+		t.Fatalf("flagged %d/%d frames, want 5/5", flagged, total)
+	}
+}
+
+func TestAuditFrames(t *testing.T) {
+	a := frames(3)
+	b := frames(3)
+	if AuditFrames(a, b) != 0 {
+		t.Fatal("identical streams reported tampered")
+	}
+	b[1].Payload[0] ^= 0xFF
+	if AuditFrames(a, b) != 1 {
+		t.Fatal("single tamper not detected")
+	}
+	if AuditFrames(a, b[:1]) != 0 {
+		t.Fatal("length mismatch mishandled")
+	}
+}

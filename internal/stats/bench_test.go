@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func benchSample(n int) []float64 {
+	src := rng.New(1)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = src.LogNormal(0, 1.5)
+	}
+	return xs
+}
+
+func BenchmarkNewCDF(b *testing.B) {
+	xs := benchSample(10_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NewCDF(xs)
+	}
+}
+
+func BenchmarkCDFAt(b *testing.B) {
+	c := NewCDF(benchSample(10_000))
+	for i := 0; i < b.N; i++ {
+		c.At(float64(i % 100))
+	}
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	xs := benchSample(10_000)
+	for i := 0; i < b.N; i++ {
+		Summarize(xs)
+	}
+}
+
+func BenchmarkSpearman(b *testing.B) {
+	xs := benchSample(5_000)
+	ys := benchSample(5_000)
+	for i := 0; i < b.N; i++ {
+		SpearmanRho(xs, ys)
+	}
+}

@@ -1,0 +1,36 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ExampleCDF builds an empirical CDF the way every figure in the
+// reproduction does.
+func ExampleCDF() {
+	durations := []float64{1, 2, 2, 3, 5, 8, 13, 40} // broadcast minutes
+	cdf := stats.NewCDF(durations)
+	fmt.Printf("P(duration < 10min) = %.2f\n", cdf.At(10))
+	fmt.Printf("median = %.1f min\n", cdf.Quantile(0.5))
+	// Output:
+	// P(duration < 10min) = 0.75
+	// median = 4.0 min
+}
+
+// ExampleTable renders paper-style rows.
+func ExampleTable() {
+	t := &stats.Table{
+		Title:   "Example",
+		Headers: []string{"App", "Broadcasts"},
+	}
+	t.AddRow("Periscope", stats.FormatCount(19_600_000))
+	t.AddRow("Meerkat", stats.FormatCount(164_000))
+	fmt.Print(t.String())
+	// Output:
+	// Example
+	// App        Broadcasts
+	// ---------------------
+	// Periscope  19.6M
+	// Meerkat    164K
+}

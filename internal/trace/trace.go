@@ -1,0 +1,155 @@
+// Package trace defines the measurement records the crawler persists and
+// the anonymization applied before analysis. The paper stored only metadata
+// — broadcast IDs, timestamps, viewer join times, comment/heart timestamps,
+// never content — and "all identifiers are securely anonymized before
+// analysis" (§3.1); Anonymizer reproduces that with keyed HMAC-SHA256 so
+// equal IDs stay joinable across records without being reversible.
+package trace
+
+import (
+	"bufio"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// BroadcastRecord is one crawled broadcast's metadata (§3.1 field list).
+type BroadcastRecord struct {
+	BroadcastID string    `json:"broadcast_id"`
+	Broadcaster string    `json:"broadcaster"`
+	StartedAt   time.Time `json:"started_at"`
+	EndedAt     time.Time `json:"ended_at,omitempty"`
+	Joins       []Join    `json:"joins,omitempty"`
+	Events      []Event   `json:"events,omitempty"`
+}
+
+// Join is one viewer arrival.
+type Join struct {
+	UserID string    `json:"user_id"`
+	At     time.Time `json:"at"`
+}
+
+// Event is one timestamped comment or heart (no content is stored).
+type Event struct {
+	UserID string    `json:"user_id"`
+	Kind   string    `json:"kind"`
+	At     time.Time `json:"at"`
+}
+
+// DelayRecord is one chunk/frame delay observation from the measurement
+// crawlers (§4.3).
+type DelayRecord struct {
+	BroadcastID string        `json:"broadcast_id"`
+	Kind        string        `json:"kind"` // "frame" or "chunk"
+	Seq         uint64        `json:"seq"`
+	CapturedAt  time.Time     `json:"captured_at"`
+	OriginAt    time.Time     `json:"origin_at,omitempty"`
+	EdgeAt      time.Time     `json:"edge_at,omitempty"`
+	Delay       time.Duration `json:"delay"`
+}
+
+// Anonymizer pseudonymizes identifiers with HMAC-SHA256 under a secret key.
+type Anonymizer struct {
+	key []byte
+}
+
+// NewAnonymizer builds an Anonymizer; the key never leaves the process.
+func NewAnonymizer(key []byte) *Anonymizer {
+	return &Anonymizer{key: append([]byte(nil), key...)}
+}
+
+// Anonymize maps an identifier to a stable 16-hex-char pseudonym.
+func (a *Anonymizer) Anonymize(id string) string {
+	mac := hmac.New(sha256.New, a.key)
+	mac.Write([]byte(id))
+	return hex.EncodeToString(mac.Sum(nil)[:8])
+}
+
+// AnonymizeRecord returns a copy of r with all identifiers pseudonymized.
+func (a *Anonymizer) AnonymizeRecord(r BroadcastRecord) BroadcastRecord {
+	out := r
+	out.BroadcastID = a.Anonymize(r.BroadcastID)
+	out.Broadcaster = a.Anonymize(r.Broadcaster)
+	out.Joins = make([]Join, len(r.Joins))
+	for i, j := range r.Joins {
+		out.Joins[i] = Join{UserID: a.Anonymize(j.UserID), At: j.At}
+	}
+	out.Events = make([]Event, len(r.Events))
+	for i, e := range r.Events {
+		out.Events[i] = Event{UserID: a.Anonymize(e.UserID), Kind: e.Kind, At: e.At}
+	}
+	return out
+}
+
+// Writer streams records as JSON lines.
+type Writer struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one record as a JSON line.
+func (w *Writer) Write(v interface{}) error {
+	if err := w.enc.Encode(v); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return nil
+}
+
+// Flush commits buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// ReadBroadcasts parses a JSONL stream of BroadcastRecords.
+func ReadBroadcasts(r io.Reader) ([]BroadcastRecord, error) {
+	var out []BroadcastRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec BroadcastRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scan: %w", err)
+	}
+	return out, nil
+}
+
+// ReadDelays parses a JSONL stream of DelayRecords.
+func ReadDelays(r io.Reader) ([]DelayRecord, error) {
+	var out []DelayRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec DelayRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: scan: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAnonymizeStable(t *testing.T) {
+	a := NewAnonymizer([]byte("secret"))
+	if a.Anonymize("user-1") != a.Anonymize("user-1") {
+		t.Fatal("pseudonym not stable")
+	}
+	if a.Anonymize("user-1") == a.Anonymize("user-2") {
+		t.Fatal("distinct IDs collided")
+	}
+	b := NewAnonymizer([]byte("other-key"))
+	if a.Anonymize("user-1") == b.Anonymize("user-1") {
+		t.Fatal("pseudonym independent of key")
+	}
+	if got := a.Anonymize("user-1"); len(got) != 16 {
+		t.Fatalf("pseudonym length = %d", len(got))
+	}
+}
+
+func TestAnonymizeRecord(t *testing.T) {
+	a := NewAnonymizer([]byte("k"))
+	rec := BroadcastRecord{
+		BroadcastID: "b1",
+		Broadcaster: "alice",
+		StartedAt:   time.Unix(100, 0),
+		Joins:       []Join{{UserID: "bob", At: time.Unix(101, 0)}},
+		Events:      []Event{{UserID: "bob", Kind: "heart", At: time.Unix(102, 0)}},
+	}
+	anon := a.AnonymizeRecord(rec)
+	if anon.BroadcastID == "b1" || anon.Broadcaster == "alice" || anon.Joins[0].UserID == "bob" {
+		t.Fatal("identifiers leaked")
+	}
+	// Join and event by the same user stay joinable.
+	if anon.Joins[0].UserID != anon.Events[0].UserID {
+		t.Fatal("pseudonyms not consistent within record")
+	}
+	// Timestamps are preserved (the analysis needs them).
+	if !anon.Joins[0].At.Equal(rec.Joins[0].At) {
+		t.Fatal("timestamps altered")
+	}
+	// Original untouched.
+	if rec.BroadcastID != "b1" {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestBroadcastJSONLRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := []BroadcastRecord{
+		{BroadcastID: "b1", Broadcaster: "u1", StartedAt: time.Unix(1, 0).UTC()},
+		{BroadcastID: "b2", Broadcaster: "u2", StartedAt: time.Unix(2, 0).UTC(),
+			Joins: []Join{{UserID: "v", At: time.Unix(3, 0).UTC()}}},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBroadcasts(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].BroadcastID != "b1" || len(got[1].Joins) != 1 {
+		t.Fatalf("roundtrip = %+v", got)
+	}
+}
+
+func TestDelayJSONLRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	rec := DelayRecord{BroadcastID: "b", Kind: "chunk", Seq: 7, Delay: 1500 * time.Millisecond}
+	if err := w.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	got, err := ReadDelays(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Seq != 7 || got[0].Delay != 1500*time.Millisecond {
+		t.Fatalf("roundtrip = %+v", got)
+	}
+}
+
+func TestReadBroadcastsBadLine(t *testing.T) {
+	if _, err := ReadBroadcasts(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("bad line accepted")
+	}
+	if _, err := ReadDelays(strings.NewReader("{nope\n")); err == nil {
+		t.Fatal("bad delay line accepted")
+	}
+}
+
+func TestReadSkipsEmptyLines(t *testing.T) {
+	in := "\n{\"broadcast_id\":\"b1\"}\n\n"
+	got, err := ReadBroadcasts(strings.NewReader(in))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+// Property: anonymization is injective in practice and deterministic.
+func TestAnonymizeProperty(t *testing.T) {
+	a := NewAnonymizer([]byte("prop-key"))
+	seen := map[string]string{}
+	f := func(id string) bool {
+		p := a.Anonymize(id)
+		if p == id && id != "" {
+			return false // must not be identity
+		}
+		if prev, ok := seen[p]; ok && prev != id {
+			return false // collision
+		}
+		seen[p] = id
+		return p == a.Anonymize(id)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,204 @@
+// Package wire defines the message framing of the RTMP-like protocol: a
+// one-byte type, a big-endian length, and an opaque body. Faithful to the
+// weakness the paper exploits in §7, the protocol is unencrypted and — until
+// the signature defense is enabled — unauthenticated beyond the plaintext
+// broadcast token sent at handshake time.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MsgType identifies a protocol message.
+type MsgType uint8
+
+// Protocol messages.
+const (
+	// MsgHandshake opens a session; body is a Handshake.
+	MsgHandshake MsgType = iota + 1
+	// MsgHandshakeAck answers a handshake; body is an Ack.
+	MsgHandshakeAck
+	// MsgFrame carries one media.Frame (media wire form).
+	MsgFrame
+	// MsgSignedFrame carries a frame plus an Ed25519 signature:
+	// [frameLen uint32][frame][sig 64B] (§7.2 defense).
+	MsgSignedFrame
+	// MsgEnd announces the end of a broadcast; empty body.
+	MsgEnd
+)
+
+// Roles in a handshake.
+const (
+	RoleBroadcaster = "broadcaster"
+	RoleViewer      = "viewer"
+)
+
+// Ack status codes.
+const (
+	StatusOK        = "ok"
+	StatusBadToken  = "bad-token"
+	StatusFull      = "full" // RTMP viewer cap reached: fall back to HLS
+	StatusNotFound  = "not-found"
+	StatusDuplicate = "duplicate-broadcaster"
+)
+
+// MaxBody bounds message bodies against malicious length prefixes.
+const MaxBody = 32 << 20
+
+// ErrBodyTooLarge reports a length prefix above MaxBody.
+var ErrBodyTooLarge = errors.New("wire: message body exceeds limit")
+
+// Handshake is the session-opening message. Token is sent in plaintext —
+// the §7.1 vulnerability.
+type Handshake struct {
+	Role        string
+	BroadcastID string
+	Token       string
+	// BufferMs is the stream buffer the viewer requests; the paper's
+	// crawler sets 0 so every frame is pushed immediately (§4.3).
+	BufferMs uint32
+}
+
+// Ack is the server's handshake reply.
+type Ack struct {
+	Status  string
+	Message string
+}
+
+// Message is one framed protocol unit.
+type Message struct {
+	Type MsgType
+	Body []byte
+}
+
+// WriteMessage frames and writes a message.
+func WriteMessage(w io.Writer, m Message) error {
+	if len(m.Body) > MaxBody {
+		return ErrBodyTooLarge
+	}
+	hdr := make([]byte, 5, 5+len(m.Body))
+	hdr[0] = byte(m.Type)
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(m.Body)))
+	if _, err := w.Write(append(hdr, m.Body...)); err != nil {
+		return fmt.Errorf("wire: write: %w", err)
+	}
+	return nil
+}
+
+// ReadMessage reads one framed message.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:5])
+	if n > MaxBody {
+		return Message{}, ErrBodyTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Message{}, fmt.Errorf("wire: read body: %w", err)
+	}
+	return Message{Type: MsgType(hdr[0]), Body: body}, nil
+}
+
+// appendString appends a length-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(s)))
+	dst = append(dst, l[:]...)
+	return append(dst, s...)
+}
+
+// readString consumes a length-prefixed string.
+func readString(data []byte) (string, []byte, error) {
+	if len(data) < 2 {
+		return "", nil, errors.New("wire: short string length")
+	}
+	n := int(binary.BigEndian.Uint16(data))
+	if len(data) < 2+n {
+		return "", nil, errors.New("wire: short string body")
+	}
+	return string(data[2 : 2+n]), data[2+n:], nil
+}
+
+// MarshalHandshake encodes a Handshake body.
+func MarshalHandshake(h Handshake) []byte {
+	buf := appendString(nil, h.Role)
+	buf = appendString(buf, h.BroadcastID)
+	buf = appendString(buf, h.Token)
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], h.BufferMs)
+	return append(buf, b[:]...)
+}
+
+// UnmarshalHandshake decodes a Handshake body.
+func UnmarshalHandshake(data []byte) (Handshake, error) {
+	var h Handshake
+	var err error
+	if h.Role, data, err = readString(data); err != nil {
+		return h, fmt.Errorf("wire: handshake role: %w", err)
+	}
+	if h.BroadcastID, data, err = readString(data); err != nil {
+		return h, fmt.Errorf("wire: handshake broadcast: %w", err)
+	}
+	if h.Token, data, err = readString(data); err != nil {
+		return h, fmt.Errorf("wire: handshake token: %w", err)
+	}
+	if len(data) < 4 {
+		return h, errors.New("wire: handshake missing buffer")
+	}
+	h.BufferMs = binary.BigEndian.Uint32(data)
+	return h, nil
+}
+
+// MarshalAck encodes an Ack body.
+func MarshalAck(a Ack) []byte {
+	buf := appendString(nil, a.Status)
+	return appendString(buf, a.Message)
+}
+
+// UnmarshalAck decodes an Ack body.
+func UnmarshalAck(data []byte) (Ack, error) {
+	var a Ack
+	var err error
+	if a.Status, data, err = readString(data); err != nil {
+		return a, fmt.Errorf("wire: ack status: %w", err)
+	}
+	if a.Message, _, err = readString(data); err != nil {
+		return a, fmt.Errorf("wire: ack message: %w", err)
+	}
+	return a, nil
+}
+
+// SignatureSize is the Ed25519 signature length used by MsgSignedFrame.
+const SignatureSize = 64
+
+// MarshalSignedFrame encodes [frameLen][frameBytes][sig].
+func MarshalSignedFrame(frameBytes, sig []byte) ([]byte, error) {
+	if len(sig) != SignatureSize {
+		return nil, fmt.Errorf("wire: signature length %d, want %d", len(sig), SignatureSize)
+	}
+	buf := make([]byte, 4, 4+len(frameBytes)+SignatureSize)
+	binary.BigEndian.PutUint32(buf, uint32(len(frameBytes)))
+	buf = append(buf, frameBytes...)
+	return append(buf, sig...), nil
+}
+
+// UnmarshalSignedFrame decodes a signed-frame body into frame bytes and
+// signature.
+func UnmarshalSignedFrame(data []byte) (frameBytes, sig []byte, err error) {
+	if len(data) < 4 {
+		return nil, nil, errors.New("wire: short signed frame")
+	}
+	n := binary.BigEndian.Uint32(data)
+	if uint64(len(data)) < 4+uint64(n)+SignatureSize {
+		return nil, nil, errors.New("wire: truncated signed frame")
+	}
+	frameBytes = data[4 : 4+n]
+	sig = data[4+n : 4+n+SignatureSize]
+	return frameBytes, sig, nil
+}

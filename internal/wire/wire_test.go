@@ -1,0 +1,148 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		{Type: MsgHandshake, Body: []byte("hello")},
+		{Type: MsgFrame, Body: []byte{0, 1, 2}},
+		{Type: MsgEnd, Body: nil},
+	}
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != want.Type || !bytes.Equal(got.Body, want.Body) {
+			t.Fatalf("roundtrip mismatch: %+v vs %+v", got, want)
+		}
+	}
+}
+
+func TestMessageTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, Message{Type: MsgFrame, Body: make([]byte, MaxBody+1)}); err != ErrBodyTooLarge {
+		t.Fatalf("oversized write error = %v", err)
+	}
+	// Hand-craft an oversized length prefix.
+	buf.Write([]byte{byte(MsgFrame), 0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadMessage(&buf); err != ErrBodyTooLarge {
+		t.Fatalf("oversized read error = %v", err)
+	}
+}
+
+func TestReadMessageShort(t *testing.T) {
+	if _, err := ReadMessage(bytes.NewReader([]byte{1, 0})); err == nil {
+		t.Fatal("short header accepted")
+	}
+	if _, err := ReadMessage(bytes.NewReader([]byte{1, 0, 0, 0, 5, 1, 2})); err == nil {
+		t.Fatal("short body accepted")
+	}
+}
+
+func TestHandshakeRoundtrip(t *testing.T) {
+	h := Handshake{Role: RoleViewer, BroadcastID: "b-17", Token: "tok-secret", BufferMs: 1000}
+	got, err := UnmarshalHandshake(MarshalHandshake(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, h)
+	}
+}
+
+func TestHandshakeErrors(t *testing.T) {
+	h := MarshalHandshake(Handshake{Role: RoleBroadcaster, BroadcastID: "b", Token: "t"})
+	for cut := 0; cut < len(h); cut++ {
+		if _, err := UnmarshalHandshake(h[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestAckRoundtrip(t *testing.T) {
+	a := Ack{Status: StatusFull, Message: "use HLS"}
+	got, err := UnmarshalAck(MarshalAck(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, a)
+	}
+}
+
+func TestAckErrors(t *testing.T) {
+	if _, err := UnmarshalAck([]byte{0}); err == nil {
+		t.Fatal("short ack accepted")
+	}
+}
+
+func TestSignedFrameRoundtrip(t *testing.T) {
+	frame := []byte("frame-bytes")
+	sig := bytes.Repeat([]byte{7}, SignatureSize)
+	body, err := MarshalSignedFrame(frame, sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotFrame, gotSig, err := UnmarshalSignedFrame(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotFrame, frame) || !bytes.Equal(gotSig, sig) {
+		t.Fatal("signed-frame roundtrip mismatch")
+	}
+}
+
+func TestSignedFrameErrors(t *testing.T) {
+	if _, err := MarshalSignedFrame([]byte("f"), []byte("short")); err == nil {
+		t.Fatal("bad signature length accepted")
+	}
+	if _, _, err := UnmarshalSignedFrame([]byte{0, 0}); err == nil {
+		t.Fatal("short body accepted")
+	}
+	body, _ := MarshalSignedFrame([]byte("frame"), bytes.Repeat([]byte{1}, SignatureSize))
+	if _, _, err := UnmarshalSignedFrame(body[:len(body)-1]); err == nil {
+		t.Fatal("truncated signature accepted")
+	}
+}
+
+// Property: handshakes with arbitrary field contents roundtrip exactly.
+func TestHandshakeRoundtripProperty(t *testing.T) {
+	f := func(role, id, token string, buf uint32) bool {
+		if len(role) > 65535 || len(id) > 65535 || len(token) > 65535 {
+			return true
+		}
+		h := Handshake{Role: role, BroadcastID: id, Token: token, BufferMs: buf}
+		got, err := UnmarshalHandshake(MarshalHandshake(h))
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: messages of arbitrary type/body roundtrip through a buffer.
+func TestMessageRoundtripProperty(t *testing.T) {
+	f := func(typ uint8, body []byte) bool {
+		var buf bytes.Buffer
+		m := Message{Type: MsgType(typ), Body: body}
+		if err := WriteMessage(&buf, m); err != nil {
+			return len(body) > MaxBody
+		}
+		got, err := ReadMessage(&buf)
+		return err == nil && got.Type == m.Type && bytes.Equal(got.Body, m.Body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

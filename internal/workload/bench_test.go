@@ -1,0 +1,26 @@
+package workload
+
+import "testing"
+
+func BenchmarkGeneratePeriscope(b *testing.B) {
+	p := Periscope(2000) // ≈10K broadcasts per iteration
+	f := testFollowersB(p.BroadcasterPool)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Generate(p, f, uint64(i+1))
+	}
+}
+
+func BenchmarkGenerateMeerkat(b *testing.B) {
+	p := Meerkat(100)
+	for i := 0; i < b.N; i++ {
+		Generate(p, nil, uint64(i+1))
+	}
+}
+
+func BenchmarkDailyRate(b *testing.B) {
+	p := Periscope(100)
+	for i := 0; i < b.N; i++ {
+		p.DailyRate(i % p.Days)
+	}
+}

@@ -1,0 +1,403 @@
+// Package workload generates the broadcast/viewer/interaction corpora that
+// stand in for the paper's crawled datasets (§3): 19.6M Periscope broadcasts
+// over 3 months and 164K Meerkat broadcasts over 1 month. Generation is
+// distribution-calibrated: every per-broadcast distribution the paper reports
+// (duration, viewers, hearts, comments, per-user activity, follower/viewer
+// correlation) is modelled 1:1, while the overall volume is scaled by a
+// configurable factor (default 1:100) so the corpus fits a laptop run.
+//
+// The paper's aggregate anchors at full scale:
+//
+//	Periscope: 19.6M broadcasts / 1.85M broadcasters / 705M views
+//	           (482M mobile by 7.65M registered viewers, rest web),
+//	           daily broadcasts tripling over 3 months, Android-launch
+//	           jump after May 26, weekly weekend peaks (Fig. 1–2).
+//	Meerkat:   164K broadcasts / 57K broadcasters / 3.8M views, daily
+//	           volume halving over the month, 60% zero-viewer (Fig. 4).
+package workload
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/rng"
+)
+
+// Profile describes one service's workload shape.
+type Profile struct {
+	Name  string
+	Start time.Time
+	Days  int
+	// BaseDaily is the day-0 expected broadcast count (already scaled).
+	BaseDaily float64
+	// Growth is the multiplicative change in daily volume across the
+	// whole window (Periscope ≈3.3, Meerkat ≈0.45).
+	Growth float64
+	// AndroidLaunchDay adds a one-time LaunchBoost to all days ≥ it; -1
+	// disables (Meerkat).
+	AndroidLaunchDay int
+	LaunchBoost      float64
+	// WeeklyAmplitude modulates volume ±amplitude through the week with
+	// the weekend peak / Monday trough the paper observed; 0 disables.
+	WeeklyAmplitude float64
+	// DowntimeDays emulate crawler outages (the paper lost ~4.5% of
+	// Aug 7–9): observed volume on these days is scaled by DowntimeKeep.
+	DowntimeDays []int
+	DowntimeKeep float64
+
+	// DurationMedian/DurationSigma parameterize lognormal broadcast
+	// length; MaxDuration truncates (Fig. 3: 85% < 10 min).
+	DurationMedian time.Duration
+	DurationSigma  float64
+	MaxDuration    time.Duration
+
+	// ZeroViewerProb is the chance a broadcast gets no viewers at all
+	// (Meerkat: 0.6, Periscope: ≈0.01, Fig. 4).
+	ZeroViewerProb float64
+	// ViewBase/ViewSigma parameterize the lognormal base audience;
+	// FollowerJoinRate adds followers × rate notification joins (Fig. 7).
+	ViewBase         float64
+	ViewSigma        float64
+	FollowerJoinRate float64
+	// MobileShare is the fraction of views from registered mobile users
+	// (Periscope: 482M/705M ≈ 0.68); the rest are anonymous web views.
+	MobileShare float64
+
+	// EngagementProb is the chance a viewed broadcast receives any
+	// hearts/comments; HeartsPerViewer the mean hearts each viewer of an
+	// engaged broadcast sends; CommentsPerCommenter likewise (Fig. 5).
+	EngagementProb       float64
+	HeartsPerViewer      float64
+	CommentsPerCommenter float64
+	// CommenterCap is the 100-commenter policy bound (§2.1).
+	CommenterCap int
+
+	// BroadcasterPool / ViewerPool are user-pool sizes (already scaled);
+	// activity over them is Zipf-skewed (Fig. 6).
+	BroadcasterPool int
+	ViewerPool      int
+	// BroadcasterZipf/ViewerZipf are the activity skew exponents.
+	BroadcasterZipf float64
+	ViewerZipf      float64
+	// ViewerParticipation is the fraction of the registered pool that
+	// ever views (Periscope: 7.65M of 12M ≈ 0.64); zero means 1.0.
+	ViewerParticipation float64
+	// FameCorrelation is the probability a broadcast's activity rank
+	// maps to the equally-famous graph node instead of a random one:
+	// celebrities broadcast somewhat more than average (Fig. 7's upper
+	// tail) but prolific streamers are mostly ordinary users.
+	FameCorrelation float64
+}
+
+// PeriscopeStart is the first day of the paper's Periscope window.
+var PeriscopeStart = clock.Epoch // May 15, 2015
+
+// MeerkatStart is the first day of the paper's Meerkat window (May 12).
+var MeerkatStart = clock.Epoch.AddDate(0, 0, -3)
+
+// Periscope returns the Periscope profile at 1/scale volume (scale=100 is
+// the default experiment size; scale=1 reproduces full paper volume).
+func Periscope(scale float64) Profile {
+	if scale <= 0 {
+		scale = 100
+	}
+	return Profile{
+		Name:  "Periscope",
+		Start: PeriscopeStart,
+		Days:  98, // May 15 – Aug 20
+		// Calibrated so the 98-day total ≈ 19.6M/scale with growth,
+		// launch boost and weekly modulation applied.
+		BaseDaily:            86_000 / scale,
+		Growth:               3.3,
+		AndroidLaunchDay:     11, // May 26 Android launch
+		LaunchBoost:          1.25,
+		WeeklyAmplitude:      0.15,
+		DowntimeDays:         []int{84, 85}, // Aug 7–9 crawler bug
+		DowntimeKeep:         0.55,
+		DurationMedian:       200 * time.Second,
+		DurationSigma:        1.15,
+		MaxDuration:          24 * time.Hour,
+		ZeroViewerProb:       0.01,
+		ViewBase:             10.5,
+		ViewSigma:            1.45,
+		FollowerJoinRate:     0.17,
+		MobileShare:          0.68,
+		EngagementProb:       0.55,
+		HeartsPerViewer:      12,
+		CommentsPerCommenter: 1.3,
+		CommenterCap:         100,
+		BroadcasterPool:      int(2_400_000 / scale),
+		ViewerPool:           int(12_000_000 / scale),
+		BroadcasterZipf:      0.92,
+		ViewerZipf:           1.0,
+		ViewerParticipation:  0.64, // 7.65M unique viewers of 12M users
+		FameCorrelation:      0.10,
+	}
+}
+
+// Meerkat returns the Meerkat profile at 1/scale volume.
+func Meerkat(scale float64) Profile {
+	if scale <= 0 {
+		scale = 100
+	}
+	return Profile{
+		Name:                 "Meerkat",
+		Start:                MeerkatStart,
+		Days:                 34, // May 12 – Jun 15
+		BaseDaily:            7_200 / scale,
+		Growth:               0.45,
+		AndroidLaunchDay:     -1,
+		WeeklyAmplitude:      0.08,
+		DurationMedian:       150 * time.Second,
+		DurationSigma:        1.55, // more skewed: few long broadcasts (Fig. 3)
+		MaxDuration:          24 * time.Hour,
+		ZeroViewerProb:       0.60, // Fig. 4: most Meerkat broadcasts unviewed
+		ViewBase:             23,   // conditional on having viewers
+		ViewSigma:            1.3,
+		FollowerJoinRate:     0,
+		MobileShare:          0.82, // 3.1M of 3.8M views by registered users
+		EngagementProb:       0.45,
+		HeartsPerViewer:      5,
+		CommentsPerCommenter: 0.9,
+		CommenterCap:         0, // Meerkat used Tweets; no hard cap observed
+		BroadcasterPool:      int(70_000 / scale),
+		ViewerPool:           int(250_000 / scale),
+		BroadcasterZipf:      0.75,
+		ViewerZipf:           0.9,
+		ViewerParticipation:  0.73, // 183K unique viewers of ~250K users
+	}
+}
+
+// DailyRate returns the expected broadcast volume for a day index, with
+// growth, launch boost and weekly modulation applied (crawler downtime is
+// an observation effect and is applied separately).
+func (p Profile) DailyRate(day int) float64 {
+	if day < 0 || day >= p.Days {
+		return 0
+	}
+	rate := p.BaseDaily * math.Pow(p.Growth, float64(day)/float64(p.Days-1))
+	if p.AndroidLaunchDay >= 0 && day >= p.AndroidLaunchDay {
+		rate *= p.LaunchBoost
+	}
+	if p.WeeklyAmplitude > 0 {
+		rate *= 1 + p.WeeklyAmplitude*weeklyShape(p.Start.AddDate(0, 0, day).Weekday())
+	}
+	return rate
+}
+
+// weeklyShape is +1 at the weekend peak and ≈−1 at the Monday trough the
+// paper observed in Figure 1.
+func weeklyShape(d time.Weekday) float64 {
+	switch d {
+	case time.Saturday, time.Sunday:
+		return 1
+	case time.Monday:
+		return -1
+	case time.Tuesday:
+		return -0.6
+	case time.Wednesday:
+		return -0.25
+	case time.Thursday:
+		return 0.1
+	case time.Friday:
+		return 0.5
+	}
+	return 0
+}
+
+// Broadcast is one generated broadcast's aggregate record — the same fields
+// the paper's crawler stored (§3.1), minus per-viewer identities which are
+// folded into the per-user activity tallies.
+type Broadcast struct {
+	ID          uint64
+	Broadcaster int32 // index into the broadcaster pool / social graph
+	Day         int16
+	Start       time.Time
+	Duration    time.Duration
+	Viewers     int32 // total views incl. anonymous web
+	MobileViews int32
+	Hearts      int32
+	Comments    int32
+	Followers   int32 // broadcaster's follower count at generation time
+	Observed    bool  // false for broadcasts lost to crawler downtime
+}
+
+// DayStats aggregates one day (Fig. 1 and Fig. 2 series).
+type DayStats struct {
+	Date               time.Time
+	Broadcasts         int
+	ObservedBroadcasts int
+	ActiveBroadcasters int
+	ActiveViewers      int
+}
+
+// Dataset is a generated corpus.
+type Dataset struct {
+	Profile    Profile
+	Broadcasts []Broadcast
+	Days       []DayStats
+	// ViewsByUser / CreatesByUser tally per-user activity (Fig. 6).
+	ViewsByUser   []int32
+	CreatesByUser []int32
+	TotalViews    int64
+	MobileViews   int64
+}
+
+// UniqueBroadcasters counts users with ≥1 broadcast.
+func (d *Dataset) UniqueBroadcasters() int {
+	n := 0
+	for _, c := range d.CreatesByUser {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// UniqueViewers counts registered users with ≥1 view.
+func (d *Dataset) UniqueViewers() int {
+	n := 0
+	for _, c := range d.ViewsByUser {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Generate builds a corpus. followers gives each broadcaster-pool index a
+// follower count (from social.Graph.FollowerCounts); nil means no social
+// notification effect (the Meerkat case, §3.1).
+func Generate(p Profile, followers []int, seed uint64) *Dataset {
+	src := rng.New(seed)
+	bcastZipf := rng.NewZipf(src.Split("broadcaster"), p.BroadcasterPool, p.BroadcasterZipf)
+	// Activity rank and social fame are distinct orderings: the most
+	// prolific broadcasters are not generally the most followed (the
+	// celebrity of Fig. 7 broadcasts occasionally to a huge audience;
+	// the daily streamer has few followers). A seeded permutation maps
+	// activity ranks onto graph nodes.
+	fameOf := src.Split("fame-perm").Perm(p.BroadcasterPool)
+	participating := p.ViewerPool
+	if p.ViewerParticipation > 0 && p.ViewerParticipation < 1 {
+		participating = int(float64(p.ViewerPool) * p.ViewerParticipation)
+		if participating < 1 {
+			participating = 1
+		}
+	}
+	viewZipf := rng.NewZipf(src.Split("viewer"), participating, p.ViewerZipf)
+	durSrc := src.Split("duration")
+	viewSrc := src.Split("views")
+	engSrc := src.Split("engagement")
+	daySrc := src.Split("days")
+
+	ds := &Dataset{
+		Profile:       p,
+		ViewsByUser:   make([]int32, p.ViewerPool),
+		CreatesByUser: make([]int32, p.BroadcasterPool),
+	}
+	var id uint64
+	dayViewerSet := make(map[int32]struct{}, 4096)
+	dayBcasterSet := make(map[int32]struct{}, 4096)
+
+	for day := 0; day < p.Days; day++ {
+		n := daySrc.Poisson(p.DailyRate(day))
+		stats := DayStats{Date: p.Start.AddDate(0, 0, day), Broadcasts: n}
+		clearSet(dayViewerSet)
+		clearSet(dayBcasterSet)
+		keep := 1.0
+		for _, dd := range p.DowntimeDays {
+			if dd == day {
+				keep = p.DowntimeKeep
+			}
+		}
+		for i := 0; i < n; i++ {
+			id++
+			b := Broadcast{ID: id, Day: int16(day), Observed: daySrc.Bool(keep)}
+			rank := bcastZipf.Draw()
+			if p.FameCorrelation > 0 && daySrc.Bool(p.FameCorrelation) {
+				b.Broadcaster = int32(rank) // famous AND prolific
+			} else {
+				b.Broadcaster = int32(fameOf[rank])
+			}
+			ds.CreatesByUser[b.Broadcaster]++
+			dayBcasterSet[b.Broadcaster] = struct{}{}
+			if followers != nil && int(b.Broadcaster) < len(followers) {
+				b.Followers = int32(followers[b.Broadcaster])
+			}
+			b.Start = stats.Date.Add(time.Duration(daySrc.Float64() * 24 * float64(time.Hour)))
+			b.Duration = drawDuration(p, durSrc)
+			b.Viewers, b.MobileViews = drawViews(p, viewSrc, int(b.Followers))
+			// Assign mobile views to registered users (Fig. 6 tallies).
+			for v := int32(0); v < b.MobileViews; v++ {
+				u := int32(viewZipf.Draw())
+				ds.ViewsByUser[u]++
+				dayViewerSet[u] = struct{}{}
+			}
+			b.Hearts, b.Comments = drawEngagement(p, engSrc, int(b.Viewers))
+			ds.TotalViews += int64(b.Viewers)
+			ds.MobileViews += int64(b.MobileViews)
+			if b.Observed {
+				stats.ObservedBroadcasts++
+			}
+			ds.Broadcasts = append(ds.Broadcasts, b)
+		}
+		stats.ActiveViewers = len(dayViewerSet)
+		stats.ActiveBroadcasters = len(dayBcasterSet)
+		ds.Days = append(ds.Days, stats)
+	}
+	return ds
+}
+
+func clearSet(m map[int32]struct{}) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func drawDuration(p Profile, src *rng.Source) time.Duration {
+	d := time.Duration(float64(p.DurationMedian) * src.LogNormal(0, p.DurationSigma))
+	if d < 5*time.Second {
+		d = 5 * time.Second
+	}
+	if p.MaxDuration > 0 && d > p.MaxDuration {
+		d = p.MaxDuration
+	}
+	return d
+}
+
+func drawViews(p Profile, src *rng.Source, followers int) (total, mobile int32) {
+	if src.Bool(p.ZeroViewerProb) {
+		return 0, 0
+	}
+	base := p.ViewBase * src.LogNormal(0, p.ViewSigma)
+	social := float64(followers) * p.FollowerJoinRate * src.LogNormal(0, 0.5)
+	v := base + social
+	if v < 1 {
+		v = 1
+	}
+	total = int32(v)
+	mobile = int32(float64(total) * p.MobileShare)
+	if mobile < 1 {
+		mobile = 1
+	}
+	if mobile > total {
+		mobile = total
+	}
+	return total, mobile
+}
+
+func drawEngagement(p Profile, src *rng.Source, viewers int) (hearts, comments int32) {
+	if viewers == 0 || !src.Bool(p.EngagementProb) {
+		return 0, 0
+	}
+	h := float64(viewers) * src.Exp(p.HeartsPerViewer)
+	hearts = int32(h)
+	commenters := viewers
+	if p.CommenterCap > 0 && commenters > p.CommenterCap {
+		commenters = p.CommenterCap
+	}
+	c := float64(commenters) * src.Exp(p.CommentsPerCommenter)
+	comments = int32(c)
+	return hearts, comments
+}

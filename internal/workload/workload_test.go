@@ -1,0 +1,308 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/social"
+	"repro/internal/stats"
+)
+
+// testFollowers builds a small follower-count array with a heavy tail.
+func testFollowers(n int) []int {
+	g := social.Generate(social.Config{
+		Nodes: n, EdgesPerNode: 10, TriadProb: 0.2, CelebrityFraction: 0.001, Seed: 3,
+	})
+	return g.FollowerCounts()
+}
+
+// genSmall generates a fast, reduced-scale Periscope corpus for unit tests.
+func genSmall(t *testing.T) *Dataset {
+	t.Helper()
+	p := Periscope(1000) // 1:1000 scale ≈ 20K broadcasts
+	return Generate(p, testFollowers(p.BroadcasterPool), 42)
+}
+
+func TestPeriscopeTotalsMatchScaledPaper(t *testing.T) {
+	ds := genSmall(t)
+	// Paper: 19.6M broadcasts at 1:1000 → ≈19.6K.
+	n := len(ds.Broadcasts)
+	if n < 14_000 || n > 27_000 {
+		t.Fatalf("broadcasts = %d, want ≈19.6K at 1:1000", n)
+	}
+	// Paper: 705M views → ≈705K; allow a generous band.
+	if ds.TotalViews < 350_000 || ds.TotalViews > 1_400_000 {
+		t.Fatalf("views = %d, want ≈705K at 1:1000", ds.TotalViews)
+	}
+	// Mobile share ≈ 0.68 (482M/705M).
+	share := float64(ds.MobileViews) / float64(ds.TotalViews)
+	if share < 0.60 || share > 0.76 {
+		t.Fatalf("mobile share = %v, want ≈0.68", share)
+	}
+}
+
+func TestPeriscopeGrowthTriples(t *testing.T) {
+	ds := genSmall(t)
+	firstWeek, lastWeek := 0, 0
+	for d := 0; d < 7; d++ {
+		firstWeek += ds.Days[d].Broadcasts
+		lastWeek += ds.Days[len(ds.Days)-1-d].Broadcasts
+	}
+	ratio := float64(lastWeek) / float64(firstWeek)
+	// Paper: >300% growth over 3 months (Fig. 1).
+	if ratio < 2.5 || ratio > 6.5 {
+		t.Fatalf("weekly growth ratio = %v, want ≈3–4x", ratio)
+	}
+}
+
+func TestMeerkatDecline(t *testing.T) {
+	p := Meerkat(10) // 1:10 scale ≈ 16K broadcasts for a stable signal
+	ds := Generate(p, nil, 7)
+	firstWeek, lastWeek := 0, 0
+	for d := 0; d < 7; d++ {
+		firstWeek += ds.Days[d].Broadcasts
+		lastWeek += ds.Days[len(ds.Days)-1-d].Broadcasts
+	}
+	// Paper: volume nearly halves over the month (Fig. 1).
+	ratio := float64(lastWeek) / float64(firstWeek)
+	if ratio < 0.3 || ratio > 0.75 {
+		t.Fatalf("decline ratio = %v, want ≈0.5", ratio)
+	}
+}
+
+func TestWeeklyPattern(t *testing.T) {
+	p := Periscope(100)
+	// Compare average Monday rate to average weekend rate from the model
+	// itself (deterministic, no sampling noise).
+	var monday, weekend, mondayN, weekendN float64
+	for d := 20; d < p.Days; d++ { // skip pre-launch regime
+		switch p.Start.AddDate(0, 0, d).Weekday() {
+		case time.Monday:
+			monday += p.DailyRate(d)
+			mondayN++
+		case time.Saturday, time.Sunday:
+			weekend += p.DailyRate(d)
+			weekendN++
+		}
+	}
+	if weekend/weekendN <= monday/mondayN {
+		t.Fatal("weekend rate not above Monday trough (Fig. 1)")
+	}
+}
+
+func TestAndroidLaunchJump(t *testing.T) {
+	p := Periscope(100)
+	before := p.DailyRate(p.AndroidLaunchDay - 1)
+	after := p.DailyRate(p.AndroidLaunchDay + 1)
+	// Remove the weekly modulation by comparing same weekday ±7.
+	beforeW := p.DailyRate(p.AndroidLaunchDay - 7)
+	afterW := p.DailyRate(p.AndroidLaunchDay + 7)
+	if after <= before && afterW <= beforeW {
+		t.Fatal("no Android-launch jump at day 11")
+	}
+}
+
+func TestDurationCDF(t *testing.T) {
+	ds := genSmall(t)
+	var durs []float64
+	for _, b := range ds.Broadcasts {
+		durs = append(durs, b.Duration.Minutes())
+	}
+	cdf := stats.NewCDF(durs)
+	// Paper Fig. 3: 85% of broadcasts last under 10 minutes.
+	p10 := cdf.At(10)
+	if p10 < 0.78 || p10 > 0.92 {
+		t.Fatalf("P(duration<10min) = %v, want ≈0.85", p10)
+	}
+	if cdf.Quantile(1) > 24*60 {
+		t.Fatal("duration exceeded 24h cap")
+	}
+}
+
+func TestMeerkatZeroViewerShare(t *testing.T) {
+	ds := Generate(Meerkat(10), nil, 9)
+	zero := 0
+	for _, b := range ds.Broadcasts {
+		if b.Viewers == 0 {
+			zero++
+		}
+	}
+	frac := float64(zero) / float64(len(ds.Broadcasts))
+	// Paper Fig. 4: ≈60% of Meerkat broadcasts have no viewers.
+	if frac < 0.55 || frac > 0.65 {
+		t.Fatalf("zero-viewer fraction = %v, want ≈0.60", frac)
+	}
+}
+
+func TestPeriscopeViewersMostlyNonZero(t *testing.T) {
+	ds := genSmall(t)
+	zero := 0
+	for _, b := range ds.Broadcasts {
+		if b.Viewers == 0 {
+			zero++
+		}
+	}
+	if frac := float64(zero) / float64(len(ds.Broadcasts)); frac > 0.05 {
+		t.Fatalf("Periscope zero-viewer fraction = %v, want ≈0.01", frac)
+	}
+}
+
+func TestViewerHeavyTail(t *testing.T) {
+	ds := genSmall(t)
+	var views []float64
+	for _, b := range ds.Broadcasts {
+		views = append(views, float64(b.Viewers))
+	}
+	sort.Float64s(views)
+	maxV := views[len(views)-1]
+	median := views[len(views)/2]
+	// Fig. 4: most popular broadcasts draw orders of magnitude more
+	// viewers than the median.
+	if maxV < 50*median {
+		t.Fatalf("max/median viewers = %v/%v: tail too light", maxV, median)
+	}
+}
+
+func TestEngagementShape(t *testing.T) {
+	ds := genSmall(t)
+	withHearts, over1kHearts, withComments := 0, 0, 0
+	var maxHearts int32
+	for _, b := range ds.Broadcasts {
+		if b.Hearts > 0 {
+			withHearts++
+		}
+		if b.Hearts > 1000 {
+			over1kHearts++
+		}
+		if b.Comments > 0 {
+			withComments++
+		}
+		if b.Hearts > maxHearts {
+			maxHearts = b.Hearts
+		}
+		if b.Viewers == 0 && (b.Hearts > 0 || b.Comments > 0) {
+			t.Fatal("unviewed broadcast has interactions")
+		}
+	}
+	n := len(ds.Broadcasts)
+	// Fig. 5: a minority of broadcasts are highly interactive; about 10%
+	// of Periscope broadcasts get >1000 hearts.
+	frac1k := float64(over1kHearts) / float64(n)
+	if frac1k < 0.02 || frac1k > 0.25 {
+		t.Fatalf("P(hearts>1000) = %v, want ≈0.10", frac1k)
+	}
+	if withHearts == n || withHearts == 0 {
+		t.Fatalf("hearts coverage degenerate: %d/%d", withHearts, n)
+	}
+	if withComments == 0 {
+		t.Fatal("no comments generated")
+	}
+}
+
+func TestUserActivitySkew(t *testing.T) {
+	ds := genSmall(t)
+	var views []float64
+	for _, v := range ds.ViewsByUser {
+		if v > 0 {
+			views = append(views, float64(v))
+		}
+	}
+	sort.Float64s(views)
+	// Fig. 6: the most active 15% of viewers watch ~10x the median —
+	// measured as the mean view count of the top 15% over the median.
+	median := views[len(views)/2]
+	var topSum float64
+	top := views[int(float64(len(views))*0.85):]
+	for _, v := range top {
+		topSum += v
+	}
+	if ratio := topSum / float64(len(top)) / median; ratio < 5 {
+		t.Fatalf("top-15%%-mean/median = %v, want ≈10", ratio)
+	}
+}
+
+func TestFollowerViewerCorrelation(t *testing.T) {
+	ds := genSmall(t)
+	var fs, vs []float64
+	for _, b := range ds.Broadcasts {
+		if b.Followers > 0 && b.Viewers > 0 {
+			fs = append(fs, float64(b.Followers))
+			vs = append(vs, float64(b.Viewers))
+		}
+	}
+	rho := stats.SpearmanRho(fs, vs)
+	// Fig. 7: more followers → more viewers.
+	if rho < 0.2 {
+		t.Fatalf("follower/viewer rank correlation = %v, want clearly positive", rho)
+	}
+}
+
+func TestViewerBroadcasterRatio(t *testing.T) {
+	ds := genSmall(t)
+	var ratios []float64
+	for _, d := range ds.Days[30:] { // post-launch regime
+		if d.ActiveBroadcasters > 0 {
+			ratios = append(ratios, float64(d.ActiveViewers)/float64(d.ActiveBroadcasters))
+		}
+	}
+	mean := stats.Mean(ratios)
+	// Fig. 2: viewer:broadcaster ≈ 10:1.
+	if mean < 3 || mean > 25 {
+		t.Fatalf("daily viewer:broadcaster ratio = %v, want ≈10", mean)
+	}
+}
+
+func TestDowntimeReducesObserved(t *testing.T) {
+	ds := genSmall(t)
+	for _, dd := range ds.Profile.DowntimeDays {
+		day := ds.Days[dd]
+		if day.Broadcasts == 0 {
+			continue
+		}
+		frac := float64(day.ObservedBroadcasts) / float64(day.Broadcasts)
+		if frac > 0.8 {
+			t.Fatalf("downtime day %d observed %v of broadcasts, want ≈0.55", dd, frac)
+		}
+	}
+	// Non-downtime days observe everything.
+	if ds.Days[10].ObservedBroadcasts != ds.Days[10].Broadcasts {
+		t.Fatal("normal day lost observations")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Periscope(2000)
+	f := testFollowers(p.BroadcasterPool)
+	a := Generate(p, f, 5)
+	b := Generate(p, f, 5)
+	if len(a.Broadcasts) != len(b.Broadcasts) || a.TotalViews != b.TotalViews {
+		t.Fatal("same seed produced different corpora")
+	}
+	for i := range a.Broadcasts {
+		if a.Broadcasts[i] != b.Broadcasts[i] {
+			t.Fatalf("broadcast %d differs", i)
+		}
+	}
+}
+
+func TestUniqueCountsScale(t *testing.T) {
+	ds := genSmall(t)
+	ub := ds.UniqueBroadcasters()
+	uv := ds.UniqueViewers()
+	// Paper at 1:1000: 1.85K broadcasters, 7.65K registered viewers.
+	if ub < 900 || ub > 2400 {
+		t.Fatalf("unique broadcasters = %d, want ≈1.85K at 1:1000", ub)
+	}
+	if uv < 3500 || uv > 12000 {
+		t.Fatalf("unique viewers = %d, want ≈7.65K at 1:1000", uv)
+	}
+}
+
+// testFollowersB builds follower counts without a *testing.T (for benches).
+func testFollowersB(n int) []int {
+	g := social.Generate(social.Config{
+		Nodes: n, EdgesPerNode: 10, TriadProb: 0.2, CelebrityFraction: 0.001, Seed: 3,
+	})
+	return g.FollowerCounts()
+}
