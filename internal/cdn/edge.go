@@ -2,6 +2,7 @@ package cdn
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/hls"
 	"repro/internal/media"
+	"repro/internal/resilience"
 )
 
 // Upstream resolves which store an edge pulls a broadcast from: the origin
@@ -27,6 +29,13 @@ type EdgeConfig struct {
 	Site geo.Datacenter
 	// Resolve maps a broadcast to its upstream. Required.
 	Resolve func(broadcastID string) (Upstream, error)
+	// Retry bounds upstream pull attempts on transient errors. The zero
+	// value uses 3 attempts with a 5 ms base delay capped at 100 ms —
+	// short enough that a viewer poll absorbs the retries.
+	Retry resilience.Policy
+	// Breaker tunes the per-broadcast upstream circuit breaker; the zero
+	// value opens after 5 consecutive failures for 1 s.
+	Breaker resilience.BreakerConfig
 }
 
 // EdgeStats count cache behaviour, the scalability currency of HLS.
@@ -35,19 +44,37 @@ type EdgeStats struct {
 	ListPulls   atomic.Int64 // polls that triggered an upstream pull (⑩)
 	ChunkHits   atomic.Int64
 	ChunkPulls  atomic.Int64
-	Invalidates atomic.Int64
+	Invalidates atomic.Int64 // invalidations that actually marked an entry stale
+	// ChunkPullErrors counts chunk copies that failed during a list pull
+	// (e.g. the chunk rolled out of the origin window, §4.3). The entry is
+	// left stale so the next poll retries the copy.
+	ChunkPullErrors atomic.Int64
+	// StaleServes counts polls answered with the last cached (stale) list
+	// because the upstream was unreachable — the graceful degradation real
+	// Fastly exhibits instead of surfacing a 5xx to the player.
+	StaleServes atomic.Int64
+	// PullRetries counts upstream pull attempts beyond each first try.
+	PullRetries atomic.Int64
 }
 
 // Edge is the Fastly analog: a pull-through cache for chunklists and chunks.
 // A viewer poll that finds the cached chunklist expired triggers the
 // upstream pull (⑨→⑩→⑪ in Fig. 10); chunks referenced by a fresh list are
-// copied eagerly so subsequent polls are served locally.
+// copied eagerly so subsequent polls are served locally. Pulls for the same
+// broadcast are single-flighted, retried with backoff, guarded by a circuit
+// breaker, and degrade to serving the stale cached list when the upstream
+// stays unreachable.
 type Edge struct {
 	cfg   EdgeConfig
 	stats EdgeStats
 
-	mu    sync.Mutex
-	cache map[string]*edgeEntry
+	// flight collapses the poll stampede at chunklist expiry — N viewers
+	// finding the list stale trigger one upstream pull, not N (§5.2).
+	flight resilience.Group[*media.ChunkList]
+
+	mu       sync.Mutex
+	cache    map[string]*edgeEntry
+	breakers map[string]*resilience.Breaker
 }
 
 type edgeEntry struct {
@@ -61,7 +88,20 @@ type edgeEntry struct {
 
 // NewEdge builds an Edge.
 func NewEdge(cfg EdgeConfig) *Edge {
-	return &Edge{cfg: cfg, cache: make(map[string]*edgeEntry)}
+	if cfg.Retry.MaxAttempts == 0 {
+		cfg.Retry.MaxAttempts = 3
+	}
+	if cfg.Retry.BaseDelay == 0 {
+		cfg.Retry.BaseDelay = 5 * time.Millisecond
+	}
+	if cfg.Retry.MaxDelay == 0 {
+		cfg.Retry.MaxDelay = 100 * time.Millisecond
+	}
+	return &Edge{
+		cfg:      cfg,
+		cache:    make(map[string]*edgeEntry),
+		breakers: make(map[string]*resilience.Breaker),
+	}
 }
 
 // Site returns the edge's datacenter.
@@ -70,22 +110,42 @@ func (e *Edge) Site() geo.Datacenter { return e.cfg.Site }
 // Stats exposes the cache counters.
 func (e *Edge) Stats() *EdgeStats { return &e.stats }
 
+// breaker returns the circuit breaker guarding a broadcast's upstream.
+func (e *Edge) breaker(id string) *resilience.Breaker {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b, ok := e.breakers[id]
+	if !ok {
+		b = resilience.NewBreaker(e.cfg.Breaker)
+		e.breakers[id] = b
+	}
+	return b
+}
+
 // Invalidate implements Invalidator: it marks the cached list stale. The
 // fresh copy is NOT fetched here — the paper's architecture defers that to
-// the first subsequent viewer poll.
+// the first subsequent viewer poll. Only invalidations that actually mark a
+// cached, fresh entry stale are counted.
 func (e *Edge) Invalidate(broadcastID string, version uint64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if ent, ok := e.cache[broadcastID]; ok {
-		if ent.list == nil || version > ent.list.Version {
-			ent.stale = true
-		}
+	ent, ok := e.cache[broadcastID]
+	if !ok {
+		return
 	}
-	e.stats.Invalidates.Add(1)
+	if ent.list != nil && version <= ent.list.Version {
+		return
+	}
+	if !ent.stale {
+		ent.stale = true
+		e.stats.Invalidates.Add(1)
+	}
 }
 
 // ChunkList implements hls.Store for viewers. A fresh cached list is served
-// directly; a stale or missing one triggers the upstream pull.
+// directly; a stale or missing one triggers the upstream pull. When the
+// upstream is unreachable the last cached list is served stale rather than
+// surfacing the error to the player.
 func (e *Edge) ChunkList(ctx context.Context, id string) (*media.ChunkList, error) {
 	e.mu.Lock()
 	ent, ok := e.cache[id]
@@ -96,11 +156,69 @@ func (e *Edge) ChunkList(ctx context.Context, id string) (*media.ChunkList, erro
 		return cl, nil
 	}
 	e.mu.Unlock()
-	return e.pull(ctx, id)
+
+	// Single-flight: concurrent polls that all find the list expired
+	// share one upstream pull. Waiters inherit the pulling caller's
+	// outcome; each gets its own clone.
+	cl, err, shared := e.flight.Do(id, func() (*media.ChunkList, error) {
+		return e.pull(ctx, id)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if shared {
+		cl = cl.Clone()
+	}
+	return cl, nil
 }
 
-// pull refreshes the cached list and eagerly copies new chunks.
+// pull refreshes the cached list with retries and the circuit breaker,
+// falling back to the stale cached copy when the upstream stays down.
 func (e *Edge) pull(ctx context.Context, id string) (*media.ChunkList, error) {
+	br := e.breaker(id)
+	var attempts atomic.Int64
+	list, err := resilience.RetryValue(ctx, e.cfg.Retry, func(ctx context.Context) (*media.ChunkList, error) {
+		if attempts.Add(1) > 1 {
+			e.stats.PullRetries.Add(1)
+		}
+		if err := br.Allow(); err != nil {
+			// Fail fast while the circuit is open; the stale fallback
+			// below still answers the poll.
+			return nil, resilience.Permanent(err)
+		}
+		l, err := e.pullUpstream(ctx, id)
+		if errors.Is(err, hls.ErrNotFound) {
+			// A NotFound is a valid answer from a healthy upstream,
+			// not an upstream failure; don't trip the breaker or retry.
+			br.Report(nil)
+			return nil, resilience.Permanent(err)
+		}
+		br.Report(err)
+		return l, err
+	})
+	if err == nil {
+		return list, nil
+	}
+	if errors.Is(err, hls.ErrNotFound) {
+		return nil, err
+	}
+	// Serve-stale-on-error: a viewer poll that finds the origin
+	// unreachable gets the last cached chunklist instead of a 5xx.
+	e.mu.Lock()
+	if ent, ok := e.cache[id]; ok && ent.list != nil {
+		cl := ent.list.Clone()
+		e.mu.Unlock()
+		e.stats.StaleServes.Add(1)
+		return cl, nil
+	}
+	e.mu.Unlock()
+	return nil, err
+}
+
+// pullUpstream performs one pull attempt: fetch the list and eagerly copy
+// new chunks. Chunk copies that fail are counted and leave the entry stale
+// so the next poll retries them.
+func (e *Edge) pullUpstream(ctx context.Context, id string) (*media.ChunkList, error) {
 	up, err := e.cfg.Resolve(id)
 	if err != nil {
 		return nil, err
@@ -134,6 +252,7 @@ func (e *Edge) pull(ctx context.Context, id string) (*media.ChunkList, error) {
 	}
 	e.mu.Unlock()
 
+	failed := 0
 	for _, ref := range missing {
 		if up.TransferDelay != nil {
 			if err := sleepCtx(ctx, up.TransferDelay()); err != nil {
@@ -142,7 +261,16 @@ func (e *Edge) pull(ctx context.Context, id string) (*media.ChunkList, error) {
 		}
 		c, err := up.Store.Chunk(ctx, id, ref.Seq)
 		if err != nil {
-			continue // chunk may have rolled out of the origin window
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			// Chunk fetch failed (it may have rolled out of the origin
+			// window, or the hop dropped it). Count the failure and
+			// leave the entry stale below so the next poll retries,
+			// instead of caching a list whose chunks are missing.
+			e.stats.ChunkPullErrors.Add(1)
+			failed++
+			continue
 		}
 		e.stats.ChunkPulls.Add(1)
 		e.mu.Lock()
@@ -153,13 +281,14 @@ func (e *Edge) pull(ctx context.Context, id string) (*media.ChunkList, error) {
 
 	e.mu.Lock()
 	ent.list = list.Clone()
-	ent.stale = false
+	ent.stale = failed > 0
 	cl := ent.list.Clone()
 	e.mu.Unlock()
 	return cl, nil
 }
 
-// Chunk implements hls.Store for viewers, pulling through on miss.
+// Chunk implements hls.Store for viewers, pulling through on miss with
+// retries under the broadcast's circuit breaker.
 func (e *Edge) Chunk(ctx context.Context, id string, seq uint64) (*media.Chunk, error) {
 	e.mu.Lock()
 	if ent, ok := e.cache[id]; ok {
@@ -171,16 +300,19 @@ func (e *Edge) Chunk(ctx context.Context, id string, seq uint64) (*media.Chunk, 
 	}
 	e.mu.Unlock()
 
-	up, err := e.cfg.Resolve(id)
-	if err != nil {
-		return nil, err
-	}
-	if up.TransferDelay != nil {
-		if err := sleepCtx(ctx, up.TransferDelay()); err != nil {
-			return nil, err
+	br := e.breaker(id)
+	c, err := resilience.RetryValue(ctx, e.cfg.Retry, func(ctx context.Context) (*media.Chunk, error) {
+		if err := br.Allow(); err != nil {
+			return nil, resilience.Permanent(err)
 		}
-	}
-	c, err := up.Store.Chunk(ctx, id, seq)
+		c, err := e.fetchChunk(ctx, id, seq)
+		if errors.Is(err, hls.ErrNotFound) {
+			br.Report(nil)
+			return nil, resilience.Permanent(err)
+		}
+		br.Report(err)
+		return c, err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -200,6 +332,20 @@ func (e *Edge) Chunk(ctx context.Context, id string, seq uint64) (*media.Chunk, 
 	return c, nil
 }
 
+// fetchChunk performs one upstream chunk fetch attempt.
+func (e *Edge) fetchChunk(ctx context.Context, id string, seq uint64) (*media.Chunk, error) {
+	up, err := e.cfg.Resolve(id)
+	if err != nil {
+		return nil, err
+	}
+	if up.TransferDelay != nil {
+		if err := sleepCtx(ctx, up.TransferDelay()); err != nil {
+			return nil, err
+		}
+	}
+	return up.Store.Chunk(ctx, id, seq)
+}
+
 // ChunkArrivedAt returns when chunk seq was copied to this edge (⑪).
 func (e *Edge) ChunkArrivedAt(id string, seq uint64) (time.Time, bool) {
 	e.mu.Lock()
@@ -217,18 +363,9 @@ func (e *Edge) Evict(id string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	delete(e.cache, id)
+	delete(e.breakers, id)
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {
-	if d <= 0 {
-		return ctx.Err()
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-t.C:
-		return nil
-	}
+	return resilience.SleepCtx(ctx, d)
 }

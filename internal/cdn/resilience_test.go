@@ -1,0 +1,299 @@
+package cdn
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/hls"
+	"repro/internal/media"
+	"repro/internal/resilience"
+)
+
+// gatedStore blocks ChunkList calls on a gate so a test can pile concurrent
+// pollers onto one in-flight pull, and counts upstream calls.
+type gatedStore struct {
+	inner     hls.Store
+	gate      chan struct{} // pull blocks until closed
+	entered   chan struct{} // closed when the first pull arrives
+	enterOnce sync.Once
+	listCalls atomic.Int64
+}
+
+func (g *gatedStore) ChunkList(ctx context.Context, id string) (*media.ChunkList, error) {
+	g.listCalls.Add(1)
+	g.enterOnce.Do(func() { close(g.entered) })
+	select {
+	case <-g.gate:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return g.inner.ChunkList(ctx, id)
+}
+
+func (g *gatedStore) Chunk(ctx context.Context, id string, seq uint64) (*media.Chunk, error) {
+	return g.inner.Chunk(ctx, id, seq)
+}
+
+// flakyStore fails list and/or chunk fetches on demand.
+type flakyStore struct {
+	inner      hls.Store
+	failLists  atomic.Bool
+	failChunks atomic.Bool
+	listErrs   atomic.Int64
+	chunkErrs  atomic.Int64
+}
+
+type errUpstream struct{ msg string }
+
+func (e *errUpstream) Error() string { return e.msg }
+
+func (f *flakyStore) ChunkList(ctx context.Context, id string) (*media.ChunkList, error) {
+	if f.failLists.Load() {
+		f.listErrs.Add(1)
+		return nil, &errUpstream{"upstream list unavailable"}
+	}
+	return f.inner.ChunkList(ctx, id)
+}
+
+func (f *flakyStore) Chunk(ctx context.Context, id string, seq uint64) (*media.Chunk, error) {
+	if f.failChunks.Load() {
+		f.chunkErrs.Add(1)
+		return nil, &errUpstream{"upstream chunk unavailable"}
+	}
+	return f.inner.Chunk(ctx, id, seq)
+}
+
+func fastEdgeRetry() resilience.Policy {
+	return resilience.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+}
+
+// TestEdgePollStampedeSingleFlight drives 50 concurrent polls at an edge
+// whose cache is empty: the single-flight group must collapse them into
+// exactly one upstream pull (§5.2's chunklist-expiry stampede).
+func TestEdgePollStampedeSingleFlight(t *testing.T) {
+	o := NewOrigin(OriginConfig{Site: site("o1", "X"), ChunkDuration: time.Second})
+	feedFrames(o, "b1", 60)
+	g := &gatedStore{inner: o, gate: make(chan struct{}), entered: make(chan struct{})}
+	e := NewEdge(EdgeConfig{
+		Site:    site("e1", "Y"),
+		Resolve: func(string) (Upstream, error) { return Upstream{Store: g}, nil },
+	})
+
+	ctx := context.Background()
+	const pollers = 50
+	start := make(chan struct{})
+	results := make(chan *media.ChunkList, pollers)
+	errs := make(chan error, pollers)
+	var wg sync.WaitGroup
+	for i := 0; i < pollers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			cl, err := e.ChunkList(ctx, "b1")
+			if err != nil {
+				errs <- err
+				return
+			}
+			results <- cl
+		}()
+	}
+	close(start)
+	// Hold the gate until the first pull is in flight and the remaining
+	// pollers have had ample time to join it.
+	<-g.entered
+	time.Sleep(100 * time.Millisecond)
+	close(g.gate)
+	wg.Wait()
+	close(errs)
+	close(results)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := g.listCalls.Load(); n != 1 {
+		t.Fatalf("upstream list pulls = %d, want 1 (stampede not collapsed)", n)
+	}
+	if n := e.Stats().ListPulls.Load(); n != 1 {
+		t.Fatalf("edge ListPulls = %d, want 1", n)
+	}
+	n := 0
+	for cl := range results {
+		if len(cl.Chunks) != 2 {
+			t.Fatalf("poller got %d chunks, want 2", len(cl.Chunks))
+		}
+		n++
+	}
+	if n != pollers {
+		t.Fatalf("%d/%d pollers got a list", n, pollers)
+	}
+}
+
+// TestEdgeServesStaleWhenUpstreamDown checks the graceful-degradation path:
+// with a cached list and a dead upstream, polls are answered from the stale
+// copy instead of an error, and fresh pulls resume once the upstream heals
+// and the breaker's open window elapses.
+func TestEdgeServesStaleWhenUpstreamDown(t *testing.T) {
+	o := NewOrigin(OriginConfig{Site: site("o1", "X"), ChunkDuration: time.Second})
+	feedFrames(o, "b1", 30) // one complete chunk
+	f := &flakyStore{inner: o}
+	e := NewEdge(EdgeConfig{
+		Site:    site("e1", "Y"),
+		Resolve: func(string) (Upstream, error) { return Upstream{Store: f}, nil },
+		Retry:   fastEdgeRetry(),
+		Breaker: resilience.BreakerConfig{FailureThreshold: 2, OpenFor: 20 * time.Millisecond},
+	})
+	ctx := context.Background()
+
+	first, err := e.ChunkList(ctx, "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// New content arrives, the edge is invalidated, then the origin dies.
+	feedFrames(o, "b1", 60)
+	e.Invalidate("b1", first.Version+1)
+	f.failLists.Store(true)
+
+	for i := 0; i < 5; i++ {
+		cl, err := e.ChunkList(ctx, "b1")
+		if err != nil {
+			t.Fatalf("poll %d with upstream down: %v (want stale list)", i, err)
+		}
+		if cl.Version != first.Version {
+			t.Fatalf("poll %d version = %d, want stale %d", i, cl.Version, first.Version)
+		}
+	}
+	if n := e.Stats().StaleServes.Load(); n < 5 {
+		t.Fatalf("StaleServes = %d, want ≥ 5", n)
+	}
+	if n := e.Stats().PullRetries.Load(); n == 0 {
+		t.Fatal("no pull retries recorded while upstream was down")
+	}
+	// The breaker opened after the failure streak, so later polls failed
+	// fast instead of re-hammering the dead upstream with retries.
+	if f.listErrs.Load() >= 10 {
+		t.Fatalf("upstream saw %d failed pulls for 5 polls — breaker never opened", f.listErrs.Load())
+	}
+
+	// Upstream heals; after the open window the next polls pull fresh.
+	f.failLists.Store(false)
+	time.Sleep(25 * time.Millisecond)
+	deadline := time.Now().Add(time.Second)
+	for {
+		cl, err := e.ChunkList(ctx, "b1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cl.Version > first.Version {
+			if len(cl.Chunks) != 3 {
+				t.Fatalf("recovered list has %d chunks, want 3", len(cl.Chunks))
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("edge never recovered a fresh list after upstream healed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestEdgeChunkPullErrorLeavesStale checks the satellite fix: a failed chunk
+// copy during a list pull is counted and leaves the entry stale, so the next
+// poll pulls again instead of serving a list whose chunks are missing.
+func TestEdgeChunkPullErrorLeavesStale(t *testing.T) {
+	o := NewOrigin(OriginConfig{Site: site("o1", "X"), ChunkDuration: time.Second})
+	feedFrames(o, "b1", 30)
+	f := &flakyStore{inner: o}
+	e := NewEdge(EdgeConfig{
+		Site:    site("e1", "Y"),
+		Resolve: func(string) (Upstream, error) { return Upstream{Store: f}, nil },
+		Retry:   fastEdgeRetry(),
+	})
+	ctx := context.Background()
+
+	f.failChunks.Store(true)
+	cl, err := e.ChunkList(ctx, "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Chunks) != 1 {
+		t.Fatalf("chunks = %d, want 1", len(cl.Chunks))
+	}
+	if n := e.Stats().ChunkPullErrors.Load(); n == 0 {
+		t.Fatal("failed chunk copy not counted")
+	}
+	if n := e.Stats().ChunkPulls.Load(); n != 0 {
+		t.Fatalf("ChunkPulls = %d, want 0", n)
+	}
+
+	// The entry stayed stale: the next poll re-pulls and completes the
+	// chunk copy once the upstream heals.
+	f.failChunks.Store(false)
+	if _, err := e.ChunkList(ctx, "b1"); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.Stats().ListPulls.Load(); n != 2 {
+		t.Fatalf("ListPulls = %d, want 2 (stale entry must re-pull)", n)
+	}
+	if n := e.Stats().ChunkPulls.Load(); n != 1 {
+		t.Fatalf("ChunkPulls = %d, want 1 after retry", n)
+	}
+	// Now the list is complete and fresh: the chunk serves from cache and
+	// a third poll is a pure hit.
+	if _, err := e.Chunk(ctx, "b1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.Stats().ChunkHits.Load(); n != 1 {
+		t.Fatalf("ChunkHits = %d, want 1", n)
+	}
+	if _, err := e.ChunkList(ctx, "b1"); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.Stats().ListHits.Load(); n != 1 {
+		t.Fatalf("ListHits = %d, want 1", n)
+	}
+}
+
+// TestEdgeInvalidateCountsOnlyWhenMarkingStale checks the satellite fix:
+// Invalidates counts only invalidations that actually flip a cached, fresh
+// entry to stale — not no-ops on uncached broadcasts, already-seen versions,
+// or already-stale entries.
+func TestEdgeInvalidateCountsOnlyWhenMarkingStale(t *testing.T) {
+	o := NewOrigin(OriginConfig{Site: site("o1", "X"), ChunkDuration: time.Second})
+	feedFrames(o, "b1", 30)
+	e := NewEdge(EdgeConfig{
+		Site:    site("e1", "Y"),
+		Resolve: func(string) (Upstream, error) { return Upstream{Store: o}, nil },
+	})
+	ctx := context.Background()
+
+	// Not cached here: an invalidation for a broadcast this edge never
+	// served must not count.
+	e.Invalidate("b1", 1)
+	e.Invalidate("nope", 1)
+	if n := e.Stats().Invalidates.Load(); n != 0 {
+		t.Fatalf("Invalidates = %d before anything was cached, want 0", n)
+	}
+
+	cl, err := e.ChunkList(ctx, "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stale version replays (re-delivered invalidations) must not count.
+	e.Invalidate("b1", cl.Version)
+	e.Invalidate("b1", cl.Version-1)
+	if n := e.Stats().Invalidates.Load(); n != 0 {
+		t.Fatalf("Invalidates = %d after old-version replays, want 0", n)
+	}
+
+	// A genuinely newer version marks the entry stale and counts once,
+	// even when re-delivered.
+	e.Invalidate("b1", cl.Version+1)
+	e.Invalidate("b1", cl.Version+2)
+	if n := e.Stats().Invalidates.Load(); n != 1 {
+		t.Fatalf("Invalidates = %d, want 1 (only the marking invalidation counts)", n)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/hls"
 	"repro/internal/netsim"
+	"repro/internal/resilience"
 	"repro/internal/rtmp"
 )
 
@@ -23,6 +24,7 @@ type Topology struct {
 	originOf map[string]*Origin // broadcastID → origin
 	net      *netsim.Model
 	useGW    bool
+	wrapUp   func(hls.Store) hls.Store
 }
 
 // TopologyConfig configures Build.
@@ -50,6 +52,16 @@ type TopologyConfig struct {
 	// DisableGateway pulls every edge directly from the origin — the
 	// ablation contrasting §5.3's relay structure.
 	DisableGateway bool
+	// WrapUpstream, when set, intercepts every upstream store an edge
+	// pulls from — the seam the fault-injection harness uses to model
+	// origin failures and WAN loss on the origin↔edge hop.
+	WrapUpstream func(hls.Store) hls.Store
+	// EdgeRetry tunes every edge's upstream pull retries (zero value →
+	// edge defaults).
+	EdgeRetry resilience.Policy
+	// EdgeBreaker tunes every edge's per-broadcast circuit breaker (zero
+	// value → resilience defaults).
+	EdgeBreaker resilience.BreakerConfig
 	// Seed drives latency jitter when Net is nil but injection is wanted.
 	Seed uint64
 }
@@ -66,6 +78,7 @@ func Build(cfg TopologyConfig) *Topology {
 		originOf: make(map[string]*Origin),
 		net:      cfg.Net,
 		useGW:    !cfg.DisableGateway,
+		wrapUp:   cfg.WrapUpstream,
 	}
 	for _, site := range cfg.OriginSites {
 		t.Origins = append(t.Origins, NewOrigin(OriginConfig{
@@ -84,6 +97,8 @@ func Build(cfg TopologyConfig) *Topology {
 		edge := NewEdge(EdgeConfig{
 			Site:    site,
 			Resolve: nil, // set below, needs the edge list
+			Retry:   cfg.EdgeRetry,
+			Breaker: cfg.EdgeBreaker,
 		})
 		t.Edges = append(t.Edges, edge)
 	}
@@ -168,18 +183,24 @@ func (t *Topology) resolve(e *Edge, broadcastID string) (Upstream, error) {
 	}
 	gw := t.GatewayFor(o)
 	direct := !t.useGW || gw == nil || gw == e || geo.CoLocated(e.Site(), o.Site())
+	up := Upstream{}
 	if direct {
-		return Upstream{
+		up = Upstream{
 			Store:         o,
 			TransferDelay: t.delayFn(e.Site().Location, o.Site().Location),
-		}, nil
+		}
+	} else {
+		// Relay: this edge pulls from the gateway edge, which in turn
+		// pulls from the origin over its own (co-located, near-zero) hop.
+		up = Upstream{
+			Store:         gw,
+			TransferDelay: t.delayFn(e.Site().Location, gw.Site().Location),
+		}
 	}
-	// Relay: this edge pulls from the gateway edge, which in turn pulls
-	// from the origin over its own (co-located, near-zero) hop.
-	return Upstream{
-		Store:         gw,
-		TransferDelay: t.delayFn(e.Site().Location, gw.Site().Location),
-	}, nil
+	if t.wrapUp != nil {
+		up.Store = t.wrapUp(up.Store)
+	}
+	return up, nil
 }
 
 func (t *Topology) delayFn(a, b geo.Location) func() time.Duration {

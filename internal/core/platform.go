@@ -20,6 +20,7 @@ import (
 	"repro/internal/hls"
 	"repro/internal/netsim"
 	"repro/internal/pubsub"
+	"repro/internal/resilience"
 	"repro/internal/rtmp"
 	"repro/internal/security"
 )
@@ -50,6 +51,14 @@ type PlatformConfig struct {
 	// limits the paper's crawler ran into (§3.1). Whitelisted hosts are
 	// exempt, like the paper's measurement range.
 	APIRate *control.RateLimiterConfig
+	// WrapUpstream, when set, intercepts every store an edge pulls from.
+	// The chaos tests pass a faults.Injector wrapper here to exercise the
+	// origin↔edge hop under loss.
+	WrapUpstream func(hls.Store) hls.Store
+	// EdgeRetry and EdgeBreaker tune the edges' resilience layer; zero
+	// values use the edge defaults.
+	EdgeRetry   resilience.Policy
+	EdgeBreaker resilience.BreakerConfig
 	// Seed drives global-list sampling.
 	Seed uint64
 }
@@ -118,6 +127,9 @@ func NewPlatform(cfg PlatformConfig) *Platform {
 		OnBroadcastEnd: func(id string) { p.Ctrl.ForceEnd(id) },
 		Net:            cfg.Net,
 		DisableGateway: cfg.DisableGateway,
+		WrapUpstream:   cfg.WrapUpstream,
+		EdgeRetry:      cfg.EdgeRetry,
+		EdgeBreaker:    cfg.EdgeBreaker,
 	})
 	for _, o := range p.Topo.Origins {
 		p.originByID[o.Site().ID] = o

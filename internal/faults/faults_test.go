@@ -1,0 +1,193 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/hls"
+	"repro/internal/media"
+)
+
+// memStore is a minimal hls.Store for wrapping.
+type memStore struct{ calls int }
+
+func (m *memStore) ChunkList(context.Context, string) (*media.ChunkList, error) {
+	m.calls++
+	return &media.ChunkList{BroadcastID: "b", Version: 1}, nil
+}
+
+func (m *memStore) Chunk(context.Context, string, uint64) (*media.Chunk, error) {
+	m.calls++
+	return &media.Chunk{Seq: 0}, nil
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, ErrorRate: 0.3}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 1000; i++ {
+		if a.shouldError() != b.shouldError() {
+			t.Fatalf("decision %d diverged between same-seed injectors", i)
+		}
+	}
+	if a.Stats().Errors.Load() == 0 {
+		t.Fatal("0.3 error rate never fired in 1000 rolls")
+	}
+}
+
+func TestStoreInjectsErrors(t *testing.T) {
+	ms := &memStore{}
+	s := New(Config{Seed: 1, ErrorRate: 1}).Store(ms)
+	if _, err := s.ChunkList(context.Background(), "b"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if _, err := s.Chunk(context.Background(), "b", 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if ms.calls != 0 {
+		t.Fatalf("inner store reached %d times despite 100%% error rate", ms.calls)
+	}
+}
+
+func TestStorePassthroughAtZeroRates(t *testing.T) {
+	ms := &memStore{}
+	s := New(Config{Seed: 1}).Store(ms)
+	cl, err := s.ChunkList(context.Background(), "b")
+	if err != nil || cl.Version != 1 {
+		t.Fatalf("passthrough chunklist = %+v, %v", cl, err)
+	}
+	if _, err := s.Chunk(context.Background(), "b", 0); err != nil {
+		t.Fatal(err)
+	}
+	var _ hls.Store = s
+}
+
+func TestStoreLatencySpike(t *testing.T) {
+	ms := &memStore{}
+	inj := New(Config{Seed: 1, LatencyRate: 1, LatencyMin: 20 * time.Millisecond, LatencyMax: 30 * time.Millisecond})
+	s := inj.Store(ms)
+	start := time.Now()
+	if _, err := s.ChunkList(context.Background(), "b"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("latency spike only %v", d)
+	}
+	if inj.Stats().Latencies.Load() != 1 {
+		t.Fatalf("Latencies = %d", inj.Stats().Latencies.Load())
+	}
+	// A cancelled context interrupts the injected sleep.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.ChunkList(ctx, "b"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled spike err = %v", err)
+	}
+}
+
+func TestConnResetAndPartialRead(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	inj := New(Config{Seed: 3, PartialReadRate: 1})
+	fc := inj.Conn(client)
+	go server.Write([]byte("0123456789abcdef"))
+	buf := make([]byte, 16)
+	n, err := fc.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > 8 {
+		t.Fatalf("partial read returned %d bytes, want ≤ 8", n)
+	}
+	if inj.Stats().PartialReads.Load() != 1 {
+		t.Fatalf("PartialReads = %d", inj.Stats().PartialReads.Load())
+	}
+
+	// Flip to guaranteed reset: the read fails and the conn is closed.
+	inj.SetConfig(Config{ResetRate: 1})
+	if _, err := fc.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("reset read err = %v", err)
+	}
+	if _, err := client.Write([]byte("x")); !errors.Is(err, io.ErrClosedPipe) {
+		t.Fatalf("underlying conn still open after reset: %v", err)
+	}
+	if inj.Stats().Resets.Load() == 0 {
+		t.Fatal("reset not counted")
+	}
+}
+
+func TestListenerWrapsAcceptedConns(t *testing.T) {
+	inj := New(Config{Seed: 4, ResetRate: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fln := inj.Listener(ln)
+	defer fln.Close()
+	go func() {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		c.Write([]byte("hello"))
+	}()
+	conn, err := fln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Read(make([]byte, 8)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("accepted conn read err = %v, want injected reset", err)
+	}
+}
+
+func TestRoundTripperInjectsAndTruncates(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, strings.Repeat("x", 1024))
+	}))
+	defer srv.Close()
+
+	inj := New(Config{Seed: 5, ErrorRate: 1})
+	hc := inj.Client(nil)
+	if _, err := hc.Get(srv.URL); err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("err = %v, want injected", err)
+	}
+
+	inj.SetConfig(Config{PartialReadRate: 1})
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.ReadAll(resp.Body); !errors.Is(err, ErrInjected) {
+		t.Fatalf("truncated body err = %v", err)
+	}
+
+	inj.SetConfig(Config{})
+	resp, err = hc.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || len(body) != 1024 {
+		t.Fatalf("clean fetch = %d bytes, %v", len(body), err)
+	}
+}
+
+func TestSetConfigKeepsSeed(t *testing.T) {
+	inj := New(Config{Seed: 7, ErrorRate: 1})
+	inj.SetConfig(Config{ErrorRate: 0})
+	if got := inj.Config().Seed; got != 7 {
+		t.Fatalf("seed after SetConfig = %d, want 7", got)
+	}
+	if inj.shouldError() {
+		t.Fatal("error fired at zero rate")
+	}
+}

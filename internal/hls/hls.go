@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/media"
+	"repro/internal/resilience"
 )
 
 // ErrNotFound is returned by stores for unknown broadcasts or chunks.
@@ -113,6 +114,13 @@ type Client struct {
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Timeout bounds each request as a per-attempt deadline (default
+	// 10 s), so a hung origin can no longer block a viewer poll forever.
+	Timeout time.Duration
+	// Retry bounds transient-failure retries per fetch with jittered
+	// backoff; the zero value makes 3 attempts. MaxAttempts 1 disables
+	// retries.
+	Retry resilience.Policy
 }
 
 func (c *Client) http() *http.Client {
@@ -122,65 +130,83 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 10 * time.Second
+}
+
 // ErrNotModified reports a conditional chunklist fetch that matched.
 var ErrNotModified = errors.New("hls: chunklist not modified")
 
-// FetchChunkList downloads the playlist. If haveVersion is non-zero it is
+// FetchChunkList downloads the playlist, retrying transient failures with
+// backoff under a per-attempt deadline. If haveVersion is non-zero it is
 // sent as a conditional and ErrNotModified is returned on a match.
 func (c *Client) FetchChunkList(ctx context.Context, broadcastID string, haveVersion uint64) (*media.ChunkList, error) {
 	url := fmt.Sprintf("%s/%s/chunklist.m3u8", c.BaseURL, broadcastID)
 	if haveVersion != 0 {
 		url += "?have_version=" + strconv.FormatUint(haveVersion, 10)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("hls: fetch chunklist: %w", err)
-	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-	case http.StatusNotModified:
-		return nil, ErrNotModified
-	case http.StatusNotFound:
-		return nil, ErrNotFound
-	default:
-		return nil, fmt.Errorf("hls: chunklist status %d", resp.StatusCode)
-	}
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-	if err != nil {
-		return nil, err
-	}
-	return media.ParseChunkList(data)
+	return resilience.RetryValue(ctx, c.Retry, func(ctx context.Context) (*media.ChunkList, error) {
+		ctx, cancel := context.WithTimeout(ctx, c.timeout())
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, resilience.Permanent(err)
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("hls: fetch chunklist: %w", err)
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusNotModified:
+			return nil, resilience.Permanent(ErrNotModified)
+		case http.StatusNotFound:
+			return nil, resilience.Permanent(ErrNotFound)
+		default:
+			return nil, fmt.Errorf("hls: chunklist status %d", resp.StatusCode)
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if err != nil {
+			// A truncated body (dropped edge connection) is transient.
+			return nil, fmt.Errorf("hls: chunklist body: %w", err)
+		}
+		return media.ParseChunkList(data)
+	})
 }
 
-// FetchChunk downloads one chunk.
+// FetchChunk downloads one chunk, retrying transient failures with backoff
+// under a per-attempt deadline.
 func (c *Client) FetchChunk(ctx context.Context, broadcastID string, seq uint64) (*media.Chunk, error) {
 	url := fmt.Sprintf("%s/%s/chunk/%d", c.BaseURL, broadcastID, seq)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("hls: fetch chunk: %w", err)
-	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-	case http.StatusNotFound:
-		return nil, ErrNotFound
-	default:
-		return nil, fmt.Errorf("hls: chunk status %d", resp.StatusCode)
-	}
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-	if err != nil {
-		return nil, err
-	}
-	return media.UnmarshalChunk(data)
+	return resilience.RetryValue(ctx, c.Retry, func(ctx context.Context) (*media.Chunk, error) {
+		ctx, cancel := context.WithTimeout(ctx, c.timeout())
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, resilience.Permanent(err)
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("hls: fetch chunk: %w", err)
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusNotFound:
+			return nil, resilience.Permanent(ErrNotFound)
+		default:
+			return nil, fmt.Errorf("hls: chunk status %d", resp.StatusCode)
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		if err != nil {
+			return nil, fmt.Errorf("hls: chunk body: %w", err)
+		}
+		return media.UnmarshalChunk(data)
+	})
 }
 
 // ChunkEvent describes one newly observed chunk, with the timestamps the

@@ -17,6 +17,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/resilience"
 )
 
 // Kind distinguishes the two interaction types.
@@ -315,6 +317,17 @@ type Client struct {
 	// BaseURL includes the prefix, e.g. "http://msg:8080/channel".
 	BaseURL    string
 	HTTPClient *http.Client
+	// Timeout bounds each non-waiting request as a per-attempt deadline
+	// (default 10 s), so a hung hub can no longer block a client forever.
+	Timeout time.Duration
+	// LongPollTimeout bounds long-poll Events requests (default 40 s —
+	// the server holds them up to 25 s before answering empty).
+	LongPollTimeout time.Duration
+	// Retry bounds transient-failure retries per call with jittered
+	// backoff; the zero value makes 3 attempts. MaxAttempts 1 disables
+	// retries. Note a Publish retried across a transport failure may
+	// duplicate the event, exactly as a real client resubmitting would.
+	Retry resilience.Policy
 }
 
 func (c *Client) http() *http.Client {
@@ -324,66 +337,96 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
-// Publish sends one event.
+func (c *Client) timeout(wait bool) time.Duration {
+	if wait {
+		if c.LongPollTimeout > 0 {
+			return c.LongPollTimeout
+		}
+		return 40 * time.Second
+	}
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 10 * time.Second
+}
+
+// Publish sends one event, retrying transient transport failures.
 func (c *Client) Publish(ctx context.Context, broadcastID string, ev Event) (Event, error) {
 	body, err := json.Marshal(ev)
 	if err != nil {
 		return Event{}, err
 	}
 	url := fmt.Sprintf("%s/%s/publish", c.BaseURL, broadcastID)
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(string(body)))
-	if err != nil {
-		return Event{}, err
-	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return Event{}, fmt.Errorf("pubsub: publish: %w", err)
-	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-	case http.StatusForbidden:
-		return Event{}, ErrNotCommenter
-	case http.StatusNotFound:
-		return Event{}, ErrNoChannel
-	default:
-		return Event{}, fmt.Errorf("pubsub: publish status %d", resp.StatusCode)
-	}
-	var stored Event
-	if err := json.NewDecoder(resp.Body).Decode(&stored); err != nil {
-		return Event{}, err
-	}
-	return stored, nil
+	return resilience.RetryValue(ctx, c.Retry, func(ctx context.Context) (Event, error) {
+		ctx, cancel := context.WithTimeout(ctx, c.timeout(false))
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(string(body)))
+		if err != nil {
+			return Event{}, resilience.Permanent(err)
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return Event{}, fmt.Errorf("pubsub: publish: %w", err)
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusForbidden:
+			return Event{}, resilience.Permanent(ErrNotCommenter)
+		case http.StatusNotFound:
+			return Event{}, resilience.Permanent(ErrNoChannel)
+		default:
+			return Event{}, fmt.Errorf("pubsub: publish status %d", resp.StatusCode)
+		}
+		var stored Event
+		if err := json.NewDecoder(resp.Body).Decode(&stored); err != nil {
+			return Event{}, fmt.Errorf("pubsub: publish body: %w", err)
+		}
+		return stored, nil
+	})
 }
 
-// Events fetches events after since; wait enables server-side long polling.
+// Events fetches events after since, retrying transient failures; wait
+// enables server-side long polling.
 func (c *Client) Events(ctx context.Context, broadcastID string, since uint64, wait bool) ([]Event, bool, error) {
 	url := fmt.Sprintf("%s/%s/events?since=%d", c.BaseURL, broadcastID, since)
 	if wait {
 		url += "&wait=1"
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	type page struct {
+		evs    []Event
+		closed bool
+	}
+	out, err := resilience.RetryValue(ctx, c.Retry, func(ctx context.Context) (page, error) {
+		ctx, cancel := context.WithTimeout(ctx, c.timeout(wait))
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return page{}, resilience.Permanent(err)
+		}
+		resp, err := c.http().Do(req)
+		if err != nil {
+			return page{}, fmt.Errorf("pubsub: events: %w", err)
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusNotFound:
+			return page{}, resilience.Permanent(ErrNoChannel)
+		default:
+			return page{}, fmt.Errorf("pubsub: events status %d", resp.StatusCode)
+		}
+		var body struct {
+			Events []Event `json:"events"`
+			Closed bool    `json:"closed"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			return page{}, fmt.Errorf("pubsub: events body: %w", err)
+		}
+		return page{evs: body.Events, closed: body.Closed}, nil
+	})
 	if err != nil {
 		return nil, false, err
 	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return nil, false, fmt.Errorf("pubsub: events: %w", err)
-	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusOK:
-	case http.StatusNotFound:
-		return nil, false, ErrNoChannel
-	default:
-		return nil, false, fmt.Errorf("pubsub: events status %d", resp.StatusCode)
-	}
-	var out struct {
-		Events []Event `json:"events"`
-		Closed bool    `json:"closed"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, false, err
-	}
-	return out.Events, out.Closed, nil
+	return out.evs, out.closed, nil
 }

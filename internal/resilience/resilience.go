@@ -1,0 +1,195 @@
+// Package resilience supplies the failure-handling primitives the delivery
+// path needs to keep working under the loss the paper's traces show it
+// routinely operates under (§5.2 bursty uploads, §4.3 chunk roll-out):
+// context-aware retry with jittered exponential backoff, a per-upstream
+// circuit breaker, and a single-flight group that collapses concurrent
+// identical pulls into one upstream request. Bentaleb et al. and the
+// Peroni–Gorinsky pipeline survey both identify this layer — not the happy
+// path — as what separates a latency model from a production system.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Policy bounds a retry loop. The zero value retries 3 times with a 10 ms
+// base delay doubling to a 1 s cap and ±50% jitter.
+type Policy struct {
+	// MaxAttempts is the total number of attempts (first try included).
+	// Zero means 3; 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry. Zero means 10 ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth. Zero means 1 s.
+	MaxDelay time.Duration
+	// Multiplier grows the delay between retries. Zero means 2.
+	Multiplier float64
+	// Jitter is the fraction of each delay randomized symmetrically
+	// around it (0.5 → delay uniform in [0.5d, 1.5d]). Negative disables
+	// jitter; zero means 0.5.
+	Jitter float64
+	// Rand supplies jitter uniforms in [0,1). Nil uses a process-global
+	// seeded source; tests inject deterministic values.
+	Rand func() float64
+	// Sleep overrides the wait between attempts; nil sleeps on the real
+	// clock, honouring ctx. Tests use it to run retry loops instantly.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Multiplier == 0 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.5
+	} else if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Rand == nil {
+		p.Rand = defaultRand
+	}
+	if p.Sleep == nil {
+		p.Sleep = SleepCtx
+	}
+	return p
+}
+
+// defaultRand is a mutex-guarded xorshift64*, seeded constantly so retry
+// timing is reproducible run to run (the fault injector, not the backoff,
+// is the experiment's randomness).
+var defaultRand = func() func() float64 {
+	var mu sync.Mutex
+	state := uint64(0x9e3779b97f4a7c15)
+	return func() float64 {
+		mu.Lock()
+		state ^= state >> 12
+		state ^= state << 25
+		state ^= state >> 27
+		v := state * 0x2545f4914f6cdd1d
+		mu.Unlock()
+		return float64(v>>11) / (1 << 53)
+	}
+}()
+
+// SleepCtx sleeps for d or until ctx is done, returning ctx.Err() when
+// interrupted.
+func SleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Retry returns it immediately instead of retrying —
+// for terminal conditions like hls.ErrNotFound, where retrying an absent
+// broadcast only adds load to a struggling origin.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err was marked with Permanent.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// Delay returns the backoff before retry attempt n (n=0 → before the first
+// retry), jittered. Exposed so reconnect loops can share the schedule.
+func (p Policy) Delay(n int) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.BaseDelay)
+	for i := 0; i < n; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		d *= 1 + p.Jitter*(2*p.Rand()-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// Retry runs op until it succeeds, returns a Permanent error, exhausts the
+// policy, or ctx is done. The last error is returned, wrapped with the
+// attempt count when the budget ran out.
+func Retry(ctx context.Context, p Policy, op func(ctx context.Context) error) error {
+	p = p.withDefaults()
+	var lastErr error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := op(ctx)
+		if err == nil {
+			return nil
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			return pe.err
+		}
+		lastErr = err
+		// Only the parent context ending stops the loop: a per-attempt
+		// deadline expiring inside op (a hung upstream) is exactly the
+		// transient condition retries exist for.
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if attempt == p.MaxAttempts-1 {
+			break
+		}
+		if serr := p.Sleep(ctx, p.Delay(attempt)); serr != nil {
+			return serr
+		}
+	}
+	return fmt.Errorf("resilience: %d attempts: %w", p.MaxAttempts, lastErr)
+}
+
+// RetryValue is Retry for operations returning a value.
+func RetryValue[T any](ctx context.Context, p Policy, op func(ctx context.Context) (T, error)) (T, error) {
+	var out T
+	err := Retry(ctx, p, func(ctx context.Context) error {
+		v, err := op(ctx)
+		if err == nil {
+			out = v
+		}
+		return err
+	})
+	return out, err
+}

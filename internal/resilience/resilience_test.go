@@ -1,0 +1,308 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// instant makes a policy that never sleeps on the real clock, recording the
+// delays it would have waited.
+func instant(p Policy, delays *[]time.Duration) Policy {
+	var mu sync.Mutex
+	p.Sleep = func(ctx context.Context, d time.Duration) error {
+		mu.Lock()
+		*delays = append(*delays, d)
+		mu.Unlock()
+		return ctx.Err()
+	}
+	return p
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	var delays []time.Duration
+	p := instant(Policy{MaxAttempts: 5, BaseDelay: time.Millisecond}, &delays)
+	calls := 0
+	err := Retry(context.Background(), p, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("slept %d times, want 2", len(delays))
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	var delays []time.Duration
+	p := instant(Policy{MaxAttempts: 4, BaseDelay: time.Millisecond}, &delays)
+	calls := 0
+	sentinel := errors.New("still down")
+	err := Retry(context.Background(), p, func(context.Context) error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+}
+
+func TestRetryPermanentStopsImmediately(t *testing.T) {
+	var delays []time.Duration
+	p := instant(Policy{MaxAttempts: 5}, &delays)
+	calls := 0
+	sentinel := errors.New("not found")
+	err := Retry(context.Background(), p, func(context.Context) error {
+		calls++
+		return Permanent(sentinel)
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if IsPermanent(err) {
+		t.Fatal("Permanent wrapper leaked to caller")
+	}
+}
+
+func TestRetryHonoursContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	p := Policy{MaxAttempts: 10, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond}
+	err := Retry(ctx, p, func(context.Context) error {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+}
+
+func TestRetryDelaysGrowExponentiallyAndCap(t *testing.T) {
+	p := Policy{
+		MaxAttempts: 6,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    50 * time.Millisecond,
+		Multiplier:  2,
+		Jitter:      -1, // disable for exact schedule
+	}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		50 * time.Millisecond,
+		50 * time.Millisecond,
+	}
+	for n, w := range want {
+		if got := p.Delay(n); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", n, got, w)
+		}
+	}
+}
+
+func TestRetryJitterBounds(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, Jitter: 0.5}
+	for i := 0; i < 100; i++ {
+		d := p.Delay(0)
+		if d < 50*time.Millisecond || d > 150*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [50ms, 150ms]", d)
+		}
+	}
+}
+
+func TestRetryValue(t *testing.T) {
+	var delays []time.Duration
+	p := instant(Policy{MaxAttempts: 3}, &delays)
+	calls := 0
+	v, err := RetryValue(context.Background(), p, func(context.Context) (int, error) {
+		calls++
+		if calls < 2 {
+			return 0, errors.New("transient")
+		}
+		return 42, nil
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("RetryValue = %d, %v", v, err)
+	}
+}
+
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 3,
+		OpenFor:          time.Second,
+		Now:              func() time.Time { return now },
+	})
+	boom := errors.New("boom")
+	// Three consecutive failures trip the circuit.
+	for i := 0; i < 3; i++ {
+		if err := b.Do(func() error { return boom }); !errors.Is(err, boom) {
+			t.Fatalf("attempt %d: %v", i, err)
+		}
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if err := b.Do(func() error { return nil }); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open circuit admitted a call: %v", err)
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("Opens = %d", b.Opens())
+	}
+
+	// After the open window a probe is admitted; failure re-opens.
+	now = now.Add(time.Second)
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if err := b.Do(func() error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("probe: %v", err)
+	}
+	if b.State() != Open {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+
+	// Next window: successful probe closes the circuit.
+	now = now.Add(time.Second)
+	if err := b.Do(func() error { return nil }); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state after good probe = %v, want closed", b.State())
+	}
+	if err := b.Do(func() error { return nil }); err != nil {
+		t.Fatalf("closed circuit refused a call: %v", err)
+	}
+}
+
+func TestBreakerHalfOpenAdmitsOneProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 1,
+		OpenFor:          time.Second,
+		Now:              func() time.Time { return now },
+	})
+	b.Do(func() error { return errors.New("boom") })
+	now = now.Add(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("first probe refused: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("second concurrent probe admitted")
+	}
+	b.Report(nil)
+	if b.State() != Closed {
+		t.Fatalf("state = %v", b.State())
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3})
+	boom := errors.New("boom")
+	for i := 0; i < 10; i++ {
+		b.Do(func() error { return boom })
+		b.Do(func() error { return boom })
+		b.Do(func() error { return nil }) // resets the streak
+	}
+	if b.State() != Closed {
+		t.Fatalf("interleaved successes still tripped the breaker: %v", b.State())
+	}
+}
+
+func TestSingleFlightCollapsesConcurrentCalls(t *testing.T) {
+	var g Group[int]
+	var executions atomic.Int64
+	gate := make(chan struct{})
+	const n = 50
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, _ := g.Do("key", func() (int, error) {
+				executions.Add(1)
+				<-gate
+				return 7, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let every goroutine reach Do before releasing the one execution.
+	for executions.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("executions = %d, want 1", got)
+	}
+	for i, v := range results {
+		if v != 7 {
+			t.Fatalf("caller %d got %d", i, v)
+		}
+	}
+}
+
+func TestSingleFlightDistinctKeysRunIndependently(t *testing.T) {
+	var g Group[string]
+	var wg sync.WaitGroup
+	var executions atomic.Int64
+	for _, k := range []string{"a", "b", "c"} {
+		wg.Add(1)
+		go func(k string) {
+			defer wg.Done()
+			v, err, _ := g.Do(k, func() (string, error) {
+				executions.Add(1)
+				return k, nil
+			})
+			if err != nil || v != k {
+				t.Errorf("Do(%q) = %q, %v", k, v, err)
+			}
+		}(k)
+	}
+	wg.Wait()
+	if executions.Load() != 3 {
+		t.Fatalf("executions = %d, want 3", executions.Load())
+	}
+}
+
+func TestSingleFlightErrorShared(t *testing.T) {
+	var g Group[int]
+	boom := errors.New("boom")
+	_, err, _ := g.Do("k", func() (int, error) { return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// The key is released after the call: a new Do executes again.
+	v, err, _ := g.Do("k", func() (int, error) { return 1, nil })
+	if err != nil || v != 1 {
+		t.Fatalf("second Do = %d, %v", v, err)
+	}
+}

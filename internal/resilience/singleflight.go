@@ -1,0 +1,46 @@
+package resilience
+
+import "sync"
+
+// Group collapses concurrent calls with the same key into a single
+// execution whose result every caller shares — the guard against the §5.2
+// polling storm where N viewers hitting an edge with an expired chunklist
+// would otherwise each pull the origin independently.
+type Group[V any] struct {
+	mu sync.Mutex
+	m  map[string]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+	dups int
+}
+
+// Do runs fn for key unless a call for the same key is already in flight,
+// in which case it waits for and shares that call's result. shared reports
+// whether the result was produced by another caller's execution.
+func (g *Group[V]) Do(key string, fn func() (V, error)) (v V, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall[V])
+	}
+	if c, ok := g.m[key]; ok {
+		c.dups++
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	dups := c.dups
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, dups > 0
+}

@@ -26,12 +26,21 @@ func (e *ErrRejected) Error() string {
 }
 
 func dialAndHandshake(ctx context.Context, addr string, hs wire.Handshake) (net.Conn, error) {
-	return dialAndHandshakeTLS(ctx, addr, hs, nil)
+	return dialAndHandshakeTLS(ctx, addr, hs, nil, nil, 0)
 }
 
 // dialAndHandshakeTLS opens the session over TLS when tlsCfg is non-nil —
-// the RTMPS variant Periscope reserves for private broadcasts (§7.2).
-func dialAndHandshakeTLS(ctx context.Context, addr string, hs wire.Handshake, tlsCfg *tls.Config) (net.Conn, error) {
+// the RTMPS variant Periscope reserves for private broadcasts (§7.2). A
+// non-nil wrap intercepts the raw connection (fault injection harnesses).
+// A positive timeout bounds the dial plus the handshake round-trip: without
+// it a lost SYN or a stalled peer blocks the caller on kernel retransmit
+// backoff, which is fatal inside an auto-reconnect loop.
+func dialAndHandshakeTLS(ctx context.Context, addr string, hs wire.Handshake, tlsCfg *tls.Config, wrap func(net.Conn) net.Conn, timeout time.Duration) (net.Conn, error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	var conn net.Conn
 	var err error
 	if tlsCfg != nil {
@@ -44,6 +53,12 @@ func dialAndHandshakeTLS(ctx context.Context, addr string, hs wire.Handshake, tl
 	if err != nil {
 		return nil, fmt.Errorf("rtmp: dial %s: %w", addr, err)
 	}
+	if wrap != nil {
+		conn = wrap(conn)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	}
 	m := wire.Message{Type: wire.MsgHandshake, Body: wire.MarshalHandshake(hs)}
 	if err := wire.WriteMessage(conn, m); err != nil {
 		conn.Close()
@@ -54,6 +69,7 @@ func dialAndHandshakeTLS(ctx context.Context, addr string, hs wire.Handshake, tl
 		conn.Close()
 		return nil, fmt.Errorf("rtmp: reading handshake ack: %w", err)
 	}
+	conn.SetDeadline(time.Time{})
 	if reply.Type != wire.MsgHandshakeAck {
 		conn.Close()
 		return nil, fmt.Errorf("rtmp: unexpected reply type %d", reply.Type)
@@ -93,7 +109,7 @@ func Publish(ctx context.Context, addr, broadcastID, token string, signer ed2551
 func PublishTLS(ctx context.Context, addr, broadcastID, token string, signer ed25519.PrivateKey, tlsCfg *tls.Config) (*Publisher, error) {
 	conn, err := dialAndHandshakeTLS(ctx, addr, wire.Handshake{
 		Role: wire.RoleBroadcaster, BroadcastID: broadcastID, Token: token,
-	}, tlsCfg)
+	}, tlsCfg, nil, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -156,6 +172,13 @@ type ViewerOptions struct {
 	PubKey ed25519.PublicKey
 	// Queue is the local frame queue size (default 1024).
 	Queue int
+	// WrapConn, when set, intercepts the raw connection right after dial
+	// (before the handshake) — the seam fault-injection harnesses use to
+	// model resets and loss on the viewer's last-mile link (§5.2).
+	WrapConn func(net.Conn) net.Conn
+	// DialTimeout bounds the dial plus handshake round-trip; zero means
+	// no bound beyond ctx (SubscribeResilient applies its own default).
+	DialTimeout time.Duration
 }
 
 // Subscribe opens a viewer session. The returned Viewer's Frames channel is
@@ -169,7 +192,7 @@ func Subscribe(ctx context.Context, addr, broadcastID, token string, opts Viewer
 func SubscribeTLS(ctx context.Context, addr, broadcastID, token string, opts ViewerOptions, tlsCfg *tls.Config) (*Viewer, error) {
 	conn, err := dialAndHandshakeTLS(ctx, addr, wire.Handshake{
 		Role: wire.RoleViewer, BroadcastID: broadcastID, Token: token, BufferMs: opts.BufferMs,
-	}, tlsCfg)
+	}, tlsCfg, opts.WrapConn, opts.DialTimeout)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,291 @@
+package rtmp
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/resilience"
+	"repro/internal/rng"
+)
+
+// connRecorder captures the raw conns a resilient viewer dials so the test
+// can reset them mid-stream.
+type connRecorder struct {
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func (r *connRecorder) wrap(c net.Conn) net.Conn {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.conns = append(r.conns, c)
+	return c
+}
+
+func (r *connRecorder) kill(i int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i >= len(r.conns) {
+		return false
+	}
+	r.conns[i].Close()
+	return true
+}
+
+func (r *connRecorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.conns)
+}
+
+func fastBackoff() resilience.Policy {
+	return resilience.Policy{BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+}
+
+func TestResilientViewerResumesAfterReset(t *testing.T) {
+	s := NewServer(ServerConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ln, err := s.Listen(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	pub, err := Publish(ctx, ln.Addr().String(), "b1", "tok", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := &connRecorder{}
+	rv, err := SubscribeResilient(ctx, ln.Addr().String(), "b1", "", ReconnectConfig{
+		Options: ViewerOptions{WrapConn: rec.wrap},
+		Backoff: fastBackoff(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rv.Close()
+
+	const total = 60
+	enc := media.NewEncoder(media.EncoderConfig{}, rng.New(9))
+	go func() {
+		for i := 0; i < total; i++ {
+			f := enc.Next(time.Now())
+			if err := pub.Send(&f); err != nil {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		pub.End()
+	}()
+
+	var seqs []uint64
+	killed := false
+	for rf := range rv.Frames() {
+		seqs = append(seqs, rf.Frame.Seq)
+		// Reset the first connection mid-stream, once.
+		if !killed && len(seqs) == 10 {
+			killed = rec.kill(0)
+			if !killed {
+				t.Fatal("no conn recorded to kill")
+			}
+		}
+	}
+	if err := rv.Err(); err != nil {
+		t.Fatalf("terminal err = %v, want clean end", err)
+	}
+	if rv.Reconnects() < 1 {
+		t.Fatalf("Reconnects = %d, want ≥ 1", rv.Reconnects())
+	}
+	if rec.count() < 2 {
+		t.Fatalf("dialed %d conns, want ≥ 2", rec.count())
+	}
+	// The resumed stream must move forward: strictly increasing sequence
+	// numbers, no duplicates, no reordering — gaps (frames pushed while
+	// disconnected) are allowed.
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("seq %d after %d at index %d: duplicate or reordered", seqs[i], seqs[i-1], i)
+		}
+	}
+	// The viewer kept receiving after the reset.
+	if seqs[len(seqs)-1] < 20 {
+		t.Fatalf("last seq %d: viewer never resumed past the reset", seqs[len(seqs)-1])
+	}
+	if len(seqs) < 20 {
+		t.Fatalf("received only %d frames", len(seqs))
+	}
+}
+
+func TestResilientViewerCleanEndNoReconnect(t *testing.T) {
+	s := NewServer(ServerConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ln, err := s.Listen(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	pub, err := Publish(ctx, ln.Addr().String(), "b1", "tok", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, err := SubscribeResilient(ctx, ln.Addr().String(), "b1", "", ReconnectConfig{Backoff: fastBackoff()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rv.Close()
+
+	enc := media.NewEncoder(media.EncoderConfig{}, rng.New(10))
+	for i := 0; i < 5; i++ {
+		f := enc.Next(time.Now())
+		if err := pub.Send(&f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pub.End()
+	n := 0
+	for range rv.Frames() {
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("frames = %d, want 5", n)
+	}
+	if rv.Err() != nil || rv.Reconnects() != 0 {
+		t.Fatalf("err=%v reconnects=%d after clean end", rv.Err(), rv.Reconnects())
+	}
+}
+
+func TestResilientViewerEndWhileDisconnectedIsClean(t *testing.T) {
+	s := NewServer(ServerConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ln, err := s.Listen(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	pub, err := Publish(ctx, ln.Addr().String(), "b1", "tok", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &connRecorder{}
+	rv, err := SubscribeResilient(ctx, ln.Addr().String(), "b1", "", ReconnectConfig{
+		Options: ViewerOptions{WrapConn: rec.wrap},
+		// Slow the redial enough that the broadcast ends first.
+		Backoff: resilience.Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: 100 * time.Millisecond, Jitter: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rv.Close()
+
+	enc := media.NewEncoder(media.EncoderConfig{}, rng.New(11))
+	f := enc.Next(time.Now())
+	if err := pub.Send(&f); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the frame, cut the conn, then end the broadcast before the
+	// viewer's redial fires: the resubscribe gets NotFound, a normal end.
+	<-rv.Frames()
+	rec.kill(0)
+	pub.End()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-rv.Frames():
+			if !ok {
+				if err := rv.Err(); err != nil {
+					t.Fatalf("terminal err = %v, want clean end-while-away", err)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("viewer never terminated after broadcast ended while disconnected")
+		}
+	}
+}
+
+// TestResilientViewerNoGoroutineLeak drives repeated subscribe → reset →
+// reconnect → close cycles and checks the goroutine count returns to the
+// baseline — the leak check the paper-scale fan-out depends on.
+func TestResilientViewerNoGoroutineLeak(t *testing.T) {
+	s := NewServer(ServerConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ln, err := s.Listen(ctx, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	pub, err := Publish(ctx, ln.Addr().String(), "b1", "tok", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := media.NewEncoder(media.EncoderConfig{}, rng.New(12))
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			f := enc.Next(time.Now())
+			if pub.Send(&f) != nil {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	baseline := runtime.NumGoroutine()
+	for cycle := 0; cycle < 5; cycle++ {
+		rec := &connRecorder{}
+		rv, err := SubscribeResilient(ctx, ln.Addr().String(), "b1", "", ReconnectConfig{
+			Options: ViewerOptions{WrapConn: rec.wrap},
+			Backoff: fastBackoff(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 0
+		for rf := range rv.Frames() {
+			_ = rf
+			got++
+			if got == 3 {
+				rec.kill(0) // force one reconnect per cycle
+			}
+			if got >= 8 {
+				break
+			}
+		}
+		rv.Close()
+	}
+	close(stop)
+	pub.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines %d > baseline %d after close:\n%s", n, baseline, buf)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

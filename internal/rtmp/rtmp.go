@@ -158,17 +158,36 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 			closed := s.closed
 			s.mu.Unlock()
 			if closed || ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
-				s.wg.Wait()
+				// Close (not Serve) waits for handler goroutines:
+				// several accept loops share the WaitGroup, and a
+				// per-loop Wait would race the others' Adds.
 				return nil
 			}
 			return fmt.Errorf("rtmp: accept: %w", err)
 		}
-		s.wg.Add(1)
+		if !s.track() {
+			conn.Close()
+			continue
+		}
 		go func() {
 			defer s.wg.Done()
 			s.handle(conn)
 		}()
 	}
+}
+
+// track registers one handler goroutine with the server's WaitGroup. The
+// mutex + closed check keep Add from racing Close's Wait: once Close has set
+// closed under the lock, no new handler can be added, so Wait only observes
+// a monotonically draining counter.
+func (s *Server) track() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.wg.Add(1)
+	return true
 }
 
 // Listen starts serving on addr in a background goroutine and returns the
@@ -240,6 +259,14 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 	if !s.cfg.Auth.Authorize(hs.BroadcastID, hs.Token, hs.Role) {
+		// An auth backed by the control plane rejects everything about an
+		// ended broadcast. A viewer rejoining after the end must hear
+		// "not found" (a normal end of stream), not "bad token" — the
+		// distinction keeps auto-reconnect loops from redialing forever.
+		if s.broadcastGone(hs.BroadcastID) {
+			s.ack(conn, wire.StatusNotFound, "no such broadcast")
+			return
+		}
 		s.ack(conn, wire.StatusBadToken, "token rejected")
 		return
 	}
@@ -251,6 +278,20 @@ func (s *Server) handle(conn net.Conn) {
 	default:
 		s.ack(conn, wire.StatusBadToken, "unknown role "+hs.Role)
 	}
+}
+
+// broadcastGone reports whether a broadcast is unknown to this server or
+// already ended.
+func (s *Server) broadcastGone(broadcastID string) bool {
+	s.mu.Lock()
+	b := s.broadcasts[broadcastID]
+	s.mu.Unlock()
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ended
 }
 
 func (s *Server) ack(conn net.Conn, status, message string) {
