@@ -36,6 +36,19 @@ type EdgeConfig struct {
 	// Breaker tunes the per-broadcast upstream circuit breaker; the zero
 	// value opens after 5 consecutive failures for 1 s.
 	Breaker resilience.BreakerConfig
+	// MaxInflight caps concurrently served store calls (chunklist and
+	// chunk fetches combined). Zero or negative disables shedding — the
+	// pre-fleet-health behaviour.
+	MaxInflight int
+	// QueueDepth bounds how many over-limit requests may wait for a slot
+	// before new arrivals are shed immediately.
+	QueueDepth int
+	// QueueWait bounds how long a queued request waits for a slot before
+	// being shed (default 100 ms).
+	QueueWait time.Duration
+	// ShedRetryAfter is the Retry-After hint attached to sheds (default
+	// 1 s).
+	ShedRetryAfter time.Duration
 }
 
 // EdgeStats count cache behaviour, the scalability currency of HLS.
@@ -55,6 +68,9 @@ type EdgeStats struct {
 	StaleServes atomic.Int64
 	// PullRetries counts upstream pull attempts beyond each first try.
 	PullRetries atomic.Int64
+	// Sheds counts requests refused because the edge was over its
+	// concurrency limit (served to clients as 503 + Retry-After).
+	Sheds atomic.Int64
 }
 
 // Edge is the Fastly analog: a pull-through cache for chunklists and chunks.
@@ -72,10 +88,28 @@ type Edge struct {
 	// finding the list stale trigger one upstream pull, not N (§5.2).
 	flight resilience.Group[*media.ChunkList]
 
+	// state is the fleet lifecycle: active edges serve, draining edges
+	// serve but hint viewers away, killed edges answer nothing.
+	state atomic.Int32
+
+	limit limiter
+
 	mu       sync.Mutex
 	cache    map[string]*edgeEntry
 	breakers map[string]*resilience.Breaker
 }
+
+// Edge lifecycle states.
+const (
+	edgeActive int32 = iota
+	edgeDraining
+	edgeKilled
+)
+
+// ErrEdgeDown is what a killed edge answers every request with — the closest
+// loopback analog of a crashed process (the HLS handler maps it to a generic
+// 500, exactly what a viewer of a dying Fastly node would see).
+var ErrEdgeDown = errors.New("cdn: edge down")
 
 type edgeEntry struct {
 	list  *media.ChunkList
@@ -97,12 +131,46 @@ func NewEdge(cfg EdgeConfig) *Edge {
 	if cfg.Retry.MaxDelay == 0 {
 		cfg.Retry.MaxDelay = 100 * time.Millisecond
 	}
-	return &Edge{
+	if cfg.QueueWait <= 0 {
+		cfg.QueueWait = 100 * time.Millisecond
+	}
+	if cfg.ShedRetryAfter <= 0 {
+		cfg.ShedRetryAfter = time.Second
+	}
+	e := &Edge{
 		cfg:      cfg,
 		cache:    make(map[string]*edgeEntry),
 		breakers: make(map[string]*resilience.Breaker),
 	}
+	e.limit.set(cfg.MaxInflight, cfg.QueueDepth, cfg.QueueWait)
+	return e
 }
+
+// SetLimits retunes the concurrency cap at runtime (the chaos soak uses it
+// to provoke an overload phase without rebuilding the platform). maxInflight
+// ≤ 0 disables shedding; queued requests wait at most queueWait for a slot.
+func (e *Edge) SetLimits(maxInflight, queueDepth int, queueWait time.Duration) {
+	if queueWait <= 0 {
+		queueWait = e.cfg.QueueWait
+	}
+	e.limit.set(maxInflight, queueDepth, queueWait)
+}
+
+// Drain moves the edge into draining: it keeps serving (and finishes
+// inflight pulls) but every response carries the drain hint so viewers
+// migrate to a sibling. Draining is sticky; only a killed edge is further
+// degraded.
+func (e *Edge) Drain() { e.state.CompareAndSwap(edgeActive, edgeDraining) }
+
+// Draining implements hls.Drainer for the HTTP handler's hint header.
+func (e *Edge) Draining() bool { return e.state.Load() == edgeDraining }
+
+// Kill makes the edge refuse all traffic with ErrEdgeDown — the chaos
+// harness's stand-in for a crashed node.
+func (e *Edge) Kill() { e.state.Store(edgeKilled) }
+
+// Killed reports whether the edge has been killed.
+func (e *Edge) Killed() bool { return e.state.Load() == edgeKilled }
 
 // Site returns the edge's datacenter.
 func (e *Edge) Site() geo.Datacenter { return e.cfg.Site }
@@ -142,11 +210,131 @@ func (e *Edge) Invalidate(broadcastID string, version uint64) {
 	}
 }
 
+// limiter is the edge's admission gate: at most maxInflight store calls run
+// concurrently, up to queueDepth more wait (bounded by queueWait) for a
+// slot, and everything beyond that is shed on arrival. Limits are mutable at
+// runtime; a release races safely with SetLimits because slots are handed
+// directly to the oldest waiter.
+type limiter struct {
+	mu          sync.Mutex
+	maxInflight int
+	queueDepth  int
+	queueWait   time.Duration
+	inflight    int
+	waiters     []chan struct{}
+}
+
+func (l *limiter) set(maxInflight, queueDepth int, queueWait time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.maxInflight = maxInflight
+	l.queueDepth = queueDepth
+	l.queueWait = queueWait
+}
+
+// errShed distinguishes an admission refusal from upstream errors.
+var errShed = errors.New("cdn: shed")
+
+// acquire admits the caller or returns errShed. On success the caller must
+// invoke the returned release exactly once.
+func (l *limiter) acquire(ctx context.Context) (func(), error) {
+	l.mu.Lock()
+	if l.maxInflight <= 0 {
+		l.inflight++
+		l.mu.Unlock()
+		return l.release, nil
+	}
+	if l.inflight < l.maxInflight {
+		l.inflight++
+		l.mu.Unlock()
+		return l.release, nil
+	}
+	if len(l.waiters) >= l.queueDepth {
+		l.mu.Unlock()
+		return nil, errShed
+	}
+	ch := make(chan struct{})
+	l.waiters = append(l.waiters, ch)
+	wait := l.queueWait
+	l.mu.Unlock()
+
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-ch:
+		// A releasing caller handed us its slot (inflight already counts
+		// us).
+		return l.release, nil
+	case <-timer.C:
+	case <-ctx.Done():
+	}
+	// Timed out or cancelled — unless the grant raced us, in which case we
+	// own a slot and must either use it (timeout) or give it back (cancel).
+	l.mu.Lock()
+	for i, w := range l.waiters {
+		if w == ch {
+			l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+			l.mu.Unlock()
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, errShed
+		}
+	}
+	l.mu.Unlock()
+	if ctx.Err() != nil {
+		l.release()
+		return nil, ctx.Err()
+	}
+	return l.release, nil
+}
+
+func (l *limiter) release() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Hand the slot to the oldest waiter rather than decrementing, so a
+	// queued request cannot be starved by a new arrival.
+	if len(l.waiters) > 0 && l.inflight <= l.maxInflight {
+		ch := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		close(ch)
+		return
+	}
+	l.inflight--
+}
+
+// admit runs the lifecycle and load-shedding gate shared by ChunkList and
+// Chunk. It returns a release func on success; a shed surfaces as
+// hls.OverloadedError so the HTTP layer answers 503 + Retry-After.
+func (e *Edge) admit(ctx context.Context) (func(), error) {
+	if e.state.Load() == edgeKilled {
+		return nil, ErrEdgeDown
+	}
+	rel, err := e.limit.acquire(ctx)
+	if errors.Is(err, errShed) {
+		e.stats.Sheds.Add(1)
+		return nil, &hls.OverloadedError{RetryAfter: e.cfg.ShedRetryAfter}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
 // ChunkList implements hls.Store for viewers. A fresh cached list is served
 // directly; a stale or missing one triggers the upstream pull. When the
 // upstream is unreachable the last cached list is served stale rather than
 // surfacing the error to the player.
 func (e *Edge) ChunkList(ctx context.Context, id string) (*media.ChunkList, error) {
+	rel, err := e.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer rel()
+	return e.chunkList(ctx, id)
+}
+
+func (e *Edge) chunkList(ctx context.Context, id string) (*media.ChunkList, error) {
 	e.mu.Lock()
 	ent, ok := e.cache[id]
 	if ok && ent.list != nil && !ent.stale {
@@ -290,6 +478,15 @@ func (e *Edge) pullUpstream(ctx context.Context, id string) (*media.ChunkList, e
 // Chunk implements hls.Store for viewers, pulling through on miss with
 // retries under the broadcast's circuit breaker.
 func (e *Edge) Chunk(ctx context.Context, id string, seq uint64) (*media.Chunk, error) {
+	rel, err := e.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer rel()
+	return e.chunk(ctx, id, seq)
+}
+
+func (e *Edge) chunk(ctx context.Context, id string, seq uint64) (*media.Chunk, error) {
 	e.mu.Lock()
 	if ent, ok := e.cache[id]; ok {
 		if c, ok := ent.chunks[seq]; ok {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/hls"
 	"repro/internal/media"
 	"repro/internal/resilience"
+	"repro/internal/testutil"
 )
 
 // gatedStore blocks ChunkList calls on a gate so a test can pile concurrent
@@ -74,6 +75,7 @@ func fastEdgeRetry() resilience.Policy {
 // whose cache is empty: the single-flight group must collapse them into
 // exactly one upstream pull (§5.2's chunklist-expiry stampede).
 func TestEdgePollStampedeSingleFlight(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	o := NewOrigin(OriginConfig{Site: site("o1", "X"), ChunkDuration: time.Second})
 	feedFrames(o, "b1", 60)
 	g := &gatedStore{inner: o, gate: make(chan struct{}), entered: make(chan struct{})}
@@ -136,6 +138,7 @@ func TestEdgePollStampedeSingleFlight(t *testing.T) {
 // copy instead of an error, and fresh pulls resume once the upstream heals
 // and the breaker's open window elapses.
 func TestEdgeServesStaleWhenUpstreamDown(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	o := NewOrigin(OriginConfig{Site: site("o1", "X"), ChunkDuration: time.Second})
 	feedFrames(o, "b1", 30) // one complete chunk
 	f := &flakyStore{inner: o}
@@ -204,6 +207,7 @@ func TestEdgeServesStaleWhenUpstreamDown(t *testing.T) {
 // copy during a list pull is counted and leaves the entry stale, so the next
 // poll pulls again instead of serving a list whose chunks are missing.
 func TestEdgeChunkPullErrorLeavesStale(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	o := NewOrigin(OriginConfig{Site: site("o1", "X"), ChunkDuration: time.Second})
 	feedFrames(o, "b1", 30)
 	f := &flakyStore{inner: o}

@@ -25,7 +25,14 @@ type Topology struct {
 	net      *netsim.Model
 	useGW    bool
 	wrapUp   func(hls.Store) hls.Store
+	eligible func(role, siteID string) bool
 }
+
+// Roles passed to the eligibility predicate installed via SetEligibility.
+const (
+	RoleEdge   = "edge"
+	RoleOrigin = "origin"
+)
 
 // TopologyConfig configures Build.
 type TopologyConfig struct {
@@ -62,6 +69,13 @@ type TopologyConfig struct {
 	// EdgeBreaker tunes every edge's per-broadcast circuit breaker (zero
 	// value → resilience defaults).
 	EdgeBreaker resilience.BreakerConfig
+	// EdgeMaxInflight, EdgeQueueDepth, and EdgeQueueWait configure every
+	// edge's load-shedding gate; zero EdgeMaxInflight disables shedding.
+	EdgeMaxInflight int
+	EdgeQueueDepth  int
+	EdgeQueueWait   time.Duration
+	// EdgeShedRetryAfter is the Retry-After hint edges attach to sheds.
+	EdgeShedRetryAfter time.Duration
 	// Seed drives latency jitter when Net is nil but injection is wanted.
 	Seed uint64
 }
@@ -95,10 +109,14 @@ func Build(cfg TopologyConfig) *Topology {
 	for _, site := range cfg.EdgeSites {
 		site := site
 		edge := NewEdge(EdgeConfig{
-			Site:    site,
-			Resolve: nil, // set below, needs the edge list
-			Retry:   cfg.EdgeRetry,
-			Breaker: cfg.EdgeBreaker,
+			Site:           site,
+			Resolve:        nil, // set below, needs the edge list
+			Retry:          cfg.EdgeRetry,
+			Breaker:        cfg.EdgeBreaker,
+			MaxInflight:    cfg.EdgeMaxInflight,
+			QueueDepth:     cfg.EdgeQueueDepth,
+			QueueWait:      cfg.EdgeQueueWait,
+			ShedRetryAfter: cfg.EdgeShedRetryAfter,
 		})
 		t.Edges = append(t.Edges, edge)
 	}
@@ -139,26 +157,75 @@ func (t *Topology) OriginFor(broadcastID string) (*Origin, bool) {
 	return o, ok
 }
 
-// NearestOrigin returns the origin closest to loc — the broadcaster
-// assignment policy the paper observed (§5.3).
+// SetEligibility installs the fleet-health predicate consulted by
+// NearestOrigin and NearestEdge: nodes it rejects (suspect, down, draining)
+// are skipped during assignment. A nil predicate — and the case where it
+// rejects the whole fleet — falls back to plain nearest, so a misbehaving
+// health feed degrades routing quality but never empties the CDN.
+func (t *Topology) SetEligibility(fn func(role, siteID string) bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.eligible = fn
+}
+
+func (t *Topology) isEligible(role, siteID string) bool {
+	t.mu.Lock()
+	fn := t.eligible
+	t.mu.Unlock()
+	return fn == nil || fn(role, siteID)
+}
+
+// closer reports whether candidate at distance d beats the incumbent at
+// bestD, breaking exact ties by smaller site ID so assignment is
+// deterministic regardless of catalog order.
+func closer(d, bestD float64, id, bestID string) bool {
+	return d < bestD || (d == bestD && id < bestID)
+}
+
+// NearestOrigin returns the eligible origin closest to loc — the broadcaster
+// assignment policy the paper observed (§5.3), filtered by fleet health.
 func (t *Topology) NearestOrigin(loc geo.Location) *Origin {
-	best := t.Origins[0]
-	for _, o := range t.Origins[1:] {
-		if geo.DistanceKm(loc, o.Site().Location) < geo.DistanceKm(loc, best.Site().Location) {
-			best = o
+	var best *Origin
+	var bestD float64
+	pick := func(onlyEligible bool) {
+		for _, o := range t.Origins {
+			if onlyEligible && !t.isEligible(RoleOrigin, o.Site().ID) {
+				continue
+			}
+			d := geo.DistanceKm(loc, o.Site().Location)
+			if best == nil || closer(d, bestD, o.Site().ID, best.Site().ID) {
+				best, bestD = o, d
+			}
 		}
+	}
+	pick(true)
+	if best == nil {
+		pick(false)
 	}
 	return best
 }
 
-// NearestEdge returns the edge closest to loc — the IP-anycast viewer
-// routing (§5.3).
+// NearestEdge returns the eligible edge closest to loc — the IP-anycast
+// viewer routing (§5.3). Edges the health feed marks suspect, down, or
+// draining are skipped so joins and failover re-resolves land on healthy
+// siblings.
 func (t *Topology) NearestEdge(loc geo.Location) *Edge {
-	best := t.Edges[0]
-	for _, e := range t.Edges[1:] {
-		if geo.DistanceKm(loc, e.Site().Location) < geo.DistanceKm(loc, best.Site().Location) {
-			best = e
+	var best *Edge
+	var bestD float64
+	pick := func(onlyEligible bool) {
+		for _, e := range t.Edges {
+			if onlyEligible && !t.isEligible(RoleEdge, e.Site().ID) {
+				continue
+			}
+			d := geo.DistanceKm(loc, e.Site().Location)
+			if best == nil || closer(d, bestD, e.Site().ID, best.Site().ID) {
+				best, bestD = e, d
+			}
 		}
+	}
+	pick(true)
+	if best == nil {
+		pick(false)
 	}
 	return best
 }
@@ -182,6 +249,11 @@ func (t *Topology) resolve(e *Edge, broadcastID string) (Upstream, error) {
 		return Upstream{}, hls.ErrNotFound
 	}
 	gw := t.GatewayFor(o)
+	// A killed or unhealthy gateway would take the whole relay path down
+	// with it; fall back to pulling the origin direct instead.
+	if gw != nil && gw != e && (gw.Killed() || !t.isEligible(RoleEdge, gw.Site().ID)) {
+		gw = nil
+	}
 	direct := !t.useGW || gw == nil || gw == e || geo.CoLocated(e.Site(), o.Site())
 	up := Upstream{}
 	if direct {

@@ -468,6 +468,25 @@ func (s *Service) Join(userID uint64, broadcastID string, loc geo.Location) (Vie
 	return grant, nil
 }
 
+// ResolveEdge re-resolves the HLS edge for an existing viewer session
+// without recording a join. Failover pollers call it when their assigned
+// edge dies, sheds, or drains mid-stream; because the route consults the
+// fleet-health eligibility filter, the answer is whatever sibling edge is
+// currently healthy and nearest. It works for ended-but-retained broadcasts
+// too — a viewer mid-replay must still be able to migrate.
+func (s *Service) ResolveEdge(broadcastID string, loc geo.Location) (string, error) {
+	s.mu.Lock()
+	_, ok := s.broadcasts[broadcastID]
+	s.mu.Unlock()
+	if !ok {
+		return "", ErrNoBroadcast
+	}
+	if s.cfg.Routes.AssignEdge == nil {
+		return "", errors.New("control: no edge route configured")
+	}
+	return s.cfg.Routes.AssignEdge(broadcastID, loc), nil
+}
+
 // GlobalList returns up to GlobalListSize randomly selected live broadcasts,
 // the API surface the paper's crawler polled every 250 ms (§3.1).
 func (s *Service) GlobalList() []Summary {

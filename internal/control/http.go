@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 
@@ -78,6 +79,10 @@ type joinResp struct {
 	RTMPSAddr   string `json:"rtmps_addr,omitempty"`
 	ViewerToken string `json:"viewer_token,omitempty"`
 	CAPEM       []byte `json:"ca_pem,omitempty"`
+}
+
+type resolveEdgeResp struct {
+	HLSBaseURL string `json:"hls_base_url"`
 }
 
 type summaryJSON struct {
@@ -219,6 +224,16 @@ func Handler(prefix string, s *Service) http.Handler {
 		case len(parts) == 2 && parts[1] == "pubkey" && r.Method == http.MethodGet:
 			key := s.PublicKey(id)
 			writeJSON(w, pubKeyResp{PubKeyHex: hex.EncodeToString(key)})
+		case len(parts) == 2 && parts[1] == "edge" && r.Method == http.MethodGet:
+			q := r.URL.Query()
+			loc := geo.Location{City: q.Get("city")}
+			fmt.Sscanf(q.Get("lat"), "%f", &loc.Lat)
+			fmt.Sscanf(q.Get("lon"), "%f", &loc.Lon)
+			url, err := s.ResolveEdge(id, loc)
+			if respondErr(w, err) {
+				return
+			}
+			writeJSON(w, resolveEdgeResp{HLSBaseURL: url})
 		default:
 			http.NotFound(w, r)
 		}
@@ -404,6 +419,18 @@ func (c *Client) Join(ctx context.Context, userID uint64, broadcastID string, lo
 		ViewerToken: resp.ViewerToken,
 		CAPEM:       resp.CAPEM,
 	}, nil
+}
+
+// ResolveEdge re-resolves the healthy HLS edge for a broadcast without
+// recording a join — the failover path viewers take when their edge dies.
+func (c *Client) ResolveEdge(ctx context.Context, broadcastID string, loc geo.Location) (string, error) {
+	var resp resolveEdgeResp
+	path := fmt.Sprintf("/broadcasts/%s/edge?city=%s&lat=%g&lon=%g",
+		broadcastID, url.QueryEscape(loc.City), loc.Lat, loc.Lon)
+	if err := c.get(ctx, path, &resp); err != nil {
+		return "", err
+	}
+	return resp.HLSBaseURL, nil
 }
 
 // GlobalList fetches the 50-random live list.

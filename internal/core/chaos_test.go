@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"net"
-	"net/http"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -20,6 +19,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/rng"
 	"repro/internal/rtmp"
+	"repro/internal/testutil"
 )
 
 // chaosConnRecorder captures the viewer's raw RTMP conns so the test can
@@ -62,26 +62,7 @@ func TestPlatformChaosSoak(t *testing.T) {
 
 	// Leak check registered before startPlatform so it runs after p.Stop
 	// (t.Cleanup is LIFO).
-	baseline := runtime.NumGoroutine()
-	t.Cleanup(func() {
-		if tr, ok := http.DefaultTransport.(*http.Transport); ok {
-			tr.CloseIdleConnections()
-		}
-		deadline := time.Now().Add(5 * time.Second)
-		for {
-			runtime.GC()
-			n := runtime.NumGoroutine()
-			if n <= baseline {
-				return
-			}
-			if time.Now().After(deadline) {
-				buf := make([]byte, 1<<20)
-				buf = buf[:runtime.Stack(buf, true)]
-				t.Fatalf("goroutines %d > baseline %d after Stop:\n%s", n, baseline, buf)
-			}
-			time.Sleep(20 * time.Millisecond)
-		}
-	})
+	testutil.CheckGoroutines(t)
 
 	// Origin↔edge hop: every upstream store an edge pulls from fails 15%
 	// of calls and delays 10% (the §5.3 WAN hop under loss).

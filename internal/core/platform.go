@@ -17,6 +17,7 @@ import (
 	"repro/internal/cdn"
 	"repro/internal/control"
 	"repro/internal/geo"
+	"repro/internal/health"
 	"repro/internal/hls"
 	"repro/internal/netsim"
 	"repro/internal/pubsub"
@@ -59,16 +60,27 @@ type PlatformConfig struct {
 	// values use the edge defaults.
 	EdgeRetry   resilience.Policy
 	EdgeBreaker resilience.BreakerConfig
+	// Health tunes the fleet-health registry (heartbeat period, miss
+	// thresholds); the zero value uses the health defaults.
+	Health health.Config
+	// EdgeMaxInflight/EdgeQueueDepth/EdgeQueueWait configure every edge's
+	// load-shedding gate; zero EdgeMaxInflight disables shedding.
+	EdgeMaxInflight int
+	EdgeQueueDepth  int
+	EdgeQueueWait   time.Duration
+	// EdgeShedRetryAfter is the Retry-After hint shed responses carry.
+	EdgeShedRetryAfter time.Duration
 	// Seed drives global-list sampling.
 	Seed uint64
 }
 
 // Platform is the assembled, runnable livestreaming service.
 type Platform struct {
-	cfg  PlatformConfig
-	Topo *cdn.Topology
-	Ctrl *control.Service
-	Hub  *pubsub.Hub
+	cfg    PlatformConfig
+	Topo   *cdn.Topology
+	Ctrl   *control.Service
+	Hub    *pubsub.Hub
+	Health *health.Registry
 
 	mu         sync.Mutex
 	rtmpAddrs  map[string]string // origin ID → listen address
@@ -130,10 +142,28 @@ func NewPlatform(cfg PlatformConfig) *Platform {
 		WrapUpstream:   cfg.WrapUpstream,
 		EdgeRetry:      cfg.EdgeRetry,
 		EdgeBreaker:    cfg.EdgeBreaker,
+
+		EdgeMaxInflight:    cfg.EdgeMaxInflight,
+		EdgeQueueDepth:     cfg.EdgeQueueDepth,
+		EdgeQueueWait:      cfg.EdgeQueueWait,
+		EdgeShedRetryAfter: cfg.EdgeShedRetryAfter,
 	})
 	for _, o := range p.Topo.Origins {
 		p.originByID[o.Site().ID] = o
 	}
+	// Fleet health: every node heartbeats into the registry (the loop
+	// starts in Start); assignment routing consults node eligibility, so
+	// joins and failover re-resolves skip suspect/down/draining nodes.
+	p.Health = health.NewRegistry(cfg.Health)
+	for _, o := range p.Topo.Origins {
+		p.Health.Register(healthNodeID(cdn.RoleOrigin, o.Site().ID))
+	}
+	for _, e := range p.Topo.Edges {
+		p.Health.Register(healthNodeID(cdn.RoleEdge, e.Site().ID))
+	}
+	p.Topo.SetEligibility(func(role, siteID string) bool {
+		return p.Health.Eligible(healthNodeID(role, siteID))
+	})
 	p.Ctrl.OnStart(func(id, originID string) {
 		if o, ok := p.originByID[originID]; ok {
 			p.Topo.AssignBroadcast(id, o)
@@ -149,6 +179,70 @@ func NewPlatform(cfg PlatformConfig) *Platform {
 		}
 	})
 	return p
+}
+
+// healthNodeID names a node in the registry: "edge:<site>" / "origin:<site>".
+func healthNodeID(role, siteID string) string { return role + ":" + siteID }
+
+// heartbeats beats every live node into the registry each interval. A killed
+// edge stops beating — exactly what a crashed process looks like from the
+// control plane — so the miss-count detector degrades it to suspect and then
+// down without any special-casing.
+func (p *Platform) heartbeats(ctx context.Context) {
+	ticker := time.NewTicker(p.Health.Interval())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		for _, o := range p.Topo.Origins {
+			p.Health.Heartbeat(healthNodeID(cdn.RoleOrigin, o.Site().ID))
+		}
+		for _, e := range p.Topo.Edges {
+			if e.Killed() {
+				continue
+			}
+			p.Health.Heartbeat(healthNodeID(cdn.RoleEdge, e.Site().ID))
+		}
+	}
+}
+
+// EdgeByID returns the edge at the given site, or nil.
+func (p *Platform) EdgeByID(siteID string) *cdn.Edge {
+	for _, e := range p.Topo.Edges {
+		if e.Site().ID == siteID {
+			return e
+		}
+	}
+	return nil
+}
+
+// KillEdge crashes an edge: it refuses all traffic and stops heartbeating,
+// so the detector walks it healthy → suspect → down and assignment routing
+// skips it. Viewers mid-stream see 5xx and fail over.
+func (p *Platform) KillEdge(siteID string) error {
+	e := p.EdgeByID(siteID)
+	if e == nil {
+		return fmt.Errorf("core: no edge %q", siteID)
+	}
+	e.Kill()
+	return nil
+}
+
+// DrainEdge gracefully winds an edge down: new assignments stop immediately
+// (registry state Draining), inflight requests finish, and every response
+// the edge keeps serving carries the drain hint that pushes viewers to
+// re-resolve onto a sibling.
+func (p *Platform) DrainEdge(siteID string) error {
+	e := p.EdgeByID(siteID)
+	if e == nil {
+		return fmt.Errorf("core: no edge %q", siteID)
+	}
+	e.Drain()
+	p.Health.SetDraining(healthNodeID(cdn.RoleEdge, e.Site().ID), true)
+	return nil
 }
 
 // janitor periodically garbage-collects ended broadcasts: origin chunk
@@ -272,6 +366,7 @@ func (p *Platform) Start(ctx context.Context) error {
 	}
 	mux.Handle("/api/", apiHandler)
 	mux.Handle("/channel/", pubsub.Handler("/channel", p.Hub))
+	mux.Handle("/fleet", health.Handler(p.Health))
 	for _, e := range p.Topo.Edges {
 		prefix := "/edge/" + e.Site().ID + "/hls"
 		mux.Handle(prefix+"/", hls.Handler(prefix, e))
@@ -289,6 +384,8 @@ func (p *Platform) Start(ctx context.Context) error {
 	if p.cfg.Retention > 0 {
 		go p.janitor(ctx)
 	}
+	go p.heartbeats(ctx)
+	go p.Health.Run(ctx)
 	go func() {
 		p.httpSrv.Serve(ln)
 	}()

@@ -111,8 +111,11 @@ func measureHLS(nViewers int, dur time.Duration, seed uint64) (float64, error) {
 	// Publisher: feed frames straight into the origin ingest (the RTMP
 	// ingest leg is identical for both protocols and is excluded, as the
 	// paper's experiment also measured only the viewer-serving cost).
+	// Split before spawning: src is not safe for concurrent use and the
+	// viewer loop below keeps drawing from it.
+	encSrc := src.Split("enc")
 	go func() {
-		enc := media.NewEncoder(media.EncoderConfig{}, src.Split("enc"))
+		enc := media.NewEncoder(media.EncoderConfig{}, encSrc)
 		ticker := time.NewTicker(media.FrameDuration)
 		defer ticker.Stop()
 		nFrames := int(dur / media.FrameDuration)

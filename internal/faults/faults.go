@@ -43,6 +43,13 @@ type Config struct {
 	// PartialReadRate is the probability a read is truncated early —
 	// a conn read returning fewer bytes, an HTTP body cut mid-transfer.
 	PartialReadRate float64
+	// OverloadRate is the probability an HTTP request is answered with a
+	// synthesized 503 + Retry-After instead of reaching the server — an
+	// edge shedding load before the request ever lands.
+	OverloadRate float64
+	// OverloadRetryAfter is the Retry-After value attached to synthesized
+	// 503s; zero means 1 second.
+	OverloadRetryAfter time.Duration
 }
 
 // Stats count injected faults by class.
@@ -51,11 +58,13 @@ type Stats struct {
 	Latencies    atomic.Int64
 	Resets       atomic.Int64
 	PartialReads atomic.Int64
+	Overloads    atomic.Int64
 }
 
 // Total returns the sum across classes.
 func (s *Stats) Total() int64 {
-	return s.Errors.Load() + s.Latencies.Load() + s.Resets.Load() + s.PartialReads.Load()
+	return s.Errors.Load() + s.Latencies.Load() + s.Resets.Load() +
+		s.PartialReads.Load() + s.Overloads.Load()
 }
 
 // Injector decides, deterministically, which operations fail and how. One
@@ -161,4 +170,19 @@ func (i *Injector) partialReadRate() float64 {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	return i.cfg.PartialReadRate
+}
+
+func (i *Injector) overloadRate() float64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.cfg.OverloadRate
+}
+
+func (i *Injector) overloadRetryAfter() time.Duration {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.cfg.OverloadRetryAfter > 0 {
+		return i.cfg.OverloadRetryAfter
+	}
+	return time.Second
 }

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -189,5 +190,45 @@ func TestSetConfigKeepsSeed(t *testing.T) {
 	}
 	if inj.shouldError() {
 		t.Fatal("error fired at zero rate")
+	}
+}
+
+func TestRoundTripperSynthesizesOverload(t *testing.T) {
+	var reached atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reached.Add(1)
+	}))
+	defer srv.Close()
+
+	inj := New(Config{Seed: 6, OverloadRate: 1, OverloadRetryAfter: 2 * time.Second})
+	hc := inj.Client(nil)
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want %q", got, "2")
+	}
+	if reached.Load() != 0 {
+		t.Fatalf("request reached the server despite injected overload")
+	}
+	if inj.Stats().Overloads.Load() != 1 || inj.Stats().Total() != 1 {
+		t.Fatalf("Overloads = %d Total = %d, want 1/1",
+			inj.Stats().Overloads.Load(), inj.Stats().Total())
+	}
+
+	// Dropping the rate restores passthrough.
+	inj.SetConfig(Config{})
+	resp, err = hc.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || reached.Load() != 1 {
+		t.Fatalf("passthrough after SetConfig: status=%d reached=%d", resp.StatusCode, reached.Load())
 	}
 }

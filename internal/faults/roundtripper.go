@@ -3,7 +3,10 @@ package faults
 import (
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
+	"strings"
 
 	"repro/internal/resilience"
 )
@@ -42,6 +45,10 @@ func (t *faultyRoundTripper) RoundTrip(req *http.Request) (*http.Response, error
 			return nil, err
 		}
 	}
+	if t.inj.roll(t.inj.overloadRate()) {
+		t.inj.stats.Overloads.Add(1)
+		return t.overloadResponse(req), nil
+	}
 	if t.inj.shouldError() {
 		return nil, fmt.Errorf("faults: roundtrip %s: %w", req.URL.Path, ErrInjected)
 	}
@@ -54,6 +61,27 @@ func (t *faultyRoundTripper) RoundTrip(req *http.Request) (*http.Response, error
 		resp.Body = &truncatedBody{ReadCloser: resp.Body, remaining: 1}
 	}
 	return resp, nil
+}
+
+// overloadResponse synthesizes the 503 + Retry-After an overloaded edge
+// sheds with, without the request reaching the wire.
+func (t *faultyRoundTripper) overloadResponse(req *http.Request) *http.Response {
+	secs := int(math.Ceil(t.inj.overloadRetryAfter().Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	h := make(http.Header)
+	h.Set("Retry-After", strconv.Itoa(secs))
+	return &http.Response{
+		Status:     "503 Service Unavailable (injected)",
+		StatusCode: http.StatusServiceUnavailable,
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1,
+		ProtoMinor: 1,
+		Header:     h,
+		Body:       io.NopCloser(strings.NewReader("injected overload")),
+		Request:    req,
+	}
 }
 
 // truncatedBody lets a bounded number of bytes through, then fails the

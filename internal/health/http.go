@@ -1,0 +1,51 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// nodeJSON is the wire view of one node.
+type nodeJSON struct {
+	ID       string    `json:"id"`
+	State    string    `json:"state"`
+	LastBeat time.Time `json:"last_beat"`
+	Misses   int       `json:"misses,omitempty"`
+}
+
+type fleetJSON struct {
+	Nodes           []nodeJSON `json:"nodes"`
+	Heartbeats      int64      `json:"heartbeats"`
+	HeartbeatMisses int64      `json:"heartbeat_misses"`
+	Transitions     int64      `json:"transitions"`
+	Recoveries      int64      `json:"recoveries"`
+}
+
+// Handler serves the fleet state as JSON — the operator's view of the
+// registry (GET only).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		snap := r.Snapshot()
+		out := fleetJSON{
+			Nodes:           make([]nodeJSON, 0, len(snap)),
+			Heartbeats:      r.Stats().Heartbeats.Load(),
+			HeartbeatMisses: r.Stats().HeartbeatMisses.Load(),
+			Transitions:     r.Stats().Transitions.Load(),
+			Recoveries:      r.Stats().Recoveries.Load(),
+		}
+		for _, n := range snap {
+			out.Nodes = append(out.Nodes, nodeJSON{
+				ID: n.ID, State: n.State.String(), LastBeat: n.LastBeat, Misses: n.Misses,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(out); err != nil {
+			_ = err // response already started
+		}
+	})
+}

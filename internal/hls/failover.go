@@ -1,0 +1,204 @@
+package hls
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// FailoverConfig tunes a FailoverPoller.
+type FailoverConfig struct {
+	// Resolve asks the control plane which edge to poll. It is called once
+	// at startup and again on every failover, so a remapped viewer lands
+	// on whatever the fleet currently considers the nearest healthy edge.
+	// Required.
+	Resolve func(ctx context.Context) (baseURL string, err error)
+	// NewClient builds the per-edge client; nil uses a plain Client. Tests
+	// inject fault-carrying transports here.
+	NewClient func(baseURL string) *Client
+	// Poller is the inner polling configuration (Interval, OnChunk, OnEnd,
+	// ListOnly).
+	Poller PollerConfig
+	// FailureThreshold is how many consecutive failed polls against one
+	// edge trigger a failover. Zero means 3. Overload (503) and a poisoned
+	// edge (404 for a broadcast the session has already played) fail over
+	// immediately regardless.
+	FailureThreshold int
+	// MaxFailovers bounds edge switches across the session (each resolve
+	// round counts). Zero means 8; negative means unlimited.
+	MaxFailovers int
+	// Backoff schedules the wait between failover rounds; the zero value
+	// uses the resilience defaults.
+	Backoff resilience.Policy
+}
+
+// FailoverPoller is an HLS viewer session that survives edge failures: when
+// the assigned edge sheds it (503 + Retry-After), hints that it is draining,
+// goes dark (repeated 5xx/timeouts), or loses the broadcast, the session
+// re-queries the control plane and resumes polling a sibling edge from the
+// last delivered chunk sequence — duplicates never, gaps allowed. It is the
+// HLS mirror of rtmp.SubscribeResilient, reproducing the silent viewer
+// remapping the paper observed Fastly's fleet performing (§4.1).
+type FailoverPoller struct {
+	broadcastID string
+	cfg         FailoverConfig
+
+	failovers  atomic.Int64
+	overloads  atomic.Int64
+	drainHints atomic.Int64
+	lastSeq    atomic.Uint64
+	baseURL    atomic.Value // string: the edge currently polled
+}
+
+// NewFailoverPoller builds a session for one broadcast. Call Run to poll.
+func NewFailoverPoller(broadcastID string, cfg FailoverConfig) *FailoverPoller {
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 3
+	}
+	if cfg.MaxFailovers == 0 {
+		cfg.MaxFailovers = 8
+	}
+	if cfg.Poller.Interval <= 0 {
+		cfg.Poller.Interval = 2 * time.Second
+	}
+	if cfg.NewClient == nil {
+		cfg.NewClient = func(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+	}
+	return &FailoverPoller{broadcastID: broadcastID, cfg: cfg}
+}
+
+// Failovers returns how many times the session switched edges (resolve
+// rounds after the first).
+func (fp *FailoverPoller) Failovers() int64 { return fp.failovers.Load() }
+
+// Overloads returns how many polls were answered with a shed (503/429).
+func (fp *FailoverPoller) Overloads() int64 { return fp.overloads.Load() }
+
+// DrainHints returns how many edges hinted the session away mid-stream.
+func (fp *FailoverPoller) DrainHints() int64 { return fp.drainHints.Load() }
+
+// LastSeq returns the highest chunk sequence delivered so far.
+func (fp *FailoverPoller) LastSeq() uint64 { return fp.lastSeq.Load() }
+
+// BaseURL returns the edge the session is currently polling ("" before the
+// first resolve).
+func (fp *FailoverPoller) BaseURL() string {
+	if v, ok := fp.baseURL.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
+// Run polls until the broadcast ends (nil), ctx is done, or the failover
+// budget is exhausted (the last edge error). It is synchronous, like
+// Client.Poll; callers wanting a background session run it in a goroutine.
+func (fp *FailoverPoller) Run(ctx context.Context) error {
+	if fp.cfg.Resolve == nil {
+		return errors.New("hls: FailoverConfig.Resolve is required")
+	}
+	var st pollState
+	rounds := 0       // resolve rounds consumed (first one is free)
+	notFoundRuns := 0 // consecutive edges answering 404
+	var lastErr error
+	for {
+		if rounds > 0 {
+			if fp.cfg.MaxFailovers >= 0 && rounds > fp.cfg.MaxFailovers {
+				if lastErr == nil {
+					lastErr = errors.New("hls: failover budget exhausted")
+				}
+				return fmt.Errorf("hls: %d failovers: %w", rounds-1, lastErr)
+			}
+			if err := resilience.SleepCtx(ctx, fp.cfg.Backoff.Delay(rounds-1)); err != nil {
+				return err
+			}
+			fp.failovers.Add(1)
+		}
+		rounds++
+
+		baseURL, err := fp.cfg.Resolve(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = fmt.Errorf("hls: resolve edge: %w", err)
+			continue
+		}
+		fp.baseURL.Store(baseURL)
+		client := fp.cfg.NewClient(baseURL)
+		var draining atomic.Bool
+		client.OnDrainHint = func() {
+			if !draining.Swap(true) {
+				fp.drainHints.Add(1)
+			}
+		}
+
+		ended, err := fp.pollEdge(ctx, client, &st, &draining, &notFoundRuns)
+		if ended {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if errors.Is(err, ErrNotFound) && notFoundRuns >= 2 {
+			// Two distinct edges in a row say the broadcast does not
+			// exist: believe them rather than thrashing the fleet.
+			return err
+		}
+		if err != nil {
+			lastErr = err
+		}
+	}
+}
+
+// pollEdge runs the poll loop against one edge until the broadcast ends, a
+// failover trigger fires (returning the triggering error), or ctx is done.
+func (fp *FailoverPoller) pollEdge(ctx context.Context, client *Client, st *pollState, draining *atomic.Bool, notFoundRuns *int) (bool, error) {
+	ticker := time.NewTicker(fp.cfg.Poller.Interval)
+	defer ticker.Stop()
+	consecFails := 0
+	for {
+		ended, err := client.pollOnce(ctx, fp.broadcastID, &fp.cfg.Poller, st)
+		fp.lastSeq.Store(st.lastSeq)
+		switch {
+		case err == nil:
+			*notFoundRuns = 0
+			consecFails = 0
+			if ended {
+				return true, nil
+			}
+			if draining.Load() {
+				// The edge asked us to leave; migrate between polls so
+				// nothing is dropped.
+				return false, nil
+			}
+		case errors.Is(err, ErrNotFound):
+			// This edge cannot resolve the broadcast (poisoned cache,
+			// released assignment, or a genuinely absent stream — the
+			// caller distinguishes via the consecutive-edge count).
+			*notFoundRuns++
+			return false, err
+		case errors.Is(err, ErrOverloaded):
+			// Shed: the edge told us to go elsewhere. Retry-After was
+			// already honored inside the client.
+			fp.overloads.Add(1)
+			return false, err
+		default:
+			if ctx.Err() != nil {
+				return false, ctx.Err()
+			}
+			consecFails++
+			if consecFails >= fp.cfg.FailureThreshold {
+				return false, err
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return false, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}

@@ -22,6 +22,43 @@ import (
 // ErrNotFound is returned by stores for unknown broadcasts or chunks.
 var ErrNotFound = errors.New("hls: not found")
 
+// ErrOverloaded reports that the server shed the request (HTTP 503/429) —
+// the admission-control answer an edge over its inflight cap gives instead
+// of queueing unboundedly. Clients treat it as a failover trigger.
+var ErrOverloaded = errors.New("hls: overloaded")
+
+// OverloadedError carries the server's Retry-After hint alongside
+// ErrOverloaded; errors.Is(err, ErrOverloaded) matches it.
+type OverloadedError struct {
+	// RetryAfter is how long the server asked us to back off; zero when
+	// the response carried no (parsable) Retry-After header.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadedError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("hls: overloaded (retry after %s)", e.RetryAfter)
+	}
+	return "hls: overloaded"
+}
+
+// Is matches ErrOverloaded.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
+
+// Drainer is implemented by stores that can be gracefully drained. While
+// draining, the Handler stamps every response with DrainingHeader so
+// attached viewers migrate to a sibling edge before shutdown.
+type Drainer interface {
+	Draining() bool
+}
+
+// DrainingHeader marks responses from a draining edge.
+const DrainingHeader = "X-Edge-Draining"
+
+// RetryAfterHeader is the standard backoff hint on 503/429 responses.
+const RetryAfterHeader = "Retry-After"
+
 // Store supplies chunklists and chunks for serving. Implementations are the
 // CDN origin (authoritative) and edge caches.
 type Store interface {
@@ -47,6 +84,9 @@ func Handler(prefix string, store Store) http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		if d, ok := store.(Drainer); ok && d.Draining() {
+			w.Header().Set(DrainingHeader, "1")
+		}
 		rest, ok := strings.CutPrefix(r.URL.Path, prefix+"/")
 		if !ok {
 			http.NotFound(w, r)
@@ -69,14 +109,33 @@ func Handler(prefix string, store Store) http.Handler {
 	})
 }
 
+// writeStoreError maps store errors onto the HTTP surface: not-found → 404,
+// shed → 503 + Retry-After (the load-shedding contract viewers key off),
+// everything else → 500.
+func writeStoreError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrOverloaded):
+		status = http.StatusServiceUnavailable
+		secs := int64(1)
+		var oe *OverloadedError
+		if errors.As(err, &oe) {
+			secs = int64((oe.RetryAfter + time.Second - 1) / time.Second)
+			if secs < 0 {
+				secs = 0
+			}
+		}
+		w.Header().Set(RetryAfterHeader, strconv.FormatInt(secs, 10))
+	}
+	http.Error(w, err.Error(), status)
+}
+
 func serveChunkList(w http.ResponseWriter, r *http.Request, store Store, id string) {
 	cl, err := store.ChunkList(r.Context(), id)
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, ErrNotFound) {
-			status = http.StatusNotFound
-		}
-		http.Error(w, err.Error(), status)
+		writeStoreError(w, err)
 		return
 	}
 	// Conditional fetch: a poller or edge that already has this version
@@ -96,11 +155,7 @@ func serveChunkList(w http.ResponseWriter, r *http.Request, store Store, id stri
 func serveChunk(w http.ResponseWriter, r *http.Request, store Store, id string, seq uint64) {
 	c, err := store.Chunk(r.Context(), id, seq)
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, ErrNotFound) {
-			status = http.StatusNotFound
-		}
-		http.Error(w, err.Error(), status)
+		writeStoreError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -121,6 +176,13 @@ type Client struct {
 	// backoff; the zero value makes 3 attempts. MaxAttempts 1 disables
 	// retries.
 	Retry resilience.Policy
+	// RetryAfterCap bounds how long a server's Retry-After hint is honored
+	// (default 30 s) so a hostile or buggy header cannot park the client.
+	RetryAfterCap time.Duration
+	// OnDrainHint, when set, is invoked every time a response carries the
+	// edge-draining header — the failover poller uses it to migrate off a
+	// draining edge between polls.
+	OnDrainHint func()
 }
 
 func (c *Client) http() *http.Client {
@@ -137,6 +199,62 @@ func (c *Client) timeout() time.Duration {
 	return 10 * time.Second
 }
 
+func (c *Client) retryAfterCap() time.Duration {
+	if c.RetryAfterCap > 0 {
+		return c.RetryAfterCap
+	}
+	return 30 * time.Second
+}
+
+// sleep waits on the retry policy's injected sleeper when set (tests run
+// instantly), else the real clock.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if c.Retry.Sleep != nil {
+		return c.Retry.Sleep(ctx, d)
+	}
+	return resilience.SleepCtx(ctx, d)
+}
+
+// parseRetryAfter reads a Retry-After header: delta-seconds or an HTTP date.
+// Returns 0 for absent or unparsable values.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.ParseInt(v, 10, 64); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// shed handles a 503/429 response: honor the server's Retry-After (capped,
+// on the retry loop's context — not the expired attempt deadline), then
+// report ErrOverloaded so the retry loop or failover poller reacts.
+func (c *Client) shed(ctx context.Context, resp *http.Response) error {
+	d := parseRetryAfter(resp.Header.Get(RetryAfterHeader))
+	if wait := min(d, c.retryAfterCap()); wait > 0 {
+		if err := c.sleep(ctx, wait); err != nil {
+			return resilience.Permanent(err)
+		}
+	}
+	return &OverloadedError{RetryAfter: d}
+}
+
+// observe surfaces response-level hints (the drain header) to the session.
+func (c *Client) observe(resp *http.Response) {
+	if c.OnDrainHint != nil && resp.Header.Get(DrainingHeader) != "" {
+		c.OnDrainHint()
+	}
+}
+
 // ErrNotModified reports a conditional chunklist fetch that matched.
 var ErrNotModified = errors.New("hls: chunklist not modified")
 
@@ -149,9 +267,9 @@ func (c *Client) FetchChunkList(ctx context.Context, broadcastID string, haveVer
 		url += "?have_version=" + strconv.FormatUint(haveVersion, 10)
 	}
 	return resilience.RetryValue(ctx, c.Retry, func(ctx context.Context) (*media.ChunkList, error) {
-		ctx, cancel := context.WithTimeout(ctx, c.timeout())
+		reqCtx, cancel := context.WithTimeout(ctx, c.timeout())
 		defer cancel()
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, url, nil)
 		if err != nil {
 			return nil, resilience.Permanent(err)
 		}
@@ -162,10 +280,14 @@ func (c *Client) FetchChunkList(ctx context.Context, broadcastID string, haveVer
 		defer resp.Body.Close()
 		switch resp.StatusCode {
 		case http.StatusOK:
+			c.observe(resp)
 		case http.StatusNotModified:
+			c.observe(resp)
 			return nil, resilience.Permanent(ErrNotModified)
 		case http.StatusNotFound:
 			return nil, resilience.Permanent(ErrNotFound)
+		case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+			return nil, c.shed(ctx, resp)
 		default:
 			return nil, fmt.Errorf("hls: chunklist status %d", resp.StatusCode)
 		}
@@ -183,9 +305,9 @@ func (c *Client) FetchChunkList(ctx context.Context, broadcastID string, haveVer
 func (c *Client) FetchChunk(ctx context.Context, broadcastID string, seq uint64) (*media.Chunk, error) {
 	url := fmt.Sprintf("%s/%s/chunk/%d", c.BaseURL, broadcastID, seq)
 	return resilience.RetryValue(ctx, c.Retry, func(ctx context.Context) (*media.Chunk, error) {
-		ctx, cancel := context.WithTimeout(ctx, c.timeout())
+		reqCtx, cancel := context.WithTimeout(ctx, c.timeout())
 		defer cancel()
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, url, nil)
 		if err != nil {
 			return nil, resilience.Permanent(err)
 		}
@@ -196,8 +318,11 @@ func (c *Client) FetchChunk(ctx context.Context, broadcastID string, seq uint64)
 		defer resp.Body.Close()
 		switch resp.StatusCode {
 		case http.StatusOK:
+			c.observe(resp)
 		case http.StatusNotFound:
 			return nil, resilience.Permanent(ErrNotFound)
+		case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+			return nil, c.shed(ctx, resp)
 		default:
 			return nil, fmt.Errorf("hls: chunk status %d", resp.StatusCode)
 		}
@@ -237,55 +362,78 @@ type PollerConfig struct {
 	OnEnd func()
 }
 
+// pollState is the cross-poll viewer position: highest delivered chunk seq
+// and last seen chunklist version. The failover poller carries one pollState
+// across edges so a migrated session resumes from where it left off — no
+// duplicate deliveries, gaps allowed.
+type pollState struct {
+	lastSeq uint64
+	haveAny bool
+	version uint64
+}
+
+// pollOnce performs one poll: a conditional chunklist fetch followed by
+// delivery of every not-yet-seen chunk. A matched conditional (nothing new)
+// is a successful no-op poll. It reports whether the end marker was seen.
+func (c *Client) pollOnce(ctx context.Context, broadcastID string, cfg *PollerConfig, st *pollState) (ended bool, err error) {
+	polledAt := time.Now()
+	cl, err := c.FetchChunkList(ctx, broadcastID, st.version)
+	if err != nil {
+		if errors.Is(err, ErrNotModified) {
+			return false, nil
+		}
+		return false, err
+	}
+	listAt := time.Now()
+	st.version = cl.Version
+	for _, ref := range cl.Chunks {
+		if st.haveAny && ref.Seq <= st.lastSeq {
+			continue
+		}
+		ev := ChunkEvent{Ref: ref, PolledAt: polledAt, ListFetchedAt: listAt}
+		if !cfg.ListOnly {
+			chunk, err := c.FetchChunk(ctx, broadcastID, ref.Seq)
+			if err != nil {
+				if ctx.Err() != nil {
+					return false, ctx.Err()
+				}
+				continue
+			}
+			ev.Chunk = chunk
+			ev.FetchedAt = time.Now()
+		} else {
+			ev.FetchedAt = listAt
+		}
+		st.lastSeq, st.haveAny = ref.Seq, true
+		if cfg.OnChunk != nil {
+			cfg.OnChunk(ev)
+		}
+	}
+	if cl.Ended {
+		if cfg.OnEnd != nil {
+			cfg.OnEnd()
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
 // Poll runs the periodic polling loop until the broadcast ends or ctx is
 // done. It returns nil on a clean end-of-broadcast.
 func (c *Client) Poll(ctx context.Context, broadcastID string, cfg PollerConfig) error {
 	if cfg.Interval <= 0 {
 		cfg.Interval = 2 * time.Second
 	}
-	var lastSeq uint64
-	var haveAny bool
-	var version uint64
+	var st pollState
 	ticker := time.NewTicker(cfg.Interval)
 	defer ticker.Stop()
 	for {
-		polledAt := time.Now()
-		cl, err := c.FetchChunkList(ctx, broadcastID, version)
+		ended, err := c.pollOnce(ctx, broadcastID, &cfg, &st)
 		switch {
 		case err == nil:
-			listAt := time.Now()
-			version = cl.Version
-			for _, ref := range cl.Chunks {
-				if haveAny && ref.Seq <= lastSeq {
-					continue
-				}
-				ev := ChunkEvent{Ref: ref, PolledAt: polledAt, ListFetchedAt: listAt}
-				if !cfg.ListOnly {
-					chunk, err := c.FetchChunk(ctx, broadcastID, ref.Seq)
-					if err != nil {
-						if ctx.Err() != nil {
-							return ctx.Err()
-						}
-						continue
-					}
-					ev.Chunk = chunk
-					ev.FetchedAt = time.Now()
-				} else {
-					ev.FetchedAt = listAt
-				}
-				lastSeq, haveAny = ref.Seq, true
-				if cfg.OnChunk != nil {
-					cfg.OnChunk(ev)
-				}
-			}
-			if cl.Ended {
-				if cfg.OnEnd != nil {
-					cfg.OnEnd()
-				}
+			if ended {
 				return nil
 			}
-		case errors.Is(err, ErrNotModified):
-			// Nothing new; poll again next tick.
 		case errors.Is(err, ErrNotFound):
 			return err
 		default:

@@ -3,7 +3,6 @@ package rtmp
 import (
 	"context"
 	"net"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -11,6 +10,7 @@ import (
 	"repro/internal/media"
 	"repro/internal/resilience"
 	"repro/internal/rng"
+	"repro/internal/testutil"
 )
 
 // connRecorder captures the raw conns a resilient viewer dials so the test
@@ -215,9 +215,10 @@ func TestResilientViewerEndWhileDisconnectedIsClean(t *testing.T) {
 }
 
 // TestResilientViewerNoGoroutineLeak drives repeated subscribe → reset →
-// reconnect → close cycles and checks the goroutine count returns to the
-// baseline — the leak check the paper-scale fan-out depends on.
+// reconnect → close cycles and checks no goroutine born during the test
+// survives it — the leak check the paper-scale fan-out depends on.
 func TestResilientViewerNoGoroutineLeak(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	s := NewServer(ServerConfig{})
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -248,7 +249,6 @@ func TestResilientViewerNoGoroutineLeak(t *testing.T) {
 		}
 	}()
 
-	baseline := runtime.NumGoroutine()
 	for cycle := 0; cycle < 5; cycle++ {
 		rec := &connRecorder{}
 		rv, err := SubscribeResilient(ctx, ln.Addr().String(), "b1", "", ReconnectConfig{
@@ -273,19 +273,4 @@ func TestResilientViewerNoGoroutineLeak(t *testing.T) {
 	}
 	close(stop)
 	pub.Close()
-
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		runtime.GC()
-		n := runtime.NumGoroutine()
-		if n <= baseline {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			buf = buf[:runtime.Stack(buf, true)]
-			t.Fatalf("goroutines %d > baseline %d after close:\n%s", n, baseline, buf)
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
 }

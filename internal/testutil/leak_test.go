@@ -1,0 +1,56 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnapshotSeesSelf(t *testing.T) {
+	snap := snapshot()
+	if len(snap) == 0 {
+		t.Fatal("empty snapshot")
+	}
+	found := false
+	for _, stack := range snap {
+		if strings.Contains(stack, "TestSnapshotSeesSelf") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("snapshot missing the test goroutine")
+	}
+}
+
+func TestLeakedDetectsAndClears(t *testing.T) {
+	base := snapshot()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-block
+	}()
+	<-started
+
+	l := leaked(base)
+	if len(l) != 1 || !strings.Contains(l[0], "TestLeakedDetectsAndClears") {
+		t.Fatalf("leaked = %d blocks (%v), want exactly the planted goroutine", len(l), l)
+	}
+
+	close(block)
+	deadline := time.Now().Add(2 * time.Second)
+	for len(leaked(base)) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leak did not clear after goroutine exit")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestCheckGoroutinesPassesOnCleanTest(t *testing.T) {
+	CheckGoroutines(t, time.Second)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
