@@ -9,9 +9,22 @@
 package repro
 
 import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/cdn"
 	"repro/internal/experiments"
+	"repro/internal/geo"
+	"repro/internal/media"
+	"repro/internal/rtmp"
+	"repro/internal/wire"
 )
 
 // benchCfg returns the per-iteration experiment configuration.
@@ -154,4 +167,226 @@ func BenchmarkAblationRTMPSTransport(b *testing.B) {
 
 func BenchmarkAblationOverlayMulticast(b *testing.B) {
 	runExperiment(b, "ablation_overlay", "fanout_1000", "delay_1000")
+}
+
+// --- Hot-path microbenchmarks (BENCH_fanout.json) ----------------------------
+//
+// Unlike the experiment benchmarks above, these two measure the delivery data
+// plane itself: the per-frame RTMP fan-out cost that dominates Fig. 14's
+// server curve, and the per-poll HLS edge serving cost. Clients are raw wire
+// loops with reusable buffers so ns/op and allocs/op are the server's.
+
+// rawHandshake dials addr and completes a wire handshake in the given role,
+// returning the open connection.
+func rawHandshake(b *testing.B, addr, role, id string) net.Conn {
+	b.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := wire.Handshake{Role: role, BroadcastID: id}
+	if err := wire.WriteMessage(conn, wire.Message{Type: wire.MsgHandshake, Body: wire.MarshalHandshake(hs)}); err != nil {
+		b.Fatal(err)
+	}
+	reply, err := wire.ReadMessage(conn)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ack, err := wire.UnmarshalAck(reply.Body)
+	if err != nil || ack.Status != wire.StatusOK {
+		b.Fatalf("handshake ack %q: %v", ack.Status, err)
+	}
+	return conn
+}
+
+// drainWire reads framed messages with a reusable buffer until MsgEnd or
+// error — an allocation-free stand-in for a viewer that keeps up.
+func drainWire(conn net.Conn) {
+	var hdr [5]byte
+	buf := make([]byte, 4096)
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n := int(binary.BigEndian.Uint32(hdr[1:5]))
+		if n > cap(buf) {
+			buf = make([]byte, n)
+		}
+		if _, err := io.ReadFull(conn, buf[:n]); err != nil {
+			return
+		}
+		if wire.MsgType(hdr[0]) == wire.MsgEnd {
+			return
+		}
+	}
+}
+
+// preframedFrames builds fully framed MsgFrame wire messages (header + body)
+// so the publisher loop is a bare conn.Write.
+func preframedFrames(n, payload int) [][]byte {
+	msgs := make([][]byte, n)
+	for i := range msgs {
+		f := media.Frame{
+			Seq:        uint64(i),
+			CapturedAt: time.Unix(0, int64(i)),
+			Keyframe:   i%75 == 0,
+			Payload:    make([]byte, payload),
+		}
+		body := media.MarshalFrame(nil, &f)
+		msg := make([]byte, 5, 5+len(body))
+		msg[0] = byte(wire.MsgFrame)
+		binary.BigEndian.PutUint32(msg[1:5], uint32(len(body)))
+		msgs[i] = append(msg, body...)
+	}
+	return msgs
+}
+
+// BenchmarkFanout measures ns/frame and allocs/frame for one broadcaster
+// fanning out to N viewers — the hot path behind Fig. 14's RTMP curve. The
+// publisher pipelines at most 512 frames ahead of the slowest viewer so the
+// per-viewer queues never overflow into evictions.
+func BenchmarkFanout(b *testing.B) {
+	for _, nViewers := range []int{10, 100} {
+		b.Run(fmt.Sprintf("viewers=%d", nViewers), func(b *testing.B) {
+			s := rtmp.NewServer(rtmp.ServerConfig{ViewerQueue: 8192})
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			ln, err := s.Listen(ctx, "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			addr := ln.Addr().String()
+
+			pub := rawHandshake(b, addr, wire.RoleBroadcaster, "bench")
+			defer pub.Close()
+			var wg sync.WaitGroup
+			for i := 0; i < nViewers; i++ {
+				conn := rawHandshake(b, addr, wire.RoleViewer, "bench")
+				wg.Add(1)
+				go func(conn net.Conn) {
+					defer wg.Done()
+					defer conn.Close()
+					drainWire(conn)
+				}(conn)
+			}
+
+			frames := preframedFrames(256, 512)
+			stats := s.Stats()
+			waitOut := func(target int64) {
+				deadline := time.Now().Add(time.Minute)
+				for i := 0; stats.FramesOut.Load() < target; i++ {
+					if i%1024 == 1023 && time.Now().After(deadline) {
+						b.Fatalf("fan-out stalled: FramesOut=%d want>=%d (viewers evicted?)", stats.FramesOut.Load(), target)
+					}
+					runtime.Gosched()
+				}
+			}
+			// Pipeline at most half the viewer queue so slow drains throttle
+			// the publisher instead of overflowing into evictions.
+			const window = 4096
+			b.SetBytes(int64(len(frames[0])))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pub.Write(frames[i%len(frames)]); err != nil {
+					b.Fatal(err)
+				}
+				if i%window == window-1 {
+					waitOut(int64(i+1-window) * int64(nViewers))
+				}
+			}
+			waitOut(int64(b.N) * int64(nViewers))
+			b.StopTimer()
+			if got := stats.ActiveViewers.Load(); got != int64(nViewers) {
+				b.Fatalf("viewers evicted during benchmark: %d of %d left", got, nViewers)
+			}
+			wire.WriteMessage(pub, wire.Message{Type: wire.MsgEnd})
+			pub.Close()
+			wg.Wait()
+		})
+	}
+}
+
+// benchEdge builds an origin+edge pair with several live broadcasts and a
+// warm edge cache.
+func benchEdge(b *testing.B, ids []string) *cdn.Edge {
+	b.Helper()
+	origin := cdn.NewOrigin(cdn.OriginConfig{
+		Site:          geo.Datacenter{ID: "origin"},
+		ChunkDuration: time.Second,
+	})
+	edge := cdn.NewEdge(cdn.EdgeConfig{
+		Site:    geo.Datacenter{ID: "edge"},
+		Resolve: func(string) (cdn.Upstream, error) { return cdn.Upstream{Store: origin}, nil },
+	})
+	origin.RegisterEdge(edge)
+	ctx := context.Background()
+	for _, id := range ids {
+		for i := 0; i < 75; i++ {
+			f := media.Frame{Seq: uint64(i), CapturedAt: time.Unix(0, int64(i)), Keyframe: i%25 == 0, Payload: make([]byte, 256)}
+			origin.Ingest(id, f, time.Now())
+		}
+		if _, err := edge.ChunkList(ctx, id); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return edge
+}
+
+// BenchmarkEdgePoll measures the steady-state HLS poll path: concurrent
+// viewers hitting a warm edge cache, across one and many broadcasts (the
+// many-broadcast case is where cache sharding removes lock contention).
+func BenchmarkEdgePoll(b *testing.B) {
+	multi := make([]string, 8)
+	for i := range multi {
+		multi[i] = fmt.Sprintf("bench-%d", i)
+	}
+	cases := []struct {
+		name string
+		ids  []string
+	}{
+		{"broadcasts=1", []string{"bench-0"}},
+		{"broadcasts=8", multi},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			edge := benchEdge(b, tc.ids)
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					id := tc.ids[i%len(tc.ids)]
+					i++
+					if _, err := edge.ChunkList(ctx, id); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+		// The raw variant serves the cached marshalled bytes (what the HTTP
+		// handler uses via hls.RawLister) instead of cloning the list.
+		b.Run(tc.name+"/raw", func(b *testing.B) {
+			edge := benchEdge(b, tc.ids)
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					id := tc.ids[i%len(tc.ids)]
+					i++
+					raw, err := edge.ChunkListRaw(ctx, id)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(raw.Data) == 0 {
+						b.Fatal("empty raw chunklist")
+					}
+				}
+			})
+		})
+	}
 }

@@ -94,9 +94,32 @@ type Edge struct {
 
 	limit limiter
 
+	// shards partition cache entries and breakers by broadcast ID so polls
+	// for different broadcasts never contend on one mutex.
+	shards [edgeShards]edgeShard
+}
+
+// edgeShards is the shard count; a power of two so the hash reduction is a
+// mask.
+const edgeShards = 16
+
+// edgeShard holds the cache entries and circuit breakers for the broadcast
+// IDs that hash to it, under its own mutex.
+type edgeShard struct {
 	mu       sync.Mutex
 	cache    map[string]*edgeEntry
 	breakers map[string]*resilience.Breaker
+}
+
+// shard maps a broadcast ID to its shard with inline FNV-1a (no allocation
+// on the poll path).
+func (e *Edge) shard(id string) *edgeShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return &e.shards[h&(edgeShards-1)]
 }
 
 // Edge lifecycle states.
@@ -114,6 +137,11 @@ var ErrEdgeDown = errors.New("cdn: edge down")
 type edgeEntry struct {
 	list  *media.ChunkList
 	stale bool
+	// listRaw is the marshalled form of list, built once when the pull
+	// stores it so every poll between updates reuses the same bytes. It is
+	// shared with in-flight responses and must never be mutated in place —
+	// updates replace the slice.
+	listRaw []byte
 	// chunkArrivedAt records when each chunk was copied to this edge
 	// (timestamp ⑪), for measurement.
 	chunkArrivedAt map[uint64]time.Time
@@ -137,10 +165,10 @@ func NewEdge(cfg EdgeConfig) *Edge {
 	if cfg.ShedRetryAfter <= 0 {
 		cfg.ShedRetryAfter = time.Second
 	}
-	e := &Edge{
-		cfg:      cfg,
-		cache:    make(map[string]*edgeEntry),
-		breakers: make(map[string]*resilience.Breaker),
+	e := &Edge{cfg: cfg}
+	for i := range e.shards {
+		e.shards[i].cache = make(map[string]*edgeEntry)
+		e.shards[i].breakers = make(map[string]*resilience.Breaker)
 	}
 	e.limit.set(cfg.MaxInflight, cfg.QueueDepth, cfg.QueueWait)
 	return e
@@ -180,12 +208,13 @@ func (e *Edge) Stats() *EdgeStats { return &e.stats }
 
 // breaker returns the circuit breaker guarding a broadcast's upstream.
 func (e *Edge) breaker(id string) *resilience.Breaker {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	b, ok := e.breakers[id]
+	sh := e.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b, ok := sh.breakers[id]
 	if !ok {
 		b = resilience.NewBreaker(e.cfg.Breaker)
-		e.breakers[id] = b
+		sh.breakers[id] = b
 	}
 	return b
 }
@@ -195,9 +224,10 @@ func (e *Edge) breaker(id string) *resilience.Breaker {
 // the first subsequent viewer poll. Only invalidations that actually mark a
 // cached, fresh entry stale are counted.
 func (e *Edge) Invalidate(broadcastID string, version uint64) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	ent, ok := e.cache[broadcastID]
+	sh := e.shard(broadcastID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ent, ok := sh.cache[broadcastID]
 	if !ok {
 		return
 	}
@@ -222,11 +252,19 @@ type limiter struct {
 	queueWait   time.Duration
 	inflight    int
 	waiters     []chan struct{}
+	// releaseFn is the l.release method value, bound once so admitting a
+	// request does not allocate a closure per call. It is written only on
+	// the first set() (always before any acquire), so later lock-free reads
+	// are ordered by the mutex.
+	releaseFn func()
 }
 
 func (l *limiter) set(maxInflight, queueDepth int, queueWait time.Duration) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.releaseFn == nil {
+		l.releaseFn = l.release
+	}
 	l.maxInflight = maxInflight
 	l.queueDepth = queueDepth
 	l.queueWait = queueWait
@@ -242,12 +280,12 @@ func (l *limiter) acquire(ctx context.Context) (func(), error) {
 	if l.maxInflight <= 0 {
 		l.inflight++
 		l.mu.Unlock()
-		return l.release, nil
+		return l.releaseFn, nil
 	}
 	if l.inflight < l.maxInflight {
 		l.inflight++
 		l.mu.Unlock()
-		return l.release, nil
+		return l.releaseFn, nil
 	}
 	if len(l.waiters) >= l.queueDepth {
 		l.mu.Unlock()
@@ -264,7 +302,7 @@ func (l *limiter) acquire(ctx context.Context) (func(), error) {
 	case <-ch:
 		// A releasing caller handed us its slot (inflight already counts
 		// us).
-		return l.release, nil
+		return l.releaseFn, nil
 	case <-timer.C:
 	case <-ctx.Done():
 	}
@@ -286,7 +324,7 @@ func (l *limiter) acquire(ctx context.Context) (func(), error) {
 		l.release()
 		return nil, ctx.Err()
 	}
-	return l.release, nil
+	return l.releaseFn, nil
 }
 
 func (l *limiter) release() {
@@ -335,19 +373,61 @@ func (e *Edge) ChunkList(ctx context.Context, id string) (*media.ChunkList, erro
 }
 
 func (e *Edge) chunkList(ctx context.Context, id string) (*media.ChunkList, error) {
-	e.mu.Lock()
-	ent, ok := e.cache[id]
+	sh := e.shard(id)
+	sh.mu.Lock()
+	ent, ok := sh.cache[id]
 	if ok && ent.list != nil && !ent.stale {
 		cl := ent.list.Clone()
-		e.mu.Unlock()
+		sh.mu.Unlock()
 		e.stats.ListHits.Add(1)
 		return cl, nil
 	}
-	e.mu.Unlock()
+	sh.mu.Unlock()
+	return e.refresh(ctx, id)
+}
 
-	// Single-flight: concurrent polls that all find the list expired
-	// share one upstream pull. Waiters inherit the pulling caller's
-	// outcome; each gets its own clone.
+// ChunkListRaw implements hls.RawLister: steady-state polls are answered
+// with the marshalled bytes cached at pull time, so the serving path neither
+// clones the list nor re-serializes it per request. The returned bytes are
+// shared and must be treated as immutable.
+func (e *Edge) ChunkListRaw(ctx context.Context, id string) (hls.RawChunkList, error) {
+	rel, err := e.admit(ctx)
+	if err != nil {
+		return hls.RawChunkList{}, err
+	}
+	defer rel()
+
+	sh := e.shard(id)
+	sh.mu.Lock()
+	if ent, ok := sh.cache[id]; ok && ent.list != nil && !ent.stale && ent.listRaw != nil {
+		raw := hls.RawChunkList{Version: ent.list.Version, Data: ent.listRaw}
+		sh.mu.Unlock()
+		e.stats.ListHits.Add(1)
+		return raw, nil
+	}
+	sh.mu.Unlock()
+
+	cl, err := e.refresh(ctx, id)
+	if err != nil {
+		return hls.RawChunkList{}, err
+	}
+	// Serve the bytes the pull cached when they match the list we got;
+	// otherwise marshal once (e.g. a stale serve whose entry was evicted
+	// meanwhile).
+	sh.mu.Lock()
+	if ent, ok := sh.cache[id]; ok && ent.list != nil && ent.list.Version == cl.Version && ent.listRaw != nil {
+		raw := hls.RawChunkList{Version: cl.Version, Data: ent.listRaw}
+		sh.mu.Unlock()
+		return raw, nil
+	}
+	sh.mu.Unlock()
+	return hls.RawChunkList{Version: cl.Version, Data: cl.Marshal()}, nil
+}
+
+// refresh is the shared miss path: concurrent polls that all find the list
+// expired share one upstream pull (single-flight). Waiters inherit the
+// pulling caller's outcome; each gets its own clone.
+func (e *Edge) refresh(ctx context.Context, id string) (*media.ChunkList, error) {
 	cl, err, shared := e.flight.Do(id, func() (*media.ChunkList, error) {
 		return e.pull(ctx, id)
 	})
@@ -392,14 +472,15 @@ func (e *Edge) pull(ctx context.Context, id string) (*media.ChunkList, error) {
 	}
 	// Serve-stale-on-error: a viewer poll that finds the origin
 	// unreachable gets the last cached chunklist instead of a 5xx.
-	e.mu.Lock()
-	if ent, ok := e.cache[id]; ok && ent.list != nil {
+	sh := e.shard(id)
+	sh.mu.Lock()
+	if ent, ok := sh.cache[id]; ok && ent.list != nil {
 		cl := ent.list.Clone()
-		e.mu.Unlock()
+		sh.mu.Unlock()
 		e.stats.StaleServes.Add(1)
 		return cl, nil
 	}
-	e.mu.Unlock()
+	sh.mu.Unlock()
 	return nil, err
 }
 
@@ -423,14 +504,15 @@ func (e *Edge) pullUpstream(ctx context.Context, id string) (*media.ChunkList, e
 	e.stats.ListPulls.Add(1)
 
 	// Copy chunks we do not have yet (the ⑪ transfer).
-	e.mu.Lock()
-	ent, ok := e.cache[id]
+	sh := e.shard(id)
+	sh.mu.Lock()
+	ent, ok := sh.cache[id]
 	if !ok {
 		ent = &edgeEntry{
 			chunks:         make(map[uint64]*media.Chunk),
 			chunkArrivedAt: make(map[uint64]time.Time),
 		}
-		e.cache[id] = ent
+		sh.cache[id] = ent
 	}
 	var missing []media.ChunkRef
 	for _, ref := range list.Chunks {
@@ -438,7 +520,7 @@ func (e *Edge) pullUpstream(ctx context.Context, id string) (*media.ChunkList, e
 			missing = append(missing, ref)
 		}
 	}
-	e.mu.Unlock()
+	sh.mu.Unlock()
 
 	failed := 0
 	for _, ref := range missing {
@@ -461,17 +543,20 @@ func (e *Edge) pullUpstream(ctx context.Context, id string) (*media.ChunkList, e
 			continue
 		}
 		e.stats.ChunkPulls.Add(1)
-		e.mu.Lock()
+		sh.mu.Lock()
 		ent.chunks[ref.Seq] = c
 		ent.chunkArrivedAt[ref.Seq] = time.Now()
-		e.mu.Unlock()
+		sh.mu.Unlock()
 	}
 
-	e.mu.Lock()
+	sh.mu.Lock()
 	ent.list = list.Clone()
+	// Marshal once per update; every poll until the next invalidation
+	// serves these same bytes.
+	ent.listRaw = ent.list.Marshal()
 	ent.stale = failed > 0
 	cl := ent.list.Clone()
-	e.mu.Unlock()
+	sh.mu.Unlock()
 	return cl, nil
 }
 
@@ -487,15 +572,16 @@ func (e *Edge) Chunk(ctx context.Context, id string, seq uint64) (*media.Chunk, 
 }
 
 func (e *Edge) chunk(ctx context.Context, id string, seq uint64) (*media.Chunk, error) {
-	e.mu.Lock()
-	if ent, ok := e.cache[id]; ok {
+	sh := e.shard(id)
+	sh.mu.Lock()
+	if ent, ok := sh.cache[id]; ok {
 		if c, ok := ent.chunks[seq]; ok {
-			e.mu.Unlock()
+			sh.mu.Unlock()
 			e.stats.ChunkHits.Add(1)
 			return c, nil
 		}
 	}
-	e.mu.Unlock()
+	sh.mu.Unlock()
 
 	br := e.breaker(id)
 	c, err := resilience.RetryValue(ctx, e.cfg.Retry, func(ctx context.Context) (*media.Chunk, error) {
@@ -514,18 +600,18 @@ func (e *Edge) chunk(ctx context.Context, id string, seq uint64) (*media.Chunk, 
 		return nil, err
 	}
 	e.stats.ChunkPulls.Add(1)
-	e.mu.Lock()
-	ent, ok := e.cache[id]
+	sh.mu.Lock()
+	ent, ok := sh.cache[id]
 	if !ok {
 		ent = &edgeEntry{
 			chunks:         make(map[uint64]*media.Chunk),
 			chunkArrivedAt: make(map[uint64]time.Time),
 		}
-		e.cache[id] = ent
+		sh.cache[id] = ent
 	}
 	ent.chunks[seq] = c
 	ent.chunkArrivedAt[seq] = time.Now()
-	e.mu.Unlock()
+	sh.mu.Unlock()
 	return c, nil
 }
 
@@ -545,9 +631,10 @@ func (e *Edge) fetchChunk(ctx context.Context, id string, seq uint64) (*media.Ch
 
 // ChunkArrivedAt returns when chunk seq was copied to this edge (⑪).
 func (e *Edge) ChunkArrivedAt(id string, seq uint64) (time.Time, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	ent, ok := e.cache[id]
+	sh := e.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ent, ok := sh.cache[id]
 	if !ok {
 		return time.Time{}, false
 	}
@@ -557,10 +644,11 @@ func (e *Edge) ChunkArrivedAt(id string, seq uint64) (time.Time, bool) {
 
 // Evict drops a broadcast from the cache.
 func (e *Edge) Evict(id string) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	delete(e.cache, id)
-	delete(e.breakers, id)
+	sh := e.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.cache, id)
+	delete(sh.breakers, id)
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {

@@ -56,6 +56,11 @@ type originStream struct {
 	// chunkReadyAt records when each chunk became available at the origin
 	// (timestamp ⑦), consumed by measurement taps.
 	chunkReadyAt map[uint64]time.Time
+	// listRaw caches the marshalled list at listRawVersion, built lazily on
+	// the first raw request after each update so repeated polls between
+	// chunk appends share one serialization.
+	listRaw        []byte
+	listRawVersion uint64
 }
 
 // NewOrigin builds an Origin and its embedded RTMP server.
@@ -176,6 +181,24 @@ func (o *Origin) ChunkList(_ context.Context, id string) (*media.ChunkList, erro
 		return nil, hls.ErrNotFound
 	}
 	return st.list.Clone(), nil
+}
+
+// ChunkListRaw implements hls.RawLister. The marshalled bytes are cached per
+// list version, so the steady stream of polls between chunk appends reuses
+// one serialization. The returned bytes are shared; callers must not modify
+// them.
+func (o *Origin) ChunkListRaw(_ context.Context, id string) (hls.RawChunkList, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st, ok := o.streams[id]
+	if !ok {
+		return hls.RawChunkList{}, hls.ErrNotFound
+	}
+	if st.listRaw == nil || st.listRawVersion != st.list.Version {
+		st.listRaw = st.list.Marshal()
+		st.listRawVersion = st.list.Version
+	}
+	return hls.RawChunkList{Version: st.list.Version, Data: st.listRaw}, nil
 }
 
 // Chunk implements hls.Store.

@@ -68,6 +68,21 @@ type Store interface {
 	Chunk(ctx context.Context, broadcastID string, seq uint64) (*media.Chunk, error)
 }
 
+// RawChunkList is a pre-marshalled chunklist: the m3u8 bytes plus the
+// version the HTTP surface needs without parsing them back. Data is shared
+// with the store's cache and must not be modified.
+type RawChunkList struct {
+	Version uint64
+	Data    []byte
+}
+
+// RawLister is an optional Store extension. Stores that cache the marshalled
+// chunklist implement it so the handler answers polls without re-serializing
+// the playlist on every request.
+type RawLister interface {
+	ChunkListRaw(ctx context.Context, broadcastID string) (RawChunkList, error)
+}
+
 // VersionHeader carries the chunklist version so pollers and edges can
 // detect staleness without parsing.
 const VersionHeader = "X-Chunklist-Version"
@@ -133,23 +148,38 @@ func writeStoreError(w http.ResponseWriter, err error) {
 }
 
 func serveChunkList(w http.ResponseWriter, r *http.Request, store Store, id string) {
-	cl, err := store.ChunkList(r.Context(), id)
-	if err != nil {
-		writeStoreError(w, err)
-		return
+	var version uint64
+	var marshal func() []byte
+	if rl, ok := store.(RawLister); ok {
+		// Fast path: the store already holds the marshalled bytes.
+		raw, err := rl.ChunkListRaw(r.Context(), id)
+		if err != nil {
+			writeStoreError(w, err)
+			return
+		}
+		version = raw.Version
+		marshal = func() []byte { return raw.Data }
+	} else {
+		cl, err := store.ChunkList(r.Context(), id)
+		if err != nil {
+			writeStoreError(w, err)
+			return
+		}
+		version = cl.Version
+		marshal = cl.Marshal
 	}
 	// Conditional fetch: a poller or edge that already has this version
 	// gets an empty 304, the paper's "chunklist not yet expired" case.
 	if v := r.URL.Query().Get("have_version"); v != "" {
-		if have, err := strconv.ParseUint(v, 10, 64); err == nil && have == cl.Version {
-			w.Header().Set(VersionHeader, strconv.FormatUint(cl.Version, 10))
+		if have, err := strconv.ParseUint(v, 10, 64); err == nil && have == version {
+			w.Header().Set(VersionHeader, strconv.FormatUint(version, 10))
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
 	}
 	w.Header().Set("Content-Type", "application/vnd.apple.mpegurl")
-	w.Header().Set(VersionHeader, strconv.FormatUint(cl.Version, 10))
-	w.Write(cl.Marshal())
+	w.Header().Set(VersionHeader, strconv.FormatUint(version, 10))
+	w.Write(marshal())
 }
 
 func serveChunk(w http.ResponseWriter, r *http.Request, store Store, id string, seq uint64) {

@@ -266,27 +266,40 @@ func MarshalFrame(dst []byte, f *Frame) []byte {
 	return dst
 }
 
-// UnmarshalFrame parses one frame from data, returning the frame and the
-// number of bytes consumed.
-func UnmarshalFrame(data []byte) (Frame, int, error) {
+// SniffFrame validates the wire form of a frame without copying its payload
+// or signature — the zero-allocation check the fan-out hot path uses when no
+// tap or verification needs the decoded frame. It returns the encoded length.
+func SniffFrame(data []byte) (int, error) {
 	if len(data) < frameHeaderSize {
-		return Frame{}, 0, fmt.Errorf("media: short frame header: %d bytes", len(data))
+		return 0, fmt.Errorf("media: short frame header: %d bytes", len(data))
 	}
 	if data[16]&^3 != 0 {
-		return Frame{}, 0, fmt.Errorf("media: unknown frame flags %#x", data[16])
+		return 0, fmt.Errorf("media: unknown frame flags %#x", data[16])
 	}
 	plen := binary.BigEndian.Uint32(data[17:21])
 	if plen > MaxFramePayload {
-		return Frame{}, 0, ErrFrameTooLarge
+		return 0, ErrFrameTooLarge
 	}
 	total := frameHeaderSize + int(plen)
-	signed := data[16]&2 != 0
-	if signed {
+	if data[16]&2 != 0 {
 		total += FrameSigSize
 	}
 	if len(data) < total {
-		return Frame{}, 0, fmt.Errorf("media: short frame payload: have %d want %d", len(data), total)
+		return 0, fmt.Errorf("media: short frame payload: have %d want %d", len(data), total)
 	}
+	return total, nil
+}
+
+// UnmarshalFrame parses one frame from data, returning the frame and the
+// number of bytes consumed. The returned frame owns its payload and
+// signature (they are copied out of data).
+func UnmarshalFrame(data []byte) (Frame, int, error) {
+	total, err := SniffFrame(data)
+	if err != nil {
+		return Frame{}, 0, err
+	}
+	plen := binary.BigEndian.Uint32(data[17:21])
+	signed := data[16]&2 != 0
 	f := Frame{
 		Seq:        binary.BigEndian.Uint64(data[0:8]),
 		CapturedAt: time.Unix(0, int64(binary.BigEndian.Uint64(data[8:16]))).UTC(),

@@ -1,0 +1,68 @@
+package media
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSniffFrameAgreesWithUnmarshal checks the zero-copy validator accepts
+// exactly what UnmarshalFrame accepts, and reports the same consumed length.
+func TestSniffFrameAgreesWithUnmarshal(t *testing.T) {
+	frames := []Frame{
+		{Seq: 1, CapturedAt: time.Unix(3, 4), Payload: []byte("abc")},
+		{Seq: 2, CapturedAt: time.Unix(5, 6), Keyframe: true, Payload: make([]byte, 1024)},
+		{Seq: 3, CapturedAt: time.Unix(7, 8), Payload: []byte("signed"), Sig: make([]byte, FrameSigSize)},
+	}
+	for _, f := range frames {
+		data := MarshalFrame(nil, &f)
+		// Trailing garbage must not change the consumed length.
+		data = append(data, 0xee, 0xee)
+		n, err := SniffFrame(data)
+		if err != nil {
+			t.Fatalf("SniffFrame(seq %d): %v", f.Seq, err)
+		}
+		_, un, err := UnmarshalFrame(data)
+		if err != nil {
+			t.Fatalf("UnmarshalFrame(seq %d): %v", f.Seq, err)
+		}
+		if n != un {
+			t.Fatalf("seq %d: SniffFrame consumed %d, UnmarshalFrame %d", f.Seq, n, un)
+		}
+	}
+}
+
+// TestSniffFrameRejects mirrors UnmarshalFrame's failure cases.
+func TestSniffFrameRejects(t *testing.T) {
+	good := MarshalFrame(nil, &Frame{Seq: 9, CapturedAt: time.Unix(1, 2), Payload: []byte("xyz")})
+
+	if _, err := SniffFrame(good[:frameHeaderSize-1]); err == nil {
+		t.Fatal("short header accepted")
+	}
+	if _, err := SniffFrame(good[:len(good)-1]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	bad := append([]byte(nil), good...)
+	bad[16] |= 0x80
+	if _, err := SniffFrame(bad); err == nil {
+		t.Fatal("unknown flags accepted")
+	}
+	huge := append([]byte(nil), good...)
+	huge[17], huge[18], huge[19], huge[20] = 0xff, 0xff, 0xff, 0xff
+	if _, err := SniffFrame(huge); err != ErrFrameTooLarge {
+		t.Fatalf("oversize err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestSniffFrameAllocFree locks in the zero-allocation property the fan-out
+// path depends on.
+func TestSniffFrameAllocFree(t *testing.T) {
+	data := MarshalFrame(nil, &Frame{Seq: 1, CapturedAt: time.Unix(0, 1), Payload: make([]byte, 2048)})
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := SniffFrame(data); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("SniffFrame allocs/op = %.1f, want 0", allocs)
+	}
+}

@@ -91,10 +91,15 @@ func dialAndHandshakeTLS(ctx context.Context, addr string, hs wire.Handshake, tl
 	}
 }
 
-// Publisher is a broadcaster-side RTMP session.
+// Publisher is a broadcaster-side RTMP session. Its methods are not safe for
+// concurrent use: frames must be uploaded from one goroutine, as interleaved
+// writes would corrupt the message stream anyway.
 type Publisher struct {
 	conn   net.Conn
 	signer ed25519.PrivateKey
+	// scratch is the reused frame-marshal buffer; Send frames into it so a
+	// steady 25 fps upload allocates nothing per frame on the unsigned path.
+	scratch []byte
 }
 
 // Publish opens a broadcaster session. A non-nil signer enables the §7.2
@@ -118,7 +123,8 @@ func PublishTLS(ctx context.Context, addr, broadcastID, token string, signer ed2
 
 // Send uploads one frame, signed when the publisher has a signing key.
 func (p *Publisher) Send(f *media.Frame) error {
-	frameBytes := media.MarshalFrame(nil, f)
+	p.scratch = media.MarshalFrame(p.scratch[:0], f)
+	frameBytes := p.scratch
 	if p.signer == nil {
 		return wire.WriteMessage(p.conn, wire.Message{Type: wire.MsgFrame, Body: frameBytes})
 	}
@@ -211,8 +217,13 @@ func SubscribeTLS(ctx context.Context, addr, broadcastID, token string, opts Vie
 
 func (v *Viewer) receiveLoop() {
 	defer close(v.frames)
+	// The read buffer is reused across frames: UnmarshalFrame copies the
+	// payload out, so nothing retains msg.Body past the iteration.
+	var buf []byte
 	for {
-		msg, err := wire.ReadMessage(v.conn)
+		var msg wire.Message
+		var err error
+		msg, buf, err = wire.ReadMessageInto(v.conn, buf)
 		if err != nil {
 			v.errc <- err
 			return

@@ -1,0 +1,194 @@
+package rtmp
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/wire"
+)
+
+// encodeFrameMsg builds the pre-framed wire message a broadcaster read loop
+// would hand to acceptFrame.
+func encodeFrameMsg(t testing.TB, seq uint64, payload int) wire.Encoded {
+	t.Helper()
+	f := &media.Frame{Seq: seq, CapturedAt: time.Unix(1, 2), Payload: make([]byte, payload)}
+	enc, err := wire.EncodeMessage(wire.Message{Type: wire.MsgFrame, Body: media.MarshalFrame(nil, f)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+// TestConcurrentJoinLeaveFanout churns viewers on and off a live broadcast
+// while the publisher keeps pumping frames — the copy-on-write registry must
+// keep joins, leaves, and fan-out consistent under the race detector.
+func TestConcurrentJoinLeaveFanout(t *testing.T) {
+	s, addr := startServer(t, ServerConfig{ViewerQueue: 4096})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	pub, err := Publish(ctx, addr, "churn", "tok", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	stop := make(chan struct{})
+	pubDone := make(chan struct{})
+	go func() {
+		defer close(pubDone)
+		payload := make([]byte, 512)
+		for seq := uint64(1); ; seq++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			f := &media.Frame{Seq: seq, CapturedAt: time.Now(), Payload: payload}
+			if err := pub.Send(f); err != nil {
+				return
+			}
+		}
+	}()
+
+	const churners = 8
+	const rounds = 5
+	var wg sync.WaitGroup
+	for i := 0; i < churners; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				v, err := Subscribe(ctx, addr, "churn", "tok", ViewerOptions{Queue: 256})
+				if err != nil {
+					t.Errorf("subscribe: %v", err)
+					return
+				}
+				// Consume a few frames to prove fan-out reaches a viewer
+				// that joined mid-broadcast, then leave.
+				for got := 0; got < 3; got++ {
+					select {
+					case _, ok := <-v.Frames():
+						if !ok {
+							t.Error("frames channel closed mid-broadcast")
+							v.Close()
+							return
+						}
+					case <-ctx.Done():
+						t.Error("timed out waiting for frames")
+						v.Close()
+						return
+					}
+				}
+				v.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-pubDone
+
+	// Every viewer left; the server-side registry must drain to zero.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().ActiveViewers.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("ActiveViewers = %d after all viewers left", s.Stats().ActiveViewers.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := pub.End(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAcceptFrameEvictsSlowViewer drives the copy-on-write eviction path
+// directly: a viewer whose queue is full is removed from the snapshot and its
+// done channel closed, while the healthy viewer keeps receiving.
+func TestAcceptFrameEvictsSlowViewer(t *testing.T) {
+	s := NewServer(ServerConfig{})
+	b := &broadcast{id: "evict"}
+	slow := &viewerConn{out: make(chan wire.Encoded, 1), done: make(chan struct{})}
+	fast := &viewerConn{out: make(chan wire.Encoded, 16), done: make(chan struct{})}
+	vs := []*viewerConn{slow, fast}
+	b.viewers.Store(&vs)
+
+	enc := encodeFrameMsg(t, 1, 64)
+	// Frame 1 fills slow's queue; frame 2 overflows it and must evict.
+	for i := 0; i < 2; i++ {
+		if !s.acceptFrame(b, enc) {
+			t.Fatalf("frame %d rejected", i+1)
+		}
+	}
+	select {
+	case <-slow.done:
+	default:
+		t.Fatal("slow viewer's done channel not closed after eviction")
+	}
+	if cur := b.snapshot(); len(cur) != 1 || cur[0] != fast {
+		t.Fatalf("snapshot after eviction = %d viewers, want just the fast one", len(cur))
+	}
+	if len(fast.out) != 2 {
+		t.Fatalf("fast viewer queued %d frames, want 2", len(fast.out))
+	}
+	// Eviction is idempotent: a second remove must not re-close done.
+	b.remove(slow)
+}
+
+// TestAcceptFrameAllocBudget pins the per-frame fan-out allocation budget.
+// The message arrives pre-framed, so relaying it to N viewers must not
+// allocate at all without a tap, and only the decode's payload copy with one.
+func TestAcceptFrameAllocBudget(t *testing.T) {
+	const viewers = 10
+	enc := encodeFrameMsg(t, 1, 1024)
+
+	setup := func(tap FrameTap) (*Server, *broadcast) {
+		s := NewServer(ServerConfig{Tap: tap})
+		b := &broadcast{id: "alloc"}
+		vs := make([]*viewerConn, viewers)
+		for i := range vs {
+			vs[i] = &viewerConn{out: make(chan wire.Encoded, 4), done: make(chan struct{})}
+		}
+		b.viewers.Store(&vs)
+		return s, b
+	}
+
+	t.Run("no_tap", func(t *testing.T) {
+		s, b := setup(nil)
+		allocs := testing.AllocsPerRun(100, func() {
+			if !s.acceptFrame(b, enc) {
+				t.Fatal("frame rejected")
+			}
+			for _, v := range b.snapshot() {
+				<-v.out
+			}
+		})
+		if allocs > 0 {
+			t.Fatalf("fan-out allocs/frame = %.1f, want 0", allocs)
+		}
+	})
+
+	t.Run("tap", func(t *testing.T) {
+		var tapped int
+		s, b := setup(func(string, media.Frame, time.Time) { tapped++ })
+		allocs := testing.AllocsPerRun(100, func() {
+			if !s.acceptFrame(b, enc) {
+				t.Fatal("frame rejected")
+			}
+			for _, v := range b.snapshot() {
+				<-v.out
+			}
+		})
+		if tapped == 0 {
+			t.Fatal("tap never fired")
+		}
+		// Budget: the tap retains the decoded frame, so the payload copy in
+		// UnmarshalFrame is the one allowed allocation (plus slack for the
+		// runtime's occasional map/chan internals).
+		if allocs > 2 {
+			t.Fatalf("tap-path allocs/frame = %.1f, want <= 2", allocs)
+		}
+	})
+}

@@ -112,15 +112,77 @@ type broadcast struct {
 	id     string
 	pubKey ed25519.PublicKey
 
+	// mu serializes membership changes — join, leave, eviction, end. The
+	// fan-out path never takes it: it reads the copy-on-write snapshot
+	// below, so a frame push to N viewers runs entirely lock-free and a
+	// stalled viewer join cannot block frame delivery (or vice versa).
 	mu      sync.Mutex
-	viewers map[*viewerConn]struct{}
+	viewers atomic.Pointer[[]*viewerConn]
 	ended   bool
 }
 
-type viewerConn struct {
-	out  chan wire.Message
-	done chan struct{}
+// snapshot returns the current viewer set. The slice is immutable: writers
+// replace it wholesale under b.mu.
+func (b *broadcast) snapshot() []*viewerConn {
+	if p := b.viewers.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
+
+// remove takes the given viewers out of the snapshot and closes their done
+// channels. Idempotent and safe against concurrent fan-out: readers keep
+// iterating the old snapshot, whose channels stay valid.
+func (b *broadcast) remove(vs ...*viewerConn) {
+	b.mu.Lock()
+	cur := b.snapshot()
+	next := make([]*viewerConn, 0, len(cur))
+	for _, w := range cur {
+		keep := true
+		for _, v := range vs {
+			if w == v {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			next = append(next, w)
+		}
+	}
+	if len(next) != len(cur) {
+		b.viewers.Store(&next)
+	}
+	b.mu.Unlock()
+	for _, v := range vs {
+		v.close()
+	}
+}
+
+type viewerConn struct {
+	out  chan wire.Encoded
+	done chan struct{}
+	// gone flips exactly once — on eviction, leave, or broadcast end; the
+	// winner of the flip closes done.
+	gone atomic.Bool
+}
+
+// close closes done exactly once, reporting whether this call won the flip.
+func (v *viewerConn) close() bool {
+	if v.gone.CompareAndSwap(false, true) {
+		close(v.done)
+		return true
+	}
+	return false
+}
+
+// encodedEnd is the shared pre-framed MsgEnd every teardown path writes.
+var encodedEnd = func() wire.Encoded {
+	e, err := wire.EncodeMessage(wire.Message{Type: wire.MsgEnd})
+	if err != nil {
+		panic(err)
+	}
+	return e
+}()
 
 // NewServer builds a Server from cfg.
 func NewServer(cfg ServerConfig) *Server {
@@ -303,9 +365,8 @@ func (s *Server) ack(conn net.Conn, status, message string) {
 
 func (s *Server) handleBroadcaster(conn net.Conn, hs wire.Handshake) {
 	b := &broadcast{
-		id:      hs.BroadcastID,
-		pubKey:  s.cfg.Auth.PublicKey(hs.BroadcastID),
-		viewers: make(map[*viewerConn]struct{}),
+		id:     hs.BroadcastID,
+		pubKey: s.cfg.Auth.PublicKey(hs.BroadcastID),
 	}
 	s.mu.Lock()
 	if _, dup := s.broadcasts[hs.BroadcastID]; dup {
@@ -329,35 +390,38 @@ func (s *Server) handleBroadcaster(conn net.Conn, hs wire.Handshake) {
 	s.ack(conn, wire.StatusOK, "publishing")
 
 	for {
-		msg, err := wire.ReadMessage(conn)
+		enc, err := wire.ReadEncoded(conn)
 		if err != nil {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
 				s.cfg.Logf("rtmp publish %s: %v", hs.BroadcastID, err)
 			}
 			return
 		}
-		switch msg.Type {
+		switch enc.Type() {
 		case wire.MsgEnd:
 			return
 		case wire.MsgFrame, wire.MsgSignedFrame:
-			if !s.acceptFrame(b, msg) {
+			if !s.acceptFrame(b, enc) {
 				if s.cfg.DropSignedFrames {
 					return
 				}
 			}
 		default:
-			s.cfg.Logf("rtmp publish %s: unexpected message type %d", hs.BroadcastID, msg.Type)
+			s.cfg.Logf("rtmp publish %s: unexpected message type %d", hs.BroadcastID, enc.Type())
 		}
 	}
 }
 
-// acceptFrame validates, records, taps, and fans out one frame message.
-// It reports false when the frame failed signature verification.
-func (s *Server) acceptFrame(b *broadcast, msg wire.Message) bool {
-	frameBytes := msg.Body
+// acceptFrame validates, records, taps, and fans out one frame message. The
+// message arrives pre-framed and is relayed to every viewer as-is: one
+// allocation per arrival (the read buffer), zero per viewer. It reports
+// false when the frame failed signature verification.
+func (s *Server) acceptFrame(b *broadcast, enc wire.Encoded) bool {
+	body := enc.Body()
+	frameBytes := body
 	var sig []byte
-	if msg.Type == wire.MsgSignedFrame {
-		fb, sg, err := wire.UnmarshalSignedFrame(msg.Body)
+	if enc.Type() == wire.MsgSignedFrame {
+		fb, sg, err := wire.UnmarshalSignedFrame(body)
 		if err != nil {
 			s.stats.TamperedFrames.Add(1)
 			return false
@@ -373,34 +437,47 @@ func (s *Server) acceptFrame(b *broadcast, msg wire.Message) bool {
 		s.stats.TamperedFrames.Add(1)
 		return false
 	}
-	f, _, err := media.UnmarshalFrame(frameBytes)
-	if err != nil {
-		return false
-	}
-	// Carry the signature into the HLS path: chunks assembled from the
-	// tap retain per-frame signatures so HLS viewers can verify too
-	// (§7.2's viewer-side defense).
-	if sig != nil {
-		f.Sig = append([]byte(nil), sig...)
-	}
-	arrived := time.Now()
-	s.stats.FramesIn.Add(1)
-	s.stats.BytesIn.Add(int64(len(msg.Body)))
-	if s.cfg.Tap != nil {
+	if s.cfg.Tap == nil {
+		// No tap: nothing retains the decoded frame, so validate the bytes
+		// in place and skip the payload-copying decode entirely.
+		if _, err := media.SniffFrame(frameBytes); err != nil {
+			return false
+		}
+		s.stats.FramesIn.Add(1)
+		s.stats.BytesIn.Add(int64(len(body)))
+	} else {
+		f, _, err := media.UnmarshalFrame(frameBytes)
+		if err != nil {
+			return false
+		}
+		// Carry the signature into the HLS path: chunks assembled from
+		// the tap retain per-frame signatures so HLS viewers can verify
+		// too (§7.2's viewer-side defense). The tap keeps the frame past
+		// this call, so it needs its own copy of the signature.
+		if sig != nil {
+			f.Sig = append([]byte(nil), sig...)
+		}
+		arrived := time.Now()
+		s.stats.FramesIn.Add(1)
+		s.stats.BytesIn.Add(int64(len(body)))
 		s.cfg.Tap(b.id, f, arrived)
 	}
-	b.mu.Lock()
-	for v := range b.viewers {
+	// Fan out over the copy-on-write snapshot: no lock held while pushing,
+	// so N channel sends never serialize against joins/leaves (or each
+	// other on sibling broadcasts).
+	var evicted []*viewerConn
+	for _, v := range b.snapshot() {
 		select {
-		case v.out <- msg:
+		case v.out <- enc:
 		default:
 			// Viewer too slow: disconnect it (production clients
 			// would rejoin via HLS).
-			delete(b.viewers, v)
-			close(v.done)
+			evicted = append(evicted, v)
 		}
 	}
-	b.mu.Unlock()
+	if evicted != nil {
+		b.remove(evicted...)
+	}
 	return true
 }
 
@@ -411,18 +488,16 @@ func (s *Server) endBroadcast(b *broadcast) {
 		return
 	}
 	b.ended = true
-	viewers := make([]*viewerConn, 0, len(b.viewers))
-	for v := range b.viewers {
-		viewers = append(viewers, v)
-	}
-	b.viewers = make(map[*viewerConn]struct{})
+	viewers := b.snapshot()
+	empty := make([]*viewerConn, 0)
+	b.viewers.Store(&empty)
 	b.mu.Unlock()
 	for _, v := range viewers {
 		select {
-		case v.out <- wire.Message{Type: wire.MsgEnd}:
+		case v.out <- encodedEnd:
 		default:
 		}
-		close(v.done)
+		v.close()
 	}
 }
 
@@ -435,7 +510,7 @@ func (s *Server) handleViewer(conn net.Conn, hs wire.Handshake) {
 		return
 	}
 	v := &viewerConn{
-		out:  make(chan wire.Message, s.cfg.ViewerQueue),
+		out:  make(chan wire.Encoded, s.cfg.ViewerQueue),
 		done: make(chan struct{}),
 	}
 	b.mu.Lock()
@@ -444,32 +519,34 @@ func (s *Server) handleViewer(conn net.Conn, hs wire.Handshake) {
 		s.ack(conn, wire.StatusNotFound, "broadcast ended")
 		return
 	}
-	if s.cfg.ViewerCap > 0 && len(b.viewers) >= s.cfg.ViewerCap {
+	cur := b.snapshot()
+	if s.cfg.ViewerCap > 0 && len(cur) >= s.cfg.ViewerCap {
 		b.mu.Unlock()
 		s.stats.ViewersRejected.Add(1)
 		s.ack(conn, wire.StatusFull, "RTMP viewer cap reached; use HLS")
 		return
 	}
-	b.viewers[v] = struct{}{}
+	next := make([]*viewerConn, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = v
+	b.viewers.Store(&next)
 	b.mu.Unlock()
 	s.stats.ActiveViewers.Add(1)
 	defer func() {
-		b.mu.Lock()
-		if _, ok := b.viewers[v]; ok {
-			delete(b.viewers, v)
-			close(v.done)
-		}
-		b.mu.Unlock()
+		b.remove(v)
 		s.stats.ActiveViewers.Add(-1)
 	}()
 	s.ack(conn, wire.StatusOK, "subscribed")
 
-	// Reader goroutine: detect client hangup.
+	// Reader goroutine: detect client hangup. The buffer is reused across
+	// reads — viewers are not expected to send anything meaningful.
 	hangup := make(chan struct{})
 	go func() {
 		defer close(hangup)
+		var buf []byte
 		for {
-			if _, err := wire.ReadMessage(conn); err != nil {
+			var err error
+			if _, buf, err = wire.ReadMessageInto(conn, buf); err != nil {
 				return
 			}
 		}
@@ -487,7 +564,7 @@ func (s *Server) handleViewer(conn net.Conn, hs wire.Handshake) {
 						return
 					}
 				default:
-					_ = wire.WriteMessage(conn, wire.Message{Type: wire.MsgEnd})
+					_ = wire.WriteEncoded(conn, encodedEnd)
 					return
 				}
 			}
@@ -499,16 +576,16 @@ func (s *Server) handleViewer(conn net.Conn, hs wire.Handshake) {
 	}
 }
 
-func (s *Server) pushToViewer(conn net.Conn, m wire.Message) error {
+func (s *Server) pushToViewer(conn net.Conn, e wire.Encoded) error {
 	if s.cfg.WriteTimeout > 0 {
 		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	}
-	if err := wire.WriteMessage(conn, m); err != nil {
+	if err := wire.WriteEncoded(conn, e); err != nil {
 		return err
 	}
-	if m.Type == wire.MsgFrame || m.Type == wire.MsgSignedFrame {
+	if t := e.Type(); t == wire.MsgFrame || t == wire.MsgSignedFrame {
 		s.stats.FramesOut.Add(1)
-		s.stats.BytesOut.Add(int64(len(m.Body)))
+		s.stats.BytesOut.Add(int64(len(e.Body())))
 	}
 	return nil
 }

@@ -1,0 +1,161 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// TestEncodeMessageRoundTrip checks that the pre-framed form is exactly what
+// WriteMessage puts on the wire, and that its accessors re-view the bytes.
+func TestEncodeMessageRoundTrip(t *testing.T) {
+	msgs := []Message{
+		{Type: MsgFrame, Body: []byte("payload bytes")},
+		{Type: MsgEnd},
+		{Type: MsgHandshakeAck, Body: MarshalAck(Ack{Status: StatusOK, Message: "hi"})},
+	}
+	for _, m := range msgs {
+		enc, err := EncodeMessage(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var legacy bytes.Buffer
+		if err := WriteMessage(&legacy, m); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(legacy.Bytes(), []byte(enc)) {
+			t.Fatalf("EncodeMessage diverged from WriteMessage for type %d", m.Type)
+		}
+		if enc.Type() != m.Type {
+			t.Fatalf("Type() = %d, want %d", enc.Type(), m.Type)
+		}
+		if !bytes.Equal(enc.Body(), m.Body) {
+			t.Fatalf("Body() = %q, want %q", enc.Body(), m.Body)
+		}
+		got := enc.Message()
+		if got.Type != m.Type || !bytes.Equal(got.Body, m.Body) {
+			t.Fatalf("Message() = %+v, want %+v", got, m)
+		}
+
+		// WriteEncoded → ReadMessage round trip.
+		var out bytes.Buffer
+		if err := WriteEncoded(&out, enc); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadMessage(&out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Type != m.Type || !bytes.Equal(back.Body, m.Body) {
+			t.Fatalf("round trip = %+v, want %+v", back, m)
+		}
+	}
+}
+
+func TestEncodeMessageTooLarge(t *testing.T) {
+	if _, err := EncodeMessage(Message{Type: MsgFrame, Body: make([]byte, MaxBody+1)}); err != ErrBodyTooLarge {
+		t.Fatalf("err = %v, want ErrBodyTooLarge", err)
+	}
+	if _, err := AppendMessage(nil, Message{Type: MsgFrame, Body: make([]byte, MaxBody+1)}); err != ErrBodyTooLarge {
+		t.Fatalf("append err = %v, want ErrBodyTooLarge", err)
+	}
+}
+
+// TestReadEncodedMatchesWire checks ReadEncoded preserves the exact framed
+// bytes, including the zero-body case.
+func TestReadEncodedMatchesWire(t *testing.T) {
+	var buf bytes.Buffer
+	for _, m := range []Message{
+		{Type: MsgFrame, Body: []byte("abc")},
+		{Type: MsgEnd},
+	} {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wireBytes := append([]byte(nil), buf.Bytes()...)
+	e1, err := ReadEncoded(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := ReadEncoded(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := append(append([]byte(nil), e1...), e2...); !bytes.Equal(got, wireBytes) {
+		t.Fatalf("ReadEncoded bytes diverged from wire bytes")
+	}
+	if e1.Type() != MsgFrame || string(e1.Body()) != "abc" {
+		t.Fatalf("e1 = type %d body %q", e1.Type(), e1.Body())
+	}
+	if e2.Type() != MsgEnd || len(e2.Body()) != 0 {
+		t.Fatalf("e2 = type %d body %q", e2.Type(), e2.Body())
+	}
+	if _, err := ReadEncoded(&buf); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+// TestReadEncodedRejectsOversize checks the length-prefix bound holds on the
+// preserved-framing read path too.
+func TestReadEncodedRejectsOversize(t *testing.T) {
+	raw := []byte{byte(MsgFrame), 0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadEncoded(bytes.NewReader(raw)); err != ErrBodyTooLarge {
+		t.Fatalf("err = %v, want ErrBodyTooLarge", err)
+	}
+}
+
+// TestReadMessageInto checks buffer reuse: the same backing array serves
+// successive reads once grown, and bodies alias the returned buffer.
+func TestReadMessageInto(t *testing.T) {
+	var buf bytes.Buffer
+	big := bytes.Repeat([]byte{7}, 1024)
+	for _, m := range []Message{
+		{Type: MsgFrame, Body: big},
+		{Type: MsgFrame, Body: []byte("small")},
+		{Type: MsgEnd},
+	} {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m1, reuse, err := ReadMessageInto(&buf, nil)
+	if err != nil || !bytes.Equal(m1.Body, big) {
+		t.Fatalf("m1 = %v (err %v)", len(m1.Body), err)
+	}
+	grown := cap(reuse)
+	if grown < 1024 {
+		t.Fatalf("reuse cap = %d, want >= 1024", grown)
+	}
+	m2, reuse2, err := ReadMessageInto(&buf, reuse)
+	if err != nil || string(m2.Body) != "small" {
+		t.Fatalf("m2 = %q (err %v)", m2.Body, err)
+	}
+	if cap(reuse2) != grown {
+		t.Fatalf("buffer was reallocated for a smaller body: cap %d → %d", grown, cap(reuse2))
+	}
+	m3, _, err := ReadMessageInto(&buf, reuse2)
+	if err != nil || m3.Type != MsgEnd || len(m3.Body) != 0 {
+		t.Fatalf("m3 = %+v (err %v)", m3, err)
+	}
+}
+
+// TestWriteMessageAllocFree locks in the pooled-buffer property: framing and
+// writing a message allocates nothing in steady state.
+func TestWriteMessageAllocFree(t *testing.T) {
+	body := make([]byte, 2048)
+	m := Message{Type: MsgFrame, Body: body}
+	sink := io.Discard
+	// Warm the pool.
+	if err := WriteMessage(sink, m); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := WriteMessage(sink, m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("WriteMessage allocs/op = %.1f, want 0", allocs)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // MsgType identifies a protocol message.
@@ -74,35 +75,151 @@ type Message struct {
 	Body []byte
 }
 
-// WriteMessage frames and writes a message.
-func WriteMessage(w io.Writer, m Message) error {
+// headerSize is the framing overhead: one type byte plus a big-endian length.
+const headerSize = 5
+
+// AppendMessage appends the framed form of m to dst and returns the extended
+// slice. It is the allocation-free building block behind WriteMessage and
+// EncodeMessage.
+func AppendMessage(dst []byte, m Message) ([]byte, error) {
 	if len(m.Body) > MaxBody {
-		return ErrBodyTooLarge
+		return dst, ErrBodyTooLarge
 	}
-	hdr := make([]byte, 5, 5+len(m.Body))
+	var hdr [headerSize]byte
 	hdr[0] = byte(m.Type)
-	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(m.Body)))
-	if _, err := w.Write(append(hdr, m.Body...)); err != nil {
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(m.Body)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, m.Body...), nil
+}
+
+// Encoded is one fully framed message — header and body in a single
+// contiguous buffer, exactly the bytes WriteEncoded puts on the wire. The
+// fan-out path frames a frame once per arrival and hands the same Encoded to
+// every viewer, replacing N per-viewer framings (and their copies) with one.
+// An Encoded is immutable once built: it may be shared across goroutines.
+type Encoded []byte
+
+// Type returns the framed message's type.
+func (e Encoded) Type() MsgType {
+	if len(e) < headerSize {
+		return 0
+	}
+	return MsgType(e[0])
+}
+
+// Body returns the framed message's body, aliasing the encoded buffer.
+func (e Encoded) Body() []byte {
+	if len(e) < headerSize {
+		return nil
+	}
+	return e[headerSize:]
+}
+
+// Message re-views the encoded bytes as a Message without copying.
+func (e Encoded) Message() Message {
+	return Message{Type: e.Type(), Body: e.Body()}
+}
+
+// EncodeMessage frames m once; the result can be written to any number of
+// connections with WriteEncoded.
+func EncodeMessage(m Message) (Encoded, error) {
+	buf := make([]byte, 0, headerSize+len(m.Body))
+	buf, err := AppendMessage(buf, m)
+	if err != nil {
+		return nil, err
+	}
+	return Encoded(buf), nil
+}
+
+// WriteEncoded writes one pre-framed message with a single Write call and no
+// copying.
+func WriteEncoded(w io.Writer, e Encoded) error {
+	if _, err := w.Write(e); err != nil {
 		return fmt.Errorf("wire: write: %w", err)
 	}
 	return nil
 }
 
-// ReadMessage reads one framed message.
-func ReadMessage(r io.Reader) (Message, error) {
-	var hdr [5]byte
+// ReadEncoded reads one message preserving its framed form: the returned
+// buffer is byte-for-byte what WriteEncoded would send. It costs one
+// allocation — the buffer a fan-out retains anyway — so relaying a message to
+// N viewers needs no re-framing and no further copies.
+func ReadEncoded(r io.Reader) (Encoded, error) {
+	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return Message{}, err
+		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[1:5])
+	n := binary.BigEndian.Uint32(hdr[1:])
 	if n > MaxBody {
-		return Message{}, ErrBodyTooLarge
+		return nil, ErrBodyTooLarge
 	}
-	body := make([]byte, n)
+	buf := make([]byte, headerSize+int(n))
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[headerSize:]); err != nil {
+		return nil, fmt.Errorf("wire: read body: %w", err)
+	}
+	return Encoded(buf), nil
+}
+
+// writeBufs stages header+body for WriteMessage so framing costs no
+// allocation and exactly one Write (one syscall on a net.Conn).
+var writeBufs = sync.Pool{New: func() interface{} {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// maxPooledBuf bounds what WriteMessage returns to the pool, so one huge
+// message cannot pin a huge buffer for the process lifetime.
+const maxPooledBuf = 1 << 20
+
+// WriteMessage frames and writes a message with a single Write. The header
+// and body are staged in a pooled buffer, so steady-state calls allocate
+// nothing.
+func WriteMessage(w io.Writer, m Message) error {
+	if len(m.Body) > MaxBody {
+		return ErrBodyTooLarge
+	}
+	bp := writeBufs.Get().(*[]byte)
+	buf, _ := AppendMessage((*bp)[:0], m)
+	_, err := w.Write(buf)
+	if cap(buf) <= maxPooledBuf {
+		*bp = buf[:0]
+		writeBufs.Put(bp)
+	}
+	if err != nil {
+		return fmt.Errorf("wire: write: %w", err)
+	}
+	return nil
+}
+
+// ReadMessage reads one framed message into a fresh buffer.
+func ReadMessage(r io.Reader) (Message, error) {
+	m, _, err := ReadMessageInto(r, nil)
+	return m, err
+}
+
+// ReadMessageInto reads one framed message, reusing buf for the body when it
+// has the capacity (growing it otherwise). The returned message's Body
+// aliases the returned buffer, which should be passed to the next call — a
+// read loop that does not retain bodies becomes allocation-free. Callers that
+// keep a Body past the next call must copy it first.
+func ReadMessageInto(r io.Reader, buf []byte) (Message, []byte, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, buf, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxBody {
+		return Message{}, buf, ErrBodyTooLarge
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	body := buf[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
-		return Message{}, fmt.Errorf("wire: read body: %w", err)
+		return Message{}, buf, fmt.Errorf("wire: read body: %w", err)
 	}
-	return Message{Type: MsgType(hdr[0]), Body: body}, nil
+	return Message{Type: MsgType(hdr[0]), Body: body}, body, nil
 }
 
 // appendString appends a length-prefixed string.
