@@ -1,0 +1,235 @@
+// Command vetlivesim runs the repo's custom analyzers (internal/lint):
+// locksend, walltime, atomiccounter, hotpathalloc, ctxplumb.
+//
+// It speaks two protocols:
+//
+//   - Standalone: `vetlivesim ./...` loads packages itself (via
+//     `go list -export`) and prints findings. This is what `make lint`
+//     uses and what runs in CI.
+//
+//   - Vet tool: `go vet -vettool=$(which vetlivesim) ./...`. The go
+//     command probes the tool with -V=full (version fingerprint for the
+//     build cache) and -flags (supported analyzer flags, as JSON), then
+//     invokes it once per package with a JSON config file argument ending
+//     in .cfg — the same contract golang.org/x/tools' unitchecker
+//     implements. Dependencies arrive as VetxOnly configs that only need
+//     a facts file written; this suite keeps no cross-package facts, so
+//     those are empty.
+//
+// Exit status: 0 clean, 1 usage/internal error, 2 findings (matching
+// unitchecker so `go vet` reports findings as findings, not tool crashes).
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/loader"
+)
+
+func main() {
+	args := os.Args[1:]
+	// Protocol probes from the go command. These can arrive regardless of
+	// other arguments and must answer before anything else.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			printVersion()
+			return
+		case a == "-flags" || a == "--flags":
+			// No analyzer flags beyond the suite itself.
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+	os.Exit(standalone(args))
+}
+
+// printVersion emulates unitchecker's -V=full output, which the go command
+// hashes into the build cache key: "<name> version <fingerprint>". The
+// fingerprint is the binary's own digest so rebuilding the tool invalidates
+// cached vet results.
+func printVersion() {
+	name := "vetlivesim"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			io.Copy(h, f)
+			f.Close()
+			fmt.Printf("%s version devel comments-go-here buildID=%02x\n", name, h.Sum(nil))
+			return
+		}
+	}
+	fmt.Printf("%s version devel\n", name)
+}
+
+// standalone loads the named patterns (default ./...) and prints findings.
+func standalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vetlivesim:", err)
+		return 1
+	}
+	pkgs, err := loader.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vetlivesim:", err)
+		return 1
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		findings, err := lint.Run(pkg, lint.Analyzers())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vetlivesim:", err)
+			return 1
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		total += len(findings)
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "vetlivesim: %d finding(s)\n", total)
+		return 2
+	}
+	return 0
+}
+
+// vetConfig mirrors the JSON the go command writes for -vettool invocations
+// (the unitchecker contract).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func unitcheck(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vetlivesim:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "vetlivesim: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// The suite exports no facts, so a dependency-only run just has to
+	// leave an (empty) facts file where the go command expects one.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "vetlivesim:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var syntax []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "vetlivesim:", err)
+			return 1
+		}
+		syntax = append(syntax, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return compilerImporter.Import(path)
+	})
+
+	info := loader.NewInfo()
+	conf := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, syntax, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "vetlivesim: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	pkg := &loader.Package{
+		ImportPath: cfg.ImportPath,
+		Name:       tpkg.Name(),
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Syntax:     syntax,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	all, err := lint.Run(pkg, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vetlivesim:", err)
+		return 1
+	}
+	// The invariants target production code. The standalone loader analyzes
+	// only non-test GoFiles; under `go vet` the test-variant compilation
+	// units include _test.go files, where real sleeps, wall-clock reads, and
+	// context-free requests against local test servers are legitimate — so
+	// findings there are dropped to keep the two drivers consistent.
+	var findings []lint.Finding
+	for _, f := range all {
+		if strings.HasSuffix(f.Pos.Filename, "_test.go") {
+			continue
+		}
+		findings = append(findings, f)
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

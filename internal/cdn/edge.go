@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/geo"
 	"repro/internal/hls"
 	"repro/internal/media"
@@ -49,6 +50,10 @@ type EdgeConfig struct {
 	// ShedRetryAfter is the Retry-After hint attached to sheds (default
 	// 1 s).
 	ShedRetryAfter time.Duration
+	// Clock is the time source for arrival stamps and queue waits; nil
+	// means the real clock. Trace-driven simulations inject a
+	// clock.Virtual so chunk arrival times are seed-determined.
+	Clock clock.Clock
 }
 
 // EdgeStats count cache behaviour, the scalability currency of HLS.
@@ -165,11 +170,15 @@ func NewEdge(cfg EdgeConfig) *Edge {
 	if cfg.ShedRetryAfter <= 0 {
 		cfg.ShedRetryAfter = time.Second
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewReal()
+	}
 	e := &Edge{cfg: cfg}
 	for i := range e.shards {
 		e.shards[i].cache = make(map[string]*edgeEntry)
 		e.shards[i].breakers = make(map[string]*resilience.Breaker)
 	}
+	e.limit.clk = cfg.Clock
 	e.limit.set(cfg.MaxInflight, cfg.QueueDepth, cfg.QueueWait)
 	return e
 }
@@ -246,6 +255,10 @@ func (e *Edge) Invalidate(broadcastID string, version uint64) {
 // runtime; a release races safely with SetLimits because slots are handed
 // directly to the oldest waiter.
 type limiter struct {
+	// clk times the queue wait; set once at construction, before any
+	// acquire.
+	clk clock.Clock
+
 	mu          sync.Mutex
 	maxInflight int
 	queueDepth  int
@@ -296,14 +309,12 @@ func (l *limiter) acquire(ctx context.Context) (func(), error) {
 	wait := l.queueWait
 	l.mu.Unlock()
 
-	timer := time.NewTimer(wait)
-	defer timer.Stop()
 	select {
 	case <-ch:
 		// A releasing caller handed us its slot (inflight already counts
 		// us).
 		return l.releaseFn, nil
-	case <-timer.C:
+	case <-l.clk.After(wait):
 	case <-ctx.Done():
 	}
 	// Timed out or cancelled — unless the grant raced us, in which case we
@@ -390,6 +401,8 @@ func (e *Edge) chunkList(ctx context.Context, id string) (*media.ChunkList, erro
 // with the marshalled bytes cached at pull time, so the serving path neither
 // clones the list nor re-serializes it per request. The returned bytes are
 // shared and must be treated as immutable.
+//
+//livesim:hotpath
 func (e *Edge) ChunkListRaw(ctx context.Context, id string) (hls.RawChunkList, error) {
 	rel, err := e.admit(ctx)
 	if err != nil {
@@ -545,7 +558,7 @@ func (e *Edge) pullUpstream(ctx context.Context, id string) (*media.ChunkList, e
 		e.stats.ChunkPulls.Add(1)
 		sh.mu.Lock()
 		ent.chunks[ref.Seq] = c
-		ent.chunkArrivedAt[ref.Seq] = time.Now()
+		ent.chunkArrivedAt[ref.Seq] = e.cfg.Clock.Now()
 		sh.mu.Unlock()
 	}
 
@@ -610,7 +623,7 @@ func (e *Edge) chunk(ctx context.Context, id string, seq uint64) (*media.Chunk, 
 		sh.cache[id] = ent
 	}
 	ent.chunks[seq] = c
-	ent.chunkArrivedAt[seq] = time.Now()
+	ent.chunkArrivedAt[seq] = e.cfg.Clock.Now()
 	sh.mu.Unlock()
 	return c, nil
 }

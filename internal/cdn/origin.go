@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/geo"
 	"repro/internal/hls"
 	"repro/internal/media"
@@ -36,6 +37,11 @@ type OriginConfig struct {
 	// Retention keeps ended broadcasts queryable for this long before
 	// Sweep removes them; zero means keep until Remove is called.
 	Retention time.Duration
+	// Clock is the time source for chunk-ready and broadcast-end stamps;
+	// nil means the real clock. It is also handed to the embedded RTMP
+	// server (unless RTMP.Clock is set explicitly) so the whole ingest
+	// path shares one time base.
+	Clock clock.Clock
 }
 
 // Origin is the Wowza analog: RTMP ingest plus authoritative chunk store.
@@ -65,6 +71,9 @@ type originStream struct {
 
 // NewOrigin builds an Origin and its embedded RTMP server.
 func NewOrigin(cfg OriginConfig) *Origin {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewReal()
+	}
 	o := &Origin{
 		cfg:     cfg,
 		streams: make(map[string]*originStream),
@@ -73,6 +82,9 @@ func NewOrigin(cfg OriginConfig) *Origin {
 	userTap := cfg.RTMP.Tap
 	userEnd := cfg.RTMP.OnEnd
 	rc := cfg.RTMP
+	if rc.Clock == nil {
+		rc.Clock = cfg.Clock
+	}
 	rc.Tap = func(id string, f media.Frame, at time.Time) {
 		o.ingest(id, f, at)
 		if userTap != nil {
@@ -148,7 +160,7 @@ func (o *Origin) endBroadcast(id string) {
 	}
 	if chunk := st.chunker.Flush(); chunk != nil {
 		st.chunks[chunk.Seq] = chunk
-		st.chunkReadyAt[chunk.Seq] = time.Now()
+		st.chunkReadyAt[chunk.Seq] = o.cfg.Clock.Now()
 		st.list.Append(media.ChunkRef{
 			Seq:      chunk.Seq,
 			Duration: chunk.Duration(),
@@ -158,7 +170,7 @@ func (o *Origin) endBroadcast(id string) {
 	st.list.Ended = true
 	st.list.Version++
 	version := st.list.Version
-	o.endedAt[id] = time.Now()
+	o.endedAt[id] = o.cfg.Clock.Now()
 	o.mu.Unlock()
 	o.notify(id, version)
 }
@@ -187,6 +199,8 @@ func (o *Origin) ChunkList(_ context.Context, id string) (*media.ChunkList, erro
 // list version, so the steady stream of polls between chunk appends reuses
 // one serialization. The returned bytes are shared; callers must not modify
 // them.
+//
+//livesim:hotpath
 func (o *Origin) ChunkListRaw(_ context.Context, id string) (hls.RawChunkList, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/geo"
+	"repro/internal/testutil"
 	"repro/internal/wire"
 )
 
@@ -222,6 +223,7 @@ func TestPublicKeyRegistry(t *testing.T) {
 }
 
 func TestHTTPAPI(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	s := newTestService()
 	srv := httptest.NewServer(Handler("/api", s))
 	defer srv.Close()

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/testutil"
 )
 
 func TestRateLimiterBurstThenThrottle(t *testing.T) {
@@ -82,6 +83,7 @@ func TestRateLimiterSweep(t *testing.T) {
 }
 
 func TestRateLimiterHTTPMiddleware(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	rl := NewRateLimiter(RateLimiterConfig{RequestsPerSecond: 0.001, Burst: 2})
 	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)

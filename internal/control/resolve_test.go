@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/geo"
+	"repro/internal/testutil"
 )
 
 func TestResolveEdgeDoesNotRecordJoin(t *testing.T) {
@@ -48,6 +49,7 @@ func TestResolveEdgeWorksAfterBroadcastEnds(t *testing.T) {
 }
 
 func TestResolveEdgeHTTPRoundTrip(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	var mu sync.Mutex
 	var gotLoc geo.Location
 	s := NewService(Config{

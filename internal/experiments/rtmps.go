@@ -146,6 +146,7 @@ func measureVariant(useTLS, signed bool, nFrames int, frames []media.Frame, seed
 		}
 	}()
 
+	//lint:allow walltime measures real TLS-vs-plaintext throughput over real sockets; wall time IS the measurand
 	start := time.Now()
 	for i := 0; i < nFrames; i++ {
 		if err := pub.Send(&frames[i%len(frames)]); err != nil {
@@ -154,5 +155,6 @@ func measureVariant(useTLS, signed bool, nFrames int, frames []media.Frame, seed
 	}
 	pub.End()
 	wg.Wait()
+	//lint:allow walltime measures real TLS-vs-plaintext throughput over real sockets; wall time IS the measurand
 	return float64(time.Since(start).Nanoseconds()) / float64(nFrames), nil
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/testutil"
 )
 
 func testRegistry(t *testing.T) (*Registry, *clock.Virtual) {
@@ -22,6 +23,7 @@ func testRegistry(t *testing.T) (*Registry, *clock.Virtual) {
 }
 
 func TestDetectorLifecycle(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	r, vc := testRegistry(t)
 	r.Register("edge:a")
 
@@ -99,6 +101,7 @@ func TestUnknownNodeEligible(t *testing.T) {
 }
 
 func TestStateChangeCallback(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	vc := clock.NewVirtual(time.Unix(1_700_000_000, 0))
 	type change struct {
 		id       string
@@ -131,6 +134,7 @@ func TestStateChangeCallback(t *testing.T) {
 }
 
 func TestSnapshotAndHandler(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	r, vc := testRegistry(t)
 	r.Register("edge:a")
 	r.Register("edge:b")

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/resilience"
 )
 
@@ -34,6 +35,9 @@ type FailoverConfig struct {
 	// Backoff schedules the wait between failover rounds; the zero value
 	// uses the resilience defaults.
 	Backoff resilience.Policy
+	// Clock is handed to the default per-edge client (a custom NewClient
+	// sets its own); nil means the real clock.
+	Clock clock.Clock
 }
 
 // FailoverPoller is an HLS viewer session that survives edge failures: when
@@ -66,7 +70,7 @@ func NewFailoverPoller(broadcastID string, cfg FailoverConfig) *FailoverPoller {
 		cfg.Poller.Interval = 2 * time.Second
 	}
 	if cfg.NewClient == nil {
-		cfg.NewClient = func(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+		cfg.NewClient = func(baseURL string) *Client { return &Client{BaseURL: baseURL, Clock: cfg.Clock} }
 	}
 	return &FailoverPoller{broadcastID: broadcastID, cfg: cfg}
 }
@@ -157,8 +161,7 @@ func (fp *FailoverPoller) Run(ctx context.Context) error {
 // pollEdge runs the poll loop against one edge until the broadcast ends, a
 // failover trigger fires (returning the triggering error), or ctx is done.
 func (fp *FailoverPoller) pollEdge(ctx context.Context, client *Client, st *pollState, draining *atomic.Bool, notFoundRuns *int) (bool, error) {
-	ticker := time.NewTicker(fp.cfg.Poller.Interval)
-	defer ticker.Stop()
+	clk := client.clock()
 	consecFails := 0
 	for {
 		ended, err := client.pollOnce(ctx, fp.broadcastID, &fp.cfg.Poller, st)
@@ -198,7 +201,7 @@ func (fp *FailoverPoller) pollEdge(ctx context.Context, client *Client, st *poll
 		select {
 		case <-ctx.Done():
 			return false, ctx.Err()
-		case <-ticker.C:
+		case <-clk.After(fp.cfg.Poller.Interval):
 		}
 	}
 }

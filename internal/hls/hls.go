@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/media"
 	"repro/internal/resilience"
 )
@@ -147,6 +148,10 @@ func writeStoreError(w http.ResponseWriter, err error) {
 	http.Error(w, err.Error(), status)
 }
 
+// serveChunkList answers the steady stream of viewer polls — the edge's
+// hottest HTTP path (one hit per viewer per chunk interval).
+//
+//livesim:hotpath
 func serveChunkList(w http.ResponseWriter, r *http.Request, store Store, id string) {
 	var version uint64
 	var marshal func() []byte
@@ -213,6 +218,18 @@ type Client struct {
 	// edge-draining header — the failover poller uses it to migrate off a
 	// draining edge between polls.
 	OnDrainHint func()
+	// Clock times poll events and the poll interval; nil means the real
+	// clock. The trace-driven buffering study (§6) injects clock.Virtual
+	// so ChunkEvent timestamps are seed-determined.
+	Clock clock.Clock
+}
+
+// clock returns the configured time source, defaulting to the real clock.
+func (c *Client) clock() clock.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return clock.Real{}
 }
 
 func (c *Client) http() *http.Client {
@@ -245,9 +262,10 @@ func (c *Client) sleep(ctx context.Context, d time.Duration) error {
 	return resilience.SleepCtx(ctx, d)
 }
 
-// parseRetryAfter reads a Retry-After header: delta-seconds or an HTTP date.
-// Returns 0 for absent or unparsable values.
-func parseRetryAfter(v string) time.Duration {
+// parseRetryAfter reads a Retry-After header: delta-seconds or an HTTP date
+// (interpreted against now, the caller's clock). Returns 0 for absent or
+// unparsable values.
+func parseRetryAfter(v string, now time.Time) time.Duration {
 	if v == "" {
 		return 0
 	}
@@ -258,7 +276,7 @@ func parseRetryAfter(v string) time.Duration {
 		return time.Duration(secs) * time.Second
 	}
 	if at, err := http.ParseTime(v); err == nil {
-		if d := time.Until(at); d > 0 {
+		if d := at.Sub(now); d > 0 {
 			return d
 		}
 	}
@@ -269,7 +287,7 @@ func parseRetryAfter(v string) time.Duration {
 // on the retry loop's context — not the expired attempt deadline), then
 // report ErrOverloaded so the retry loop or failover poller reacts.
 func (c *Client) shed(ctx context.Context, resp *http.Response) error {
-	d := parseRetryAfter(resp.Header.Get(RetryAfterHeader))
+	d := parseRetryAfter(resp.Header.Get(RetryAfterHeader), c.clock().Now())
 	if wait := min(d, c.retryAfterCap()); wait > 0 {
 		if err := c.sleep(ctx, wait); err != nil {
 			return resilience.Permanent(err)
@@ -406,7 +424,7 @@ type pollState struct {
 // delivery of every not-yet-seen chunk. A matched conditional (nothing new)
 // is a successful no-op poll. It reports whether the end marker was seen.
 func (c *Client) pollOnce(ctx context.Context, broadcastID string, cfg *PollerConfig, st *pollState) (ended bool, err error) {
-	polledAt := time.Now()
+	polledAt := c.clock().Now()
 	cl, err := c.FetchChunkList(ctx, broadcastID, st.version)
 	if err != nil {
 		if errors.Is(err, ErrNotModified) {
@@ -414,7 +432,7 @@ func (c *Client) pollOnce(ctx context.Context, broadcastID string, cfg *PollerCo
 		}
 		return false, err
 	}
-	listAt := time.Now()
+	listAt := c.clock().Now()
 	st.version = cl.Version
 	for _, ref := range cl.Chunks {
 		if st.haveAny && ref.Seq <= st.lastSeq {
@@ -430,7 +448,7 @@ func (c *Client) pollOnce(ctx context.Context, broadcastID string, cfg *PollerCo
 				continue
 			}
 			ev.Chunk = chunk
-			ev.FetchedAt = time.Now()
+			ev.FetchedAt = c.clock().Now()
 		} else {
 			ev.FetchedAt = listAt
 		}
@@ -455,8 +473,7 @@ func (c *Client) Poll(ctx context.Context, broadcastID string, cfg PollerConfig)
 		cfg.Interval = 2 * time.Second
 	}
 	var st pollState
-	ticker := time.NewTicker(cfg.Interval)
-	defer ticker.Stop()
+	clk := c.clock()
 	for {
 		ended, err := c.pollOnce(ctx, broadcastID, &cfg, &st)
 		switch {
@@ -475,7 +492,7 @@ func (c *Client) Poll(ctx context.Context, broadcastID string, cfg PollerConfig)
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-ticker.C:
+		case <-clk.After(cfg.Interval):
 		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/media"
 	"repro/internal/rng"
+	"repro/internal/testutil"
 )
 
 // memStore is an in-memory Store for tests.
@@ -98,6 +99,7 @@ func startHLS(t *testing.T) (*memStore, *Client) {
 }
 
 func TestFetchChunkListAndChunk(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	store, client := startHLS(t)
 	chunks := makeChunks(3)
 	for _, c := range chunks {
@@ -176,6 +178,7 @@ func TestHandlerRejectsBadRequests(t *testing.T) {
 }
 
 func TestPollReceivesChunksInOrder(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	store, client := startHLS(t)
 	chunks := makeChunks(5)
 	store.add("b1", chunks[0])
@@ -225,6 +228,7 @@ func TestPollReceivesChunksInOrder(t *testing.T) {
 }
 
 func TestPollEndCallback(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	store, client := startHLS(t)
 	store.add("b1", makeChunks(1)[0])
 	store.end("b1")
@@ -251,6 +255,7 @@ func TestPollUnknownBroadcast(t *testing.T) {
 }
 
 func TestPollContextCancel(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	store, client := startHLS(t)
 	store.add("b1", makeChunks(1)[0])
 	ctx, cancel := context.WithCancel(context.Background())
@@ -265,6 +270,7 @@ func TestPollContextCancel(t *testing.T) {
 }
 
 func TestPollListOnlySkipsDownloads(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	store, client := startHLS(t)
 	store.add("b1", makeChunks(1)[0])
 	store.end("b1")

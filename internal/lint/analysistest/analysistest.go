@@ -1,0 +1,138 @@
+// Package analysistest runs an analyzer over a fixture package and checks
+// its diagnostics against // want annotations, mirroring (a useful subset
+// of) golang.org/x/tools/go/analysis/analysistest:
+//
+//	ch <- v // want `channel send while`
+//	mu.Lock() // want `send` `nested`
+//
+// Each expectation is a backquoted or double-quoted regular expression; a
+// line's diagnostics and expectations must match one-to-one. Fixture
+// packages live under internal/lint/testdata/src/<name> and are ordinary
+// compilable Go so the type checker sees exactly what production code looks
+// like.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// Run loads testdata/src/<dir> relative to the caller's testdata root,
+// applies the analyzer (with no //lint:allow filtering — that is the
+// driver's concern, tested separately), and diffs diagnostics against
+// // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := loader.LoadDir(filepath.Join(testdata, "src", dir))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d analysis.Diagnostic) { got = append(got, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s on fixture %s: %v", a.Name, dir, err)
+	}
+	Check(t, pkg, a.Name, got)
+}
+
+// Check diffs diagnostics against the fixture's // want comments. Exposed
+// so the driver test can validate post-suppression findings the same way.
+func Check(t *testing.T, pkg *loader.Package, name string, got []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, file := range pkg.Syntax {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range parseWants(t, pos.String(), strings.TrimPrefix(text, "want ")) {
+					wants[key{pos.Filename, pos.Line}] = append(wants[key{pos.Filename, pos.Line}], pat)
+				}
+			}
+		}
+	}
+
+	matched := make(map[*regexp.Regexp]bool)
+	for _, d := range got {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		found := false
+		for _, pat := range wants[k] {
+			if !matched[pat] && pat.MatchString(d.Message) {
+				matched[pat] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected %s diagnostic: %s", pos, name, d.Message)
+		}
+	}
+	for k, pats := range wants {
+		for _, pat := range pats {
+			if !matched[pat] {
+				t.Errorf("%s:%d: no %s diagnostic matching %q", k.file, k.line, name, pat)
+			}
+		}
+	}
+}
+
+// parseWants extracts the quoted or backquoted regexps from a want comment.
+func parseWants(t *testing.T, pos, s string) []*regexp.Regexp {
+	t.Helper()
+	var pats []*regexp.Regexp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return pats
+		}
+		var raw, rest string
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated backquote in want comment", pos)
+			}
+			raw, rest = s[1:1+end], s[2+end:]
+		case '"':
+			end := strings.IndexByte(s[1:], '"')
+			if end < 0 {
+				t.Fatalf("%s: unterminated quote in want comment", pos)
+			}
+			var err error
+			raw, err = strconv.Unquote(s[:2+end])
+			if err != nil {
+				t.Fatalf("%s: bad want string: %v", pos, err)
+			}
+			rest = s[2+end:]
+		default:
+			t.Fatalf("%s: want expectation must be quoted or backquoted, got %q", pos, s)
+		}
+		pat, err := regexp.Compile(raw)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+		}
+		pats = append(pats, pat)
+		s = rest
+	}
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Ctxplumb enforces context plumbing on request paths. Two failure modes
+// motivated it: (1) http.Get/Post/NewRequest carry no context, so an edge
+// outage turns into an unbounded hang that the resilience layer's
+// per-attempt timeouts never see; (2) context.Background() deep inside a
+// request-handling function detaches the call from the caller's deadline
+// and cancellation, which is how drain/failover (DESIGN.md §6.1) stops
+// in-flight work. The second check only fires inside functions that already
+// receive a context.Context or *http.Request parameter — top-level setup
+// code legitimately starts from Background.
+var Ctxplumb = &analysis.Analyzer{
+	Name: "ctxplumb",
+	Doc: "flags context-free HTTP request construction (http.Get/Post/" +
+		"NewRequest) and context.Background()/TODO() inside functions that " +
+		"already have a context to derive from",
+	Run: runCtxplumb,
+}
+
+// ctxFreeHTTP maps the context-free constructors to their replacements.
+var ctxFreeHTTP = map[string]string{
+	"Get":        "http.NewRequestWithContext + client.Do",
+	"Post":       "http.NewRequestWithContext + client.Do",
+	"PostForm":   "http.NewRequestWithContext + client.Do",
+	"Head":       "http.NewRequestWithContext + client.Do",
+	"NewRequest": "http.NewRequestWithContext",
+}
+
+func runCtxplumb(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		// Walk with a full node stack (ast.Inspect delivers nil when
+		// leaving a node, matching each push with a pop) so the
+		// Background/TODO check can ask whether an enclosing function has a
+		// context to derive from.
+		var stack []ast.Node
+		walk := func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !isPkgFunc(fn) {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "net/http":
+				if repl, bad := ctxFreeHTTP[fn.Name()]; bad {
+					pass.Reportf(call.Pos(),
+						"http.%s sends a request with no context (no deadline, no cancellation on drain/failover); use %s",
+						fn.Name(), repl)
+				}
+			case "context":
+				if fn.Name() == "Background" || fn.Name() == "TODO" {
+					if enclosingHasContext(pass, stack) {
+						pass.Reportf(call.Pos(),
+							"context.%s() inside a function that receives a context detaches this call from the caller's deadline and cancellation; derive from the incoming ctx (or r.Context())",
+							fn.Name())
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(file, walk)
+	}
+	return nil, nil
+}
+
+// enclosingHasContext reports whether any function on the stack (innermost
+// function literal included — it closes over the outer parameters) declares
+// a context.Context or *http.Request parameter.
+func enclosingHasContext(pass *analysis.Pass, stack []ast.Node) bool {
+	for _, n := range stack {
+		var ft *ast.FuncType
+		switch f := n.(type) {
+		case *ast.FuncDecl:
+			ft = f.Type
+		case *ast.FuncLit:
+			ft = f.Type
+		}
+		if ft == nil || ft.Params == nil {
+			continue
+		}
+		for _, field := range ft.Params.List {
+			tv, ok := pass.TypesInfo.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if isContextType(tv.Type) || isHTTPRequestPtr(tv.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func isHTTPRequestPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request"
+}

@@ -1,0 +1,161 @@
+// Package lint hosts the repo's custom analyzers and the driver that runs
+// them with //lint:allow suppression. The analyzers enforce invariants that
+// PRs 1–3 established but nothing checked mechanically:
+//
+//	locksend      — no blocking op while a sync.Mutex/RWMutex is held (§5a)
+//	walltime      — simulation/delivery packages use internal/clock and
+//	                internal/rng, never the wall clock or global math/rand
+//	atomiccounter — a counter is atomic everywhere or nowhere
+//	hotpathalloc  — //livesim:hotpath functions stay allocation-lean
+//	ctxplumb      — HTTP requests carry contexts; request paths derive from
+//	                the caller's context rather than context.Background
+//
+// False positives are suppressed in place with a reasoned directive:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or on the line directly above it. Directives naming
+// an unknown analyzer, or carrying no reason, are themselves diagnostics —
+// a stale or typo'd suppression must not silently disable a check.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Locksend,
+		Walltime,
+		Atomiccounter,
+		Hotpathalloc,
+		Ctxplumb,
+	}
+}
+
+// Finding is one post-suppression diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// allowKey identifies a suppressed (analyzer, file, line) cell.
+type allowKey struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+const allowPrefix = "lint:allow"
+
+// collectAllows parses every //lint:allow directive in the files. A
+// directive suppresses its analyzer on the directive's own line (trailing
+// comment) and on the following line (standalone comment above the
+// statement). Malformed or unknown-analyzer directives are returned as
+// findings so they fail the build like any other diagnostic.
+func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) (map[allowKey]bool, []Finding) {
+	allows := make(map[allowKey]bool)
+	var bad []Finding
+	for _, file := range files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
+				if len(fields) == 0 {
+					bad = append(bad, Finding{
+						Analyzer: "lintdirective", Pos: pos,
+						Message: "malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\"",
+					})
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					bad = append(bad, Finding{
+						Analyzer: "lintdirective", Pos: pos,
+						Message: fmt.Sprintf("//lint:allow names unknown analyzer %q (known: %s)", name, knownNames(known)),
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Analyzer: "lintdirective", Pos: pos,
+						Message: fmt.Sprintf("//lint:allow %s has no reason; suppressions must say why", name),
+					})
+					continue
+				}
+				allows[allowKey{name, pos.Filename, pos.Line}] = true
+				allows[allowKey{name, pos.Filename, pos.Line + 1}] = true
+			}
+		}
+	}
+	return allows, bad
+}
+
+func knownNames(known map[string]bool) string {
+	names := make([]string, 0, len(known))
+	for n := range known {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// Run applies the analyzers to one loaded package and returns the findings
+// that survive //lint:allow suppression, plus any directive diagnostics,
+// sorted by position.
+func Run(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	allows, findings := collectAllows(pkg.Fset, pkg.Syntax, known)
+
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if allows[allowKey{name, pos.Filename, pos.Line}] {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}

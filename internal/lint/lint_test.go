@@ -1,0 +1,103 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/loader"
+)
+
+func TestLocksend(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Locksend, "locksend")
+}
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Walltime, "delay")
+}
+
+// TestWalltimeUnrestricted: the same constructs in a package outside the
+// simulation set produce no diagnostics (the fixture has no want comments).
+func TestWalltimeUnrestricted(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Walltime, "wtok")
+}
+
+func TestAtomiccounter(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Atomiccounter, "atomiccounter")
+}
+
+func TestHotpathalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Hotpathalloc, "hotpathalloc")
+}
+
+func TestCtxplumb(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Ctxplumb, "ctxplumb")
+}
+
+// TestAllowDirectives drives lint.Run over the directives fixture and checks
+// the suppression contract: a reasoned //lint:allow <analyzer> silences that
+// analyzer on the next line; a directive naming an unknown analyzer or
+// carrying no reason is itself a finding and suppresses nothing.
+func TestAllowDirectives(t *testing.T) {
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "directives"))
+	if err != nil {
+		t.Fatalf("loading directives fixture: %v", err)
+	}
+	findings, err := lint.Run(pkg, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	for _, f := range findings {
+		t.Logf("finding: %s", f)
+	}
+
+	count := func(analyzer, substr string) int {
+		n := 0
+		for _, f := range findings {
+			if f.Analyzer == analyzer && strings.Contains(f.Message, substr) {
+				n++
+			}
+		}
+		return n
+	}
+
+	// The properly suppressed send (h.ch <- 1) must not appear: exactly the
+	// two unsuppressed sends survive.
+	if got := count("locksend", "channel send"); got != 2 {
+		t.Errorf("want 2 unsuppressed locksend findings, got %d", got)
+	}
+	// The typo'd analyzer name is flagged, with the known names listed.
+	if got := count("lintdirective", `unknown analyzer "locksnd"`); got != 1 {
+		t.Errorf("want 1 unknown-analyzer directive finding, got %d", got)
+	}
+	if got := count("lintdirective", "locksend, walltime"); got != 1 {
+		t.Errorf("unknown-analyzer finding should list known analyzers, got %d matches", got)
+	}
+	// The reasonless directive is flagged.
+	if got := count("lintdirective", "has no reason"); got != 1 {
+		t.Errorf("want 1 missing-reason directive finding, got %d", got)
+	}
+	if got := len(findings); got != 4 {
+		t.Errorf("want 4 findings total (2 sends + 2 directive diagnostics), got %d", got)
+	}
+}
+
+// TestSuiteNames pins the analyzer names the //lint:allow directives and the
+// CI job reference: renaming one silently orphans every suppression.
+func TestSuiteNames(t *testing.T) {
+	want := []string{"locksend", "walltime", "atomiccounter", "hotpathalloc", "ctxplumb"}
+	as := lint.Analyzers()
+	if len(as) != len(want) {
+		t.Fatalf("want %d analyzers, got %d", len(want), len(as))
+	}
+	for i, a := range as {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d: want name %q, got %q", i, want[i], a.Name)
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no doc", a.Name)
+		}
+	}
+}

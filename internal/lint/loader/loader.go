@@ -1,0 +1,213 @@
+// Package loader type-checks this module's packages for the lint suite
+// without golang.org/x/tools/go/packages (unavailable offline). It shells
+// out to `go list -export -json -deps`, which compiles dependencies into the
+// build cache and reports the export-data file of every package in the
+// import graph; the module's own packages are then parsed from source and
+// type-checked with the standard library's gc-export-data importer.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	Syntax     []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// list runs `go list -export -json -deps` in dir and decodes the JSON stream.
+func list(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-e", "-export", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter satisfies types.Importer by reading gc export data located
+// by an import-path → file map (built from `go list -export`).
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Load lists patterns (relative to dir, e.g. "./...") and returns the
+// type-checked module packages, dependency order preserved. Dependencies —
+// standard library included — are imported from export data, so no source
+// beyond the module's own is parsed.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	lps, err := list(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(lps))
+	for _, lp := range lps {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+
+	var out []*Package
+	for _, lp := range lps {
+		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		var files []string
+		for _, f := range lp.GoFiles {
+			files = append(files, filepath.Join(lp.Dir, f))
+		}
+		pkg, err := check(fset, lp.ImportPath, lp.Dir, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir type-checks a single directory of Go files that sits outside the
+// module build graph (analysistest fixtures under testdata). Imports are
+// resolved by running `go list -export` on the fixture's import set, so
+// fixtures may import the standard library and this module's packages.
+func LoadDir(dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("loader: no Go files in %s", dir)
+	}
+
+	// Discover the fixture's imports with a syntax-only parse, then ask the
+	// go tool for their export data.
+	fset := token.NewFileSet()
+	importSet := make(map[string]bool)
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, im := range af.Imports {
+			importSet[strings.Trim(im.Path.Value, `"`)] = true
+		}
+	}
+	exports := make(map[string]string)
+	if len(importSet) > 0 {
+		var pats []string
+		for p := range importSet {
+			pats = append(pats, p)
+		}
+		lps, err := list(dir, pats)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range lps {
+			if lp.Export != "" {
+				exports[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+	fset = token.NewFileSet()
+	return check(fset, filepath.Base(dir), dir, files, exportImporter(fset, exports))
+}
+
+// check parses files and type-checks them as one package.
+func check(fset *token.FileSet, path, dir string, files []string, imp types.Importer) (*Package, error) {
+	var syntax []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, af)
+	}
+	info := NewInfo()
+	conf := &types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{
+		ImportPath: path,
+		Name:       tpkg.Name(),
+		Dir:        dir,
+		Fset:       fset,
+		Syntax:     syntax,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}

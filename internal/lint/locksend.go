@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Locksend enforces the fan-out invariant from DESIGN.md §5a: no blocking
+// operation — channel send, time.Sleep, network I/O, or acquiring another
+// lock — may happen while a sync.Mutex or sync.RWMutex is held. The rtmp
+// fan-out rewrite (103→2 allocs/frame, Fig. 14) depends on membership locks
+// never being held across the per-viewer channel sends; a regression here
+// reintroduces the head-of-line blocking the paper's §5 measurements rule
+// out, and -race cannot see it because it is a liveness bug, not a data
+// race.
+//
+// The analysis is intraprocedural and syntactic about control flow: within
+// each function body it tracks, statement by statement, which mutexes are
+// held (keyed by the receiver expression, e.g. "s.mu"), treating
+// `defer mu.Unlock()` as holding the lock until the function returns.
+// Function literals are analyzed as separate roots with an empty lock set,
+// since they run at call time, not at definition time.
+var Locksend = &analysis.Analyzer{
+	Name: "locksend",
+	Doc: "flags channel sends, time.Sleep, network I/O, and nested lock " +
+		"acquisition while a sync.Mutex/RWMutex is held (the fan-out " +
+		"invariant of DESIGN.md §5a)",
+	Run: runLocksend,
+}
+
+func runLocksend(pass *analysis.Pass) (interface{}, error) {
+	ls := &locksendPass{pass: pass}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					ls.checkStmts(fn.Body.List, map[string]token.Pos{})
+				}
+			case *ast.FuncLit:
+				ls.checkStmts(fn.Body.List, map[string]token.Pos{})
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type locksendPass struct {
+	pass *analysis.Pass
+}
+
+// lockOp classifies a statement as a lock/unlock call on a sync mutex and
+// returns the receiver expression string that keys the lock.
+type lockOp struct {
+	key     string // rendered receiver expression, e.g. "s.mu"
+	acquire bool
+	pos     token.Pos
+}
+
+// mutexOp returns the lock operation a call expression performs, if any.
+func (ls *locksendPass) mutexOp(call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	fn, ok := ls.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return lockOp{key: types.ExprString(sel.X), acquire: true, pos: call.Pos()}, true
+	case "Unlock", "RUnlock":
+		return lockOp{key: types.ExprString(sel.X), acquire: false, pos: call.Pos()}, true
+	}
+	return lockOp{}, false
+}
+
+// checkStmts walks a statement list in order, maintaining the held-lock set.
+// Nested blocks get a copy of the set: an unlock on one branch does not
+// release the lock for the code after the branch (the common
+// `if cond { mu.Unlock(); return }` early-exit stays precise because the
+// flagged statements are the ones syntactically after the Lock with no
+// unconditional Unlock between).
+func (ls *locksendPass) checkStmts(stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, stmt := range stmts {
+		// Lock bookkeeping first: a standalone mu.Lock()/mu.Unlock() call.
+		if es, ok := stmt.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if op, ok := ls.mutexOp(call); ok {
+					if op.acquire {
+						if len(held) > 0 {
+							for k, pos := range held {
+								ls.pass.Reportf(call.Pos(),
+									"acquiring %s while %s is held (locked at %s); nested locking on the fan-out path risks deadlock and head-of-line blocking",
+									op.key, k, ls.pass.Position(pos))
+							}
+						}
+						held[op.key] = op.pos
+					} else {
+						delete(held, op.key)
+					}
+					continue
+				}
+			}
+		}
+		// defer mu.Unlock() keeps the lock held for the remainder of the
+		// function, so it is deliberately NOT removed from the set.
+		if ds, ok := stmt.(*ast.DeferStmt); ok {
+			if op, ok := ls.mutexOp(ds.Call); ok && !op.acquire {
+				continue
+			}
+		}
+		ls.checkStmt(stmt, held)
+	}
+}
+
+// checkStmt recurses into one statement: compound statements descend with a
+// copy of the held set; leaves are scanned for blocking operations.
+func (ls *locksendPass) checkStmt(stmt ast.Stmt, held map[string]token.Pos) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		ls.checkStmts(s.List, copyHeld(held))
+	case *ast.IfStmt:
+		if s.Init != nil {
+			ls.checkStmt(s.Init, held)
+		}
+		ls.checkCond(s.Cond, held)
+		ls.checkStmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			ls.checkStmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			ls.checkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			ls.checkCond(s.Cond, held)
+		}
+		ls.checkStmts(s.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		ls.checkStmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ls.checkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ls.checkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if len(held) > 0 && cc.Comm != nil {
+					ls.flagBlocking(cc.Comm, held)
+				}
+				ls.checkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		ls.checkStmt(s.Stmt, held)
+	case *ast.GoStmt, *ast.DeferStmt:
+		// The spawned/deferred body runs outside this lock region; function
+		// literals are analyzed as separate roots.
+	default:
+		if len(held) > 0 {
+			ls.flagBlocking(stmt, held)
+		}
+	}
+}
+
+// checkCond scans a condition expression for blocking operations (rare, but
+// `case <-ch` style receives in conditions would hide here).
+func (ls *locksendPass) checkCond(expr ast.Expr, held map[string]token.Pos) {
+	if len(held) > 0 {
+		ls.flagBlocking(expr, held)
+	}
+}
+
+// flagBlocking inspects one leaf statement or expression for operations
+// that must not happen under a lock. Function literals are skipped: they
+// execute at call time, under whatever locks the caller then holds.
+func (ls *locksendPass) flagBlocking(n ast.Node, held map[string]token.Pos) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			ls.report(e.Pos(), "channel send", held)
+		case *ast.CallExpr:
+			if op, ok := ls.mutexOp(e); ok && op.acquire {
+				ls.report(e.Pos(), "acquiring "+op.key, held)
+				return false
+			}
+			if name, ok := ls.blockingCall(e); ok {
+				ls.report(e.Pos(), name, held)
+			}
+		}
+		return true
+	})
+}
+
+// netBlocking names the net / net/http operations that block on the wire.
+// An allowlist, because those packages are full of pure accessors
+// (Addr.String, Request.Context, …) that are fine to call under a lock.
+var netBlocking = map[string]bool{
+	"Dial": true, "DialContext": true, "DialTimeout": true, "DialTCP": true,
+	"DialUDP": true, "DialIP": true, "DialUnix": true,
+	"Listen": true, "ListenPacket": true, "ListenTCP": true, "ListenUDP": true,
+	"Accept": true, "AcceptTCP": true, "AcceptUnix": true,
+	"Read": true, "ReadFrom": true, "ReadFromUDP": true, "ReadMsgUDP": true,
+	"Write": true, "WriteTo": true, "WriteToUDP": true, "WriteMsgUDP": true,
+	"Get": true, "Post": true, "PostForm": true, "Head": true, "Do": true,
+	"RoundTrip": true, "Serve": true, "ServeTLS": true,
+	"ListenAndServe": true, "ListenAndServeTLS": true, "Shutdown": true,
+	"LookupHost": true, "LookupIP": true, "LookupAddr": true, "LookupCNAME": true,
+}
+
+// blockingCall reports whether call is time.Sleep or blocking network I/O
+// (a net / net/http dial, read, write, serve, or request).
+func (ls *locksendPass) blockingCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := ls.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Sleep" {
+			return "time.Sleep", true
+		}
+	case "net", "net/http":
+		if netBlocking[fn.Name()] {
+			return "network I/O (" + fn.Pkg().Name() + "." + fn.Name() + ")", true
+		}
+	}
+	return "", false
+}
+
+func (ls *locksendPass) report(pos token.Pos, what string, held map[string]token.Pos) {
+	for k, lpos := range held {
+		ls.pass.Reportf(pos,
+			"%s while %s is held (locked at %s); release the lock first — snapshot under the lock, operate on the copy (DESIGN.md §5a)",
+			what, k, ls.pass.Position(lpos))
+	}
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+// Fixture for the atomiccounter analyzer: variables touched both through
+// sync/atomic and with plain reads/writes in the same package.
+package atomiccounter
+
+import "sync/atomic"
+
+type stats struct {
+	frames int64
+	bytes  int64
+}
+
+func (s *stats) inc() {
+	atomic.AddInt64(&s.frames, 1)
+	atomic.AddInt64(&s.bytes, 100)
+}
+
+func (s *stats) report() int64 {
+	return s.frames // want `frames is accessed with sync/atomic at`
+}
+
+func (s *stats) reset() {
+	s.frames = 0 // want `frames is accessed with sync/atomic at`
+	atomic.StoreInt64(&s.bytes, 0)
+}
+
+var hits int64
+
+func bump() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func read() int64 {
+	return hits // want `hits is accessed with sync/atomic at`
+}
+
+// goodStats keeps one discipline: every access is atomic, nothing flagged.
+type goodStats struct {
+	n int64
+}
+
+func (g *goodStats) inc()       { atomic.AddInt64(&g.n, 1) }
+func (g *goodStats) get() int64 { return atomic.LoadInt64(&g.n) }
+
+// plainOnly is never touched atomically, so plain access is fine.
+var plainOnly int64
+
+func plainBump() {
+	plainOnly++
+}

@@ -1,0 +1,57 @@
+// Fixture for the ctxplumb analyzer: context-free HTTP requests and
+// context.Background inside request paths.
+package ctxplumb
+
+import (
+	"context"
+	"net/http"
+)
+
+func fetchBad(url string) (*http.Response, error) {
+	return http.Get(url) // want `http\.Get sends a request with no context`
+}
+
+func buildBad(url string) (*http.Request, error) {
+	return http.NewRequest("GET", url, nil) // want `http\.NewRequest sends a request with no context`
+}
+
+func handleBad(ctx context.Context) context.Context {
+	_ = ctx
+	return context.Background() // want `context\.Background\(\) inside a function that receives a context`
+}
+
+func handlerBad(w http.ResponseWriter, r *http.Request) {
+	ctx := context.TODO() // want `context\.TODO\(\) inside a function that receives a context`
+	_ = ctx
+	_ = w
+}
+
+// workerBad: the literal itself has no context parameter, but it closes
+// over a function that does — the caller's deadline is still the one lost.
+func workerBad(ctx context.Context) {
+	go func() {
+		c := context.Background() // want `context\.Background\(\) inside a function that receives a context`
+		_ = c
+	}()
+	_ = ctx
+}
+
+func fetchGood(ctx context.Context, client *http.Client, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return client.Do(req)
+}
+
+// setupGood has no incoming context: starting from Background is the only
+// option for top-level wiring.
+func setupGood() context.Context {
+	return context.Background()
+}
+
+func handlerGood(w http.ResponseWriter, r *http.Request) {
+	req, _ := http.NewRequestWithContext(r.Context(), "GET", "http://upstream/x", nil)
+	_ = req
+	_ = w
+}

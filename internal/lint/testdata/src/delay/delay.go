@@ -1,0 +1,41 @@
+// Fixture for the walltime analyzer, positive cases. The directory is named
+// "delay" so the package path matches a restricted simulation package.
+package delay
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+func wait() {
+	time.Sleep(time.Second) // want `time\.Sleep reads the wall clock`
+}
+
+func pace(done chan struct{}) {
+	t := time.NewTicker(time.Second) // want `time\.NewTicker reads the wall clock`
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-done:
+	}
+}
+
+func jitter() float64 {
+	return rand.Float64() // want `rand\.Float64 uses the global math/rand source`
+}
+
+// okUses: pure time arithmetic, constants, and the seeded constructor path
+// (what internal/rng wraps) are all fine.
+func okUses(t time.Time) time.Time {
+	r := rand.New(rand.NewSource(1))
+	_ = r.Float64()
+	return t.Add(time.Second)
+}

@@ -1,0 +1,38 @@
+// Fixture for the //lint:allow driver: one properly suppressed finding, one
+// directive naming an unknown analyzer, one directive with no reason. The
+// driver test asserts on lint.Run's post-suppression findings directly.
+package directives
+
+import "sync"
+
+type hub struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// allowedSend carries a reasoned directive: the locksend finding on the
+// send must be suppressed.
+func (h *hub) allowedSend() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	//lint:allow locksend fixture exercises suppression of a known analyzer
+	h.ch <- 1
+}
+
+// unknownAnalyzer misspells the analyzer name: the directive itself must be
+// flagged AND the send must still be reported.
+func (h *hub) unknownAnalyzer() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	//lint:allow locksnd typo'd analyzer name
+	h.ch <- 2
+}
+
+// missingReason gives no reason: the directive must be flagged and the send
+// still reported.
+func (h *hub) missingReason() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	//lint:allow locksend
+	h.ch <- 3
+}

@@ -1,0 +1,40 @@
+// Fixture for the hotpathalloc analyzer: allocation-heavy constructs inside
+// //livesim:hotpath functions.
+package hotpathalloc
+
+import "fmt"
+
+//livesim:hotpath
+func encodeBad(id string, seq int) []byte {
+	key := fmt.Sprintf("%s/%d", id, seq) // want `fmt\.Sprintf allocates on the encodeBad hot path`
+	return []byte(key)                   // want `\[\]byte\(string\) copies the payload on the encodeBad hot path`
+}
+
+//livesim:hotpath
+func decodeBad(b []byte) string {
+	return string(b) // want `string\(\[\]byte\) copies the payload on the decodeBad hot path`
+}
+
+//livesim:hotpath
+func encodeClosureBad() []byte {
+	var out []byte
+	flush := func() {
+		out = append(out, 0) // want `append to "out" captured by a closure on the encodeClosureBad hot path`
+	}
+	flush()
+	return out
+}
+
+// encodeOK is not annotated: the same constructs are fine off the hot path.
+func encodeOK(id string, seq int) []byte {
+	return []byte(fmt.Sprintf("%s/%d", id, seq))
+}
+
+// encodeGood stays within the budget: append to a local (not captured),
+// numeric conversions, caller-owned buffer.
+//
+//livesim:hotpath
+func encodeGood(dst []byte, seq uint64) []byte {
+	dst = append(dst, byte(seq))
+	return dst
+}

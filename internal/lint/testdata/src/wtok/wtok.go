@@ -1,0 +1,21 @@
+// Fixture for the walltime analyzer, negative case: "wtok" is not a
+// restricted package, so wall-clock reads are fine here (CLI entry points,
+// benchmarks, and infrastructure legitimately use real time).
+package wtok
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now()
+}
+
+func wait() {
+	time.Sleep(time.Millisecond)
+}
+
+func jitter() float64 {
+	return rand.Float64()
+}

@@ -7,6 +7,8 @@ import (
 	"net/http/httptest"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 func TestPublishAndRead(t *testing.T) {
@@ -95,6 +97,7 @@ func TestDefaultCapIs100(t *testing.T) {
 }
 
 func TestWaitWakesOnPublish(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	h := NewHub(0)
 	h.Open("b1")
 	got := make(chan []Event, 1)
@@ -118,6 +121,7 @@ func TestWaitWakesOnPublish(t *testing.T) {
 }
 
 func TestWaitWakesOnClose(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	h := NewHub(0)
 	h.Open("b1")
 	done := make(chan bool, 1)
@@ -178,6 +182,7 @@ func TestCounts(t *testing.T) {
 }
 
 func TestHTTPRoundtrip(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	h := NewHub(2)
 	h.Open("b1")
 	srv := httptest.NewServer(Handler("/channel", h))
@@ -209,6 +214,7 @@ func TestHTTPRoundtrip(t *testing.T) {
 }
 
 func TestHTTPLongPoll(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	h := NewHub(0)
 	h.Open("b1")
 	srv := httptest.NewServer(Handler("/channel", h))

@@ -9,6 +9,7 @@ import (
 	"net"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/media"
 	"repro/internal/wire"
 )
@@ -167,6 +168,7 @@ type Viewer struct {
 	frames chan ReceivedFrame
 	errc   chan error
 	pubKey ed25519.PublicKey
+	clk    clock.Clock
 }
 
 // ViewerOptions tune a Subscribe call.
@@ -185,6 +187,9 @@ type ViewerOptions struct {
 	// DialTimeout bounds the dial plus handshake round-trip; zero means
 	// no bound beyond ctx (SubscribeResilient applies its own default).
 	DialTimeout time.Duration
+	// Clock stamps frame receipt (timestamp ② of the delay
+	// decomposition); nil means the real clock.
+	Clock clock.Clock
 }
 
 // Subscribe opens a viewer session. The returned Viewer's Frames channel is
@@ -205,11 +210,16 @@ func SubscribeTLS(ctx context.Context, addr, broadcastID, token string, opts Vie
 	if opts.Queue == 0 {
 		opts.Queue = 1024
 	}
+	clk := opts.Clock
+	if clk == nil {
+		clk = clock.NewReal()
+	}
 	v := &Viewer{
 		conn:   conn,
 		frames: make(chan ReceivedFrame, opts.Queue),
 		errc:   make(chan error, 1),
 		pubKey: opts.PubKey,
+		clk:    clk,
 	}
 	go v.receiveLoop()
 	return v, nil
@@ -232,7 +242,7 @@ func (v *Viewer) receiveLoop() {
 		case wire.MsgEnd:
 			return
 		case wire.MsgFrame, wire.MsgSignedFrame:
-			rf := ReceivedFrame{ReceivedAt: time.Now()}
+			rf := ReceivedFrame{ReceivedAt: v.clk.Now()}
 			frameBytes := msg.Body
 			if msg.Type == wire.MsgSignedFrame {
 				fb, sig, err := wire.UnmarshalSignedFrame(msg.Body)

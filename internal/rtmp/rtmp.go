@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/media"
 	"repro/internal/wire"
 )
@@ -82,6 +83,11 @@ type ServerConfig struct {
 	DropSignedFrames bool
 	// Logf sinks diagnostics; nil discards.
 	Logf func(format string, args ...interface{})
+	// Clock stamps frame arrivals (timestamp ① of the delay
+	// decomposition); nil means the real clock. Socket deadlines always
+	// use the OS wall clock regardless — the kernel knows nothing about
+	// a virtual time base.
+	Clock clock.Clock
 }
 
 // Stats are cumulative server counters, readable concurrently.
@@ -197,6 +203,9 @@ func NewServer(cfg ServerConfig) *Server {
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...interface{}) {}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewReal()
 	}
 	return &Server{cfg: cfg, broadcasts: make(map[string]*broadcast)}
 }
@@ -416,6 +425,8 @@ func (s *Server) handleBroadcaster(conn net.Conn, hs wire.Handshake) {
 // message arrives pre-framed and is relayed to every viewer as-is: one
 // allocation per arrival (the read buffer), zero per viewer. It reports
 // false when the frame failed signature verification.
+//
+//livesim:hotpath
 func (s *Server) acceptFrame(b *broadcast, enc wire.Encoded) bool {
 	body := enc.Body()
 	frameBytes := body
@@ -457,7 +468,7 @@ func (s *Server) acceptFrame(b *broadcast, enc wire.Encoded) bool {
 		if sig != nil {
 			f.Sig = append([]byte(nil), sig...)
 		}
-		arrived := time.Now()
+		arrived := s.cfg.Clock.Now()
 		s.stats.FramesIn.Add(1)
 		s.stats.BytesIn.Add(int64(len(body)))
 		s.cfg.Tap(b.id, f, arrived)
@@ -576,8 +587,10 @@ func (s *Server) handleViewer(conn net.Conn, hs wire.Handshake) {
 	}
 }
 
+//livesim:hotpath
 func (s *Server) pushToViewer(conn net.Conn, e wire.Encoded) error {
 	if s.cfg.WriteTimeout > 0 {
+		//lint:allow walltime socket deadlines are interpreted by the kernel, which only speaks wall time
 		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	}
 	if err := wire.WriteEncoded(conn, e); err != nil {

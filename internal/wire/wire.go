@@ -81,6 +81,8 @@ const headerSize = 5
 // AppendMessage appends the framed form of m to dst and returns the extended
 // slice. It is the allocation-free building block behind WriteMessage and
 // EncodeMessage.
+//
+//livesim:hotpath
 func AppendMessage(dst []byte, m Message) ([]byte, error) {
 	if len(m.Body) > MaxBody {
 		return dst, ErrBodyTooLarge
@@ -122,6 +124,8 @@ func (e Encoded) Message() Message {
 
 // EncodeMessage frames m once; the result can be written to any number of
 // connections with WriteEncoded.
+//
+//livesim:hotpath
 func EncodeMessage(m Message) (Encoded, error) {
 	buf := make([]byte, 0, headerSize+len(m.Body))
 	buf, err := AppendMessage(buf, m)
@@ -133,8 +137,11 @@ func EncodeMessage(m Message) (Encoded, error) {
 
 // WriteEncoded writes one pre-framed message with a single Write call and no
 // copying.
+//
+//livesim:hotpath
 func WriteEncoded(w io.Writer, e Encoded) error {
 	if _, err := w.Write(e); err != nil {
+		//lint:allow hotpathalloc error path only; the success path allocates nothing
 		return fmt.Errorf("wire: write: %w", err)
 	}
 	return nil
@@ -144,6 +151,8 @@ func WriteEncoded(w io.Writer, e Encoded) error {
 // buffer is byte-for-byte what WriteEncoded would send. It costs one
 // allocation — the buffer a fan-out retains anyway — so relaying a message to
 // N viewers needs no re-framing and no further copies.
+//
+//livesim:hotpath
 func ReadEncoded(r io.Reader) (Encoded, error) {
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -156,6 +165,7 @@ func ReadEncoded(r io.Reader) (Encoded, error) {
 	buf := make([]byte, headerSize+int(n))
 	copy(buf, hdr[:])
 	if _, err := io.ReadFull(r, buf[headerSize:]); err != nil {
+		//lint:allow hotpathalloc error path only; the success path costs the one retained buffer
 		return nil, fmt.Errorf("wire: read body: %w", err)
 	}
 	return Encoded(buf), nil
@@ -175,6 +185,8 @@ const maxPooledBuf = 1 << 20
 // WriteMessage frames and writes a message with a single Write. The header
 // and body are staged in a pooled buffer, so steady-state calls allocate
 // nothing.
+//
+//livesim:hotpath
 func WriteMessage(w io.Writer, m Message) error {
 	if len(m.Body) > MaxBody {
 		return ErrBodyTooLarge
@@ -187,6 +199,7 @@ func WriteMessage(w io.Writer, m Message) error {
 		writeBufs.Put(bp)
 	}
 	if err != nil {
+		//lint:allow hotpathalloc error path only; the success path allocates nothing
 		return fmt.Errorf("wire: write: %w", err)
 	}
 	return nil
@@ -203,6 +216,8 @@ func ReadMessage(r io.Reader) (Message, error) {
 // aliases the returned buffer, which should be passed to the next call — a
 // read loop that does not retain bodies becomes allocation-free. Callers that
 // keep a Body past the next call must copy it first.
+//
+//livesim:hotpath
 func ReadMessageInto(r io.Reader, buf []byte) (Message, []byte, error) {
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -217,6 +232,7 @@ func ReadMessageInto(r io.Reader, buf []byte) (Message, []byte, error) {
 	}
 	body := buf[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
+		//lint:allow hotpathalloc error path only; the success path reuses the caller's buffer
 		return Message{}, buf, fmt.Errorf("wire: read body: %w", err)
 	}
 	return Message{Type: MsgType(hdr[0]), Body: body}, body, nil
