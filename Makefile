@@ -5,7 +5,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build test race lint vet fmt tidy vuln bench ci clean
+.PHONY: all build test race lint vet fmt tidy vuln bench benchguard metrics ci clean
 
 all: build test lint
 
@@ -50,7 +50,18 @@ lint: fmt tidy vet
 bench:
 	$(GO) test -run '^$$' -bench 'Fanout|EdgePoll' -benchmem -benchtime=1x .
 
-ci: build race lint vuln bench
+# benchguard re-runs the hot-path benchmarks and fails on allocs/op
+# regressions against the recorded baselines in BENCH_fanout.json.
+benchguard:
+	$(GO) run ./cmd/benchguard
+
+# metrics boots a small platform, drives one scripted broadcast through
+# every layer, and prints the registry snapshot — the smoke test that the
+# delay-component histograms fill with live observations.
+metrics:
+	$(GO) run ./cmd/livesim -snapshot
+
+ci: build race lint vuln benchguard metrics
 
 clean:
 	rm -rf $(BIN)

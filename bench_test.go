@@ -272,12 +272,11 @@ func BenchmarkFanout(b *testing.B) {
 			}
 
 			frames := preframedFrames(256, 512)
-			stats := s.Stats()
 			waitOut := func(target int64) {
 				deadline := time.Now().Add(time.Minute)
-				for i := 0; stats.FramesOut.Load() < target; i++ {
+				for i := 0; s.Stats().FramesOut < target; i++ {
 					if i%1024 == 1023 && time.Now().After(deadline) {
-						b.Fatalf("fan-out stalled: FramesOut=%d want>=%d (viewers evicted?)", stats.FramesOut.Load(), target)
+						b.Fatalf("fan-out stalled: FramesOut=%d want>=%d (viewers evicted?)", s.Stats().FramesOut, target)
 					}
 					runtime.Gosched()
 				}
@@ -298,7 +297,7 @@ func BenchmarkFanout(b *testing.B) {
 			}
 			waitOut(int64(b.N) * int64(nViewers))
 			b.StopTimer()
-			if got := stats.ActiveViewers.Load(); got != int64(nViewers) {
+			if got := s.Stats().ActiveViewers; got != int64(nViewers) {
 				b.Fatalf("viewers evicted during benchmark: %d of %d left", got, nViewers)
 			}
 			wire.WriteMessage(pub, wire.Message{Type: wire.MsgEnd})

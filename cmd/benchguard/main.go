@@ -1,0 +1,142 @@
+// Command benchguard runs the delivery hot-path benchmarks (BenchmarkFanout,
+// BenchmarkEdgePoll) and fails when allocations per operation regress past
+// the recorded baselines in BENCH_fanout.json. It guards the PR-3 hot-path
+// work (encode-once fan-out, raw-bytes edge serving) and the metrics layer's
+// zero-alloc promise: an instrument that allocates per observation shows up
+// here as a fan-out or poll regression.
+//
+// Allocations are the guarded signal because they are deterministic for a
+// fixed code path; ns/op depends on the host and is reported but not judged.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// tolerance is how many extra allocs/op a benchmark may show over its
+// baseline before benchguard fails. Allocation counts are deterministic in
+// steady state but fixed-count runs include warm-up effects (pool fills,
+// map growth), so exact matching would flap.
+const tolerance = 2
+
+type measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type baselineFile struct {
+	Fanout   map[string]json.RawMessage `json:"fanout"`
+	EdgePoll map[string]json.RawMessage `json:"edge_poll"`
+}
+
+type fanoutEntry struct {
+	After measurement `json:"after"`
+}
+
+type edgePollEntry struct {
+	AfterClonePath measurement `json:"after_clone_path"`
+	AfterRawPath   measurement `json:"after_raw_path"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkFanout/viewers=10-8  20000  31096 ns/op  25.68 MB/s  581 B/op  2 allocs/op
+//
+// The MB/s column appears only for benchmarks that call b.SetBytes.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op\s+(?:[\d.]+ MB/s\s+)?([\d.]+) B/op\s+(\d+) allocs/op`)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	raw, err := os.ReadFile("BENCH_fanout.json")
+	if err != nil {
+		return err
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse BENCH_fanout.json: %w", err)
+	}
+
+	// budgets maps the full benchmark name (cpu suffix stripped) to the
+	// baseline allocs/op it must stay within.
+	budgets := make(map[string]float64)
+	for sub, rawEntry := range base.Fanout {
+		if !strings.HasPrefix(sub, "viewers=") {
+			continue // skip prose keys like "allocs_reduction"
+		}
+		var e fanoutEntry
+		if err := json.Unmarshal(rawEntry, &e); err != nil {
+			return fmt.Errorf("fanout %q: %w", sub, err)
+		}
+		budgets["BenchmarkFanout/"+sub] = e.After.AllocsPerOp
+	}
+	for sub, rawEntry := range base.EdgePoll {
+		if !strings.HasPrefix(sub, "broadcasts=") {
+			continue
+		}
+		var e edgePollEntry
+		if err := json.Unmarshal(rawEntry, &e); err != nil {
+			return fmt.Errorf("edge_poll %q: %w", sub, err)
+		}
+		budgets["BenchmarkEdgePoll/"+sub] = e.AfterClonePath.AllocsPerOp
+		budgets["BenchmarkEdgePoll/"+sub+"/raw"] = e.AfterRawPath.AllocsPerOp
+	}
+	if len(budgets) == 0 {
+		return fmt.Errorf("no baselines found in BENCH_fanout.json")
+	}
+
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", "Fanout|EdgePoll",
+		"-benchmem", "-benchtime", "2000x", ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("bench run failed: %w\n%s", err, out)
+	}
+
+	failures := 0
+	seen := make(map[string]bool)
+	for _, line := range strings.Split(string(out), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		budget, ok := budgets[name]
+		if !ok {
+			continue
+		}
+		seen[name] = true
+		allocs, _ := strconv.ParseFloat(m[4], 64)
+		verdict := "ok"
+		if allocs > budget+tolerance {
+			verdict = "REGRESSION"
+			failures++
+		}
+		fmt.Printf("%-40s allocs/op=%g baseline=%g %s (ns/op=%s)\n", name, allocs, budget, verdict, m[2])
+	}
+	var missing []string
+	for name := range budgets {
+		if !seen[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("benchmarks missing from run output: %s", strings.Join(missing, ", "))
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed past baseline+%d allocs/op", failures, tolerance)
+	}
+	fmt.Println("benchguard: all hot-path alloc budgets hold")
+	return nil
+}

@@ -1,11 +1,15 @@
 // Command livesim runs the reproduced livestreaming platform as a server:
 // control plane, RTMP origins, HLS edges and the message hub, all bound to
 // loopback. With -demo it also spawns synthetic broadcasters and viewers so
-// the crawler (cmd/crawl) has something to measure.
+// the crawler (cmd/crawl) has something to measure. With -snapshot it boots
+// a small platform, drives one scripted broadcast through ingest, the edge,
+// an HLS viewer, and the message hub, prints the metrics snapshot, and exits
+// — the smoke path `make metrics` runs in CI.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +21,7 @@ import (
 	"repro/internal/control"
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/hls"
 	"repro/internal/media"
 	"repro/internal/pubsub"
 	"repro/internal/rng"
@@ -25,16 +30,26 @@ import (
 
 func main() {
 	var (
-		chunkSecs = flag.Float64("chunk", 3, "HLS chunk duration in seconds")
-		rtmpCap   = flag.Int("rtmp-cap", 100, "RTMP viewer limit per broadcast")
-		demo      = flag.Bool("demo", false, "run synthetic broadcasters/viewers")
-		demoRate  = flag.Float64("demo-rate", 0.5, "demo broadcasts started per second")
-		retention = flag.Duration("retention", 10*time.Minute, "GC ended broadcasts after this (0 keeps everything)")
-		apiRPS    = flag.Float64("api-rps", 0, "per-client control API rate limit (0 = unlimited)")
-		whitelist = flag.String("api-whitelist", "127.0.0.1", "comma-separated hosts exempt from the API limit")
-		seed      = flag.Uint64("seed", 1, "random seed")
+		chunkSecs    = flag.Float64("chunk", 3, "HLS chunk duration in seconds")
+		rtmpCap      = flag.Int("rtmp-cap", 100, "RTMP viewer limit per broadcast")
+		demo         = flag.Bool("demo", false, "run synthetic broadcasters/viewers")
+		demoRate     = flag.Float64("demo-rate", 0.5, "demo broadcasts started per second")
+		retention    = flag.Duration("retention", 10*time.Minute, "GC ended broadcasts after this (0 keeps everything)")
+		apiRPS       = flag.Float64("api-rps", 0, "per-client control API rate limit (0 = unlimited)")
+		whitelist    = flag.String("api-whitelist", "127.0.0.1", "comma-separated hosts exempt from the API limit")
+		seed         = flag.Uint64("seed", 1, "random seed")
+		snapshot     = flag.Bool("snapshot", false, "run one scripted broadcast on a small platform, print the metrics snapshot, exit")
+		metricsEvery = flag.Duration("metrics-every", 0, "log a one-line metrics summary at this interval (0 disables)")
 	)
 	flag.Parse()
+
+	if *snapshot {
+		if err := runSnapshot(); err != nil {
+			fmt.Fprintf(os.Stderr, "livesim: snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := core.PlatformConfig{
 		ChunkDuration:   time.Duration(*chunkSecs * float64(time.Second)),
@@ -61,14 +76,135 @@ func main() {
 	fmt.Printf("platform up\n")
 	fmt.Printf("  control API : %s\n", p.ControlURL())
 	fmt.Printf("  messages    : %s\n", p.MessageURL())
+	fmt.Printf("  metrics     : %s/metrics (flat: /debug/vars)\n", p.BaseURL())
 	fmt.Printf("  origins     : %d RTMP listeners\n", len(p.Topo.Origins))
 	fmt.Printf("  edges       : %d HLS caches\n", len(p.Topo.Edges))
 
 	if *demo {
 		go runDemo(ctx, p, *demoRate, *seed)
 	}
+	if *metricsEvery > 0 {
+		go logMetrics(ctx, p, *metricsEvery)
+	}
 	<-ctx.Done()
 	fmt.Println("\nshutting down")
+}
+
+// logMetrics prints a one-line summary of the busiest counters each tick —
+// enough to watch a demo run converge without scraping /metrics.
+func logMetrics(ctx context.Context, p *core.Platform, every time.Duration) {
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		snap := p.Metrics().Snapshot()
+		sum := func(name string) int64 {
+			var n int64
+			for _, c := range snap.Counters {
+				if c.Name == name {
+					n += c.Value
+				}
+			}
+			return n
+		}
+		fmt.Printf("metrics: frames_in=%d frames_out=%d chunks=%d hls_polls=%d chunk_pulls=%d publishes=%d\n",
+			sum("rtmp_frames_in_total"), sum("rtmp_frames_out_total"),
+			sum("cdn_origin_chunks_total"), sum("hls_polls_total"),
+			sum("cdn_chunk_pulls_total"), sum("pubsub_publishes_total"))
+	}
+}
+
+// runSnapshot is the -snapshot mode: one origin, one edge, one broadcast of
+// ~4 s content at 200 ms chunks, one HLS viewer with a pre-buffer, a couple
+// of hearts through the hub — then the full registry snapshot on stdout.
+// Every paper delay-component histogram (chunking, origin→edge, polling,
+// buffering) gets live observations on this path.
+func runSnapshot() error {
+	w, f := geo.WowzaSites(), geo.FastlySites()
+	p := core.NewPlatform(core.PlatformConfig{
+		OriginSites:   []geo.Datacenter{w[0]},
+		EdgeSites:     []geo.Datacenter{f[8]},
+		ChunkDuration: 200 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := p.Start(ctx); err != nil {
+		return err
+	}
+	defer p.Stop()
+
+	cc := &control.Client{BaseURL: p.ControlURL()}
+	uid, err := cc.Register(ctx, "snapshot")
+	if err != nil {
+		return err
+	}
+	loc := w[0].Location
+	grant, err := cc.StartBroadcast(ctx, uid, loc)
+	if err != nil {
+		return err
+	}
+	pub, err := rtmp.Publish(ctx, grant.RTMPAddr, grant.BroadcastID, grant.Token, nil)
+	if err != nil {
+		return err
+	}
+
+	hc := &hls.Client{BaseURL: p.EdgeURL(p.Topo.NearestEdge(loc)), Metrics: p.Metrics()}
+	enc := media.NewEncoder(media.EncoderConfig{}, rng.New(1))
+	mc := &pubsub.Client{BaseURL: grant.MessageURL}
+	base := time.Now()
+	const frames = 100
+	for i := 0; i < frames; i++ {
+		fr := enc.Next(base.Add(time.Duration(i) * media.FrameDuration))
+		if err := pub.Send(&fr); err != nil {
+			return fmt.Errorf("send frame %d: %w", i, err)
+		}
+		if i%25 == 0 {
+			if _, err := mc.Publish(ctx, grant.BroadcastID, pubsub.Event{UserID: "v1", Kind: pubsub.KindHeart}); err != nil {
+				return fmt.Errorf("publish heart: %w", err)
+			}
+		}
+		// Poll starts only once the edge can serve the first chunk (Poll
+		// treats not-found as terminal), below.
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Wait for the edge to have the first chunk, then run the viewer to the
+	// end marker.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cl, err := hc.FetchChunkList(ctx, grant.BroadcastID, 0)
+		if err == nil && len(cl.Chunks) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("edge never served the first chunk: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	pollDone := make(chan error, 1)
+	go func() {
+		pollDone <- hc.Poll(ctx, grant.BroadcastID, hls.PollerConfig{
+			Interval:  25 * time.Millisecond,
+			PreBuffer: 400 * time.Millisecond,
+		})
+	}()
+	if err := pub.End(); err != nil {
+		return err
+	}
+	if err := <-pollDone; err != nil {
+		return fmt.Errorf("hls poll: %w", err)
+	}
+
+	out, err := json.MarshalIndent(p.Metrics().Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
 }
 
 // runDemo continuously starts short broadcasts with a few viewers each.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/rng"
 	"repro/internal/rtmp"
+	"repro/internal/testutil"
 )
 
 func site(id, city string) geo.Datacenter {
@@ -114,15 +115,15 @@ func TestEdgePullOnFirstPoll(t *testing.T) {
 	if len(cl.Chunks) != 1 {
 		t.Fatalf("edge list chunks = %d", len(cl.Chunks))
 	}
-	if e.Stats().ListPulls.Load() != 1 {
-		t.Fatalf("ListPulls = %d", e.Stats().ListPulls.Load())
+	if e.Stats().ListPulls != 1 {
+		t.Fatalf("ListPulls = %d", e.Stats().ListPulls)
 	}
 	// The pull copied the chunk eagerly; the chunk fetch must be a hit.
 	if _, err := e.Chunk(ctx, "b1", 0); err != nil {
 		t.Fatal(err)
 	}
-	if e.Stats().ChunkHits.Load() != 1 || e.Stats().ChunkPulls.Load() != 1 {
-		t.Fatalf("hits=%d pulls=%d", e.Stats().ChunkHits.Load(), e.Stats().ChunkPulls.Load())
+	if e.Stats().ChunkHits != 1 || e.Stats().ChunkPulls != 1 {
+		t.Fatalf("hits=%d pulls=%d", e.Stats().ChunkHits, e.Stats().ChunkPulls)
 	}
 	if _, ok := e.ChunkArrivedAt("b1", 0); !ok {
 		t.Fatal("missing edge arrival timestamp")
@@ -148,10 +149,10 @@ func TestEdgeServesCachedUntilInvalidated(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := e.Stats().ListPulls.Load(); got != 1 {
+	if got := e.Stats().ListPulls; got != 1 {
 		t.Fatalf("ListPulls = %d, want 1", got)
 	}
-	if got := e.Stats().ListHits.Load(); got != 5 {
+	if got := e.Stats().ListHits; got != 5 {
 		t.Fatalf("ListHits = %d, want 5", got)
 	}
 
@@ -161,7 +162,7 @@ func TestEdgeServesCachedUntilInvalidated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := e.Stats().ListPulls.Load(); got != 2 {
+	if got := e.Stats().ListPulls; got != 2 {
 		t.Fatalf("ListPulls after invalidate = %d, want 2", got)
 	}
 	if len(cl.Chunks) != 2 {
@@ -222,7 +223,7 @@ func TestTopologyGatewayRelay(t *testing.T) {
 	if len(cl.Chunks) != 1 {
 		t.Fatalf("tokyo edge chunks = %d", len(cl.Chunks))
 	}
-	if gw.Stats().ListPulls.Load() == 0 {
+	if gw.Stats().ListPulls == 0 {
 		t.Fatal("gateway was not used for the relay")
 	}
 }
@@ -247,7 +248,7 @@ func TestTopologyDisableGateway(t *testing.T) {
 	if _, err := tokyoEdge.ChunkList(context.Background(), "b1"); err != nil {
 		t.Fatal(err)
 	}
-	if gw.Stats().ListPulls.Load() != 0 {
+	if gw.Stats().ListPulls != 0 {
 		t.Fatal("gateway used despite DisableGateway")
 	}
 }
@@ -292,6 +293,7 @@ func TestTopologyWithLatencyInjection(t *testing.T) {
 }
 
 func TestOriginEndToEndThroughRTMP(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	// Full ingest path: a real RTMP publisher feeds the origin, the edge
 	// serves the resulting chunks.
 	o := NewOrigin(OriginConfig{Site: site("o1", "X"), ChunkDuration: time.Second})

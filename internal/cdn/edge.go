@@ -11,6 +11,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/hls"
 	"repro/internal/media"
+	"repro/internal/metrics"
 	"repro/internal/resilience"
 )
 
@@ -54,28 +55,65 @@ type EdgeConfig struct {
 	// means the real clock. Trace-driven simulations inject a
 	// clock.Virtual so chunk arrival times are seed-determined.
 	Clock clock.Clock
+	// Metrics is the registry the edge's instruments register in, labelled
+	// by site; nil means a private registry.
+	Metrics *metrics.Registry
 }
 
-// EdgeStats count cache behaviour, the scalability currency of HLS.
+// EdgeStats is a point-in-time snapshot of the edge's cache counters, the
+// scalability currency of HLS. Values are read atomically from the metrics
+// registry instruments; the struct itself is a plain value, so callers can
+// hold or compare snapshots without racing the hot data plane.
 type EdgeStats struct {
-	ListHits    atomic.Int64 // polls served from the cached, fresh list
-	ListPulls   atomic.Int64 // polls that triggered an upstream pull (⑩)
-	ChunkHits   atomic.Int64
-	ChunkPulls  atomic.Int64
-	Invalidates atomic.Int64 // invalidations that actually marked an entry stale
+	ListHits    int64 // polls served from the cached, fresh list
+	ListPulls   int64 // polls that triggered an upstream pull (⑩)
+	ChunkHits   int64
+	ChunkPulls  int64
+	Invalidates int64 // invalidations that actually marked an entry stale
 	// ChunkPullErrors counts chunk copies that failed during a list pull
 	// (e.g. the chunk rolled out of the origin window, §4.3). The entry is
 	// left stale so the next poll retries the copy.
-	ChunkPullErrors atomic.Int64
+	ChunkPullErrors int64
 	// StaleServes counts polls answered with the last cached (stale) list
 	// because the upstream was unreachable — the graceful degradation real
 	// Fastly exhibits instead of surfacing a 5xx to the player.
-	StaleServes atomic.Int64
+	StaleServes int64
 	// PullRetries counts upstream pull attempts beyond each first try.
-	PullRetries atomic.Int64
+	PullRetries int64
 	// Sheds counts requests refused because the edge was over its
 	// concurrency limit (served to clients as 503 + Retry-After).
-	Sheds atomic.Int64
+	Sheds int64
+}
+
+// edgeMetrics are the registered instruments behind EdgeStats plus the
+// origin→edge transfer histogram (the paper's Wowza2Fastly component).
+type edgeMetrics struct {
+	listHits        *metrics.Counter
+	listPulls       *metrics.Counter
+	chunkHits       *metrics.Counter
+	chunkPulls      *metrics.Counter
+	invalidates     *metrics.Counter
+	chunkPullErrors *metrics.Counter
+	staleServes     *metrics.Counter
+	pullRetries     *metrics.Counter
+	sheds           *metrics.Counter
+	originEdge      *metrics.Histogram
+}
+
+func newEdgeMetrics(reg *metrics.Registry, site string) *edgeMetrics {
+	l := metrics.L("site", site)
+	return &edgeMetrics{
+		listHits:        reg.Counter("cdn_list_hits_total", l),
+		listPulls:       reg.Counter("cdn_list_pulls_total", l),
+		chunkHits:       reg.Counter("cdn_chunk_hits_total", l),
+		chunkPulls:      reg.Counter("cdn_chunk_pulls_total", l),
+		invalidates:     reg.Counter("cdn_invalidates_total", l),
+		chunkPullErrors: reg.Counter("cdn_chunk_pull_errors_total", l),
+		staleServes:     reg.Counter("cdn_stale_serves_total", l),
+		pullRetries:     reg.Counter("cdn_pull_retries_total", l),
+		sheds:           reg.Counter("cdn_sheds_total", l),
+		originEdge:      reg.Histogram(metrics.DelayOriginEdge, metrics.DelayBuckets, l),
+	}
 }
 
 // Edge is the Fastly analog: a pull-through cache for chunklists and chunks.
@@ -86,8 +124,8 @@ type EdgeStats struct {
 // breaker, and degrade to serving the stale cached list when the upstream
 // stays unreachable.
 type Edge struct {
-	cfg   EdgeConfig
-	stats EdgeStats
+	cfg EdgeConfig
+	m   *edgeMetrics
 
 	// flight collapses the poll stampede at chunklist expiry — N viewers
 	// finding the list stale trigger one upstream pull, not N (§5.2).
@@ -173,14 +211,42 @@ func NewEdge(cfg EdgeConfig) *Edge {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.NewReal()
 	}
-	e := &Edge{cfg: cfg}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	e := &Edge{cfg: cfg, m: newEdgeMetrics(cfg.Metrics, cfg.Site.ID)}
 	for i := range e.shards {
 		e.shards[i].cache = make(map[string]*edgeEntry)
 		e.shards[i].breakers = make(map[string]*resilience.Breaker)
 	}
 	e.limit.clk = cfg.Clock
 	e.limit.set(cfg.MaxInflight, cfg.QueueDepth, cfg.QueueWait)
+	// Breaker state is derived at scrape time: the count of broadcasts whose
+	// upstream circuit is not closed on this edge.
+	cfg.Metrics.GaugeFunc("cdn_breakers_open", e.openBreakers, metrics.L("site", cfg.Site.ID))
 	return e
+}
+
+// openBreakers counts per-broadcast circuit breakers that are open or
+// half-open. Breaker pointers are collected under each shard lock and
+// interrogated outside it, so no breaker lock nests inside a shard lock.
+func (e *Edge) openBreakers() int64 {
+	var n int64
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		brs := make([]*resilience.Breaker, 0, len(sh.breakers))
+		for _, b := range sh.breakers {
+			brs = append(brs, b)
+		}
+		sh.mu.Unlock()
+		for _, b := range brs {
+			if b.State() != resilience.Closed {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // SetLimits retunes the concurrency cap at runtime (the chaos soak uses it
@@ -212,8 +278,24 @@ func (e *Edge) Killed() bool { return e.state.Load() == edgeKilled }
 // Site returns the edge's datacenter.
 func (e *Edge) Site() geo.Datacenter { return e.cfg.Site }
 
-// Stats exposes the cache counters.
-func (e *Edge) Stats() *EdgeStats { return &e.stats }
+// Stats snapshots the cache counters.
+//
+// Deprecated shim for pre-registry callers: new code should read the
+// metrics registry (EdgeConfig.Metrics) directly, which also exposes the
+// origin→edge histogram and breaker state.
+func (e *Edge) Stats() EdgeStats {
+	return EdgeStats{
+		ListHits:        e.m.listHits.Value(),
+		ListPulls:       e.m.listPulls.Value(),
+		ChunkHits:       e.m.chunkHits.Value(),
+		ChunkPulls:      e.m.chunkPulls.Value(),
+		Invalidates:     e.m.invalidates.Value(),
+		ChunkPullErrors: e.m.chunkPullErrors.Value(),
+		StaleServes:     e.m.staleServes.Value(),
+		PullRetries:     e.m.pullRetries.Value(),
+		Sheds:           e.m.sheds.Value(),
+	}
+}
 
 // breaker returns the circuit breaker guarding a broadcast's upstream.
 func (e *Edge) breaker(id string) *resilience.Breaker {
@@ -245,7 +327,7 @@ func (e *Edge) Invalidate(broadcastID string, version uint64) {
 	}
 	if !ent.stale {
 		ent.stale = true
-		e.stats.Invalidates.Add(1)
+		e.m.invalidates.Inc()
 	}
 }
 
@@ -361,7 +443,7 @@ func (e *Edge) admit(ctx context.Context) (func(), error) {
 	}
 	rel, err := e.limit.acquire(ctx)
 	if errors.Is(err, errShed) {
-		e.stats.Sheds.Add(1)
+		e.m.sheds.Inc()
 		return nil, &hls.OverloadedError{RetryAfter: e.cfg.ShedRetryAfter}
 	}
 	if err != nil {
@@ -390,7 +472,7 @@ func (e *Edge) chunkList(ctx context.Context, id string) (*media.ChunkList, erro
 	if ok && ent.list != nil && !ent.stale {
 		cl := ent.list.Clone()
 		sh.mu.Unlock()
-		e.stats.ListHits.Add(1)
+		e.m.listHits.Inc()
 		return cl, nil
 	}
 	sh.mu.Unlock()
@@ -415,7 +497,7 @@ func (e *Edge) ChunkListRaw(ctx context.Context, id string) (hls.RawChunkList, e
 	if ent, ok := sh.cache[id]; ok && ent.list != nil && !ent.stale && ent.listRaw != nil {
 		raw := hls.RawChunkList{Version: ent.list.Version, Data: ent.listRaw}
 		sh.mu.Unlock()
-		e.stats.ListHits.Add(1)
+		e.m.listHits.Inc()
 		return raw, nil
 	}
 	sh.mu.Unlock()
@@ -460,7 +542,7 @@ func (e *Edge) pull(ctx context.Context, id string) (*media.ChunkList, error) {
 	var attempts atomic.Int64
 	list, err := resilience.RetryValue(ctx, e.cfg.Retry, func(ctx context.Context) (*media.ChunkList, error) {
 		if attempts.Add(1) > 1 {
-			e.stats.PullRetries.Add(1)
+			e.m.pullRetries.Inc()
 		}
 		if err := br.Allow(); err != nil {
 			// Fail fast while the circuit is open; the stale fallback
@@ -490,7 +572,7 @@ func (e *Edge) pull(ctx context.Context, id string) (*media.ChunkList, error) {
 	if ent, ok := sh.cache[id]; ok && ent.list != nil {
 		cl := ent.list.Clone()
 		sh.mu.Unlock()
-		e.stats.StaleServes.Add(1)
+		e.m.staleServes.Inc()
 		return cl, nil
 	}
 	sh.mu.Unlock()
@@ -514,7 +596,7 @@ func (e *Edge) pullUpstream(ctx context.Context, id string) (*media.ChunkList, e
 	if err != nil {
 		return nil, err
 	}
-	e.stats.ListPulls.Add(1)
+	e.m.listPulls.Inc()
 
 	// Copy chunks we do not have yet (the ⑪ transfer).
 	sh := e.shard(id)
@@ -537,6 +619,10 @@ func (e *Edge) pullUpstream(ctx context.Context, id string) (*media.ChunkList, e
 
 	failed := 0
 	for _, ref := range missing {
+		// The ⑪ transfer is the paper's Wowza→Fastly component: time from
+		// starting the hop (including the modelled WAN delay) to having the
+		// chunk bytes at this edge.
+		copyStart := e.cfg.Clock.Now()
 		if up.TransferDelay != nil {
 			if err := sleepCtx(ctx, up.TransferDelay()); err != nil {
 				return nil, err
@@ -551,15 +637,17 @@ func (e *Edge) pullUpstream(ctx context.Context, id string) (*media.ChunkList, e
 			// window, or the hop dropped it). Count the failure and
 			// leave the entry stale below so the next poll retries,
 			// instead of caching a list whose chunks are missing.
-			e.stats.ChunkPullErrors.Add(1)
+			e.m.chunkPullErrors.Inc()
 			failed++
 			continue
 		}
-		e.stats.ChunkPulls.Add(1)
+		e.m.chunkPulls.Inc()
 		sh.mu.Lock()
 		ent.chunks[ref.Seq] = c
-		ent.chunkArrivedAt[ref.Seq] = e.cfg.Clock.Now()
+		arrived := e.cfg.Clock.Now()
+		ent.chunkArrivedAt[ref.Seq] = arrived
 		sh.mu.Unlock()
+		e.m.originEdge.Observe(arrived.Sub(copyStart))
 	}
 
 	sh.mu.Lock()
@@ -590,7 +678,7 @@ func (e *Edge) chunk(ctx context.Context, id string, seq uint64) (*media.Chunk, 
 	if ent, ok := sh.cache[id]; ok {
 		if c, ok := ent.chunks[seq]; ok {
 			sh.mu.Unlock()
-			e.stats.ChunkHits.Add(1)
+			e.m.chunkHits.Inc()
 			return c, nil
 		}
 	}
@@ -601,18 +689,22 @@ func (e *Edge) chunk(ctx context.Context, id string, seq uint64) (*media.Chunk, 
 		if err := br.Allow(); err != nil {
 			return nil, resilience.Permanent(err)
 		}
+		fetchStart := e.cfg.Clock.Now()
 		c, err := e.fetchChunk(ctx, id, seq)
 		if errors.Is(err, hls.ErrNotFound) {
 			br.Report(nil)
 			return nil, resilience.Permanent(err)
 		}
 		br.Report(err)
+		if err == nil {
+			e.m.originEdge.Observe(e.cfg.Clock.Now().Sub(fetchStart))
+		}
 		return c, err
 	})
 	if err != nil {
 		return nil, err
 	}
-	e.stats.ChunkPulls.Add(1)
+	e.m.chunkPulls.Inc()
 	sh.mu.Lock()
 	ent, ok := sh.cache[id]
 	if !ok {

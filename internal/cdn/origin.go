@@ -16,6 +16,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/hls"
 	"repro/internal/media"
+	"repro/internal/metrics"
 	"repro/internal/rtmp"
 )
 
@@ -42,11 +43,34 @@ type OriginConfig struct {
 	// server (unless RTMP.Clock is set explicitly) so the whole ingest
 	// path shares one time base.
 	Clock clock.Clock
+	// Metrics is the registry the origin's instruments register in,
+	// labelled by site, and is forwarded to the embedded RTMP server
+	// (unless RTMP.Metrics is set explicitly); nil means a private
+	// registry.
+	Metrics *metrics.Registry
+}
+
+// originMetrics instrument chunk assembly: every closed chunk counts once
+// and observes its content duration into the chunking histogram — the
+// paper's "chunking" delay component (a frame waits up to one chunk
+// duration, 3 s nominal, before it can appear in any chunklist).
+type originMetrics struct {
+	chunks   *metrics.Counter
+	chunking *metrics.Histogram
+}
+
+func newOriginMetrics(reg *metrics.Registry, site string) *originMetrics {
+	l := metrics.L("site", site)
+	return &originMetrics{
+		chunks:   reg.Counter("cdn_origin_chunks_total", l),
+		chunking: reg.Histogram(metrics.DelayChunking, metrics.DelayBuckets, l),
+	}
 }
 
 // Origin is the Wowza analog: RTMP ingest plus authoritative chunk store.
 type Origin struct {
 	cfg  OriginConfig
+	m    *originMetrics
 	rtmp *rtmp.Server
 
 	mu      sync.Mutex
@@ -74,8 +98,12 @@ func NewOrigin(cfg OriginConfig) *Origin {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.NewReal()
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
 	o := &Origin{
 		cfg:     cfg,
+		m:       newOriginMetrics(cfg.Metrics, cfg.Site.ID),
 		streams: make(map[string]*originStream),
 		endedAt: make(map[string]time.Time),
 	}
@@ -84,6 +112,10 @@ func NewOrigin(cfg OriginConfig) *Origin {
 	rc := cfg.RTMP
 	if rc.Clock == nil {
 		rc.Clock = cfg.Clock
+	}
+	if rc.Metrics == nil {
+		rc.Metrics = cfg.Metrics
+		rc.MetricsLabels = []metrics.Label{metrics.L("site", cfg.Site.ID)}
 	}
 	rc.Tap = func(id string, f media.Frame, at time.Time) {
 		o.ingest(id, f, at)
@@ -147,6 +179,8 @@ func (o *Origin) ingest(id string, f media.Frame, at time.Time) {
 	}
 	o.mu.Unlock()
 	if chunk != nil {
+		o.m.chunks.Inc()
+		o.m.chunking.Observe(chunk.Duration())
 		o.notify(id, version)
 	}
 }
@@ -158,6 +192,7 @@ func (o *Origin) endBroadcast(id string) {
 		o.mu.Unlock()
 		return
 	}
+	var flushed time.Duration
 	if chunk := st.chunker.Flush(); chunk != nil {
 		st.chunks[chunk.Seq] = chunk
 		st.chunkReadyAt[chunk.Seq] = o.cfg.Clock.Now()
@@ -166,12 +201,17 @@ func (o *Origin) endBroadcast(id string) {
 			Duration: chunk.Duration(),
 			URI:      fmt.Sprintf("/hls/%s/chunk/%d", id, chunk.Seq),
 		})
+		flushed = chunk.Duration()
 	}
 	st.list.Ended = true
 	st.list.Version++
 	version := st.list.Version
 	o.endedAt[id] = o.cfg.Clock.Now()
 	o.mu.Unlock()
+	if flushed > 0 {
+		o.m.chunks.Inc()
+		o.m.chunking.Observe(flushed)
+	}
 	o.notify(id, version)
 }
 

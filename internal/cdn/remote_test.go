@@ -41,8 +41,8 @@ func TestEdgePullsOverHTTP(t *testing.T) {
 		t.Fatalf("chunk = seq %d, %d frames", c.Seq, len(c.Frames))
 	}
 	// Chunks were copied during the list pull: the fetch above was a hit.
-	if edge.Stats().ChunkHits.Load() != 1 {
-		t.Fatalf("ChunkHits = %d", edge.Stats().ChunkHits.Load())
+	if edge.Stats().ChunkHits != 1 {
+		t.Fatalf("ChunkHits = %d", edge.Stats().ChunkHits)
 	}
 
 	// A second edge, served BY the first edge over HTTP: the gateway

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/hls"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/resilience"
 	"repro/internal/rtmp"
@@ -78,6 +79,10 @@ type TopologyConfig struct {
 	EdgeShedRetryAfter time.Duration
 	// Seed drives latency jitter when Net is nil but injection is wanted.
 	Seed uint64
+	// Metrics is the shared registry every origin and edge registers its
+	// instruments in (per-site labels keep the series apart); nil gives
+	// each component a private registry.
+	Metrics *metrics.Registry
 }
 
 // Build assembles a Topology.
@@ -99,6 +104,7 @@ func Build(cfg TopologyConfig) *Topology {
 			Site:          site,
 			ChunkDuration: cfg.ChunkDuration,
 			Retention:     cfg.Retention,
+			Metrics:       cfg.Metrics,
 			RTMP: rtmp.ServerConfig{
 				ViewerCap: cfg.ViewerCap,
 				Auth:      cfg.Auth,
@@ -117,6 +123,7 @@ func Build(cfg TopologyConfig) *Topology {
 			QueueDepth:     cfg.EdgeQueueDepth,
 			QueueWait:      cfg.EdgeQueueWait,
 			ShedRetryAfter: cfg.EdgeShedRetryAfter,
+			Metrics:        cfg.Metrics,
 		})
 		t.Edges = append(t.Edges, edge)
 	}

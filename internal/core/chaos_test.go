@@ -15,6 +15,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/hls"
 	"repro/internal/media"
+	"repro/internal/metrics"
 	"repro/internal/pubsub"
 	"repro/internal/resilience"
 	"repro/internal/rng"
@@ -180,6 +181,7 @@ func TestPlatformChaosSoak(t *testing.T) {
 		HTTPClient: hlsFaults.Client(nil),
 		Timeout:    2 * time.Second,
 		Retry:      fastRetry,
+		Metrics:    p.Metrics(),
 	}
 	// Wait for the first chunk to reach the edge before starting the
 	// poller (Poll treats not-found as terminal).
@@ -201,9 +203,10 @@ func TestPlatformChaosSoak(t *testing.T) {
 	hlsPollErr := make(chan error, 1)
 	go func() {
 		err := hc.Poll(ctx, grant.BroadcastID, hls.PollerConfig{
-			Interval: 25 * time.Millisecond,
-			OnChunk:  func(ev hls.ChunkEvent) { chunksSeen.Add(1) },
-			OnEnd:    func() { close(hlsEnded) },
+			Interval:  25 * time.Millisecond,
+			PreBuffer: 400 * time.Millisecond,
+			OnChunk:   func(ev hls.ChunkEvent) { chunksSeen.Add(1) },
+			OnEnd:     func() { close(hlsEnded) },
 		})
 		hlsPollErr <- err
 	}()
@@ -264,7 +267,7 @@ func TestPlatformChaosSoak(t *testing.T) {
 	staleSum := func() int64 {
 		var n int64
 		for _, e := range p.Topo.Edges {
-			n += e.Stats().StaleServes.Load()
+			n += e.Stats().StaleServes
 		}
 		return n
 	}
@@ -355,6 +358,31 @@ func TestPlatformChaosSoak(t *testing.T) {
 	} {
 		if inj.Stats().Total() == 0 {
 			t.Errorf("%s injector never fired — chaos run is vacuous", name)
+		}
+	}
+
+	// Every paper delay component must have registered observations in the
+	// platform's shared registry by the end of the soak: chunking at the
+	// origins, origin→edge on upstream pulls, polling and buffering at the
+	// HLS viewer (Fig. 11's decomposition, live rather than simulated).
+	snap := p.Metrics().Snapshot()
+	histCount := func(name string) int64 {
+		var n int64
+		for _, h := range snap.Histograms {
+			if h.Name == name {
+				n += h.Count
+			}
+		}
+		return n
+	}
+	for _, name := range []string{
+		metrics.DelayChunking,
+		metrics.DelayOriginEdge,
+		metrics.DelayPolling,
+		metrics.DelayBuffering,
+	} {
+		if histCount(name) == 0 {
+			t.Errorf("histogram %s has no observations after chaos soak", name)
 		}
 	}
 

@@ -253,7 +253,7 @@ func TestPlatformFleetChaosSoak(t *testing.T) {
 	if burstSheds.Load() == 0 {
 		t.Fatalf("overload burst produced no sheds (ok=%d)", burstOK.Load())
 	}
-	if failoverEdge.Stats().Sheds.Load() == 0 {
+	if failoverEdge.Stats().Sheds == 0 {
 		t.Fatal("edge Sheds counter never moved during the overload phase")
 	}
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/health"
 	"repro/internal/hls"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/pubsub"
 	"repro/internal/resilience"
@@ -72,15 +73,20 @@ type PlatformConfig struct {
 	EdgeShedRetryAfter time.Duration
 	// Seed drives global-list sampling.
 	Seed uint64
+	// Metrics is the shared registry every subsystem registers its
+	// instruments in; nil means NewPlatform creates one. Start serves it
+	// at /metrics (typed snapshot) and /debug/vars (flat expvar-style map).
+	Metrics *metrics.Registry
 }
 
 // Platform is the assembled, runnable livestreaming service.
 type Platform struct {
-	cfg    PlatformConfig
-	Topo   *cdn.Topology
-	Ctrl   *control.Service
-	Hub    *pubsub.Hub
-	Health *health.Registry
+	cfg     PlatformConfig
+	Topo    *cdn.Topology
+	Ctrl    *control.Service
+	Hub     *pubsub.Hub
+	Health  *health.Registry
+	metrics *metrics.Registry
 
 	mu         sync.Mutex
 	rtmpAddrs  map[string]string // origin ID → listen address
@@ -107,7 +113,12 @@ func NewPlatform(cfg PlatformConfig) *Platform {
 	if cfg.APIRate != nil {
 		p.limiter = control.NewRateLimiter(*cfg.APIRate)
 	}
+	p.metrics = cfg.Metrics
+	if p.metrics == nil {
+		p.metrics = metrics.NewRegistry()
+	}
 	p.Hub = pubsub.NewHub(cfg.CommenterCap)
+	p.Hub.UseRegistry(p.metrics)
 	// TLS credentials back the RTMPS (private broadcast) listeners; the
 	// CA travels to clients via the authenticated control channel.
 	creds, err := security.GenerateTLS()
@@ -147,6 +158,7 @@ func NewPlatform(cfg PlatformConfig) *Platform {
 		EdgeQueueDepth:     cfg.EdgeQueueDepth,
 		EdgeQueueWait:      cfg.EdgeQueueWait,
 		EdgeShedRetryAfter: cfg.EdgeShedRetryAfter,
+		Metrics:            p.metrics,
 	})
 	for _, o := range p.Topo.Origins {
 		p.originByID[o.Site().ID] = o
@@ -154,7 +166,11 @@ func NewPlatform(cfg PlatformConfig) *Platform {
 	// Fleet health: every node heartbeats into the registry (the loop
 	// starts in Start); assignment routing consults node eligibility, so
 	// joins and failover re-resolves skip suspect/down/draining nodes.
-	p.Health = health.NewRegistry(cfg.Health)
+	hc := cfg.Health
+	if hc.Metrics == nil {
+		hc.Metrics = p.metrics
+	}
+	p.Health = health.NewRegistry(hc)
 	for _, o := range p.Topo.Origins {
 		p.Health.Register(healthNodeID(cdn.RoleOrigin, o.Site().ID))
 	}
@@ -367,6 +383,8 @@ func (p *Platform) Start(ctx context.Context) error {
 	mux.Handle("/api/", apiHandler)
 	mux.Handle("/channel/", pubsub.Handler("/channel", p.Hub))
 	mux.Handle("/fleet", health.Handler(p.Health))
+	mux.Handle("/metrics", metrics.Handler(p.metrics))
+	mux.Handle("/debug/vars", metrics.VarsHandler(p.metrics))
 	for _, e := range p.Topo.Edges {
 		prefix := "/edge/" + e.Site().ID + "/hls"
 		mux.Handle(prefix+"/", hls.Handler(prefix, e))
@@ -449,10 +467,15 @@ func (p *Platform) OriginFor(broadcastID string) (*cdn.Origin, bool) {
 // Stats aggregates origin RTMP counters across the platform.
 func (p *Platform) Stats() (framesIn, framesOut int64) {
 	for _, o := range p.Topo.Origins {
-		framesIn += o.RTMP().Stats().FramesIn.Load()
-		framesOut += o.RTMP().Stats().FramesOut.Load()
+		framesIn += o.RTMP().Stats().FramesIn
+		framesOut += o.RTMP().Stats().FramesOut
 	}
 	return framesIn, framesOut
 }
+
+// Metrics returns the platform's shared instrument registry — the one
+// every origin, edge, hub, and health gauge registers in, served at
+// /metrics once the platform starts.
+func (p *Platform) Metrics() *metrics.Registry { return p.metrics }
 
 var _ rtmp.Auth = control.Auth{} // the control plane satisfies origin auth

@@ -12,6 +12,7 @@ import (
 	"repro/internal/media"
 	"repro/internal/rng"
 	"repro/internal/rtmp"
+	"repro/internal/testutil"
 )
 
 // TestPlatformSoak drives many concurrent broadcasts with RTMP viewers
@@ -22,6 +23,7 @@ func TestPlatformSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test under -short")
 	}
+	testutil.CheckGoroutines(t)
 	const (
 		nBroadcasts     = 24
 		framesPerBcast  = 40

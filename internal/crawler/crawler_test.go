@@ -13,11 +13,15 @@ import (
 	"repro/internal/pubsub"
 	"repro/internal/rng"
 	"repro/internal/rtmp"
+	"repro/internal/testutil"
 	"repro/internal/trace"
 )
 
 func startPlatform(t *testing.T) (*core.Platform, *control.Client) {
 	t.Helper()
+	// Registered before the Stop cleanup below so it runs after it
+	// (t.Cleanup is LIFO): platform goroutines must be gone by then.
+	testutil.CheckGoroutines(t)
 	w := geo.WowzaSites()
 	f := geo.FastlySites()
 	p := core.NewPlatform(core.PlatformConfig{

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/geo"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/rng"
 )
@@ -38,6 +39,12 @@ type ControlledConfig struct {
 	ViewerProfile netsim.AccessProfile
 	// Seed drives all randomness.
 	Seed uint64
+	// Metrics, when set, receives one observation per run into each of the
+	// six per-component delay histograms, labelled proto=rtmp|hls — the same
+	// series the live platform populates, so the controlled experiment and
+	// the running system share one instrument catalog. Nil uses a private
+	// registry.
+	Metrics *metrics.Registry
 }
 
 func (c ControlledConfig) withDefaults() ControlledConfig {
@@ -73,7 +80,10 @@ func (c ControlledConfig) withDefaults() ControlledConfig {
 }
 
 // RunControlled executes the controlled experiment and returns the averaged
-// RTMP and HLS component breakdowns — the two bars of Figure 11.
+// RTMP and HLS component breakdowns — the two bars of Figure 11. Per-run
+// component delays are observed into the registry's delay histograms
+// (proto=rtmp / proto=hls); the returned averages are read back from those
+// instruments, so the harness has no accumulator state of its own.
 func RunControlled(cfg ControlledConfig) (rtmpAvg, hlsAvg Components) {
 	cfg = cfg.withDefaults()
 	src := rng.New(cfg.Seed)
@@ -81,7 +91,12 @@ func RunControlled(cfg ControlledConfig) (rtmpAvg, hlsAvg Components) {
 	edge := geo.Nearest(cfg.Viewer, geo.FastlySites())
 	gw := gatewayFor(origin)
 
-	var rSum, hSum Components
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	rHists := newComponentHists(reg, "rtmp")
+	hHists := newComponentHists(reg, "hls")
 	for rep := 0; rep < cfg.Repetitions; rep++ {
 		model := netsim.NewModel(netsim.Params{}, src.Split("rep"))
 		tr := GenTrace(TraceConfig{
@@ -97,7 +112,7 @@ func RunControlled(cfg ControlledConfig) (rtmpAvg, hlsAvg Components) {
 			LastMile:  cfg.ViewerProfile,
 			PreBuffer: cfg.RTMPPreBuffer,
 		}
-		rSum = addComponents(rSum, RTMPComponents(tr, origin, rtmpView, model))
+		rHists.observe(RTMPComponents(tr, origin, rtmpView, model))
 
 		path := EdgePath{Edge: edge, GatewayOverhead: DefaultGatewayOverhead}
 		if gw != nil && !geo.CoLocated(*gw, edge) {
@@ -110,10 +125,9 @@ func RunControlled(cfg ControlledConfig) (rtmpAvg, hlsAvg Components) {
 			PollPhase:    time.Duration(src.Float64() * float64(cfg.PollInterval)),
 			PreBuffer:    cfg.HLSPreBuffer,
 		}
-		hSum = addComponents(hSum, HLSComponents(tr, origin, path, hlsView, model))
+		hHists.observe(HLSComponents(tr, origin, path, hlsView, model))
 	}
-	n := time.Duration(cfg.Repetitions)
-	return divComponents(rSum, n), divComponents(hSum, n)
+	return rHists.means(), hHists.means()
 }
 
 func gatewayFor(origin geo.Datacenter) *geo.Datacenter {
@@ -126,24 +140,61 @@ func gatewayFor(origin geo.Datacenter) *geo.Datacenter {
 	return nil
 }
 
-func addComponents(a, b Components) Components {
-	return Components{
-		Upload:       a.Upload + b.Upload,
-		Chunking:     a.Chunking + b.Chunking,
-		Wowza2Fastly: a.Wowza2Fastly + b.Wowza2Fastly,
-		Polling:      a.Polling + b.Polling,
-		LastMile:     a.LastMile + b.LastMile,
-		Buffering:    a.Buffering + b.Buffering,
+// componentHists bundles the six per-component delay histograms for one
+// protocol. A shared registry may carry observations from earlier runs (the
+// platform's live traffic, a prior RunControlled), so each histogram's count
+// and sum are recorded at construction and means() reports the delta — the
+// average over exactly this experiment's observations.
+type componentHists struct {
+	hists [6]*metrics.Histogram
+	base  [6]histBase
+}
+
+type histBase struct {
+	count int64
+	sum   time.Duration
+}
+
+func newComponentHists(reg *metrics.Registry, proto string) *componentHists {
+	l := metrics.L("proto", proto)
+	names := [6]string{
+		metrics.DelayUpload,
+		metrics.DelayChunking,
+		metrics.DelayOriginEdge,
+		metrics.DelayPolling,
+		metrics.DelayLastMile,
+		metrics.DelayBuffering,
+	}
+	ch := &componentHists{}
+	for i, name := range names {
+		h := reg.Histogram(name, metrics.DelayBuckets, l)
+		ch.hists[i] = h
+		ch.base[i] = histBase{count: h.Count(), sum: h.Sum()}
+	}
+	return ch
+}
+
+func (ch *componentHists) observe(c Components) {
+	vals := [6]time.Duration{c.Upload, c.Chunking, c.Wowza2Fastly, c.Polling, c.LastMile, c.Buffering}
+	for i, h := range ch.hists {
+		h.Observe(vals[i])
 	}
 }
 
-func divComponents(a Components, n time.Duration) Components {
+func (ch *componentHists) means() Components {
+	var vals [6]time.Duration
+	for i, h := range ch.hists {
+		n := h.Count() - ch.base[i].count
+		if n > 0 {
+			vals[i] = (h.Sum() - ch.base[i].sum) / time.Duration(n)
+		}
+	}
 	return Components{
-		Upload:       a.Upload / n,
-		Chunking:     a.Chunking / n,
-		Wowza2Fastly: a.Wowza2Fastly / n,
-		Polling:      a.Polling / n,
-		LastMile:     a.LastMile / n,
-		Buffering:    a.Buffering / n,
+		Upload:       vals[0],
+		Chunking:     vals[1],
+		Wowza2Fastly: vals[2],
+		Polling:      vals[3],
+		LastMile:     vals[4],
+		Buffering:    vals[5],
 	}
 }

@@ -252,7 +252,7 @@ func runSec7(cfg Config) (*Result, error) {
 			received = append(received, rf.Frame)
 		}
 		return len(received), security.AuditFrames(sent, received),
-			int(srv.Stats().TamperedFrames.Load()), nil
+			int(srv.Stats().TamperedFrames), nil
 	}
 
 	delivered, tampered, _, err := runAttack(false)

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/metrics"
 )
 
 // State is a node's position in the fleet-health lifecycle.
@@ -63,6 +64,11 @@ type Config struct {
 	// OnStateChange, when set, is invoked (outside the registry lock) for
 	// every transition — the platform uses it to log failovers.
 	OnStateChange func(nodeID string, from, to State)
+	// Metrics is the registry the fleet-state gauges register in; nil means
+	// a private registry. One "fleet_nodes" gauge per lifecycle state,
+	// labelled state=healthy|suspect|down|draining, evaluated at snapshot
+	// time from the node table.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -128,11 +134,36 @@ type Registry struct {
 // NewRegistry builds a Registry.
 func NewRegistry(cfg Config) *Registry {
 	cfg = cfg.withDefaults()
-	return &Registry{
+	r := &Registry{
 		cfg:   cfg,
 		clock: cfg.Clock,
 		nodes: make(map[string]*node),
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	for _, st := range []State{StateHealthy, StateSuspect, StateDown, StateDraining} {
+		st := st
+		reg.GaugeFunc("fleet_nodes", func() int64 { return r.countState(st) },
+			metrics.L("state", st.String()))
+	}
+	return r
+}
+
+// countState counts nodes currently in state s. It reads the raw node table
+// (no detector sweep): the Run loop already sweeps every half interval, and
+// a metrics scrape must not fire OnStateChange callbacks as a side effect.
+func (r *Registry) countState(s State) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	for _, nd := range r.nodes {
+		if nd.state == s {
+			n++
+		}
+	}
+	return n
 }
 
 // Stats exposes the detector counters.

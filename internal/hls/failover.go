@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/metrics"
 	"repro/internal/resilience"
 )
 
@@ -38,6 +39,18 @@ type FailoverConfig struct {
 	// Clock is handed to the default per-edge client (a custom NewClient
 	// sets its own); nil means the real clock.
 	Clock clock.Clock
+	// Metrics is the registry the session's failover counters register in,
+	// and is handed to the default per-edge client; nil means a private
+	// registry.
+	Metrics *metrics.Registry
+}
+
+// failoverMetrics are the registered instruments behind the accessor
+// methods; shared across sessions registered against one registry.
+type failoverMetrics struct {
+	failovers  *metrics.Counter
+	overloads  *metrics.Counter
+	drainHints *metrics.Counter
 }
 
 // FailoverPoller is an HLS viewer session that survives edge failures: when
@@ -50,12 +63,10 @@ type FailoverConfig struct {
 type FailoverPoller struct {
 	broadcastID string
 	cfg         FailoverConfig
+	m           *failoverMetrics
 
-	failovers  atomic.Int64
-	overloads  atomic.Int64
-	drainHints atomic.Int64
-	lastSeq    atomic.Uint64
-	baseURL    atomic.Value // string: the edge currently polled
+	lastSeq atomic.Uint64
+	baseURL atomic.Value // string: the edge currently polled
 }
 
 // NewFailoverPoller builds a session for one broadcast. Call Run to poll.
@@ -70,20 +81,35 @@ func NewFailoverPoller(broadcastID string, cfg FailoverConfig) *FailoverPoller {
 		cfg.Poller.Interval = 2 * time.Second
 	}
 	if cfg.NewClient == nil {
-		cfg.NewClient = func(baseURL string) *Client { return &Client{BaseURL: baseURL, Clock: cfg.Clock} }
+		cfg.NewClient = func(baseURL string) *Client {
+			return &Client{BaseURL: baseURL, Clock: cfg.Clock, Metrics: cfg.Metrics}
+		}
 	}
-	return &FailoverPoller{broadcastID: broadcastID, cfg: cfg}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &FailoverPoller{
+		broadcastID: broadcastID,
+		cfg:         cfg,
+		m: &failoverMetrics{
+			failovers:  reg.Counter("hls_failovers_total"),
+			overloads:  reg.Counter("hls_overloads_total"),
+			drainHints: reg.Counter("hls_drain_hints_total"),
+		},
+	}
 }
 
 // Failovers returns how many times the session switched edges (resolve
-// rounds after the first).
-func (fp *FailoverPoller) Failovers() int64 { return fp.failovers.Load() }
+// rounds after the first). With a shared FailoverConfig.Metrics registry the
+// counter aggregates across every session registered against it.
+func (fp *FailoverPoller) Failovers() int64 { return fp.m.failovers.Value() }
 
 // Overloads returns how many polls were answered with a shed (503/429).
-func (fp *FailoverPoller) Overloads() int64 { return fp.overloads.Load() }
+func (fp *FailoverPoller) Overloads() int64 { return fp.m.overloads.Value() }
 
 // DrainHints returns how many edges hinted the session away mid-stream.
-func (fp *FailoverPoller) DrainHints() int64 { return fp.drainHints.Load() }
+func (fp *FailoverPoller) DrainHints() int64 { return fp.m.drainHints.Value() }
 
 // LastSeq returns the highest chunk sequence delivered so far.
 func (fp *FailoverPoller) LastSeq() uint64 { return fp.lastSeq.Load() }
@@ -119,7 +145,7 @@ func (fp *FailoverPoller) Run(ctx context.Context) error {
 			if err := resilience.SleepCtx(ctx, fp.cfg.Backoff.Delay(rounds-1)); err != nil {
 				return err
 			}
-			fp.failovers.Add(1)
+			fp.m.failovers.Inc()
 		}
 		rounds++
 
@@ -136,7 +162,7 @@ func (fp *FailoverPoller) Run(ctx context.Context) error {
 		var draining atomic.Bool
 		client.OnDrainHint = func() {
 			if !draining.Swap(true) {
-				fp.drainHints.Add(1)
+				fp.m.drainHints.Inc()
 			}
 		}
 
@@ -187,7 +213,7 @@ func (fp *FailoverPoller) pollEdge(ctx context.Context, client *Client, st *poll
 		case errors.Is(err, ErrOverloaded):
 			// Shed: the edge told us to go elsewhere. Retry-After was
 			// already honored inside the client.
-			fp.overloads.Add(1)
+			fp.m.overloads.Inc()
 			return false, err
 		default:
 			if ctx.Err() != nil {

@@ -13,10 +13,12 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/clock"
 	"repro/internal/media"
+	"repro/internal/metrics"
 	"repro/internal/resilience"
 )
 
@@ -222,6 +224,46 @@ type Client struct {
 	// clock. The trace-driven buffering study (§6) injects clock.Virtual
 	// so ChunkEvent timestamps are seed-determined.
 	Clock clock.Clock
+	// Metrics is the registry the client's poll instruments register in
+	// (observed poll gaps, last-mile chunk fetches, pre-buffer fill); nil
+	// means a private registry. Set it to the platform registry to fold
+	// client-side delay components into the same scrape as the server
+	// side.
+	Metrics *metrics.Registry
+
+	// metricsOnce guards lazy registration: instruments appear on first
+	// poll, so a Client struct literal stays valid with no constructor.
+	metricsOnce sync.Once
+	m           *clientMetrics
+}
+
+// clientMetrics instrument the poll loop with the paper's client-side delay
+// components: polling (observed inter-poll gap, §4.3), last-mile (chunk
+// transfer to the player, §4.2), and buffering (time to fill the player's
+// pre-buffer, §6).
+type clientMetrics struct {
+	polls        *metrics.Counter
+	intervalConf *metrics.Gauge
+	polling      *metrics.Histogram
+	lastMile     *metrics.Histogram
+	buffering    *metrics.Histogram
+}
+
+func (c *Client) metrics() *clientMetrics {
+	c.metricsOnce.Do(func() {
+		reg := c.Metrics
+		if reg == nil {
+			reg = metrics.NewRegistry()
+		}
+		c.m = &clientMetrics{
+			polls:        reg.Counter("hls_polls_total"),
+			intervalConf: reg.Gauge("hls_poll_interval_configured_ms"),
+			polling:      reg.Histogram(metrics.DelayPolling, metrics.DelayBuckets),
+			lastMile:     reg.Histogram(metrics.DelayLastMile, metrics.DelayBuckets),
+			buffering:    reg.Histogram(metrics.DelayBuffering, metrics.DelayBuckets),
+		}
+	})
+	return c.m
 }
 
 // clock returns the configured time source, defaulting to the real clock.
@@ -408,6 +450,13 @@ type PollerConfig struct {
 	OnChunk func(ev ChunkEvent)
 	// OnEnd fires once when the playlist carries the end marker.
 	OnEnd func()
+	// PreBuffer models the player's startup buffer (§6: Periscope's HLS
+	// player waits for ~9 s of content, and playback stalls trace back to
+	// this fill time). When the cumulative content delivered first reaches
+	// PreBuffer, the wall time since the first chunk arrived is observed
+	// into the delay_buffering_seconds histogram. Zero disables the
+	// observation.
+	PreBuffer time.Duration
 }
 
 // pollState is the cross-poll viewer position: highest delivered chunk seq
@@ -418,13 +467,30 @@ type pollState struct {
 	lastSeq uint64
 	haveAny bool
 	version uint64
+	// lastPolledAt times the observed inter-poll gap (the paper's polling
+	// delay component); zero until the first poll.
+	lastPolledAt time.Time
+	// buffered / firstFetchAt / bufferObserved drive the one-shot
+	// pre-buffer fill observation (PollerConfig.PreBuffer).
+	buffered       time.Duration
+	firstFetchAt   time.Time
+	bufferObserved bool
 }
 
 // pollOnce performs one poll: a conditional chunklist fetch followed by
 // delivery of every not-yet-seen chunk. A matched conditional (nothing new)
 // is a successful no-op poll. It reports whether the end marker was seen.
 func (c *Client) pollOnce(ctx context.Context, broadcastID string, cfg *PollerConfig, st *pollState) (ended bool, err error) {
+	m := c.metrics()
 	polledAt := c.clock().Now()
+	m.polls.Inc()
+	if !st.lastPolledAt.IsZero() {
+		// The observed poll gap — what the paper calls the polling delay
+		// component (§4.3): a fresh chunk waits on average half this gap
+		// before any client learns of it.
+		m.polling.Observe(polledAt.Sub(st.lastPolledAt))
+	}
+	st.lastPolledAt = polledAt
 	cl, err := c.FetchChunkList(ctx, broadcastID, st.version)
 	if err != nil {
 		if errors.Is(err, ErrNotModified) {
@@ -440,6 +506,7 @@ func (c *Client) pollOnce(ctx context.Context, broadcastID string, cfg *PollerCo
 		}
 		ev := ChunkEvent{Ref: ref, PolledAt: polledAt, ListFetchedAt: listAt}
 		if !cfg.ListOnly {
+			fetchStart := c.clock().Now()
 			chunk, err := c.FetchChunk(ctx, broadcastID, ref.Seq)
 			if err != nil {
 				if ctx.Err() != nil {
@@ -449,10 +516,22 @@ func (c *Client) pollOnce(ctx context.Context, broadcastID string, cfg *PollerCo
 			}
 			ev.Chunk = chunk
 			ev.FetchedAt = c.clock().Now()
+			// Last-mile: edge→player transfer for this chunk.
+			m.lastMile.Observe(ev.FetchedAt.Sub(fetchStart))
 		} else {
 			ev.FetchedAt = listAt
 		}
 		st.lastSeq, st.haveAny = ref.Seq, true
+		if cfg.PreBuffer > 0 && !st.bufferObserved {
+			if st.firstFetchAt.IsZero() {
+				st.firstFetchAt = ev.FetchedAt
+			}
+			st.buffered += ref.Duration
+			if st.buffered >= cfg.PreBuffer {
+				st.bufferObserved = true
+				m.buffering.Observe(ev.FetchedAt.Sub(st.firstFetchAt))
+			}
+		}
 		if cfg.OnChunk != nil {
 			cfg.OnChunk(ev)
 		}
@@ -472,6 +551,9 @@ func (c *Client) Poll(ctx context.Context, broadcastID string, cfg PollerConfig)
 	if cfg.Interval <= 0 {
 		cfg.Interval = 2 * time.Second
 	}
+	// Configured interval sits next to the observed-gap histogram so a
+	// scrape can read configured vs. observed directly (§5.2's 2–2.8 s).
+	c.metrics().intervalConf.Set(int64(cfg.Interval / time.Millisecond))
 	var st pollState
 	clk := c.clock()
 	for {

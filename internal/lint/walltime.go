@@ -22,6 +22,7 @@ var walltimePackages = map[string]bool{
 	"rtmp":        true,
 	"cdn":         true,
 	"hls":         true,
+	"metrics":     true,
 }
 
 // walltimeFuncs are the time package entry points that read or schedule off

@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the registry as structured JSON: the Snapshot shape with
+// counters, gauges, and cumulative-bucket histograms. Mounted by
+// core.Platform at /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// VarsHandler serves the expvar-style flat view: one JSON object mapping
+// "name{label=value,...}" to a number, with histograms contributing
+// .count, .sum_seconds, and .mean_seconds entries. Mounted by
+// core.Platform at /debug/vars for quick `curl | jq` inspection.
+func VarsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s := r.Snapshot()
+		flat := make(map[string]float64)
+		for _, c := range s.Counters {
+			flat[SeriesName(c.Name, c.Labels)] = float64(c.Value)
+		}
+		for _, g := range s.Gauges {
+			flat[SeriesName(g.Name, g.Labels)] = float64(g.Value)
+		}
+		for _, h := range s.Histograms {
+			fq := SeriesName(h.Name, h.Labels)
+			flat[fq+".count"] = float64(h.Count)
+			flat[fq+".sum_seconds"] = h.SumSeconds
+			flat[fq+".mean_seconds"] = h.MeanSeconds
+		}
+		w.Header().Set("Content-Type", "application/json")
+		// json.Marshal sorts map keys, so the flat view is deterministic.
+		b, err := json.MarshalIndent(flat, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		b = append(b, '\n')
+		_, _ = w.Write(b)
+	})
+}

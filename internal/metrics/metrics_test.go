@@ -1,0 +1,222 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryDedupByNameAndLabels(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("frames_total", L("site", "sfo"))
+	b := r.Counter("frames_total", L("site", "sfo"))
+	if a != b {
+		t.Fatalf("same name+labels returned distinct counters")
+	}
+	c := r.Counter("frames_total", L("site", "iad"))
+	if a == c {
+		t.Fatalf("different labels returned the same counter")
+	}
+	// Label order must not matter.
+	d := r.Counter("multi", L("a", "1"), L("b", "2"))
+	e := r.Counter("multi", L("b", "2"), L("a", "1"))
+	if d != e {
+		t.Fatalf("label order changed instrument identity")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestHistogramBoundsMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", []time.Duration{time.Second})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering a histogram with different bounds did not panic")
+		}
+	}()
+	r.Histogram("h", []time.Duration{2 * time.Second})
+}
+
+func TestCounterConcurrentAddsSum(t *testing.T) {
+	var c Counter
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("Value = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+}
+
+// TestObservationsAllocFree pins the zero-alloc hot-path budget: every
+// observation primitive must stay allocation-free so instruments can sit on
+// the per-frame fan-out path.
+func TestObservationsAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", DelayBuckets)
+	if n := testing.AllocsPerRun(100, func() { c.Add(3) }); n != 0 {
+		t.Errorf("Counter.Add allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { g.Set(9) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { h.Observe(3 * time.Second) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestGaugeFuncEvaluatedAtSnapshot(t *testing.T) {
+	r := NewRegistry()
+	v := int64(1)
+	r.GaugeFunc("derived", func() int64 { return v })
+	if got := findGauge(t, r.Snapshot(), "derived"); got != 1 {
+		t.Fatalf("derived = %d, want 1", got)
+	}
+	v = 42
+	if got := findGauge(t, r.Snapshot(), "derived"); got != 42 {
+		t.Fatalf("derived = %d after update, want 42", got)
+	}
+}
+
+// TestGaugeFuncMayLockRegistry guards the lock-ordering contract: a
+// GaugeFunc closure that itself registers (or takes locks that lead back to
+// the registry) must not deadlock, because Snapshot evaluates closures
+// outside the registry lock.
+func TestGaugeFuncMayLockRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("self_referential", func() int64 {
+		return r.Counter("side").Value()
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.Snapshot()
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("Snapshot deadlocked evaluating a registry-locking GaugeFunc")
+	}
+}
+
+func TestSnapshotSortedAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", L("site", "z"))
+	r.Counter("b_total", L("site", "a"))
+	r.Counter("a_total")
+	r.Gauge("depth")
+	r.Histogram(DelayChunking, DelayBuckets)
+	s := r.Snapshot()
+	if len(s.Counters) != 3 || len(s.Gauges) != 1 || len(s.Histograms) != 1 {
+		t.Fatalf("snapshot shape = %d/%d/%d counters/gauges/histograms", len(s.Counters), len(s.Gauges), len(s.Histograms))
+	}
+	for i := 1; i < len(s.Counters); i++ {
+		a := seriesKey(s.Counters[i-1].Name, s.Counters[i-1].Labels)
+		b := seriesKey(s.Counters[i].Name, s.Counters[i].Labels)
+		if a >= b {
+			t.Fatalf("counters not sorted: %q before %q", a, b)
+		}
+	}
+}
+
+func TestHandlerJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rtmp_frames_in_total", L("site", "sfo")).Add(5)
+	h := r.Histogram(DelayPolling, DelayBuckets, L("proto", "hls"))
+	h.Observe(2 * time.Second)
+
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatalf("decode /metrics: %v", err)
+	}
+	if len(s.Counters) != 1 || s.Counters[0].Value != 5 {
+		t.Fatalf("counters = %+v", s.Counters)
+	}
+	if len(s.Histograms) != 1 || s.Histograms[0].Count != 1 {
+		t.Fatalf("histograms = %+v", s.Histograms)
+	}
+	// The overflow bucket must render as +Inf and carry the full count.
+	last := s.Histograms[0].Buckets[len(s.Histograms[0].Buckets)-1]
+	if last.LE != "+Inf" || last.Count != 1 {
+		t.Fatalf("last bucket = %+v", last)
+	}
+
+	rec = httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST /metrics = %d, want 405", rec.Code)
+	}
+}
+
+func TestVarsHandlerFlatView(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cdn_sheds_total", L("site", "iad")).Add(3)
+	r.Histogram(DelayBuffering, DelayBuckets).Observe(9 * time.Second)
+
+	rec := httptest.NewRecorder()
+	VarsHandler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /debug/vars = %d", rec.Code)
+	}
+	var flat map[string]float64
+	if err := json.Unmarshal(rec.Body.Bytes(), &flat); err != nil {
+		t.Fatalf("decode /debug/vars: %v", err)
+	}
+	if flat["cdn_sheds_total{site=iad}"] != 3 {
+		t.Fatalf("flat counter missing: %v", flat)
+	}
+	if flat[DelayBuffering+".count"] != 1 || flat[DelayBuffering+".mean_seconds"] != 9 {
+		t.Fatalf("flat histogram entries wrong: %v", flat)
+	}
+	if !strings.Contains(rec.Header().Get("Content-Type"), "application/json") {
+		t.Fatalf("Content-Type = %q", rec.Header().Get("Content-Type"))
+	}
+}
+
+func findGauge(t *testing.T, s Snapshot, name string) int64 {
+	t.Helper()
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	t.Fatalf("gauge %q not in snapshot", name)
+	return 0
+}

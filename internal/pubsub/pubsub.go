@@ -16,8 +16,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/resilience"
 )
 
@@ -53,8 +55,31 @@ const DefaultCommenterCap = 100
 type Hub struct {
 	commenterCap int
 
+	// m holds the registered instruments; an atomic pointer so UseRegistry
+	// can swap registries after construction without racing publishers.
+	m atomic.Pointer[hubMetrics]
+
 	mu       sync.Mutex
 	channels map[string]*channel
+}
+
+// hubMetrics are the hub's registered instruments: publish/deliver counters
+// plus gauges for open channels and total buffered (retained) events — the
+// channel-depth signal a capacity planner watches on the PubNub analog.
+type hubMetrics struct {
+	publishes *metrics.Counter
+	delivers  *metrics.Counter
+	channels  *metrics.Gauge
+	buffered  *metrics.Gauge
+}
+
+func newHubMetrics(reg *metrics.Registry) *hubMetrics {
+	return &hubMetrics{
+		publishes: reg.Counter("pubsub_publishes_total"),
+		delivers:  reg.Counter("pubsub_delivers_total"),
+		channels:  reg.Gauge("pubsub_channels"),
+		buffered:  reg.Gauge("pubsub_buffered_events"),
+	}
 }
 
 type channel struct {
@@ -72,7 +97,16 @@ func NewHub(commenterCap int) *Hub {
 	if commenterCap == 0 {
 		commenterCap = DefaultCommenterCap
 	}
-	return &Hub{commenterCap: commenterCap, channels: make(map[string]*channel)}
+	h := &Hub{commenterCap: commenterCap, channels: make(map[string]*channel)}
+	h.m.Store(newHubMetrics(metrics.NewRegistry()))
+	return h
+}
+
+// UseRegistry re-registers the hub's instruments in reg, replacing the
+// private registry NewHub installed. The platform calls it once at assembly;
+// counts accumulated before the switch stay on the old registry.
+func (h *Hub) UseRegistry(reg *metrics.Registry) {
+	h.m.Store(newHubMetrics(reg))
 }
 
 // Open creates the channel for a broadcast. Opening twice is a no-op.
@@ -81,6 +115,7 @@ func (h *Hub) Open(broadcastID string) {
 	defer h.mu.Unlock()
 	if _, ok := h.channels[broadcastID]; !ok {
 		h.channels[broadcastID] = &channel{commenters: make(map[string]bool)}
+		h.m.Load().channels.Add(1)
 	}
 }
 
@@ -101,8 +136,20 @@ func (h *Hub) Close(broadcastID string) {
 // Remove deletes a channel entirely.
 func (h *Hub) Remove(broadcastID string) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
+	ch := h.channels[broadcastID]
 	delete(h.channels, broadcastID)
+	h.mu.Unlock()
+	if ch == nil {
+		return
+	}
+	// Count the retained events outside h.mu: ch.mu must never nest under
+	// the hub lock (locksend invariant).
+	ch.mu.Lock()
+	buffered := len(ch.events)
+	ch.mu.Unlock()
+	m := h.m.Load()
+	m.channels.Add(-1)
+	m.buffered.Add(-int64(buffered))
 }
 
 func (h *Hub) channel(broadcastID string) (*channel, error) {
@@ -144,6 +191,9 @@ func (h *Hub) Publish(broadcastID string, ev Event) (Event, error) {
 	}
 	ch.events = append(ch.events, ev)
 	ch.wakeLocked()
+	m := h.m.Load()
+	m.publishes.Inc()
+	m.buffered.Add(1)
 	return ev, nil
 }
 
@@ -170,7 +220,9 @@ func (h *Hub) EventsSince(broadcastID string, since uint64) ([]Event, bool, erro
 	}
 	ch.mu.Lock()
 	defer ch.mu.Unlock()
-	return eventsAfterLocked(ch, since), ch.closed, nil
+	evs := eventsAfterLocked(ch, since)
+	h.m.Load().delivers.Add(int64(len(evs)))
+	return evs, ch.closed, nil
 }
 
 func eventsAfterLocked(ch *channel, since uint64) []Event {
@@ -194,6 +246,7 @@ func (h *Hub) Wait(ctx context.Context, broadcastID string, since uint64) ([]Eve
 		closed := ch.closed
 		if len(evs) > 0 || closed {
 			ch.mu.Unlock()
+			h.m.Load().delivers.Add(int64(len(evs)))
 			return evs, closed, nil
 		}
 		wake := make(chan struct{})

@@ -93,9 +93,9 @@ func TestConcurrentJoinLeaveFanout(t *testing.T) {
 
 	// Every viewer left; the server-side registry must drain to zero.
 	deadline := time.Now().Add(5 * time.Second)
-	for s.Stats().ActiveViewers.Load() != 0 {
+	for s.Stats().ActiveViewers != 0 {
 		if time.Now().After(deadline) {
-			t.Fatalf("ActiveViewers = %d after all viewers left", s.Stats().ActiveViewers.Load())
+			t.Fatalf("ActiveViewers = %d after all viewers left", s.Stats().ActiveViewers)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/media"
+	"repro/internal/metrics"
 	"repro/internal/wire"
 )
 
@@ -88,24 +89,78 @@ type ServerConfig struct {
 	// use the OS wall clock regardless — the kernel knows nothing about
 	// a virtual time base.
 	Clock clock.Clock
+	// Metrics is the registry the server's instruments register in; nil
+	// means a private registry (standalone servers and tests still get
+	// working counters).
+	Metrics *metrics.Registry
+	// MetricsLabels are attached to every instrument — the origin wires
+	// its site here so a shared registry distinguishes per-site series.
+	MetricsLabels []metrics.Label
 }
 
-// Stats are cumulative server counters, readable concurrently.
+// Stats is a point-in-time snapshot of the server's cumulative counters and
+// live gauges, read atomically from the metrics registry.
 type Stats struct {
-	FramesIn         atomic.Int64
-	FramesOut        atomic.Int64
-	BytesIn          atomic.Int64
-	BytesOut         atomic.Int64
-	ViewersRejected  atomic.Int64
-	TamperedFrames   atomic.Int64
-	ActiveBroadcasts atomic.Int64
-	ActiveViewers    atomic.Int64
+	FramesIn         int64
+	FramesOut        int64
+	BytesIn          int64
+	BytesOut         int64
+	ViewersRejected  int64
+	TamperedFrames   int64
+	SlowEvictions    int64
+	ActiveBroadcasts int64
+	ActiveViewers    int64
+}
+
+// serverMetrics are the registered instruments backing Stats. Counters and
+// gauges are allocation-free on the per-frame path (DESIGN.md §5a budget).
+type serverMetrics struct {
+	framesIn         *metrics.Counter
+	framesOut        *metrics.Counter
+	bytesIn          *metrics.Counter
+	bytesOut         *metrics.Counter
+	viewersRejected  *metrics.Counter
+	tamperedFrames   *metrics.Counter
+	slowEvictions    *metrics.Counter
+	activeBroadcasts *metrics.Gauge
+	activeViewers    *metrics.Gauge
+	pushLatency      *metrics.Histogram
+}
+
+// pushLatencyBuckets resolve the per-frame fan-out cost, which sits far
+// below the delay-component scale: microseconds when viewer queues have
+// room, creeping toward milliseconds under eviction pressure.
+var pushLatencyBuckets = []time.Duration{
+	10 * time.Microsecond,
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	500 * time.Microsecond,
+	time.Millisecond,
+	5 * time.Millisecond,
+	25 * time.Millisecond,
+	100 * time.Millisecond,
+	500 * time.Millisecond,
+}
+
+func newServerMetrics(reg *metrics.Registry, labels []metrics.Label) *serverMetrics {
+	return &serverMetrics{
+		framesIn:         reg.Counter("rtmp_frames_in_total", labels...),
+		framesOut:        reg.Counter("rtmp_frames_out_total", labels...),
+		bytesIn:          reg.Counter("rtmp_bytes_in_total", labels...),
+		bytesOut:         reg.Counter("rtmp_bytes_out_total", labels...),
+		viewersRejected:  reg.Counter("rtmp_viewers_rejected_total", labels...),
+		tamperedFrames:   reg.Counter("rtmp_tampered_frames_total", labels...),
+		slowEvictions:    reg.Counter("rtmp_slow_evictions_total", labels...),
+		activeBroadcasts: reg.Gauge("rtmp_active_broadcasts", labels...),
+		activeViewers:    reg.Gauge("rtmp_active_viewers", labels...),
+		pushLatency:      reg.Histogram("rtmp_push_latency_seconds", pushLatencyBuckets, labels...),
+	}
 }
 
 // Server is the Wowza-analog RTMP endpoint.
 type Server struct {
-	cfg   ServerConfig
-	stats Stats
+	cfg ServerConfig
+	m   *serverMetrics
 
 	mu         sync.Mutex
 	broadcasts map[string]*broadcast
@@ -207,11 +262,31 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.NewReal()
 	}
-	return &Server{cfg: cfg, broadcasts: make(map[string]*broadcast)}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	return &Server{
+		cfg:        cfg,
+		m:          newServerMetrics(cfg.Metrics, cfg.MetricsLabels),
+		broadcasts: make(map[string]*broadcast),
+	}
 }
 
-// Stats exposes the live counters.
-func (s *Server) Stats() *Stats { return &s.stats }
+// Stats snapshots the server's instruments. Callers needing live series
+// (rates, histograms) should read the metrics registry instead.
+func (s *Server) Stats() Stats {
+	return Stats{
+		FramesIn:         s.m.framesIn.Value(),
+		FramesOut:        s.m.framesOut.Value(),
+		BytesIn:          s.m.bytesIn.Value(),
+		BytesOut:         s.m.bytesOut.Value(),
+		ViewersRejected:  s.m.viewersRejected.Value(),
+		TamperedFrames:   s.m.tamperedFrames.Value(),
+		SlowEvictions:    s.m.slowEvictions.Value(),
+		ActiveBroadcasts: s.m.activeBroadcasts.Value(),
+		ActiveViewers:    s.m.activeViewers.Value(),
+	}
+}
 
 // Serve accepts connections on ln until ln is closed or ctx is done.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
@@ -385,12 +460,12 @@ func (s *Server) handleBroadcaster(conn net.Conn, hs wire.Handshake) {
 	}
 	s.broadcasts[hs.BroadcastID] = b
 	s.mu.Unlock()
-	s.stats.ActiveBroadcasts.Add(1)
+	s.m.activeBroadcasts.Add(1)
 	defer func() {
 		s.mu.Lock()
 		delete(s.broadcasts, hs.BroadcastID)
 		s.mu.Unlock()
-		s.stats.ActiveBroadcasts.Add(-1)
+		s.m.activeBroadcasts.Add(-1)
 		s.endBroadcast(b)
 		if s.cfg.OnEnd != nil {
 			s.cfg.OnEnd(hs.BroadcastID)
@@ -434,18 +509,18 @@ func (s *Server) acceptFrame(b *broadcast, enc wire.Encoded) bool {
 	if enc.Type() == wire.MsgSignedFrame {
 		fb, sg, err := wire.UnmarshalSignedFrame(body)
 		if err != nil {
-			s.stats.TamperedFrames.Add(1)
+			s.m.tamperedFrames.Add(1)
 			return false
 		}
 		if b.pubKey != nil && !ed25519.Verify(b.pubKey, fb, sg) {
-			s.stats.TamperedFrames.Add(1)
+			s.m.tamperedFrames.Add(1)
 			return false
 		}
 		frameBytes, sig = fb, sg
 	} else if b.pubKey != nil {
 		// A signed broadcast must not accept unsigned frames: that is
 		// exactly the downgrade a §7 attacker would try.
-		s.stats.TamperedFrames.Add(1)
+		s.m.tamperedFrames.Add(1)
 		return false
 	}
 	if s.cfg.Tap == nil {
@@ -454,8 +529,8 @@ func (s *Server) acceptFrame(b *broadcast, enc wire.Encoded) bool {
 		if _, err := media.SniffFrame(frameBytes); err != nil {
 			return false
 		}
-		s.stats.FramesIn.Add(1)
-		s.stats.BytesIn.Add(int64(len(body)))
+		s.m.framesIn.Inc()
+		s.m.bytesIn.Add(int64(len(body)))
 	} else {
 		f, _, err := media.UnmarshalFrame(frameBytes)
 		if err != nil {
@@ -469,13 +544,14 @@ func (s *Server) acceptFrame(b *broadcast, enc wire.Encoded) bool {
 			f.Sig = append([]byte(nil), sig...)
 		}
 		arrived := s.cfg.Clock.Now()
-		s.stats.FramesIn.Add(1)
-		s.stats.BytesIn.Add(int64(len(body)))
+		s.m.framesIn.Inc()
+		s.m.bytesIn.Add(int64(len(body)))
 		s.cfg.Tap(b.id, f, arrived)
 	}
 	// Fan out over the copy-on-write snapshot: no lock held while pushing,
 	// so N channel sends never serialize against joins/leaves (or each
 	// other on sibling broadcasts).
+	pushStart := s.cfg.Clock.Now()
 	var evicted []*viewerConn
 	for _, v := range b.snapshot() {
 		select {
@@ -486,7 +562,9 @@ func (s *Server) acceptFrame(b *broadcast, enc wire.Encoded) bool {
 			evicted = append(evicted, v)
 		}
 	}
+	s.m.pushLatency.Observe(s.cfg.Clock.Now().Sub(pushStart))
 	if evicted != nil {
+		s.m.slowEvictions.Add(int64(len(evicted)))
 		b.remove(evicted...)
 	}
 	return true
@@ -533,7 +611,7 @@ func (s *Server) handleViewer(conn net.Conn, hs wire.Handshake) {
 	cur := b.snapshot()
 	if s.cfg.ViewerCap > 0 && len(cur) >= s.cfg.ViewerCap {
 		b.mu.Unlock()
-		s.stats.ViewersRejected.Add(1)
+		s.m.viewersRejected.Inc()
 		s.ack(conn, wire.StatusFull, "RTMP viewer cap reached; use HLS")
 		return
 	}
@@ -542,10 +620,10 @@ func (s *Server) handleViewer(conn net.Conn, hs wire.Handshake) {
 	next[len(cur)] = v
 	b.viewers.Store(&next)
 	b.mu.Unlock()
-	s.stats.ActiveViewers.Add(1)
+	s.m.activeViewers.Add(1)
 	defer func() {
 		b.remove(v)
-		s.stats.ActiveViewers.Add(-1)
+		s.m.activeViewers.Add(-1)
 	}()
 	s.ack(conn, wire.StatusOK, "subscribed")
 
@@ -597,8 +675,8 @@ func (s *Server) pushToViewer(conn net.Conn, e wire.Encoded) error {
 		return err
 	}
 	if t := e.Type(); t == wire.MsgFrame || t == wire.MsgSignedFrame {
-		s.stats.FramesOut.Add(1)
-		s.stats.BytesOut.Add(int64(len(e.Body())))
+		s.m.framesOut.Inc()
+		s.m.bytesOut.Add(int64(len(e.Body())))
 	}
 	return nil
 }

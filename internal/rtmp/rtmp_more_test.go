@@ -68,8 +68,8 @@ func TestSlowViewerDoesNotBlockBroadcast(t *testing.T) {
 	if received != 600 {
 		t.Fatalf("healthy viewer received %d/600", received)
 	}
-	if s.Stats().ActiveViewers.Load() != 0 {
-		t.Fatalf("ActiveViewers = %d after end", s.Stats().ActiveViewers.Load())
+	if s.Stats().ActiveViewers != 0 {
+		t.Fatalf("ActiveViewers = %d after end", s.Stats().ActiveViewers)
 	}
 }
 
@@ -110,9 +110,9 @@ func TestViewerHangupMidStream(t *testing.T) {
 	}
 	// Active viewer gauge drains to zero.
 	deadline := time.Now().Add(2 * time.Second)
-	for s.Stats().ActiveViewers.Load() != 0 {
+	for s.Stats().ActiveViewers != 0 {
 		if time.Now().After(deadline) {
-			t.Fatalf("ActiveViewers = %d", s.Stats().ActiveViewers.Load())
+			t.Fatalf("ActiveViewers = %d", s.Stats().ActiveViewers)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}

@@ -9,12 +9,16 @@ import (
 
 	"repro/internal/media"
 	"repro/internal/rng"
+	"repro/internal/testutil"
 )
 
 // startServer launches a server on an ephemeral port and returns its address
 // and a shutdown func.
 func startServer(t *testing.T, cfg ServerConfig) (*Server, string) {
 	t.Helper()
+	// Registered before the shutdown cleanup below so it runs after it
+	// (t.Cleanup is LIFO): every server goroutine must be gone by then.
+	testutil.CheckGoroutines(t)
 	s := NewServer(cfg)
 	ctx, cancel := context.WithCancel(context.Background())
 	ln, err := s.Listen(ctx, "127.0.0.1:0")
@@ -106,7 +110,7 @@ func TestViewerCapSendsOverflowToHLS(t *testing.T) {
 	if _, err := Subscribe(ctx, addr, "b1", "tok", ViewerOptions{}); err != ErrFull {
 		t.Fatalf("4th viewer error = %v, want ErrFull", err)
 	}
-	if got := s.Stats().ViewersRejected.Load(); got != 1 {
+	if got := s.Stats().ViewersRejected; got != 1 {
 		t.Fatalf("ViewersRejected = %d, want 1", got)
 	}
 	_ = viewers
@@ -311,7 +315,7 @@ func TestSignedBroadcastRejectsUnsignedFrames(t *testing.T) {
 	for range view.Frames() {
 		t.Fatal("unsigned frame leaked through signed broadcast")
 	}
-	if got := s.Stats().TamperedFrames.Load(); got != 3 {
+	if got := s.Stats().TamperedFrames; got != 3 {
 		t.Fatalf("TamperedFrames = %d, want 3", got)
 	}
 }
@@ -329,13 +333,13 @@ func TestStatsCounters(t *testing.T) {
 	pub.End()
 	for range v.Frames() {
 	}
-	if got := s.Stats().FramesIn.Load(); got != 4 {
+	if got := s.Stats().FramesIn; got != 4 {
 		t.Fatalf("FramesIn = %d", got)
 	}
-	if got := s.Stats().FramesOut.Load(); got != 4 {
+	if got := s.Stats().FramesOut; got != 4 {
 		t.Fatalf("FramesOut = %d", got)
 	}
-	if s.Stats().BytesIn.Load() <= 0 || s.Stats().BytesOut.Load() <= 0 {
+	if s.Stats().BytesIn <= 0 || s.Stats().BytesOut <= 0 {
 		t.Fatal("byte counters did not advance")
 	}
 }

@@ -225,8 +225,8 @@ func TestDefenseBlocksBroadcasterSideTamper(t *testing.T) {
 	if got != 0 {
 		t.Fatalf("viewer received %d tampered frames through defense", got)
 	}
-	if srv.Stats().TamperedFrames.Load() != 5 {
-		t.Fatalf("server detected %d/5 tampered frames", srv.Stats().TamperedFrames.Load())
+	if srv.Stats().TamperedFrames != 5 {
+		t.Fatalf("server detected %d/5 tampered frames", srv.Stats().TamperedFrames)
 	}
 }
 
