@@ -5,7 +5,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build test race lint vet fmt tidy vuln bench benchguard metrics ci clean
+.PHONY: all build test race lint vet fmt tidy vuln bench benchguard metrics crash fuzz ci clean
 
 all: build test lint
 
@@ -48,7 +48,20 @@ vuln:
 lint: fmt tidy vet
 
 bench:
-	$(GO) test -run '^$$' -bench 'Fanout|EdgePoll' -benchmem -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'Fanout|EdgePoll|Ingest' -benchmem -benchtime=1x .
+
+# crash is the recovery soak (DESIGN.md §6.2): kill the ingest origin
+# mid-broadcast, corrupt the journal tail, restart, and assert every viewer
+# still sees every chunk exactly once. Always under -race.
+crash:
+	$(GO) test -race -count=1 -run 'TestPlatformOriginCrashRecoverySoak' -v ./internal/core/
+
+# fuzz smoke: a short bounded run of each journal fuzz target (round-trip
+# encode/decode and replay over corrupted logs). `go test -fuzz` accepts one
+# target per invocation, hence the two runs.
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzRecordRoundTrip' -fuzztime 10s ./internal/journal/
+	$(GO) test -run '^$$' -fuzz 'FuzzReplay' -fuzztime 10s ./internal/journal/
 
 # benchguard re-runs the hot-path benchmarks and fails on allocs/op
 # regressions against the recorded baselines in BENCH_fanout.json.
@@ -61,7 +74,7 @@ benchguard:
 metrics:
 	$(GO) run ./cmd/livesim -snapshot
 
-ci: build race lint vuln benchguard metrics
+ci: build race lint vuln crash fuzz benchguard metrics
 
 clean:
 	rm -rf $(BIN)

@@ -22,6 +22,7 @@ import (
 	"repro/internal/cdn"
 	"repro/internal/experiments"
 	"repro/internal/geo"
+	"repro/internal/journal"
 	"repro/internal/media"
 	"repro/internal/rtmp"
 	"repro/internal/wire"
@@ -303,6 +304,43 @@ func BenchmarkFanout(b *testing.B) {
 			wire.WriteMessage(pub, wire.Message{Type: wire.MsgEnd})
 			pub.Close()
 			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkIngest measures the origin's per-frame ingest cost — chunker
+// append, chunk seal, list update — with the write-ahead journal off and on.
+// The journaled path must stay within the same per-frame allocation budget:
+// appends only enqueue onto the group-commit writer, and the seal-time
+// record encode is amortized across the frames of its chunk (5 frames at
+// 200 ms chunks).
+func BenchmarkIngest(b *testing.B) {
+	for _, mode := range []string{"journal=off", "journal=on"} {
+		b.Run(mode, func(b *testing.B) {
+			cfg := cdn.OriginConfig{
+				Site:          geo.Datacenter{ID: "bench"},
+				ChunkDuration: 200 * time.Millisecond,
+			}
+			if mode == "journal=on" {
+				cfg.Journal = journal.NewMem()
+			}
+			origin := cdn.NewOrigin(cfg)
+			defer origin.Close()
+			payload := make([]byte, 4096)
+			base := time.Now()
+			b.SetBytes(int64(len(payload)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f := media.Frame{
+					Seq:        uint64(i),
+					CapturedAt: base.Add(time.Duration(i) * media.FrameDuration),
+					Keyframe:   i%25 == 0,
+					Payload:    payload,
+				}
+				origin.Ingest("bench", f, base)
+			}
+			b.StopTimer()
 		})
 	}
 }

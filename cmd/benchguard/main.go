@@ -1,9 +1,11 @@
 // Command benchguard runs the delivery hot-path benchmarks (BenchmarkFanout,
-// BenchmarkEdgePoll) and fails when allocations per operation regress past
-// the recorded baselines in BENCH_fanout.json. It guards the PR-3 hot-path
-// work (encode-once fan-out, raw-bytes edge serving) and the metrics layer's
-// zero-alloc promise: an instrument that allocates per observation shows up
-// here as a fan-out or poll regression.
+// BenchmarkEdgePoll, BenchmarkIngest) and fails when allocations per
+// operation regress past the recorded baselines in BENCH_fanout.json. It
+// guards the PR-3 hot-path work (encode-once fan-out, raw-bytes edge
+// serving), the metrics layer's zero-alloc promise, and the PR-6 journaling
+// budget: origin ingest with the write-ahead journal enabled must stay
+// within 2 allocs/frame, so a journal append that encodes or syncs on the
+// caller's path shows up here as an ingest regression.
 //
 // Allocations are the guarded signal because they are deterministic for a
 // fixed code path; ns/op depends on the host and is reported but not judged.
@@ -34,6 +36,7 @@ type measurement struct {
 type baselineFile struct {
 	Fanout   map[string]json.RawMessage `json:"fanout"`
 	EdgePoll map[string]json.RawMessage `json:"edge_poll"`
+	Ingest   map[string]json.RawMessage `json:"ingest"`
 }
 
 type fanoutEntry struct {
@@ -93,11 +96,21 @@ func run() error {
 		budgets["BenchmarkEdgePoll/"+sub] = e.AfterClonePath.AllocsPerOp
 		budgets["BenchmarkEdgePoll/"+sub+"/raw"] = e.AfterRawPath.AllocsPerOp
 	}
+	for sub, rawEntry := range base.Ingest {
+		if !strings.HasPrefix(sub, "journal=") {
+			continue
+		}
+		var e fanoutEntry
+		if err := json.Unmarshal(rawEntry, &e); err != nil {
+			return fmt.Errorf("ingest %q: %w", sub, err)
+		}
+		budgets["BenchmarkIngest/"+sub] = e.After.AllocsPerOp
+	}
 	if len(budgets) == 0 {
 		return fmt.Errorf("no baselines found in BENCH_fanout.json")
 	}
 
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", "Fanout|EdgePoll",
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", "Fanout|EdgePoll|Ingest",
 		"-benchmem", "-benchtime", "2000x", ".")
 	out, err := cmd.CombinedOutput()
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/hls"
+	"repro/internal/journal"
 	"repro/internal/media"
 	"repro/internal/pubsub"
 	"repro/internal/rng"
@@ -40,6 +42,7 @@ func main() {
 		seed         = flag.Uint64("seed", 1, "random seed")
 		snapshot     = flag.Bool("snapshot", false, "run one scripted broadcast on a small platform, print the metrics snapshot, exit")
 		metricsEvery = flag.Duration("metrics-every", 0, "log a one-line metrics summary at this interval (0 disables)")
+		journalDir   = flag.String("journal-dir", "", "directory for per-origin write-ahead logs; origins recover live broadcasts from them after a crash (empty disables journaling)")
 	)
 	flag.Parse()
 
@@ -62,6 +65,22 @@ func main() {
 			RequestsPerSecond: *apiRPS,
 			Burst:             *apiRPS * 2,
 			Whitelist:         strings.Split(*whitelist, ","),
+		}
+	}
+	if *journalDir != "" {
+		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "livesim: journal dir: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Journal = func(siteID string) journal.Backend {
+			b, err := journal.OpenFile(filepath.Join(*journalDir, siteID+".wal"))
+			if err != nil {
+				// A site without a journal still streams; it just cannot
+				// recover broadcasts across a crash.
+				fmt.Fprintf(os.Stderr, "livesim: journal %s: %v\n", siteID, err)
+				return nil
+			}
+			return b
 		}
 	}
 	p := core.NewPlatform(cfg)

@@ -115,15 +115,15 @@ func TestEdgePullOnFirstPoll(t *testing.T) {
 	if len(cl.Chunks) != 1 {
 		t.Fatalf("edge list chunks = %d", len(cl.Chunks))
 	}
-	if e.Stats().ListPulls != 1 {
-		t.Fatalf("ListPulls = %d", e.Stats().ListPulls)
+	if e.m.listPulls.Value() != 1 {
+		t.Fatalf("ListPulls = %d", e.m.listPulls.Value())
 	}
 	// The pull copied the chunk eagerly; the chunk fetch must be a hit.
 	if _, err := e.Chunk(ctx, "b1", 0); err != nil {
 		t.Fatal(err)
 	}
-	if e.Stats().ChunkHits != 1 || e.Stats().ChunkPulls != 1 {
-		t.Fatalf("hits=%d pulls=%d", e.Stats().ChunkHits, e.Stats().ChunkPulls)
+	if e.m.chunkHits.Value() != 1 || e.m.chunkPulls.Value() != 1 {
+		t.Fatalf("hits=%d pulls=%d", e.m.chunkHits.Value(), e.m.chunkPulls.Value())
 	}
 	if _, ok := e.ChunkArrivedAt("b1", 0); !ok {
 		t.Fatal("missing edge arrival timestamp")
@@ -149,10 +149,10 @@ func TestEdgeServesCachedUntilInvalidated(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got := e.Stats().ListPulls; got != 1 {
+	if got := e.m.listPulls.Value(); got != 1 {
 		t.Fatalf("ListPulls = %d, want 1", got)
 	}
-	if got := e.Stats().ListHits; got != 5 {
+	if got := e.m.listHits.Value(); got != 5 {
 		t.Fatalf("ListHits = %d, want 5", got)
 	}
 
@@ -162,7 +162,7 @@ func TestEdgeServesCachedUntilInvalidated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := e.Stats().ListPulls; got != 2 {
+	if got := e.m.listPulls.Value(); got != 2 {
 		t.Fatalf("ListPulls after invalidate = %d, want 2", got)
 	}
 	if len(cl.Chunks) != 2 {
@@ -223,7 +223,7 @@ func TestTopologyGatewayRelay(t *testing.T) {
 	if len(cl.Chunks) != 1 {
 		t.Fatalf("tokyo edge chunks = %d", len(cl.Chunks))
 	}
-	if gw.Stats().ListPulls == 0 {
+	if gw.m.listPulls.Value() == 0 {
 		t.Fatal("gateway was not used for the relay")
 	}
 }
@@ -248,7 +248,7 @@ func TestTopologyDisableGateway(t *testing.T) {
 	if _, err := tokyoEdge.ChunkList(context.Background(), "b1"); err != nil {
 		t.Fatal(err)
 	}
-	if gw.Stats().ListPulls != 0 {
+	if gw.m.listPulls.Value() != 0 {
 		t.Fatal("gateway used despite DisableGateway")
 	}
 }

@@ -60,33 +60,19 @@ type EdgeConfig struct {
 	Metrics *metrics.Registry
 }
 
-// EdgeStats is a point-in-time snapshot of the edge's cache counters, the
-// scalability currency of HLS. Values are read atomically from the metrics
-// registry instruments; the struct itself is a plain value, so callers can
-// hold or compare snapshots without racing the hot data plane.
-type EdgeStats struct {
-	ListHits    int64 // polls served from the cached, fresh list
-	ListPulls   int64 // polls that triggered an upstream pull (⑩)
-	ChunkHits   int64
-	ChunkPulls  int64
-	Invalidates int64 // invalidations that actually marked an entry stale
-	// ChunkPullErrors counts chunk copies that failed during a list pull
-	// (e.g. the chunk rolled out of the origin window, §4.3). The entry is
-	// left stale so the next poll retries the copy.
-	ChunkPullErrors int64
-	// StaleServes counts polls answered with the last cached (stale) list
-	// because the upstream was unreachable — the graceful degradation real
-	// Fastly exhibits instead of surfacing a 5xx to the player.
-	StaleServes int64
-	// PullRetries counts upstream pull attempts beyond each first try.
-	PullRetries int64
-	// Sheds counts requests refused because the edge was over its
-	// concurrency limit (served to clients as 503 + Retry-After).
-	Sheds int64
-}
-
-// edgeMetrics are the registered instruments behind EdgeStats plus the
-// origin→edge transfer histogram (the paper's Wowza2Fastly component).
+// edgeMetrics are the edge's registered cache instruments — the scalability
+// currency of HLS — plus the origin→edge transfer histogram (the paper's
+// Wowza2Fastly component). Observers read them through the registry
+// (EdgeConfig.Metrics), labelled by site: cdn_list_hits_total (polls served
+// from the cached, fresh list), cdn_list_pulls_total (polls that triggered an
+// upstream pull, ⑩), cdn_chunk_pull_errors_total (chunk copies that failed
+// during a list pull — e.g. the chunk rolled out of the origin window, §4.3 —
+// leaving the entry stale so the next poll retries), cdn_stale_serves_total
+// (polls answered from the last cached list because the upstream was
+// unreachable, the graceful degradation real Fastly exhibits instead of a
+// 5xx), cdn_pull_retries_total (pull attempts beyond each first try), and
+// cdn_sheds_total (requests refused over the concurrency limit, served as
+// 503 + Retry-After).
 type edgeMetrics struct {
 	listHits        *metrics.Counter
 	listPulls       *metrics.Counter
@@ -277,25 +263,6 @@ func (e *Edge) Killed() bool { return e.state.Load() == edgeKilled }
 
 // Site returns the edge's datacenter.
 func (e *Edge) Site() geo.Datacenter { return e.cfg.Site }
-
-// Stats snapshots the cache counters.
-//
-// Deprecated shim for pre-registry callers: new code should read the
-// metrics registry (EdgeConfig.Metrics) directly, which also exposes the
-// origin→edge histogram and breaker state.
-func (e *Edge) Stats() EdgeStats {
-	return EdgeStats{
-		ListHits:        e.m.listHits.Value(),
-		ListPulls:       e.m.listPulls.Value(),
-		ChunkHits:       e.m.chunkHits.Value(),
-		ChunkPulls:      e.m.chunkPulls.Value(),
-		Invalidates:     e.m.invalidates.Value(),
-		ChunkPullErrors: e.m.chunkPullErrors.Value(),
-		StaleServes:     e.m.staleServes.Value(),
-		PullRetries:     e.m.pullRetries.Value(),
-		Sheds:           e.m.sheds.Value(),
-	}
-}
 
 // breaker returns the circuit breaker guarding a broadcast's upstream.
 func (e *Edge) breaker(id string) *resilience.Breaker {

@@ -8,17 +8,26 @@ package cdn
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
 	"repro/internal/geo"
 	"repro/internal/hls"
+	"repro/internal/journal"
 	"repro/internal/media"
 	"repro/internal/metrics"
 	"repro/internal/rtmp"
 )
+
+// ErrOriginDown reports a crashed origin. Unlike hls.ErrNotFound it is a
+// transient condition: edges treat it like any upstream fault (retry,
+// breaker, serve-stale) rather than a terminal "broadcast gone", and
+// failover pollers keep polling until the origin recovers.
+var ErrOriginDown = errors.New("cdn: origin down")
 
 // Invalidator is notified when a broadcast's chunklist changes, the
 // "Wowza notifies Fastly to expire its old chunklist" step (⑧ in Fig. 10).
@@ -48,6 +57,15 @@ type OriginConfig struct {
 	// (unless RTMP.Metrics is set explicitly); nil means a private
 	// registry.
 	Metrics *metrics.Registry
+	// Journal, when set, is the write-ahead log backing crash recovery:
+	// broadcast creates, chunk seals, and broadcast ends are appended
+	// through a group-commit writer, and NewOrigin replays whatever the
+	// backend already holds — so constructing an origin over a non-empty
+	// journal is the restart path. Nil disables journaling (no recovery,
+	// zero overhead).
+	Journal journal.Backend
+	// Logf sinks journal replay/append diagnostics; nil discards.
+	Logf func(format string, args ...interface{})
 }
 
 // originMetrics instrument chunk assembly: every closed chunk counts once
@@ -57,26 +75,42 @@ type OriginConfig struct {
 type originMetrics struct {
 	chunks   *metrics.Counter
 	chunking *metrics.Histogram
+	// replayed counts journal records rehydrated at startup; corruptTails
+	// counts restarts that found (and discarded) a damaged journal tail.
+	replayed     *metrics.Counter
+	corruptTails *metrics.Counter
 }
 
 func newOriginMetrics(reg *metrics.Registry, site string) *originMetrics {
 	l := metrics.L("site", site)
 	return &originMetrics{
-		chunks:   reg.Counter("cdn_origin_chunks_total", l),
-		chunking: reg.Histogram(metrics.DelayChunking, metrics.DelayBuckets, l),
+		chunks:       reg.Counter("cdn_origin_chunks_total", l),
+		chunking:     reg.Histogram(metrics.DelayChunking, metrics.DelayBuckets, l),
+		replayed:     reg.Counter("journal_replayed_records_total", l),
+		corruptTails: reg.Counter("journal_corrupt_tails_total", l),
 	}
 }
 
 // Origin is the Wowza analog: RTMP ingest plus authoritative chunk store.
 type Origin struct {
-	cfg  OriginConfig
-	m    *originMetrics
-	rtmp *rtmp.Server
+	cfg OriginConfig
+	m   *originMetrics
+
+	// crashed marks a killed origin: serving methods answer ErrOriginDown,
+	// and the RTMP tap/end closures become no-ops so handler goroutines
+	// unwinding during the crash cannot mutate (or journal) anything.
+	crashed atomic.Bool
 
 	mu      sync.Mutex
+	rtmp    *rtmp.Server
+	jw      *journal.Writer
 	streams map[string]*originStream
 	edges   []Invalidator
 	endedAt map[string]time.Time
+	// pending holds broadcasts rehydrated from the journal whose publisher
+	// has not reconnected yet; viewers dialing them get the retryable
+	// StatusUnavailable instead of the terminal not-found.
+	pending map[string]bool
 }
 
 type originStream struct {
@@ -91,9 +125,16 @@ type originStream struct {
 	// chunk appends share one serialization.
 	listRaw        []byte
 	listRawVersion uint64
+	// resumeFloor is the first frame sequence not covered by replayed
+	// chunks — set only by journal recovery. A reconnecting publisher is
+	// asked to resume here, and any frame below it is already inside a
+	// sealed chunk, so ingest drops it rather than re-chunk it.
+	resumeFloor uint64
 }
 
-// NewOrigin builds an Origin and its embedded RTMP server.
+// NewOrigin builds an Origin and its embedded RTMP server. When the config
+// carries a journal backend, whatever it already holds is replayed first —
+// so pointing a fresh Origin at a crashed one's journal is the restart path.
 func NewOrigin(cfg OriginConfig) *Origin {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.NewReal()
@@ -101,40 +142,247 @@ func NewOrigin(cfg OriginConfig) *Origin {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...interface{}) {}
+	}
 	o := &Origin{
 		cfg:     cfg,
 		m:       newOriginMetrics(cfg.Metrics, cfg.Site.ID),
 		streams: make(map[string]*originStream),
 		endedAt: make(map[string]time.Time),
+		pending: make(map[string]bool),
 	}
-	userTap := cfg.RTMP.Tap
-	userEnd := cfg.RTMP.OnEnd
-	rc := cfg.RTMP
+	o.mu.Lock()
+	o.openJournalLocked()
+	o.rtmp = o.newRTMPServer()
+	o.mu.Unlock()
+	return o
+}
+
+// newRTMPServer builds the embedded ingest server with the origin's tap,
+// end, resume, and pending hooks chained in front of any user-configured
+// ones. Called at construction and again on Recover — an aborted rtmp.Server
+// cannot be restarted, a crashed process's sockets are gone.
+func (o *Origin) newRTMPServer() *rtmp.Server {
+	userTap := o.cfg.RTMP.Tap
+	userEnd := o.cfg.RTMP.OnEnd
+	rc := o.cfg.RTMP
 	if rc.Clock == nil {
-		rc.Clock = cfg.Clock
+		rc.Clock = o.cfg.Clock
 	}
 	if rc.Metrics == nil {
-		rc.Metrics = cfg.Metrics
-		rc.MetricsLabels = []metrics.Label{metrics.L("site", cfg.Site.ID)}
+		rc.Metrics = o.cfg.Metrics
+		rc.MetricsLabels = []metrics.Label{metrics.L("site", o.cfg.Site.ID)}
 	}
 	rc.Tap = func(id string, f media.Frame, at time.Time) {
+		if o.crashed.Load() {
+			return
+		}
 		o.ingest(id, f, at)
 		if userTap != nil {
 			userTap(id, f, at)
 		}
 	}
 	rc.OnEnd = func(id string) {
+		if o.crashed.Load() {
+			// A crash is not an end of broadcast: the control plane must
+			// keep the record live so the publisher can resume after
+			// recovery.
+			return
+		}
 		o.endBroadcast(id)
 		if userEnd != nil {
 			userEnd(id)
 		}
 	}
-	o.rtmp = rtmp.NewServer(rc)
-	return o
+	rc.ResumeSeq = o.resumeSeqFor
+	rc.Pending = o.pendingBroadcast
+	return rtmp.NewServer(rc)
 }
 
-// RTMP exposes the embedded ingest/fan-out server.
-func (o *Origin) RTMP() *rtmp.Server { return o.rtmp }
+// openJournalLocked replays the configured journal backend into the stream
+// table, truncates any damaged tail, and starts the group-commit writer.
+// No-op without a backend.
+func (o *Origin) openJournalLocked() {
+	backend := o.cfg.Journal
+	if backend == nil {
+		return
+	}
+	data, err := backend.Load()
+	if err != nil {
+		o.cfg.Logf("origin %s: journal load: %v", o.cfg.Site.ID, err)
+		data = nil
+	}
+	st, err := journal.Replay(data, o.applyRecordLocked)
+	if err != nil {
+		// applyRecordLocked never fails; a non-nil error would mean the
+		// journal package broke its own contract.
+		o.cfg.Logf("origin %s: journal replay: %v", o.cfg.Site.ID, err)
+	}
+	if st.TailCorrupt {
+		// Discard the damaged tail before appending anything new: bytes
+		// written after a corrupt region would be unreachable to every
+		// future replay.
+		o.m.corruptTails.Inc()
+		o.cfg.Logf("origin %s: journal tail corrupt: discarding %d bytes after %d records",
+			o.cfg.Site.ID, st.DiscardedBytes, st.Records)
+		if err := backend.Truncate(int64(st.ValidBytes)); err != nil {
+			o.cfg.Logf("origin %s: journal truncate: %v", o.cfg.Site.ID, err)
+		}
+	}
+	o.m.replayed.Add(int64(st.Records))
+	o.jw = journal.NewWriter(backend, journal.WriterConfig{
+		Metrics: o.cfg.Metrics,
+		Labels:  []metrics.Label{metrics.L("site", o.cfg.Site.ID)},
+		Logf:    o.cfg.Logf,
+	})
+}
+
+// applyRecordLocked rehydrates one journal record into the stream table.
+func (o *Origin) applyRecordLocked(r journal.Record) error {
+	id := r.BroadcastID
+	switch r.Type {
+	case journal.RecordCreate:
+		if _, ok := o.streams[id]; !ok {
+			o.streams[id] = o.newStreamLocked(id)
+			o.pending[id] = true
+		}
+	case journal.RecordSeal:
+		st, ok := o.streams[id]
+		if !ok {
+			st = o.newStreamLocked(id)
+			o.streams[id] = st
+			o.pending[id] = true
+		}
+		chunk, err := media.UnmarshalChunk(r.Payload)
+		if err != nil {
+			// A CRC-valid record with an undecodable payload is a writer
+			// bug, not tail damage; skip it rather than abort recovery.
+			o.cfg.Logf("origin %s: journal chunk %s: %v", o.cfg.Site.ID, id, err)
+			return nil
+		}
+		st.chunks[chunk.Seq] = chunk
+		st.chunkReadyAt[chunk.Seq] = o.cfg.Clock.Now()
+		st.list.Append(media.ChunkRef{
+			Seq:      chunk.Seq,
+			Duration: chunk.Duration(),
+			URI:      fmt.Sprintf("/hls/%s/chunk/%d", id, chunk.Seq),
+		})
+		st.chunker.SkipTo(chunk.Seq + 1)
+		if n := len(chunk.Frames); n > 0 {
+			st.resumeFloor = chunk.Frames[n-1].Seq + 1
+		}
+	case journal.RecordEnd:
+		st, ok := o.streams[id]
+		if !ok {
+			return nil
+		}
+		st.list.Ended = true
+		st.list.Version++
+		o.endedAt[id] = o.cfg.Clock.Now()
+		delete(o.pending, id)
+	}
+	return nil
+}
+
+func (o *Origin) newStreamLocked(id string) *originStream {
+	return &originStream{
+		chunker:      media.NewChunker(o.cfg.ChunkDuration),
+		list:         &media.ChunkList{BroadcastID: id},
+		chunks:       make(map[uint64]*media.Chunk),
+		chunkReadyAt: make(map[uint64]time.Time),
+	}
+}
+
+// resumeSeqFor answers the embedded RTMP server's resume query for a
+// reconnecting broadcaster: the first frame sequence past everything the
+// journal preserved. It also clears the pending flag — the publisher is
+// back.
+func (o *Origin) resumeSeqFor(id string) uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	delete(o.pending, id)
+	st, ok := o.streams[id]
+	if !ok {
+		return 0
+	}
+	return st.resumeFloor
+}
+
+// pendingBroadcast reports whether id was rehydrated from the journal and is
+// still waiting for its publisher.
+func (o *Origin) pendingBroadcast(id string) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.pending[id]
+}
+
+// RTMP exposes the embedded ingest/fan-out server (the current one — a
+// recovered origin builds a fresh server, old handles are dead).
+func (o *Origin) RTMP() *rtmp.Server {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.rtmp
+}
+
+// Crash simulates the origin process dying: the RTMP server is aborted (no
+// clean end-of-broadcast reaches anyone), the journal writer is drained and
+// closed (everything acknowledged before the crash is durable — the fsync
+// already happened), and all volatile state is dropped. The Origin object
+// itself survives, answering ErrOriginDown, until Recover.
+func (o *Origin) Crash() {
+	if !o.crashed.CompareAndSwap(false, true) {
+		return
+	}
+	o.mu.Lock()
+	srv := o.rtmp
+	jw := o.jw
+	o.jw = nil
+	o.mu.Unlock()
+	srv.Abort()
+	if jw != nil {
+		jw.Close()
+	}
+	o.mu.Lock()
+	o.streams = make(map[string]*originStream)
+	o.endedAt = make(map[string]time.Time)
+	o.pending = make(map[string]bool)
+	o.edges = nil
+	o.mu.Unlock()
+}
+
+// Killed reports whether the origin is crashed.
+func (o *Origin) Killed() bool { return o.crashed.Load() }
+
+// Close shuts down the origin gracefully: the RTMP server ends every
+// broadcast cleanly and the journal writer drains. The inverse of Crash.
+func (o *Origin) Close() error {
+	o.mu.Lock()
+	srv := o.rtmp
+	jw := o.jw
+	o.jw = nil
+	o.mu.Unlock()
+	err := srv.Close()
+	if jw != nil {
+		jw.Close()
+	}
+	return err
+}
+
+// Recover restarts a crashed origin: journal replay rebuilds every live
+// broadcast and its sealed chunks, a fresh RTMP server is constructed (the
+// caller re-listens and re-registers edges), and the origin serves again.
+// No-op on a healthy origin.
+func (o *Origin) Recover() {
+	if !o.crashed.Load() {
+		return
+	}
+	o.mu.Lock()
+	o.openJournalLocked()
+	o.rtmp = o.newRTMPServer()
+	o.mu.Unlock()
+	o.crashed.Store(false)
+}
 
 // Site returns the origin's datacenter.
 func (o *Origin) Site() geo.Datacenter { return o.cfg.Site }
@@ -152,18 +400,24 @@ func (o *Origin) RegisterEdge(e Invalidator) {
 // production traffic arrives through the RTMP tap, which calls it too.
 func (o *Origin) Ingest(id string, f media.Frame, at time.Time) { o.ingest(id, f, at) }
 
-// ingest feeds one accepted RTMP frame into the HLS chunker.
+// ingest feeds one accepted RTMP frame into the HLS chunker. Journal
+// appends happen after the lock is released — they only enqueue onto the
+// group-commit writer, and per-broadcast ordering holds because one handler
+// goroutine serves each broadcast.
 func (o *Origin) ingest(id string, f media.Frame, at time.Time) {
 	o.mu.Lock()
 	st, ok := o.streams[id]
+	created := false
 	if !ok {
-		st = &originStream{
-			chunker:      media.NewChunker(o.cfg.ChunkDuration),
-			list:         &media.ChunkList{BroadcastID: id},
-			chunks:       make(map[uint64]*media.Chunk),
-			chunkReadyAt: make(map[uint64]time.Time),
-		}
+		st = o.newStreamLocked(id)
 		o.streams[id] = st
+		created = true
+	}
+	if f.Seq < st.resumeFloor {
+		// A resuming publisher replays from the journal floor; anything
+		// below it is already inside a sealed, durable chunk.
+		o.mu.Unlock()
+		return
 	}
 	chunk := st.chunker.Add(f)
 	var version uint64
@@ -177,11 +431,26 @@ func (o *Origin) ingest(id string, f media.Frame, at time.Time) {
 		})
 		version = st.list.Version
 	}
+	jw := o.jw
 	o.mu.Unlock()
+	if jw != nil {
+		if created {
+			o.journalAppend(jw, journal.Record{Type: journal.RecordCreate, BroadcastID: id})
+		}
+		if chunk != nil {
+			o.journalAppend(jw, journal.Record{Type: journal.RecordSeal, BroadcastID: id, Payload: media.MarshalChunk(chunk)})
+		}
+	}
 	if chunk != nil {
 		o.m.chunks.Inc()
 		o.m.chunking.Observe(chunk.Duration())
 		o.notify(id, version)
+	}
+}
+
+func (o *Origin) journalAppend(jw *journal.Writer, r journal.Record) {
+	if err := jw.Append(r); err != nil && !errors.Is(err, journal.ErrClosed) {
+		o.cfg.Logf("origin %s: journal append: %v", o.cfg.Site.ID, err)
 	}
 }
 
@@ -192,25 +461,31 @@ func (o *Origin) endBroadcast(id string) {
 		o.mu.Unlock()
 		return
 	}
-	var flushed time.Duration
-	if chunk := st.chunker.Flush(); chunk != nil {
-		st.chunks[chunk.Seq] = chunk
-		st.chunkReadyAt[chunk.Seq] = o.cfg.Clock.Now()
+	flushedChunk := st.chunker.Flush()
+	if flushedChunk != nil {
+		st.chunks[flushedChunk.Seq] = flushedChunk
+		st.chunkReadyAt[flushedChunk.Seq] = o.cfg.Clock.Now()
 		st.list.Append(media.ChunkRef{
-			Seq:      chunk.Seq,
-			Duration: chunk.Duration(),
-			URI:      fmt.Sprintf("/hls/%s/chunk/%d", id, chunk.Seq),
+			Seq:      flushedChunk.Seq,
+			Duration: flushedChunk.Duration(),
+			URI:      fmt.Sprintf("/hls/%s/chunk/%d", id, flushedChunk.Seq),
 		})
-		flushed = chunk.Duration()
 	}
 	st.list.Ended = true
 	st.list.Version++
 	version := st.list.Version
 	o.endedAt[id] = o.cfg.Clock.Now()
+	jw := o.jw
 	o.mu.Unlock()
-	if flushed > 0 {
+	if jw != nil {
+		if flushedChunk != nil {
+			o.journalAppend(jw, journal.Record{Type: journal.RecordSeal, BroadcastID: id, Payload: media.MarshalChunk(flushedChunk)})
+		}
+		o.journalAppend(jw, journal.Record{Type: journal.RecordEnd, BroadcastID: id})
+	}
+	if flushedChunk != nil {
 		o.m.chunks.Inc()
-		o.m.chunking.Observe(flushed)
+		o.m.chunking.Observe(flushedChunk.Duration())
 	}
 	o.notify(id, version)
 }
@@ -224,8 +499,16 @@ func (o *Origin) notify(id string, version uint64) {
 	}
 }
 
-// ChunkList implements hls.Store.
-func (o *Origin) ChunkList(_ context.Context, id string) (*media.ChunkList, error) {
+// ChunkList implements hls.Store. A cancelled context is honored before the
+// lock is taken, so callers abandoning a pull never queue on a contended
+// origin.
+func (o *Origin) ChunkList(ctx context.Context, id string) (*media.ChunkList, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if o.crashed.Load() {
+		return nil, ErrOriginDown
+	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	st, ok := o.streams[id]
@@ -241,7 +524,13 @@ func (o *Origin) ChunkList(_ context.Context, id string) (*media.ChunkList, erro
 // them.
 //
 //livesim:hotpath
-func (o *Origin) ChunkListRaw(_ context.Context, id string) (hls.RawChunkList, error) {
+func (o *Origin) ChunkListRaw(ctx context.Context, id string) (hls.RawChunkList, error) {
+	if err := ctx.Err(); err != nil {
+		return hls.RawChunkList{}, err
+	}
+	if o.crashed.Load() {
+		return hls.RawChunkList{}, ErrOriginDown
+	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	st, ok := o.streams[id]
@@ -255,8 +544,15 @@ func (o *Origin) ChunkListRaw(_ context.Context, id string) (hls.RawChunkList, e
 	return hls.RawChunkList{Version: st.list.Version, Data: st.listRaw}, nil
 }
 
-// Chunk implements hls.Store.
-func (o *Origin) Chunk(_ context.Context, id string, seq uint64) (*media.Chunk, error) {
+// Chunk implements hls.Store. Like ChunkList, it honors cancellation before
+// lock acquisition and answers ErrOriginDown while crashed.
+func (o *Origin) Chunk(ctx context.Context, id string, seq uint64) (*media.Chunk, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if o.crashed.Load() {
+		return nil, ErrOriginDown
+	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	st, ok := o.streams[id]

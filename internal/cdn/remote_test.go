@@ -41,8 +41,8 @@ func TestEdgePullsOverHTTP(t *testing.T) {
 		t.Fatalf("chunk = seq %d, %d frames", c.Seq, len(c.Frames))
 	}
 	// Chunks were copied during the list pull: the fetch above was a hit.
-	if edge.Stats().ChunkHits != 1 {
-		t.Fatalf("ChunkHits = %d", edge.Stats().ChunkHits)
+	if edge.m.chunkHits.Value() != 1 {
+		t.Fatalf("ChunkHits = %d", edge.m.chunkHits.Value())
 	}
 
 	// A second edge, served BY the first edge over HTTP: the gateway

@@ -118,7 +118,7 @@ func TestEdgePollStampedeSingleFlight(t *testing.T) {
 	if n := g.listCalls.Load(); n != 1 {
 		t.Fatalf("upstream list pulls = %d, want 1 (stampede not collapsed)", n)
 	}
-	if n := e.Stats().ListPulls; n != 1 {
+	if n := e.m.listPulls.Value(); n != 1 {
 		t.Fatalf("edge ListPulls = %d, want 1", n)
 	}
 	n := 0
@@ -169,10 +169,10 @@ func TestEdgeServesStaleWhenUpstreamDown(t *testing.T) {
 			t.Fatalf("poll %d version = %d, want stale %d", i, cl.Version, first.Version)
 		}
 	}
-	if n := e.Stats().StaleServes; n < 5 {
+	if n := e.m.staleServes.Value(); n < 5 {
 		t.Fatalf("StaleServes = %d, want ≥ 5", n)
 	}
-	if n := e.Stats().PullRetries; n == 0 {
+	if n := e.m.pullRetries.Value(); n == 0 {
 		t.Fatal("no pull retries recorded while upstream was down")
 	}
 	// The breaker opened after the failure streak, so later polls failed
@@ -226,10 +226,10 @@ func TestEdgeChunkPullErrorLeavesStale(t *testing.T) {
 	if len(cl.Chunks) != 1 {
 		t.Fatalf("chunks = %d, want 1", len(cl.Chunks))
 	}
-	if n := e.Stats().ChunkPullErrors; n == 0 {
+	if n := e.m.chunkPullErrors.Value(); n == 0 {
 		t.Fatal("failed chunk copy not counted")
 	}
-	if n := e.Stats().ChunkPulls; n != 0 {
+	if n := e.m.chunkPulls.Value(); n != 0 {
 		t.Fatalf("ChunkPulls = %d, want 0", n)
 	}
 
@@ -239,10 +239,10 @@ func TestEdgeChunkPullErrorLeavesStale(t *testing.T) {
 	if _, err := e.ChunkList(ctx, "b1"); err != nil {
 		t.Fatal(err)
 	}
-	if n := e.Stats().ListPulls; n != 2 {
+	if n := e.m.listPulls.Value(); n != 2 {
 		t.Fatalf("ListPulls = %d, want 2 (stale entry must re-pull)", n)
 	}
-	if n := e.Stats().ChunkPulls; n != 1 {
+	if n := e.m.chunkPulls.Value(); n != 1 {
 		t.Fatalf("ChunkPulls = %d, want 1 after retry", n)
 	}
 	// Now the list is complete and fresh: the chunk serves from cache and
@@ -250,13 +250,13 @@ func TestEdgeChunkPullErrorLeavesStale(t *testing.T) {
 	if _, err := e.Chunk(ctx, "b1", 0); err != nil {
 		t.Fatal(err)
 	}
-	if n := e.Stats().ChunkHits; n != 1 {
+	if n := e.m.chunkHits.Value(); n != 1 {
 		t.Fatalf("ChunkHits = %d, want 1", n)
 	}
 	if _, err := e.ChunkList(ctx, "b1"); err != nil {
 		t.Fatal(err)
 	}
-	if n := e.Stats().ListHits; n != 1 {
+	if n := e.m.listHits.Value(); n != 1 {
 		t.Fatalf("ListHits = %d, want 1", n)
 	}
 }
@@ -278,7 +278,7 @@ func TestEdgeInvalidateCountsOnlyWhenMarkingStale(t *testing.T) {
 	// served must not count.
 	e.Invalidate("b1", 1)
 	e.Invalidate("nope", 1)
-	if n := e.Stats().Invalidates; n != 0 {
+	if n := e.m.invalidates.Value(); n != 0 {
 		t.Fatalf("Invalidates = %d before anything was cached, want 0", n)
 	}
 
@@ -289,7 +289,7 @@ func TestEdgeInvalidateCountsOnlyWhenMarkingStale(t *testing.T) {
 	// Stale version replays (re-delivered invalidations) must not count.
 	e.Invalidate("b1", cl.Version)
 	e.Invalidate("b1", cl.Version-1)
-	if n := e.Stats().Invalidates; n != 0 {
+	if n := e.m.invalidates.Value(); n != 0 {
 		t.Fatalf("Invalidates = %d after old-version replays, want 0", n)
 	}
 
@@ -297,7 +297,7 @@ func TestEdgeInvalidateCountsOnlyWhenMarkingStale(t *testing.T) {
 	// even when re-delivered.
 	e.Invalidate("b1", cl.Version+1)
 	e.Invalidate("b1", cl.Version+2)
-	if n := e.Stats().Invalidates; n != 1 {
+	if n := e.m.invalidates.Value(); n != 1 {
 		t.Fatalf("Invalidates = %d, want 1 (only the marking invalidation counts)", n)
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/hls"
+	"repro/internal/journal"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/resilience"
@@ -83,6 +84,11 @@ type TopologyConfig struct {
 	// instruments in (per-site labels keep the series apart); nil gives
 	// each component a private registry.
 	Metrics *metrics.Registry
+	// Journal provides each origin's write-ahead log backend, keyed by
+	// site ID — journal.NewMem for tests, journal.OpenFile for a real
+	// deployment. Nil (or a nil return for a site) disables journaling
+	// for that origin.
+	Journal func(siteID string) journal.Backend
 }
 
 // Build assembles a Topology.
@@ -100,11 +106,16 @@ func Build(cfg TopologyConfig) *Topology {
 		wrapUp:   cfg.WrapUpstream,
 	}
 	for _, site := range cfg.OriginSites {
+		var backend journal.Backend
+		if cfg.Journal != nil {
+			backend = cfg.Journal(site.ID)
+		}
 		t.Origins = append(t.Origins, NewOrigin(OriginConfig{
 			Site:          site,
 			ChunkDuration: cfg.ChunkDuration,
 			Retention:     cfg.Retention,
 			Metrics:       cfg.Metrics,
+			Journal:       backend,
 			RTMP: rtmp.ServerConfig{
 				ViewerCap: cfg.ViewerCap,
 				Auth:      cfg.Auth,
@@ -134,11 +145,19 @@ func Build(cfg TopologyConfig) *Topology {
 		}
 	}
 	for _, o := range t.Origins {
-		for _, e := range t.Edges {
-			o.RegisterEdge(e)
-		}
+		t.AttachEdges(o)
 	}
 	return t
+}
+
+// AttachEdges registers every edge with the origin for chunklist
+// invalidation. Build calls it at assembly; the restart path calls it again
+// after Recover, since a crash drops the origin's edge registrations along
+// with the rest of its volatile state.
+func (t *Topology) AttachEdges(o *Origin) {
+	for _, e := range t.Edges {
+		o.RegisterEdge(e)
+	}
 }
 
 // AssignBroadcast records that a broadcast is ingested at the given origin.

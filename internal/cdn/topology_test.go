@@ -176,8 +176,8 @@ func TestEdgeShedsWhenOverCapacity(t *testing.T) {
 	if sheds.Load() == 0 {
 		t.Fatal("no caller was shed despite 8 concurrent calls against MaxInflight=1")
 	}
-	if got := e.Stats().Sheds; got != sheds.Load() {
-		t.Fatalf("Stats().Sheds = %d, want %d", got, sheds.Load())
+	if got := e.m.sheds.Value(); got != sheds.Load() {
+		t.Fatalf("cdn_sheds_total = %d, want %d", got, sheds.Load())
 	}
 	if others.Load() != 0 {
 		t.Fatalf("%d callers saw non-shed errors", others.Load())
@@ -268,7 +268,7 @@ func TestRelayFallsBackToOriginWhenGatewayKilled(t *testing.T) {
 	if _, err := far.ChunkList(context.Background(), "b1"); err != nil {
 		t.Fatalf("relay pull: %v", err)
 	}
-	gwPulls := topo.Edges[0].Stats().ListPulls
+	gwPulls := topo.Edges[0].m.listPulls.Value()
 	if gwPulls == 0 {
 		t.Fatal("gateway never pulled — relay path not exercised")
 	}
@@ -280,7 +280,7 @@ func TestRelayFallsBackToOriginWhenGatewayKilled(t *testing.T) {
 	if _, err := far.ChunkList(context.Background(), "b1"); err != nil {
 		t.Fatalf("pull with killed gateway: %v, want direct-origin fallback", err)
 	}
-	if got := topo.Edges[0].Stats().ListPulls; got != gwPulls {
+	if got := topo.Edges[0].m.listPulls.Value(); got != gwPulls {
 		t.Fatalf("killed gateway pulled again (%d → %d)", gwPulls, got)
 	}
 }

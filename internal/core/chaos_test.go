@@ -264,13 +264,7 @@ func TestPlatformChaosSoak(t *testing.T) {
 	downCfg := upFaults.Config()
 	downCfg.ErrorRate = 1
 	upFaults.SetConfig(downCfg)
-	staleSum := func() int64 {
-		var n int64
-		for _, e := range p.Topo.Edges {
-			n += e.Stats().StaleServes
-		}
-		return n
-	}
+	staleSum := func() int64 { return counterSum(p, "cdn_stale_serves_total") }
 	staleBefore := staleSum()
 	waitFor(t, 5*time.Second, "stale serves while origin down", func() bool { return staleSum() > staleBefore })
 	// With the origin unreachable a direct poll must still succeed.

@@ -253,8 +253,8 @@ func TestPlatformFleetChaosSoak(t *testing.T) {
 	if burstSheds.Load() == 0 {
 		t.Fatalf("overload burst produced no sheds (ok=%d)", burstOK.Load())
 	}
-	if failoverEdge.Stats().Sheds == 0 {
-		t.Fatal("edge Sheds counter never moved during the overload phase")
+	if metricCounter(p, "cdn_sheds_total", failoverEdge.Site().ID) == 0 {
+		t.Fatal("edge cdn_sheds_total counter never moved during the overload phase")
 	}
 
 	// Phase 3 — drain the failover edge. It keeps serving but hints every

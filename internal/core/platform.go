@@ -19,6 +19,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/health"
 	"repro/internal/hls"
+	"repro/internal/journal"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/pubsub"
@@ -77,6 +78,11 @@ type PlatformConfig struct {
 	// instruments in; nil means NewPlatform creates one. Start serves it
 	// at /metrics (typed snapshot) and /debug/vars (flat expvar-style map).
 	Metrics *metrics.Registry
+	// Journal provides each origin's write-ahead log backend keyed by site
+	// ID (journal.NewMem for tests, journal.OpenFile for deployments).
+	// Required for KillOrigin/RestartOrigin to recover broadcast state;
+	// nil disables origin journaling.
+	Journal func(siteID string) journal.Backend
 }
 
 // Platform is the assembled, runnable livestreaming service.
@@ -98,7 +104,10 @@ type Platform struct {
 	httpLn     net.Listener
 	httpSrv    *http.Server
 	cancel     context.CancelFunc
+	runCtx     context.Context // the Start context; RestartOrigin re-listens under it
 	started    bool
+
+	recovery *metrics.Histogram // origin_recovery_seconds
 }
 
 // NewPlatform wires the components; call Start to open sockets.
@@ -159,7 +168,9 @@ func NewPlatform(cfg PlatformConfig) *Platform {
 		EdgeQueueWait:      cfg.EdgeQueueWait,
 		EdgeShedRetryAfter: cfg.EdgeShedRetryAfter,
 		Metrics:            p.metrics,
+		Journal:            cfg.Journal,
 	})
+	p.recovery = p.metrics.Histogram("origin_recovery_seconds", recoveryBuckets)
 	for _, o := range p.Topo.Origins {
 		p.originByID[o.Site().ID] = o
 	}
@@ -214,6 +225,9 @@ func (p *Platform) heartbeats(ctx context.Context) {
 		case <-ticker.C:
 		}
 		for _, o := range p.Topo.Origins {
+			if o.Killed() {
+				continue
+			}
 			p.Health.Heartbeat(healthNodeID(cdn.RoleOrigin, o.Site().ID))
 		}
 		for _, e := range p.Topo.Edges {
@@ -223,6 +237,97 @@ func (p *Platform) heartbeats(ctx context.Context) {
 			p.Health.Heartbeat(healthNodeID(cdn.RoleEdge, e.Site().ID))
 		}
 	}
+}
+
+// recoveryBuckets resolve origin crash-recovery time: journal replay plus
+// re-listen, expected in the milliseconds for in-memory backends and tens of
+// milliseconds for file-backed journals of realistic size.
+var recoveryBuckets = []time.Duration{
+	time.Millisecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	time.Second,
+	5 * time.Second,
+}
+
+// OriginByID returns the origin at the given site, or nil.
+func (p *Platform) OriginByID(siteID string) *cdn.Origin {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.originByID[siteID]
+}
+
+// KillOrigin crashes an origin process: its RTMP server aborts (publishers
+// and viewers see a dead transport, never a clean end), its journal writer
+// drains what was already acknowledged, its volatile broadcast state is
+// dropped, and it stops heartbeating — so the detector walks it healthy →
+// suspect → down and assignment routing skips it. Broadcast records at the
+// control plane stay live: the broadcast is interrupted, not ended.
+func (p *Platform) KillOrigin(siteID string) error {
+	o := p.OriginByID(siteID)
+	if o == nil {
+		return fmt.Errorf("core: no origin %q", siteID)
+	}
+	o.Crash()
+	return nil
+}
+
+// RestartOrigin recovers a crashed origin: journal replay rehydrates every
+// live broadcast and sealed chunk (damaged tails are discarded), the fresh
+// RTMP server re-listens — on the previous address when the port is still
+// free, an ephemeral one otherwise — edges re-register for invalidation,
+// and heartbeats resume so the health detector walks it back to healthy.
+// The wall-clock cost lands in the origin_recovery_seconds histogram.
+func (p *Platform) RestartOrigin(siteID string) error {
+	o := p.OriginByID(siteID)
+	if o == nil {
+		return fmt.Errorf("core: no origin %q", siteID)
+	}
+	if !o.Killed() {
+		return nil
+	}
+	start := time.Now()
+	o.Recover()
+	p.mu.Lock()
+	ctx := p.runCtx
+	prevAddr := p.rtmpAddrs[siteID]
+	prevTLS := p.rtmpsAddrs[siteID]
+	p.mu.Unlock()
+	if ctx == nil {
+		return fmt.Errorf("core: platform not started")
+	}
+	srv := o.RTMP()
+	ln, err := srv.Listen(ctx, prevAddr)
+	if err != nil {
+		// The old port may still be in TIME_WAIT or taken; an ephemeral
+		// port works because the control plane re-resolves addresses on
+		// every assignment.
+		if ln, err = srv.Listen(ctx, "127.0.0.1:0"); err != nil {
+			return fmt.Errorf("core: origin %s re-listen: %w", siteID, err)
+		}
+	}
+	p.mu.Lock()
+	p.rtmpAddrs[siteID] = ln.Addr().String()
+	p.mu.Unlock()
+	if p.tlsCreds != nil && prevTLS != "" {
+		tln, err := srv.ListenTLS(ctx, prevTLS, p.tlsCreds.ServerConfig())
+		if err != nil {
+			if tln, err = srv.ListenTLS(ctx, "127.0.0.1:0", p.tlsCreds.ServerConfig()); err != nil {
+				return fmt.Errorf("core: origin %s rtmps re-listen: %w", siteID, err)
+			}
+		}
+		p.mu.Lock()
+		p.rtmpsAddrs[siteID] = tln.Addr().String()
+		p.mu.Unlock()
+	}
+	p.Topo.AttachEdges(o)
+	p.Health.Heartbeat(healthNodeID(cdn.RoleOrigin, siteID))
+	p.recovery.Observe(time.Since(start))
+	return nil
 }
 
 // EdgeByID returns the edge at the given site, or nil.
@@ -352,7 +457,10 @@ func (p *Platform) Start(ctx context.Context) error {
 	p.mu.Unlock()
 
 	ctx, cancel := context.WithCancel(ctx)
+	p.mu.Lock()
 	p.cancel = cancel
+	p.runCtx = ctx
+	p.mu.Unlock()
 
 	for _, o := range p.Topo.Origins {
 		ln, err := o.RTMP().Listen(ctx, "127.0.0.1:0")
@@ -427,7 +535,9 @@ func (p *Platform) Stop() {
 		srv.Close()
 	}
 	for _, o := range p.Topo.Origins {
-		o.RTMP().Close()
+		// Close (not RTMP().Close()) also drains the origin's journal
+		// writer, so everything acknowledged before shutdown is durable.
+		o.Close()
 	}
 }
 

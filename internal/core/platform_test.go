@@ -22,6 +22,29 @@ func smallSites() ([]geo.Datacenter, []geo.Datacenter) {
 	return []geo.Datacenter{w[0], w[4]}, []geo.Datacenter{f[8], f[16], f[11]}
 }
 
+// metricCounter reads one labelled counter series from the platform registry
+// — the way tests observe per-site CDN counters now that edges expose no
+// bespoke stats snapshot.
+func metricCounter(p *Platform, name, site string) int64 {
+	for _, c := range p.Metrics().Snapshot().Counters {
+		if c.Name == name && c.Labels["site"] == site {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// counterSum totals a counter across every site label.
+func counterSum(p *Platform, name string) int64 {
+	var n int64
+	for _, c := range p.Metrics().Snapshot().Counters {
+		if c.Name == name {
+			n += c.Value
+		}
+	}
+	return n
+}
+
 func startPlatform(t *testing.T, cfg PlatformConfig) *Platform {
 	t.Helper()
 	if cfg.OriginSites == nil {

@@ -19,9 +19,21 @@ import (
 var Ctxplumb = &analysis.Analyzer{
 	Name: "ctxplumb",
 	Doc: "flags context-free HTTP request construction (http.Get/Post/" +
-		"NewRequest) and context.Background()/TODO() inside functions that " +
-		"already have a context to derive from",
+		"NewRequest), context.Background()/TODO() inside functions that " +
+		"already have a context to derive from, and (in CDN data-plane " +
+		"packages) functions that declare a context.Context as _",
 	Run: runCtxplumb,
+}
+
+// ctxIgnoredPackages (by final import-path element) are the CDN data-plane
+// packages where every function that accepts a context must actually consult
+// it: a request-path method that blanks its context (`_ context.Context`)
+// cannot honor cancellation before lock acquisition, which is how a dead
+// origin turns polls into pile-ups. Origin.ChunkList ignoring its context —
+// fixed alongside crash recovery — is the motivating defect.
+var ctxIgnoredPackages = map[string]bool{
+	"cdn": true,
+	"hls": true,
 }
 
 // ctxFreeHTTP maps the context-free constructors to their replacements.
@@ -34,7 +46,16 @@ var ctxFreeHTTP = map[string]string{
 }
 
 func runCtxplumb(pass *analysis.Pass) (interface{}, error) {
+	checkIgnored := ctxIgnoredPackages[pathBase(pass.Pkg.Path())]
 	for _, file := range pass.Files {
+		if checkIgnored {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if ok {
+					reportIgnoredCtx(pass, fd)
+				}
+			}
+		}
 		// Walk with a full node stack (ast.Inspect delivers nil when
 		// leaving a node, matching each push with a pop) so the
 		// Background/TODO check can ask whether an enclosing function has a
@@ -79,6 +100,28 @@ func runCtxplumb(pass *analysis.Pass) (interface{}, error) {
 		ast.Inspect(file, walk)
 	}
 	return nil, nil
+}
+
+// reportIgnoredCtx flags a function that declares a context.Context
+// parameter as the blank identifier. Accepting a context and discarding it
+// is worse than not accepting one: callers assume cancellation works.
+func reportIgnoredCtx(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				pass.Reportf(name.Pos(),
+					"%s declares a context.Context it ignores (_); honor cancellation (ctx.Err() before lock acquisition) or thread it to callees",
+					fd.Name.Name)
+			}
+		}
+	}
 }
 
 // enclosingHasContext reports whether any function on the stack (innermost

@@ -36,6 +36,12 @@ func TestCtxplumb(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.Ctxplumb, "ctxplumb")
 }
 
+// TestCtxplumbIgnoredCtx: in the CDN data-plane packages (matched by final
+// import-path element) a function may not blank its context parameter.
+func TestCtxplumbIgnoredCtx(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Ctxplumb, "cdn")
+}
+
 // TestAllowDirectives drives lint.Run over the directives fixture and checks
 // the suppression contract: a reasoned //lint:allow <analyzer> silences that
 // analyzer on the next line; a directive naming an unknown analyzer or

@@ -1,0 +1,34 @@
+// Fixture for ctxplumb's ignored-context check, which is scoped to the CDN
+// data-plane packages: a request-path function that declares a context it
+// never consults cannot honor cancellation before acquiring locks.
+package cdn
+
+import (
+	"context"
+	"sync"
+)
+
+type store struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *store) chunkListBad(_ context.Context, id string) int { // want `chunkListBad declares a context\.Context it ignores`
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n + len(id)
+}
+
+func freeFuncBad(_ context.Context) {} // want `freeFuncBad declares a context\.Context it ignores`
+
+func (s *store) chunkListGood(ctx context.Context, id string) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n + len(id), nil
+}
+
+// noCtx takes no context at all — nothing to flag.
+func noCtx(id string) int { return len(id) }

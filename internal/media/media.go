@@ -137,6 +137,15 @@ func (ck *Chunker) flush() *Chunk {
 // FramesPerChunkCount exposes the configured chunk size in frames.
 func (ck *Chunker) FramesPerChunkCount() int { return ck.perChunk }
 
+// SkipTo advances the next chunk sequence to at least seq. A recovering
+// origin calls it after journal replay so chunks sealed post-restart continue
+// the pre-crash numbering instead of restarting from 0.
+func (ck *Chunker) SkipTo(seq uint64) {
+	if seq > ck.next {
+		ck.next = seq
+	}
+}
+
 // Encoder synthesizes a frame stream with a realistic size profile: a
 // configurable bitrate, periodic keyframes several times larger than delta
 // frames, and lognormal size variation.

@@ -7,6 +7,8 @@ import (
 	"repro/internal/geo"
 	"repro/internal/rng"
 	"repro/internal/stats"
+
+	"repro/internal/testutil"
 )
 
 func locs() (geo.Location, geo.Location, geo.Location) {
@@ -17,6 +19,7 @@ func locs() (geo.Location, geo.Location, geo.Location) {
 }
 
 func TestPropagationScalesWithDistance(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	m := NewModel(Params{}, rng.New(1))
 	a, sj, syd := locs()
 	near := m.Propagation(a, sj)
@@ -35,6 +38,7 @@ func TestPropagationScalesWithDistance(t *testing.T) {
 }
 
 func TestPropagationSelf(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	m := NewModel(Params{}, rng.New(1))
 	a, _, _ := locs()
 	d := m.Propagation(a, a)
@@ -44,6 +48,7 @@ func TestPropagationSelf(t *testing.T) {
 }
 
 func TestOneWayJitterDistribution(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	m := NewModel(Params{}, rng.New(2))
 	a, sj, _ := locs()
 	base := m.Propagation(a, sj)
@@ -66,6 +71,7 @@ func TestOneWayJitterDistribution(t *testing.T) {
 }
 
 func TestRTTGreaterThanOneWay(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	m := NewModel(Params{}, rng.New(3))
 	a, _, syd := locs()
 	for i := 0; i < 100; i++ {
@@ -76,6 +82,7 @@ func TestRTTGreaterThanOneWay(t *testing.T) {
 }
 
 func TestTransferGrowsWithSize(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	m := NewModel(Params{JitterSigma: 1e-9}, rng.New(4))
 	a, sj, _ := locs()
 	small := m.Transfer(a, sj, 1_000)
@@ -90,6 +97,7 @@ func TestTransferGrowsWithSize(t *testing.T) {
 }
 
 func TestLastMileProfilesOrdered(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	m := NewModel(Params{}, rng.New(5))
 	mean := func(p AccessProfile) float64 {
 		var sum float64
@@ -105,6 +113,7 @@ func TestLastMileProfilesOrdered(t *testing.T) {
 }
 
 func TestLastMilePositive(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	m := NewModel(Params{}, rng.New(6))
 	for i := 0; i < 1000; i++ {
 		if m.LastMile(Congested, 100000) <= 0 {
@@ -114,6 +123,7 @@ func TestLastMilePositive(t *testing.T) {
 }
 
 func TestBurstyFraction(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	m := NewModel(Params{}, rng.New(7))
 	p := DefaultUploadPattern()
 	n := 0
@@ -130,6 +140,7 @@ func TestBurstyFraction(t *testing.T) {
 }
 
 func TestBurstHoldMean(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	m := NewModel(Params{}, rng.New(8))
 	p := DefaultUploadPattern()
 	var sum time.Duration
@@ -144,6 +155,7 @@ func TestBurstHoldMean(t *testing.T) {
 }
 
 func TestModelDeterminism(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	a, _, syd := locs()
 	m1 := NewModel(Params{}, rng.New(9))
 	m2 := NewModel(Params{}, rng.New(9))
@@ -155,6 +167,7 @@ func TestModelDeterminism(t *testing.T) {
 }
 
 func TestDefaultsFilled(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	m := NewModel(Params{FiberKmPerMs: 100}, rng.New(10))
 	if m.p.FiberKmPerMs != 100 {
 		t.Fatal("explicit param overwritten")

@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/rng"
+
+	"repro/internal/testutil"
 )
 
 func normLoc(lat, lon float64) geo.Location {
@@ -23,6 +25,7 @@ func normLoc(lat, lon float64) geo.Location {
 // deterministic propagation component is symmetric and triangle-bounded by
 // the direct great-circle path (route inflation applies uniformly).
 func TestModelDelayProperties(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	m := NewModel(Params{}, rng.New(99))
 	f := func(lat1, lon1, lat2, lon2 float64, size uint16) bool {
 		a, b := normLoc(lat1, lon1), normLoc(lat2, lon2)
@@ -46,6 +49,7 @@ func TestModelDelayProperties(t *testing.T) {
 // Property: last-mile delay is positive for every profile and grows with
 // payload size in expectation.
 func TestLastMileProperties(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	m := NewModel(Params{}, rng.New(100))
 	for _, p := range []AccessProfile{WiFi, LTE, Congested} {
 		var small, large float64

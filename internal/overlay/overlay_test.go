@@ -7,6 +7,8 @@ import (
 	"repro/internal/geo"
 	"repro/internal/netsim"
 	"repro/internal/rng"
+
+	"repro/internal/testutil"
 )
 
 func buildDefault() *Tree {
@@ -15,6 +17,7 @@ func buildDefault() *Tree {
 }
 
 func TestBuildStructure(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	tr := buildDefault()
 	if err := tr.Validate(); err != nil {
 		t.Fatal(err)
@@ -29,6 +32,7 @@ func TestBuildStructure(t *testing.T) {
 }
 
 func TestJoinInstallsPath(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	tr := buildDefault()
 	tokyo := geo.Location{City: "Tokyo", Lat: 35.68, Lon: 139.69}
 	p := tr.Join(tokyo)
@@ -44,6 +48,7 @@ func TestJoinInstallsPath(t *testing.T) {
 }
 
 func TestOriginFanoutBoundedByHubs(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	tr := buildDefault()
 	cities := geo.CityCatalog()
 	// 10,000 viewers across the globe.
@@ -57,6 +62,7 @@ func TestOriginFanoutBoundedByHubs(t *testing.T) {
 }
 
 func TestLeavePrunes(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	tr := buildDefault()
 	tokyo := geo.Location{City: "Tokyo", Lat: 35.68, Lon: 139.69}
 	p1 := tr.Join(tokyo)
@@ -78,6 +84,7 @@ func TestLeavePrunes(t *testing.T) {
 }
 
 func TestTotalForwardsCountsEdgesAndViewers(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	tr := buildDefault()
 	tokyo := geo.Location{City: "Tokyo", Lat: 35.68, Lon: 139.69}
 	ny := geo.Location{City: "New York", Lat: 40.71, Lon: -74.01}
@@ -93,6 +100,7 @@ func TestTotalForwardsCountsEdgesAndViewers(t *testing.T) {
 }
 
 func TestDeliveryDelayBetweenRTMPAndHLS(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	// §8's promise: near-RTMP latency at HLS-like origin cost. The tree
 	// delay must be way below HLS's ~11.7 s and in the same order as
 	// RTMP's transport delay.
@@ -114,6 +122,7 @@ func TestDeliveryDelayBetweenRTMPAndHLS(t *testing.T) {
 }
 
 func TestBuildSingleContinent(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	w := geo.WowzaSites()[0]
 	var na []geo.Datacenter
 	for _, s := range geo.FastlySites() {

@@ -5,12 +5,15 @@ import (
 	"testing/quick"
 
 	"repro/internal/geo"
+
+	"repro/internal/testutil"
 )
 
 // Property: after any sequence of joins and leaves, (a) origin fan-out never
 // exceeds the hub count, (b) total forwards equals active tree edges plus
 // attached viewers, and (c) leaving everyone returns the tree to zero state.
 func TestJoinLeaveInvariantsProperty(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	cities := geo.CityCatalog()
 	f := func(joinIdx []uint8, leaveOrder []uint8) bool {
 		tr := Build(geo.WowzaSites()[0], geo.FastlySites())

@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"repro/internal/rng"
+
+	"repro/internal/testutil"
 )
 
 var t0 = time.Date(2015, 5, 15, 0, 0, 0, 0, time.UTC)
@@ -25,12 +27,14 @@ func regular(n int, dur time.Duration) []Item {
 }
 
 func TestEmptyInput(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	if r := Simulate(nil, Config{}); r.Played != 0 || r.StallRatio != 0 {
 		t.Fatalf("empty result = %+v", r)
 	}
 }
 
 func TestSmoothStreamNoBufferNoStall(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	items := regular(100, 40*time.Millisecond)
 	r := Simulate(items, Config{PreBuffer: 0})
 	if r.StallRatio != 0 {
@@ -45,6 +49,7 @@ func TestSmoothStreamNoBufferNoStall(t *testing.T) {
 }
 
 func TestPreBufferAddsDelay(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	items := regular(100, 40*time.Millisecond)
 	r0 := Simulate(items, Config{PreBuffer: 0})
 	r1 := Simulate(items, Config{PreBuffer: time.Second})
@@ -62,6 +67,7 @@ func TestPreBufferAddsDelay(t *testing.T) {
 }
 
 func TestJitteredStreamStallsWithoutBuffer(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	src := rng.New(3)
 	items := make([]Item, 200)
 	for i := range items {
@@ -83,6 +89,7 @@ func TestJitteredStreamStallsWithoutBuffer(t *testing.T) {
 }
 
 func TestLateItemDropped(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	items := regular(10, time.Second)
 	// Item 5 arrives 3 s late: scheduled at t0+5s, arrives t0+8s.
 	items[5].ArriveAt = t0.Add(8 * time.Second)
@@ -96,6 +103,7 @@ func TestLateItemDropped(t *testing.T) {
 }
 
 func TestOutOfOrderArrivalsBySeq(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	items := regular(10, time.Second)
 	// Shuffle arrival order but keep everything early enough to play.
 	items[2], items[7] = items[7], items[2]
@@ -109,6 +117,7 @@ func TestOutOfOrderArrivalsBySeq(t *testing.T) {
 }
 
 func TestShortBroadcastSmallerThanPreBuffer(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	items := regular(3, time.Second) // 3 s of content, 9 s pre-buffer
 	r := Simulate(items, Config{PreBuffer: 9 * time.Second})
 	if r.Played != 3 || r.Dropped != 0 {
@@ -120,6 +129,7 @@ func TestShortBroadcastSmallerThanPreBuffer(t *testing.T) {
 }
 
 func TestPaperTradeoffMonotonicity(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	// The §6 claim in miniature: larger P monotonically lowers stalls
 	// and raises delay on a jittery chunk stream.
 	src := rng.New(11)
@@ -144,6 +154,7 @@ func TestPaperTradeoffMonotonicity(t *testing.T) {
 }
 
 func TestMaxDelayAtLeastMean(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	items := regular(50, 40*time.Millisecond)
 	r := Simulate(items, Config{PreBuffer: 500 * time.Millisecond})
 	if r.MaxBufferingDelay < r.MeanBufferingDelay {
@@ -154,6 +165,7 @@ func TestMaxDelayAtLeastMean(t *testing.T) {
 // Property: stall ratio is always in [0,1], played+dropped = n, and delays
 // are non-negative.
 func TestInvariantsProperty(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	f := func(arrivalOffsets []int16, preBufferMs uint16) bool {
 		if len(arrivalOffsets) == 0 {
 			return true
@@ -182,6 +194,7 @@ func TestInvariantsProperty(t *testing.T) {
 
 // Property: increasing pre-buffer never increases the stall ratio.
 func TestPreBufferMonotoneProperty(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	f := func(seed uint64) bool {
 		src := rng.New(seed)
 		items := make([]Item, 60)

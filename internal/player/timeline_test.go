@@ -3,6 +3,8 @@ package player
 import (
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 func mkVideo(n int, dur, playDelay time.Duration) []VideoItem {
@@ -20,12 +22,14 @@ func mkVideo(n int, dur, playDelay time.Duration) []VideoItem {
 }
 
 func TestMergeTimelineEmpty(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	if got := MergeTimeline(nil, []Message{{Kind: EventHeart}}); got != nil {
 		t.Fatalf("merge without video = %v", got)
 	}
 }
 
 func TestMergeAlignsMessagesToItems(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	video := mkVideo(5, time.Second, 10*time.Second)
 	msgs := []Message{
 		{Kind: EventComment, StreamTime: t0.Add(1500 * time.Millisecond), UserID: "u1", Text: "hi"},
@@ -59,6 +63,7 @@ func TestMergeAlignsMessagesToItems(t *testing.T) {
 }
 
 func TestMergeClampsOutOfRangeMessages(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	video := mkVideo(3, time.Second, 0)
 	msgs := []Message{
 		{Kind: EventHeart, StreamTime: t0.Add(-time.Hour)}, // before stream
@@ -83,6 +88,7 @@ func TestMergeClampsOutOfRangeMessages(t *testing.T) {
 }
 
 func TestMergeOrderedByPlayTime(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	video := mkVideo(10, time.Second, 5*time.Second)
 	var msgs []Message
 	for i := 0; i < 20; i++ {
@@ -100,6 +106,7 @@ func TestMergeOrderedByPlayTime(t *testing.T) {
 }
 
 func TestMergeUnsortedVideoInput(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	video := mkVideo(4, time.Second, 0)
 	video[0], video[3] = video[3], video[0]
 	msgs := []Message{{Kind: EventComment, StreamTime: t0.Add(2500 * time.Millisecond)}}

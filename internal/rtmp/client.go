@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/clock"
@@ -26,17 +27,13 @@ func (e *ErrRejected) Error() string {
 	return fmt.Sprintf("rtmp: handshake rejected: %s (%s)", e.Status, e.Message)
 }
 
-func dialAndHandshake(ctx context.Context, addr string, hs wire.Handshake) (net.Conn, error) {
-	return dialAndHandshakeTLS(ctx, addr, hs, nil, nil, 0)
-}
-
 // dialAndHandshakeTLS opens the session over TLS when tlsCfg is non-nil —
 // the RTMPS variant Periscope reserves for private broadcasts (§7.2). A
 // non-nil wrap intercepts the raw connection (fault injection harnesses).
 // A positive timeout bounds the dial plus the handshake round-trip: without
 // it a lost SYN or a stalled peer blocks the caller on kernel retransmit
 // backoff, which is fatal inside an auto-reconnect loop.
-func dialAndHandshakeTLS(ctx context.Context, addr string, hs wire.Handshake, tlsCfg *tls.Config, wrap func(net.Conn) net.Conn, timeout time.Duration) (net.Conn, error) {
+func dialAndHandshakeTLS(ctx context.Context, addr string, hs wire.Handshake, tlsCfg *tls.Config, wrap func(net.Conn) net.Conn, timeout time.Duration) (net.Conn, wire.Ack, error) {
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
@@ -52,7 +49,7 @@ func dialAndHandshakeTLS(ctx context.Context, addr string, hs wire.Handshake, tl
 		conn, err = d.DialContext(ctx, "tcp", addr)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("rtmp: dial %s: %w", addr, err)
+		return nil, wire.Ack{}, fmt.Errorf("rtmp: dial %s: %w", addr, err)
 	}
 	if wrap != nil {
 		conn = wrap(conn)
@@ -63,32 +60,32 @@ func dialAndHandshakeTLS(ctx context.Context, addr string, hs wire.Handshake, tl
 	m := wire.Message{Type: wire.MsgHandshake, Body: wire.MarshalHandshake(hs)}
 	if err := wire.WriteMessage(conn, m); err != nil {
 		conn.Close()
-		return nil, err
+		return nil, wire.Ack{}, err
 	}
 	reply, err := wire.ReadMessage(conn)
 	if err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("rtmp: reading handshake ack: %w", err)
+		return nil, wire.Ack{}, fmt.Errorf("rtmp: reading handshake ack: %w", err)
 	}
 	conn.SetDeadline(time.Time{})
 	if reply.Type != wire.MsgHandshakeAck {
 		conn.Close()
-		return nil, fmt.Errorf("rtmp: unexpected reply type %d", reply.Type)
+		return nil, wire.Ack{}, fmt.Errorf("rtmp: unexpected reply type %d", reply.Type)
 	}
 	ack, err := wire.UnmarshalAck(reply.Body)
 	if err != nil {
 		conn.Close()
-		return nil, err
+		return nil, wire.Ack{}, err
 	}
 	switch ack.Status {
 	case wire.StatusOK:
-		return conn, nil
+		return conn, ack, nil
 	case wire.StatusFull:
 		conn.Close()
-		return nil, ErrFull
+		return nil, ack, ErrFull
 	default:
 		conn.Close()
-		return nil, &ErrRejected{Status: ack.Status, Message: ack.Message}
+		return nil, ack, &ErrRejected{Status: ack.Status, Message: ack.Message}
 	}
 }
 
@@ -98,6 +95,10 @@ func dialAndHandshakeTLS(ctx context.Context, addr string, hs wire.Handshake, tl
 type Publisher struct {
 	conn   net.Conn
 	signer ed25519.PrivateKey
+	// resumeSeq is the server's replay floor from the handshake ack: the
+	// next frame sequence it expects. Nonzero only when reconnecting to a
+	// recovered origin.
+	resumeSeq uint64
 	// scratch is the reused frame-marshal buffer; Send frames into it so a
 	// steady 25 fps upload allocates nothing per frame on the unsigned path.
 	scratch []byte
@@ -113,14 +114,19 @@ func Publish(ctx context.Context, addr, broadcastID, token string, signer ed2551
 // non-nil — Periscope's private-broadcast transport and Facebook Live's
 // default (§7.2).
 func PublishTLS(ctx context.Context, addr, broadcastID, token string, signer ed25519.PrivateKey, tlsCfg *tls.Config) (*Publisher, error) {
-	conn, err := dialAndHandshakeTLS(ctx, addr, wire.Handshake{
+	conn, ack, err := dialAndHandshakeTLS(ctx, addr, wire.Handshake{
 		Role: wire.RoleBroadcaster, BroadcastID: broadcastID, Token: token,
 	}, tlsCfg, nil, 0)
 	if err != nil {
 		return nil, err
 	}
-	return &Publisher{conn: conn, signer: signer}, nil
+	return &Publisher{conn: conn, signer: signer, resumeSeq: ack.ResumeSeq}, nil
 }
+
+// ResumeSeq returns the next frame sequence the server asked for at
+// handshake time — zero for a fresh broadcast, the journal replay floor when
+// the server recovered this broadcast from a crash.
+func (p *Publisher) ResumeSeq() uint64 { return p.resumeSeq }
 
 // Send uploads one frame, signed when the publisher has a signing key.
 func (p *Publisher) Send(f *media.Frame) error {
@@ -164,11 +170,13 @@ type ReceivedFrame struct {
 
 // Viewer is a viewer-side RTMP session receiving pushed frames.
 type Viewer struct {
-	conn   net.Conn
-	frames chan ReceivedFrame
-	errc   chan error
-	pubKey ed25519.PublicKey
-	clk    clock.Clock
+	conn      net.Conn
+	frames    chan ReceivedFrame
+	errc      chan error
+	done      chan struct{}
+	closeOnce sync.Once
+	pubKey    ed25519.PublicKey
+	clk       clock.Clock
 }
 
 // ViewerOptions tune a Subscribe call.
@@ -201,7 +209,7 @@ func Subscribe(ctx context.Context, addr, broadcastID, token string, opts Viewer
 
 // SubscribeTLS opens a viewer session over RTMPS when tlsCfg is non-nil.
 func SubscribeTLS(ctx context.Context, addr, broadcastID, token string, opts ViewerOptions, tlsCfg *tls.Config) (*Viewer, error) {
-	conn, err := dialAndHandshakeTLS(ctx, addr, wire.Handshake{
+	conn, _, err := dialAndHandshakeTLS(ctx, addr, wire.Handshake{
 		Role: wire.RoleViewer, BroadcastID: broadcastID, Token: token, BufferMs: opts.BufferMs,
 	}, tlsCfg, opts.WrapConn, opts.DialTimeout)
 	if err != nil {
@@ -218,6 +226,7 @@ func SubscribeTLS(ctx context.Context, addr, broadcastID, token string, opts Vie
 		conn:   conn,
 		frames: make(chan ReceivedFrame, opts.Queue),
 		errc:   make(chan error, 1),
+		done:   make(chan struct{}),
 		pubKey: opts.PubKey,
 		clk:    clk,
 	}
@@ -260,7 +269,14 @@ func (v *Viewer) receiveLoop() {
 				continue
 			}
 			rf.Frame = f
-			v.frames <- rf
+			// Close must be able to unblock a receive loop stalled on a
+			// full frames queue — the conn close alone only interrupts the
+			// read, not this send.
+			select {
+			case v.frames <- rf:
+			case <-v.done:
+				return
+			}
 		}
 	}
 }
@@ -278,5 +294,9 @@ func (v *Viewer) Err() error {
 	}
 }
 
-// Close tears down the session.
-func (v *Viewer) Close() error { return v.conn.Close() }
+// Close tears down the session: it interrupts the blocking read and releases
+// a receive loop blocked on an undrained Frames channel.
+func (v *Viewer) Close() error {
+	v.closeOnce.Do(func() { close(v.done) })
+	return v.conn.Close()
+}

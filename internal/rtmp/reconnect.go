@@ -113,6 +113,13 @@ func (rv *ResilientViewer) run(ctx context.Context, v *Viewer, addr, broadcastID
 			}
 			var rej *ErrRejected
 			if errors.As(serr, &rej) {
+				if rej.Status == wire.StatusUnavailable {
+					// A recovered origin that is still waiting for its
+					// publisher: the broadcast is coming back, keep
+					// redialing with backoff.
+					err = serr
+					continue
+				}
 				if rej.Status == wire.StatusNotFound {
 					// The broadcast ended while we were disconnected —
 					// that is a normal end of stream, not a failure.

@@ -69,6 +69,17 @@ type ServerConfig struct {
 	Tap FrameTap
 	// OnEnd is called when a broadcast finishes; may be nil.
 	OnEnd func(broadcastID string)
+	// ResumeSeq, when set, supplies the next frame sequence the server
+	// expects from a broadcaster opening the given broadcast — a recovered
+	// origin returns its journal replay floor here so a reconnecting
+	// publisher resumes instead of restarting from zero. The value rides
+	// the OK ack's trailing ResumeSeq field; zero means "from the top".
+	ResumeSeq func(broadcastID string) uint64
+	// Pending, when set, reports a broadcast this server expects back
+	// shortly (recovered from the journal, publisher not yet returned).
+	// Viewers dialing such a broadcast are refused with StatusUnavailable —
+	// a retryable answer — instead of the terminal StatusNotFound.
+	Pending func(broadcastID string) bool
 	// ViewerQueue is the per-viewer outgoing frame queue length; a viewer
 	// that falls this far behind is disconnected (it would re-join via
 	// HLS in production). Zero means 256.
@@ -165,7 +176,9 @@ type Server struct {
 	mu         sync.Mutex
 	broadcasts map[string]*broadcast
 	lns        []net.Listener
+	conns      map[net.Conn]struct{}
 	closed     bool
+	aborted    bool
 	wg         sync.WaitGroup
 }
 
@@ -269,6 +282,7 @@ func NewServer(cfg ServerConfig) *Server {
 		cfg:        cfg,
 		m:          newServerMetrics(cfg.Metrics, cfg.MetricsLabels),
 		broadcasts: make(map[string]*broadcast),
+		conns:      make(map[net.Conn]struct{}),
 	}
 }
 
@@ -311,29 +325,44 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 			}
 			return fmt.Errorf("rtmp: accept: %w", err)
 		}
-		if !s.track() {
+		if !s.track(conn) {
 			conn.Close()
 			continue
 		}
 		go func() {
 			defer s.wg.Done()
+			defer s.untrack(conn)
 			s.handle(conn)
 		}()
 	}
 }
 
-// track registers one handler goroutine with the server's WaitGroup. The
-// mutex + closed check keep Add from racing Close's Wait: once Close has set
-// closed under the lock, no new handler can be added, so Wait only observes
-// a monotonically draining counter.
-func (s *Server) track() bool {
+// track registers one handler goroutine (and its connection) with the
+// server. The mutex + closed check keep Add from racing Close's Wait: once
+// Close has set closed under the lock, no new handler can be added, so Wait
+// only observes a monotonically draining counter. Tracking the connection
+// itself lets Abort sever every live session the way a process crash would.
+func (s *Server) track(conn net.Conn) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return false
 	}
 	s.wg.Add(1)
+	s.conns[conn] = struct{}{}
 	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+func (s *Server) isAborted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.aborted
 }
 
 // Listen starts serving on addr in a background goroutine and returns the
@@ -391,6 +420,60 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Abort simulates a process crash: listeners and every live connection are
+// torn down immediately, and no MsgEnd is sent to anyone — peers observe a
+// dead transport, exactly what killing the origin process would produce.
+// Close is the graceful sibling; Abort exists so fault injection can crash
+// an origin without leaking a clean end-of-broadcast to its viewers.
+func (s *Server) Abort() error {
+	s.mu.Lock()
+	s.closed = true
+	s.aborted = true
+	lns := append([]net.Listener(nil), s.lns...)
+	bs := make([]*broadcast, 0, len(s.broadcasts))
+	for _, b := range s.broadcasts {
+		bs = append(bs, b)
+	}
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	for _, ln := range lns {
+		if cerr := ln.Close(); err == nil {
+			err = cerr
+		}
+	}
+	for _, b := range bs {
+		s.abortBroadcast(b)
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// abortBroadcast is endBroadcast without the clean MsgEnd: viewer done
+// channels close so handler loops unwind, but nothing is queued — the
+// viewers' sockets are being severed, and a crash must not look like an end.
+func (s *Server) abortBroadcast(b *broadcast) {
+	b.mu.Lock()
+	if b.ended {
+		b.mu.Unlock()
+		return
+	}
+	b.ended = true
+	viewers := b.snapshot()
+	empty := make([]*viewerConn, 0)
+	b.viewers.Store(&empty)
+	b.mu.Unlock()
+	for _, v := range viewers {
+		v.close()
+	}
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	msg, err := wire.ReadMessage(conn)
@@ -441,7 +524,11 @@ func (s *Server) broadcastGone(broadcastID string) bool {
 }
 
 func (s *Server) ack(conn net.Conn, status, message string) {
-	m := wire.Message{Type: wire.MsgHandshakeAck, Body: wire.MarshalAck(wire.Ack{Status: status, Message: message})}
+	s.ackResume(conn, status, message, 0)
+}
+
+func (s *Server) ackResume(conn net.Conn, status, message string, resumeSeq uint64) {
+	m := wire.Message{Type: wire.MsgHandshakeAck, Body: wire.MarshalAck(wire.Ack{Status: status, Message: message, ResumeSeq: resumeSeq})}
 	if err := wire.WriteMessage(conn, m); err != nil {
 		s.cfg.Logf("rtmp ack: %v", err)
 	}
@@ -471,7 +558,11 @@ func (s *Server) handleBroadcaster(conn net.Conn, hs wire.Handshake) {
 			s.cfg.OnEnd(hs.BroadcastID)
 		}
 	}()
-	s.ack(conn, wire.StatusOK, "publishing")
+	var resume uint64
+	if s.cfg.ResumeSeq != nil {
+		resume = s.cfg.ResumeSeq(hs.BroadcastID)
+	}
+	s.ackResume(conn, wire.StatusOK, "publishing", resume)
 
 	for {
 		enc, err := wire.ReadEncoded(conn)
@@ -595,6 +686,13 @@ func (s *Server) handleViewer(conn net.Conn, hs wire.Handshake) {
 	b := s.broadcasts[hs.BroadcastID]
 	s.mu.Unlock()
 	if b == nil {
+		if s.cfg.Pending != nil && s.cfg.Pending(hs.BroadcastID) {
+			// The origin recovered this broadcast from its journal and is
+			// waiting for the publisher to return: a retryable refusal, not
+			// a terminal "gone".
+			s.ack(conn, wire.StatusUnavailable, "broadcast recovering; retry")
+			return
+		}
 		s.ack(conn, wire.StatusNotFound, "no such broadcast")
 		return
 	}
@@ -645,6 +743,11 @@ func (s *Server) handleViewer(conn net.Conn, hs wire.Handshake) {
 		case <-hangup:
 			return
 		case <-v.done:
+			if s.isAborted() {
+				// Crashing: the socket is being severed; no flush, and
+				// critically no clean MsgEnd.
+				return
+			}
 			// Flush anything already queued, then end.
 			for {
 				select {

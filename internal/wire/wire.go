@@ -44,6 +44,11 @@ const (
 	StatusFull      = "full" // RTMP viewer cap reached: fall back to HLS
 	StatusNotFound  = "not-found"
 	StatusDuplicate = "duplicate-broadcaster"
+	// StatusUnavailable is a retryable refusal: the broadcast is expected
+	// back shortly (its origin just restarted and the publisher has not
+	// reconnected yet), so clients should back off and redial rather than
+	// treat the stream as gone.
+	StatusUnavailable = "unavailable"
 )
 
 // MaxBody bounds message bodies against malicious length prefixes.
@@ -67,6 +72,12 @@ type Handshake struct {
 type Ack struct {
 	Status  string
 	Message string
+	// ResumeSeq is the next frame sequence the server expects from a
+	// broadcaster — nonzero when a recovered origin tells a reconnecting
+	// publisher where to resume (frames below it are already durable). It
+	// rides the encoding as an optional trailing field, so peers without it
+	// interoperate.
+	ResumeSeq uint64
 }
 
 // Message is one framed protocol unit.
@@ -288,21 +299,33 @@ func UnmarshalHandshake(data []byte) (Handshake, error) {
 	return h, nil
 }
 
-// MarshalAck encodes an Ack body.
+// MarshalAck encodes an Ack body. The ResumeSeq field is appended only when
+// nonzero, keeping the base encoding byte-identical to the pre-resume wire
+// form.
 func MarshalAck(a Ack) []byte {
 	buf := appendString(nil, a.Status)
-	return appendString(buf, a.Message)
+	buf = appendString(buf, a.Message)
+	if a.ResumeSeq != 0 {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], a.ResumeSeq)
+		buf = append(buf, b[:]...)
+	}
+	return buf
 }
 
-// UnmarshalAck decodes an Ack body.
+// UnmarshalAck decodes an Ack body. A missing trailing ResumeSeq decodes as
+// zero (an old peer, or a stream with nothing to resume).
 func UnmarshalAck(data []byte) (Ack, error) {
 	var a Ack
 	var err error
 	if a.Status, data, err = readString(data); err != nil {
 		return a, fmt.Errorf("wire: ack status: %w", err)
 	}
-	if a.Message, _, err = readString(data); err != nil {
+	if a.Message, data, err = readString(data); err != nil {
 		return a, fmt.Errorf("wire: ack message: %w", err)
+	}
+	if len(data) >= 8 {
+		a.ResumeSeq = binary.BigEndian.Uint64(data)
 	}
 	return a, nil
 }

@@ -87,6 +87,29 @@ func TestAckErrors(t *testing.T) {
 	}
 }
 
+// TestAckResumeSeq: the optional trailing resume sequence round-trips, its
+// absence decodes as zero, and an old-style ack (no trailing field) still
+// parses.
+func TestAckResumeSeq(t *testing.T) {
+	a := Ack{Status: StatusOK, Message: "publishing", ResumeSeq: 1501}
+	got, err := UnmarshalAck(MarshalAck(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", got, a)
+	}
+	base := MarshalAck(Ack{Status: StatusOK, Message: "publishing"})
+	withSeq := MarshalAck(a)
+	if !bytes.Equal(withSeq[:len(base)], base) {
+		t.Fatal("resume encoding is not a strict extension of the base ack")
+	}
+	got, err = UnmarshalAck(base)
+	if err != nil || got.ResumeSeq != 0 {
+		t.Fatalf("base ack decoded as %+v (err %v), want ResumeSeq 0", got, err)
+	}
+}
+
 func TestSignedFrameRoundtrip(t *testing.T) {
 	frame := []byte("frame-bytes")
 	sig := bytes.Repeat([]byte{7}, SignatureSize)

@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/social"
 	"repro/internal/stats"
+
+	"repro/internal/testutil"
 )
 
 // testFollowers builds a small follower-count array with a heavy tail.
@@ -25,6 +27,7 @@ func genSmall(t *testing.T) *Dataset {
 }
 
 func TestPeriscopeTotalsMatchScaledPaper(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	ds := genSmall(t)
 	// Paper: 19.6M broadcasts at 1:1000 → ≈19.6K.
 	n := len(ds.Broadcasts)
@@ -43,6 +46,7 @@ func TestPeriscopeTotalsMatchScaledPaper(t *testing.T) {
 }
 
 func TestPeriscopeGrowthTriples(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	ds := genSmall(t)
 	firstWeek, lastWeek := 0, 0
 	for d := 0; d < 7; d++ {
@@ -57,6 +61,7 @@ func TestPeriscopeGrowthTriples(t *testing.T) {
 }
 
 func TestMeerkatDecline(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	p := Meerkat(10) // 1:10 scale ≈ 16K broadcasts for a stable signal
 	ds := Generate(p, nil, 7)
 	firstWeek, lastWeek := 0, 0
@@ -72,6 +77,7 @@ func TestMeerkatDecline(t *testing.T) {
 }
 
 func TestWeeklyPattern(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	p := Periscope(100)
 	// Compare average Monday rate to average weekend rate from the model
 	// itself (deterministic, no sampling noise).
@@ -92,6 +98,7 @@ func TestWeeklyPattern(t *testing.T) {
 }
 
 func TestAndroidLaunchJump(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	p := Periscope(100)
 	before := p.DailyRate(p.AndroidLaunchDay - 1)
 	after := p.DailyRate(p.AndroidLaunchDay + 1)
@@ -104,6 +111,7 @@ func TestAndroidLaunchJump(t *testing.T) {
 }
 
 func TestDurationCDF(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	ds := genSmall(t)
 	var durs []float64
 	for _, b := range ds.Broadcasts {
@@ -121,6 +129,7 @@ func TestDurationCDF(t *testing.T) {
 }
 
 func TestMeerkatZeroViewerShare(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	ds := Generate(Meerkat(10), nil, 9)
 	zero := 0
 	for _, b := range ds.Broadcasts {
@@ -136,6 +145,7 @@ func TestMeerkatZeroViewerShare(t *testing.T) {
 }
 
 func TestPeriscopeViewersMostlyNonZero(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	ds := genSmall(t)
 	zero := 0
 	for _, b := range ds.Broadcasts {
@@ -149,6 +159,7 @@ func TestPeriscopeViewersMostlyNonZero(t *testing.T) {
 }
 
 func TestViewerHeavyTail(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	ds := genSmall(t)
 	var views []float64
 	for _, b := range ds.Broadcasts {
@@ -165,6 +176,7 @@ func TestViewerHeavyTail(t *testing.T) {
 }
 
 func TestEngagementShape(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	ds := genSmall(t)
 	withHearts, over1kHearts, withComments := 0, 0, 0
 	var maxHearts int32
@@ -201,6 +213,7 @@ func TestEngagementShape(t *testing.T) {
 }
 
 func TestUserActivitySkew(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	ds := genSmall(t)
 	var views []float64
 	for _, v := range ds.ViewsByUser {
@@ -223,6 +236,7 @@ func TestUserActivitySkew(t *testing.T) {
 }
 
 func TestFollowerViewerCorrelation(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	ds := genSmall(t)
 	var fs, vs []float64
 	for _, b := range ds.Broadcasts {
@@ -239,6 +253,7 @@ func TestFollowerViewerCorrelation(t *testing.T) {
 }
 
 func TestViewerBroadcasterRatio(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	ds := genSmall(t)
 	var ratios []float64
 	for _, d := range ds.Days[30:] { // post-launch regime
@@ -254,6 +269,7 @@ func TestViewerBroadcasterRatio(t *testing.T) {
 }
 
 func TestDowntimeReducesObserved(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	ds := genSmall(t)
 	for _, dd := range ds.Profile.DowntimeDays {
 		day := ds.Days[dd]
@@ -272,6 +288,7 @@ func TestDowntimeReducesObserved(t *testing.T) {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	p := Periscope(2000)
 	f := testFollowers(p.BroadcasterPool)
 	a := Generate(p, f, 5)
@@ -287,6 +304,7 @@ func TestGenerateDeterministic(t *testing.T) {
 }
 
 func TestUniqueCountsScale(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	ds := genSmall(t)
 	ub := ds.UniqueBroadcasters()
 	uv := ds.UniqueViewers()
