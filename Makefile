@@ -5,7 +5,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build test race lint vet fmt tidy vuln bench benchguard metrics crash fuzz ci clean
+.PHONY: all build test race lint vet fmt tidy vuln bench benchguard metrics crash partition-soak fuzz ci clean
 
 all: build test lint
 
@@ -48,13 +48,22 @@ vuln:
 lint: fmt tidy vet
 
 bench:
-	$(GO) test -run '^$$' -bench 'Fanout|EdgePoll|Ingest' -benchmem -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'Fanout|EdgePoll|Ingest|ControlRecovery' -benchmem -benchtime=1x .
 
 # crash is the recovery soak (DESIGN.md §6.2): kill the ingest origin
 # mid-broadcast, corrupt the journal tail, restart, and assert every viewer
 # still sees every chunk exactly once. Always under -race.
 crash:
 	$(GO) test -race -count=1 -run 'TestPlatformOriginCrashRecoverySoak' -v ./internal/core/
+
+# partition-soak is the control-plane failure soak (DESIGN.md §6.3): crash
+# the control plane mid-broadcast with a torn journal tail, and separately
+# cut the serving edge's (and the origins') links to control, asserting in
+# both cases that every HLS and RTMP viewer still receives every chunk
+# exactly once and no broadcast is falsely ended. Always under -race; the
+# fault schedules are seeded, so a failure replays deterministically.
+partition-soak:
+	$(GO) test -race -count=1 -run 'TestPlatformControlCrashRecoverySoak|TestPlatformControlEdgePartitionSoak' -v ./internal/core/
 
 # fuzz smoke: a short bounded run of each journal fuzz target (round-trip
 # encode/decode and replay over corrupted logs). `go test -fuzz` accepts one
@@ -74,7 +83,7 @@ benchguard:
 metrics:
 	$(GO) run ./cmd/livesim -snapshot
 
-ci: build race lint vuln crash fuzz benchguard metrics
+ci: build race lint vuln crash partition-soak fuzz benchguard metrics
 
 clean:
 	rm -rf $(BIN)

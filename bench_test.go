@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/cdn"
+	"repro/internal/control"
 	"repro/internal/experiments"
 	"repro/internal/geo"
 	"repro/internal/journal"
@@ -426,4 +427,46 @@ func BenchmarkEdgePoll(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkControlRecovery measures the control plane's crash-recovery path
+// (DESIGN.md §6.3): constructing a Service over a journal of live state —
+// registrations, broadcast starts, viewer joins — replays every record into
+// fresh maps. This is the outage-to-serving latency after a control crash,
+// so benchguard pins its per-recovery allocation count: a replay that starts
+// decoding lazily or re-journaling on the restore path shows up here.
+func BenchmarkControlRecovery(b *testing.B) {
+	routes := control.Routes{
+		AssignOrigin: func(geo.Location) (string, string) { return "bench-origin", "127.0.0.1:1935" },
+		AssignEdge:   func(string, geo.Location) string { return "http://127.0.0.1/hls" },
+	}
+	b.Run("records=256", func(b *testing.B) {
+		// 32 broadcasters + 32 starts + 96 viewer registrations + 96 joins.
+		backend := journal.NewMem()
+		seed := control.NewService(control.Config{Journal: backend, Seed: 1, Routes: routes})
+		const broadcasts = 32
+		for i := 0; i < broadcasts; i++ {
+			u := seed.Register(fmt.Sprintf("bench-user-%d", i))
+			g, err := seed.StartBroadcast(u.ID, geo.Location{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for v := 0; v < 3; v++ {
+				vu := seed.Register(fmt.Sprintf("bench-viewer-%d-%d", i, v))
+				if _, err := seed.Join(vu.ID, g.BroadcastID, geo.Location{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		seed.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := control.NewService(control.Config{Journal: backend, Seed: 1, Routes: routes})
+			if n := s.LiveCount(); n != broadcasts {
+				b.Fatalf("recovered %d live broadcasts, want %d", n, broadcasts)
+			}
+			s.Close()
+		}
+	})
 }

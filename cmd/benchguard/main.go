@@ -1,11 +1,13 @@
 // Command benchguard runs the delivery hot-path benchmarks (BenchmarkFanout,
-// BenchmarkEdgePoll, BenchmarkIngest) and fails when allocations per
-// operation regress past the recorded baselines in BENCH_fanout.json. It
-// guards the PR-3 hot-path work (encode-once fan-out, raw-bytes edge
-// serving), the metrics layer's zero-alloc promise, and the PR-6 journaling
-// budget: origin ingest with the write-ahead journal enabled must stay
-// within 2 allocs/frame, so a journal append that encodes or syncs on the
-// caller's path shows up here as an ingest regression.
+// BenchmarkEdgePoll, BenchmarkIngest, BenchmarkControlRecovery) and fails
+// when allocations per operation regress past the recorded baselines in
+// BENCH_fanout.json. It guards the PR-3 hot-path work (encode-once fan-out,
+// raw-bytes edge serving), the metrics layer's zero-alloc promise, the PR-6
+// journaling budget (origin ingest with the write-ahead journal enabled must
+// stay within 2 allocs/frame, so a journal append that encodes or syncs on
+// the caller's path shows up here as an ingest regression), and the PR-7
+// control-plane recovery path (full journal replay of a 256-record control
+// log; a replay that re-journals or decodes lazily shows up here).
 //
 // Allocations are the guarded signal because they are deterministic for a
 // fixed code path; ns/op depends on the host and is reported but not judged.
@@ -37,6 +39,7 @@ type baselineFile struct {
 	Fanout   map[string]json.RawMessage `json:"fanout"`
 	EdgePoll map[string]json.RawMessage `json:"edge_poll"`
 	Ingest   map[string]json.RawMessage `json:"ingest"`
+	Recovery map[string]json.RawMessage `json:"control_recovery"`
 }
 
 type fanoutEntry struct {
@@ -106,11 +109,21 @@ func run() error {
 		}
 		budgets["BenchmarkIngest/"+sub] = e.After.AllocsPerOp
 	}
+	for sub, rawEntry := range base.Recovery {
+		if !strings.HasPrefix(sub, "records=") {
+			continue
+		}
+		var e fanoutEntry
+		if err := json.Unmarshal(rawEntry, &e); err != nil {
+			return fmt.Errorf("control_recovery %q: %w", sub, err)
+		}
+		budgets["BenchmarkControlRecovery/"+sub] = e.After.AllocsPerOp
+	}
 	if len(budgets) == 0 {
 		return fmt.Errorf("no baselines found in BENCH_fanout.json")
 	}
 
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", "Fanout|EdgePoll|Ingest",
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", "Fanout|EdgePoll|Ingest|ControlRecovery",
 		"-benchmem", "-benchtime", "2000x", ".")
 	out, err := cmd.CombinedOutput()
 	if err != nil {

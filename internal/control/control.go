@@ -15,10 +15,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
 	"repro/internal/geo"
+	"repro/internal/journal"
+	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/wire"
 )
@@ -29,6 +32,10 @@ var (
 	ErrBadToken    = errors.New("control: bad token")
 	ErrEnded       = errors.New("control: broadcast ended")
 	ErrNotInvited  = errors.New("control: user not invited to private broadcast")
+	// ErrUnavailable reports a crashed (or partitioned-away) control plane.
+	// It is transient: clients hold cached grants, keep streaming, and
+	// retry — DESIGN.md §6.3's degraded mode.
+	ErrUnavailable = errors.New("control: control plane unavailable")
 )
 
 // GlobalListSize is how many random broadcasts one global-list query
@@ -74,6 +81,18 @@ type Config struct {
 	Clock clock.Clock
 	// Seed drives global-list sampling.
 	Seed uint64
+	// Journal, when set, is the write-ahead log backing control-plane
+	// crash recovery (DESIGN.md §6.3): registrations, broadcast
+	// start/end, key registrations, and joins are appended through a
+	// group-commit writer, and NewService replays whatever the backend
+	// already holds — so constructing a Service over a non-empty journal
+	// is the restart path. Nil disables journaling (no recovery).
+	Journal journal.Backend
+	// Metrics is the registry the control plane's recovery histogram and
+	// journal counters register in; nil means a private registry.
+	Metrics *metrics.Registry
+	// Logf sinks journal replay/append diagnostics; nil discards.
+	Logf func(format string, args ...interface{})
 }
 
 // BroadcastGrant is what a broadcaster gets back from StartBroadcast.
@@ -147,6 +166,12 @@ type broadcastState struct {
 	loc         geo.Location
 	joins       []ViewerJoin
 	pubKey      ed25519.PublicKey
+	// started closes once the start-side effects (OnStart callbacks: pubsub
+	// channel open, topology assignment) have finished. End paths wait on it
+	// before firing OnEnd, so a data-plane end racing the start can never
+	// close the hub channel before it was opened — which would leak it open
+	// forever. Replayed broadcasts get a pre-closed channel.
+	started chan struct{}
 	// Private broadcasts admit only the allowed set, each with a minted
 	// per-viewer token the origin validates.
 	private      bool
@@ -158,9 +183,17 @@ type broadcastState struct {
 type Service struct {
 	cfg   Config
 	clock clock.Clock
+	reg   *metrics.Registry
+	m     *ctrlMetrics
+	logf  func(string, ...interface{})
+
+	// crashed marks a killed control plane: every public method answers
+	// ErrUnavailable (503 over HTTP) until Recover replays the journal.
+	crashed atomic.Bool
 
 	mu         sync.Mutex
 	src        *rng.Source
+	jw         *journal.Writer
 	nextUser   uint64
 	users      map[uint64]User
 	broadcasts map[string]*broadcastState
@@ -174,7 +207,9 @@ type Service struct {
 	onEnd   []func(id string)
 }
 
-// NewService builds a Service.
+// NewService builds a Service. When the config carries a journal backend,
+// whatever it already holds is replayed first — so pointing a fresh Service
+// at a crashed one's journal is the restart path.
 func NewService(cfg Config) *Service {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.NewReal()
@@ -182,14 +217,29 @@ func NewService(cfg Config) *Service {
 	if cfg.RTMPViewerLimit == 0 {
 		cfg.RTMPViewerLimit = DefaultRTMPViewerLimit
 	}
-	return &Service{
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &Service{
 		cfg:        cfg,
 		clock:      cfg.Clock,
+		reg:        reg,
+		m:          newCtrlMetrics(reg),
+		logf:       logf,
 		src:        rng.New(cfg.Seed),
 		users:      make(map[uint64]User),
 		broadcasts: make(map[string]*broadcastState),
 		livePos:    make(map[string]int),
 	}
+	s.mu.Lock()
+	s.openJournalLocked()
+	s.mu.Unlock()
+	return s
 }
 
 // OnStart registers a callback fired when a broadcast starts.
@@ -220,14 +270,30 @@ func (s *Service) messageURL() string {
 	return s.cfg.Routes.MessageURL
 }
 
-// Register creates a user with the next sequential ID.
+// Register creates a user with the next sequential ID. It is the legacy
+// always-succeeds surface; callers that must observe a control outage use
+// RegisterUser.
 func (s *Service) Register(name string) User {
+	u, _ := s.RegisterUser(name)
+	return u
+}
+
+// RegisterUser creates a user with the next sequential ID, failing with
+// ErrUnavailable while the control plane is down.
+func (s *Service) RegisterUser(name string) (User, error) {
+	if s.crashed.Load() {
+		return User{}, ErrUnavailable
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextUser++
 	u := User{ID: s.nextUser, Name: name}
 	s.users[u.ID] = u
-	return u
+	s.appendLocked(journal.Record{
+		Type:    journal.RecordCtrlRegister,
+		Payload: encodeCtrl(ctrlRegisterRec{ID: u.ID, Name: name}),
+	})
+	return u, nil
 }
 
 // UserCount returns the total registered users (the paper's §3.1 estimate
@@ -267,6 +333,9 @@ func (s *Service) StartPrivateBroadcast(userID uint64, loc geo.Location, allowed
 }
 
 func (s *Service) startBroadcast(userID uint64, loc geo.Location, allowed map[uint64]bool) (BroadcastGrant, error) {
+	if s.crashed.Load() {
+		return BroadcastGrant{}, ErrUnavailable
+	}
 	token, err := newToken()
 	if err != nil {
 		return BroadcastGrant{}, err
@@ -294,6 +363,7 @@ func (s *Service) startBroadcast(userID uint64, loc geo.Location, allowed map[ui
 		loc:         loc,
 		private:     private,
 		allowed:     allowed,
+		started:     make(chan struct{}),
 	}
 	if private {
 		st.viewerTokens = make(map[string]bool)
@@ -304,12 +374,34 @@ func (s *Service) startBroadcast(userID uint64, loc geo.Location, allowed map[ui
 		s.livePos[id] = len(s.liveIDs)
 		s.liveIDs = append(s.liveIDs, id)
 	}
+	rec := ctrlStartRec{
+		Token:       token,
+		Broadcaster: userID,
+		OriginID:    originID,
+		RTMPAddr:    rtmpAddr,
+		RTMPSAddr:   rtmpsAddr,
+		StartedAt:   st.startedAt.UnixNano(),
+		City:        loc.City,
+		Lat:         loc.Lat,
+		Lon:         loc.Lon,
+		Private:     private,
+	}
+	for u := range allowed {
+		rec.Allowed = append(rec.Allowed, u)
+	}
+	s.appendLocked(journal.Record{
+		Type:        journal.RecordCtrlStart,
+		BroadcastID: id,
+		Payload:     encodeCtrl(rec),
+	})
 	callbacks := make([]func(broadcastID, originID string), len(s.onStart))
 	copy(callbacks, s.onStart)
 	s.mu.Unlock()
 	for _, fn := range callbacks {
 		fn(id, originID)
 	}
+	// End paths block on this: OnEnd never runs before OnStart finished.
+	close(st.started)
 	g := BroadcastGrant{
 		BroadcastID: id,
 		Token:       token,
@@ -329,6 +421,9 @@ func (s *Service) startBroadcast(userID uint64, loc geo.Location, allowed map[ui
 // RegisterPublicKey stores a broadcaster's signing key, authenticated by the
 // broadcast token. This is the §7.2 key exchange over the secure channel.
 func (s *Service) RegisterPublicKey(broadcastID, token string, pub ed25519.PublicKey) error {
+	if s.crashed.Load() {
+		return ErrUnavailable
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st, ok := s.broadcasts[broadcastID]
@@ -339,6 +434,11 @@ func (s *Service) RegisterPublicKey(broadcastID, token string, pub ed25519.Publi
 		return ErrBadToken
 	}
 	st.pubKey = append(ed25519.PublicKey(nil), pub...)
+	s.appendLocked(journal.Record{
+		Type:        journal.RecordCtrlKey,
+		BroadcastID: broadcastID,
+		Payload:     encodeCtrl(ctrlKeyRec{PubKey: st.pubKey}),
+	})
 	return nil
 }
 
@@ -356,6 +456,9 @@ func (s *Service) PublicKey(broadcastID string) ed25519.PublicKey {
 
 // EndBroadcast finishes a broadcast; requires the broadcast token.
 func (s *Service) EndBroadcast(broadcastID, token string) error {
+	if s.crashed.Load() {
+		return ErrUnavailable
+	}
 	s.mu.Lock()
 	st, ok := s.broadcasts[broadcastID]
 	if !ok {
@@ -366,39 +469,56 @@ func (s *Service) EndBroadcast(broadcastID, token string) error {
 		s.mu.Unlock()
 		return ErrBadToken
 	}
-	if st.ended {
-		s.mu.Unlock()
-		return nil
-	}
-	st.ended = true
-	st.endedAt = s.clock.Now()
-	s.removeLiveLocked(broadcastID)
-	callbacks := make([]func(broadcastID string), len(s.onEnd))
-	copy(callbacks, s.onEnd)
-	s.mu.Unlock()
-	for _, fn := range callbacks {
-		fn(broadcastID)
-	}
+	s.endLocked(st)
 	return nil
 }
 
 // ForceEnd finishes a broadcast without a token. It is for server-internal
 // use: the data plane reports that the broadcaster's RTMP session closed.
-func (s *Service) ForceEnd(broadcastID string) {
+// ErrUnavailable means the control plane is down and the end was NOT
+// recorded — the caller must retry after recovery or the broadcast would
+// replay as falsely live.
+func (s *Service) ForceEnd(broadcastID string) error {
+	if s.crashed.Load() {
+		return ErrUnavailable
+	}
 	s.mu.Lock()
 	st, ok := s.broadcasts[broadcastID]
-	if !ok || st.ended {
+	if !ok {
+		s.mu.Unlock()
+		return ErrNoBroadcast
+	}
+	s.endLocked(st)
+	return nil
+}
+
+// endLocked marks st ended, journals the end, and fires the OnEnd callbacks.
+// Called with s.mu held; returns with it released. A no-op (beyond the
+// unlock) when the broadcast already ended. It waits for the start side
+// effects to finish before firing OnEnd — see broadcastState.started — so a
+// data-plane end racing StartBroadcast cannot close the pubsub channel
+// before it opened or journal the end record ahead of the start record.
+func (s *Service) endLocked(st *broadcastState) {
+	if st.ended {
 		s.mu.Unlock()
 		return
 	}
 	st.ended = true
 	st.endedAt = s.clock.Now()
-	s.removeLiveLocked(broadcastID)
+	s.removeLiveLocked(st.id)
+	s.appendLocked(journal.Record{
+		Type:        journal.RecordCtrlEnd,
+		BroadcastID: st.id,
+		Payload:     encodeCtrl(ctrlEndRec{EndedAt: st.endedAt.UnixNano()}),
+	})
 	callbacks := make([]func(broadcastID string), len(s.onEnd))
 	copy(callbacks, s.onEnd)
+	started := st.started
+	id := st.id
 	s.mu.Unlock()
+	<-started
 	for _, fn := range callbacks {
-		fn(broadcastID)
+		fn(id)
 	}
 }
 
@@ -417,6 +537,9 @@ func (s *Service) removeLiveLocked(id string) {
 // Join records a viewer joining and routes them: joins below the RTMP limit
 // get the RTMP path, later ones HLS (§4.1).
 func (s *Service) Join(userID uint64, broadcastID string, loc geo.Location) (ViewerGrant, error) {
+	if s.crashed.Load() {
+		return ViewerGrant{}, ErrUnavailable
+	}
 	s.mu.Lock()
 	st, ok := s.broadcasts[broadcastID]
 	if !ok {
@@ -438,7 +561,13 @@ func (s *Service) Join(userID uint64, broadcastID string, loc geo.Location) (Vie
 			return ViewerGrant{}, err
 		}
 		st.viewerTokens[vt] = true
-		st.joins = append(st.joins, ViewerJoin{UserID: userID, At: s.clock.Now()})
+		join := ViewerJoin{UserID: userID, At: s.clock.Now()}
+		st.joins = append(st.joins, join)
+		s.appendLocked(journal.Record{
+			Type:        journal.RecordCtrlJoin,
+			BroadcastID: broadcastID,
+			Payload:     encodeCtrl(ctrlJoinRec{UserID: userID, At: join.At.UnixNano(), ViewerToken: vt}),
+		})
 		rtmpsAddr := st.rtmpsAddr
 		s.mu.Unlock()
 		return ViewerGrant{
@@ -450,7 +579,13 @@ func (s *Service) Join(userID uint64, broadcastID string, loc geo.Location) (Vie
 			MessageURL:  s.messageURL(),
 		}, nil
 	}
-	st.joins = append(st.joins, ViewerJoin{UserID: userID, At: s.clock.Now()})
+	join := ViewerJoin{UserID: userID, At: s.clock.Now()}
+	st.joins = append(st.joins, join)
+	s.appendLocked(journal.Record{
+		Type:        journal.RecordCtrlJoin,
+		BroadcastID: broadcastID,
+		Payload:     encodeCtrl(ctrlJoinRec{UserID: userID, At: join.At.UnixNano()}),
+	})
 	idx := len(st.joins)
 	rtmpAddr := st.rtmpAddr
 	s.mu.Unlock()
@@ -475,6 +610,9 @@ func (s *Service) Join(userID uint64, broadcastID string, loc geo.Location) (Vie
 // currently healthy and nearest. It works for ended-but-retained broadcasts
 // too — a viewer mid-replay must still be able to migrate.
 func (s *Service) ResolveEdge(broadcastID string, loc geo.Location) (string, error) {
+	if s.crashed.Load() {
+		return "", ErrUnavailable
+	}
 	s.mu.Lock()
 	_, ok := s.broadcasts[broadcastID]
 	s.mu.Unlock()
@@ -514,6 +652,9 @@ func (s *Service) GlobalList() []Summary {
 
 // Info returns the summary of one broadcast.
 func (s *Service) Info(broadcastID string) (Summary, error) {
+	if s.crashed.Load() {
+		return Summary{}, ErrUnavailable
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st, ok := s.broadcasts[broadcastID]
@@ -558,8 +699,13 @@ func (s *Service) summaryLocked(st *broadcastState) Summary {
 // broadcasts, the Periscope default).
 type Auth struct{ S *Service }
 
-// Authorize implements rtmp.Auth.
+// Authorize implements rtmp.Auth. While the control plane is down every
+// live lookup fails closed; wrap with NewAuthCache for the degraded-mode
+// grant cache that keeps previously authorized sessions reconnecting.
 func (a Auth) Authorize(broadcastID, token, role string) bool {
+	if a.S.crashed.Load() {
+		return false
+	}
 	a.S.mu.Lock()
 	defer a.S.mu.Unlock()
 	st, ok := a.S.broadcasts[broadcastID]

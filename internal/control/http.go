@@ -119,12 +119,19 @@ func Handler(prefix string, s *Service) http.Handler {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
-		u := s.Register(req.Name)
+		u, err := s.RegisterUser(req.Name)
+		if respondErr(w, err) {
+			return
+		}
 		writeJSON(w, registerResp{ID: u.ID})
 	})
 	mux.HandleFunc(prefix+"/global", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if s.Down() {
+			respondErr(w, ErrUnavailable)
 			return
 		}
 		list := s.GlobalList()
@@ -153,8 +160,7 @@ func Handler(prefix string, s *Service) http.Handler {
 		} else {
 			grant, err = s.StartBroadcast(req.UserID, loc)
 		}
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+		if respondErr(w, err) {
 			return
 		}
 		writeJSON(w, grantResp{
@@ -262,6 +268,11 @@ func respondErr(w http.ResponseWriter, err error) bool {
 		http.Error(w, err.Error(), http.StatusUnauthorized)
 	case errors.Is(err, ErrEnded):
 		http.Error(w, err.Error(), http.StatusGone)
+	case errors.Is(err, ErrUnavailable):
+		// The crashed control plane's 503 is the degraded-mode trigger:
+		// clients fall back to cached grants and retry with backoff.
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
@@ -326,6 +337,8 @@ func (c *Client) do(req *http.Request, out interface{}) error {
 		return ErrNotInvited
 	case http.StatusGone:
 		return ErrEnded
+	case http.StatusServiceUnavailable:
+		return ErrUnavailable
 	default:
 		return fmt.Errorf("control: %s %s: status %d", req.Method, req.URL.Path, resp.StatusCode)
 	}

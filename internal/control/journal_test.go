@@ -1,0 +1,302 @@
+package control
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/journal"
+	"repro/internal/metrics"
+)
+
+func newJournaledService(backend journal.Backend, reg *metrics.Registry) *Service {
+	return NewService(Config{
+		Routes: Routes{
+			AssignOrigin: func(loc geo.Location) (string, string) {
+				return "origin-1", "127.0.0.1:1935"
+			},
+			RTMPSAddr: func(originID string) string {
+				return "127.0.0.1:19350"
+			},
+			AssignEdge: func(id string, loc geo.Location) string {
+				return "http://edge-1/hls"
+			},
+			MessageURL: "http://msg/channel",
+		},
+		RTMPViewerLimit: 3,
+		Seed:            1,
+		Journal:         backend,
+		Metrics:         reg,
+	})
+}
+
+// TestControlCrashRecover is the core durability contract: everything the
+// control plane acknowledged before a crash — users, live broadcasts with
+// their unforgeable tokens, public keys, joins — is back after Recover, and
+// the OnStart callbacks re-fire for still-live broadcasts.
+func TestControlCrashRecover(t *testing.T) {
+	backend := journal.NewMem()
+	reg := metrics.NewRegistry()
+	s := newJournaledService(backend, reg)
+
+	var mu sync.Mutex
+	var started []string
+	s.OnStart(func(id, origin string) {
+		mu.Lock()
+		started = append(started, id)
+		mu.Unlock()
+	})
+
+	alice := s.Register("alice")
+	bob := s.Register("bob")
+	grant, err := s.StartBroadcast(alice.ID, geo.Location{City: "NYC"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	endedGrant, err := s.StartBroadcast(bob.ID, geo.Location{City: "SF"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, _, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterPublicKey(grant.BroadcastID, grant.Token, pub); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Join(bob.ID, grant.BroadcastID, geo.Location{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EndBroadcast(endedGrant.BroadcastID, endedGrant.Token); err != nil {
+		t.Fatal(err)
+	}
+
+	s.Crash()
+	if !s.Down() {
+		t.Fatal("Down() = false after Crash")
+	}
+	if _, err := s.StartBroadcast(alice.ID, geo.Location{}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("StartBroadcast while crashed: err = %v, want ErrUnavailable", err)
+	}
+	if _, err := s.Join(bob.ID, grant.BroadcastID, geo.Location{}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Join while crashed: err = %v, want ErrUnavailable", err)
+	}
+	if err := s.ForceEnd(grant.BroadcastID); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("ForceEnd while crashed: err = %v, want ErrUnavailable", err)
+	}
+	if (Auth{S: s}).Authorize(grant.BroadcastID, grant.Token, "publisher") {
+		t.Fatal("Authorize succeeded while crashed")
+	}
+	if s.LiveCount() != 0 {
+		t.Fatalf("LiveCount while crashed = %d", s.LiveCount())
+	}
+
+	s.Recover()
+	if s.Down() {
+		t.Fatal("Down() = true after Recover")
+	}
+	if got := s.UserCount(); got != 2 {
+		t.Fatalf("UserCount after recover = %d, want 2", got)
+	}
+	if got := s.LiveCount(); got != 1 {
+		t.Fatalf("LiveCount after recover = %d, want 1", got)
+	}
+	info, err := s.Info(grant.BroadcastID)
+	if err != nil || !info.Live || info.Broadcaster != alice.ID {
+		t.Fatalf("recovered info = %+v, err %v", info, err)
+	}
+	if info, err := s.Info(endedGrant.BroadcastID); err != nil || info.Live {
+		t.Fatalf("ended broadcast resurrected: %+v, err %v", info, err)
+	}
+	if !(Auth{S: s}).Authorize(grant.BroadcastID, grant.Token, "publisher") {
+		t.Fatal("recovered token rejected")
+	}
+	if k := s.PublicKey(grant.BroadcastID); !bytes.Equal(k, pub) {
+		t.Fatal("public key lost across recovery")
+	}
+	joins, err := s.Joins(grant.BroadcastID)
+	if err != nil || len(joins) != 1 || joins[0].UserID != bob.ID {
+		t.Fatalf("recovered joins = %+v, err %v", joins, err)
+	}
+	mu.Lock()
+	refired := append([]string(nil), started...)
+	mu.Unlock()
+	// Two live starts + one re-fire for the still-live broadcast.
+	if len(refired) != 3 || refired[2] != grant.BroadcastID {
+		t.Fatalf("OnStart fires = %v, want re-fire for %s", refired, grant.BroadcastID)
+	}
+
+	// The unforgeable token still ends the broadcast, and new state after
+	// recovery journals onto the truncated-clean log.
+	if err := s.EndBroadcast(grant.BroadcastID, grant.Token); err != nil {
+		t.Fatalf("end with recovered token: %v", err)
+	}
+	if _, err := s.StartBroadcast(alice.ID, geo.Location{}); err != nil {
+		t.Fatalf("start after recovery: %v", err)
+	}
+
+	found := false
+	for _, h := range reg.Snapshot().Histograms {
+		if h.Name == "control_recovery_seconds" && h.Count > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("control_recovery_seconds did not populate")
+	}
+}
+
+// TestControlRestartIsNewServiceOverBackend: the harder restart — the whole
+// process dies and a fresh Service is constructed over the old backend.
+func TestControlRestartIsNewServiceOverBackend(t *testing.T) {
+	backend := journal.NewMem()
+	s := newJournaledService(backend, nil)
+	u := s.Register("alice")
+	grant, err := s.StartBroadcast(u.ID, geo.Location{City: "NYC"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Crash() // drains the writer; the old incarnation never touches the backend again
+
+	s2 := newJournaledService(backend, nil)
+	if s2.LiveCount() != 1 {
+		t.Fatalf("restarted LiveCount = %d, want 1", s2.LiveCount())
+	}
+	if !(Auth{S: s2}).Authorize(grant.BroadcastID, grant.Token, "publisher") {
+		t.Fatal("token rejected after full restart")
+	}
+	// The broadcast-ID counter must resume past journaled IDs: a fresh
+	// start must not collide with the recovered broadcast.
+	g2, err := s2.StartBroadcast(u.ID, geo.Location{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.BroadcastID == grant.BroadcastID {
+		t.Fatalf("broadcast ID %q reused after restart", g2.BroadcastID)
+	}
+}
+
+// TestControlRecoverTruncatesTornTail: a crash mid-append leaves a damaged
+// tail; recovery must truncate it, count it, and leave a journal that future
+// appends extend cleanly.
+func TestControlRecoverTruncatesTornTail(t *testing.T) {
+	backend := journal.NewMem()
+	reg := metrics.NewRegistry()
+	s := newJournaledService(backend, reg)
+	u := s.Register("alice")
+	grant, err := s.StartBroadcast(u.ID, geo.Location{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Join(77, grant.BroadcastID, geo.Location{}); err != nil {
+		t.Fatal(err)
+	}
+
+	s.Crash()
+	backend.CorruptTail(3) // tear the last record (the join)
+
+	s.Recover()
+	if s.LiveCount() != 1 {
+		t.Fatalf("LiveCount after torn-tail recovery = %d, want 1", s.LiveCount())
+	}
+	if joins, _ := s.Joins(grant.BroadcastID); len(joins) != 0 {
+		t.Fatalf("torn join survived: %v", joins)
+	}
+	var corrupt int64
+	for _, c := range reg.Snapshot().Counters {
+		if c.Name == "journal_corrupt_tails_total" {
+			corrupt += c.Value
+		}
+	}
+	if corrupt == 0 {
+		t.Fatal("journal_corrupt_tails_total did not count the torn tail")
+	}
+
+	// Appends after the truncation must be reachable to the next replay.
+	if _, err := s.Join(88, grant.BroadcastID, geo.Location{}); err != nil {
+		t.Fatal(err)
+	}
+	s.Crash()
+	s.Recover()
+	if joins, _ := s.Joins(grant.BroadcastID); len(joins) != 1 || joins[0].UserID != 88 {
+		t.Fatalf("post-truncate join lost: %v", joins)
+	}
+}
+
+// TestControlPrivateBroadcastRecovery: the per-viewer RTMPS tokens minted for
+// private broadcasts are unforgeable; they must survive a control crash or
+// every private viewer's reconnect is refused.
+func TestControlPrivateBroadcastRecovery(t *testing.T) {
+	backend := journal.NewMem()
+	s := newJournaledService(backend, nil)
+	host := s.Register("host")
+	guest := s.Register("guest")
+	grant, err := s.StartPrivateBroadcast(host.ID, geo.Location{}, []uint64{guest.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vg, err := s.Join(guest.ID, grant.BroadcastID, geo.Location{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vg.ViewerToken == "" {
+		t.Fatal("private join minted no viewer token")
+	}
+
+	s.Crash()
+	s.Recover()
+
+	if !(Auth{S: s}).Authorize(grant.BroadcastID, vg.ViewerToken, "viewer") {
+		t.Fatal("viewer token rejected after recovery")
+	}
+	if (Auth{S: s}).Authorize(grant.BroadcastID, "forged", "viewer") {
+		t.Fatal("forged viewer token accepted after recovery")
+	}
+	// The allow-list survived too: an uninvited user still cannot join.
+	if _, err := s.Join(999, grant.BroadcastID, geo.Location{}); !errors.Is(err, ErrNotInvited) {
+		t.Fatalf("uninvited join after recovery: err = %v", err)
+	}
+}
+
+// FuzzControlJournalRecovery: an arbitrary byte soup in the backend —
+// including corrupted encodings of real control records — must never panic
+// service construction, and the surviving journal must be extendable: state
+// acknowledged by the recovered service replays into the next incarnation.
+func FuzzControlJournalRecovery(f *testing.F) {
+	seed := func() []byte {
+		backend := journal.NewMem()
+		s := newJournaledService(backend, nil)
+		u := s.Register("alice")
+		grant, _ := s.StartBroadcast(u.ID, geo.Location{City: "NYC"})
+		s.Join(u.ID, grant.BroadcastID, geo.Location{})
+		s.EndBroadcast(grant.BroadcastID, grant.Token)
+		s.Crash()
+		data, _ := backend.Load()
+		return data
+	}()
+	f.Add([]byte(nil))
+	f.Add(seed)
+	f.Add(seed[:len(seed)-2])
+	corrupt := append([]byte(nil), seed...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		backend := journal.NewMem()
+		backend.Append(data)
+		s := newJournaledService(backend, nil)
+		u := s.Register("fuzz")
+		grant, err := s.StartBroadcast(u.ID, geo.Location{})
+		if err != nil {
+			t.Fatalf("start on recovered service: %v", err)
+		}
+		s.Crash()
+		s2 := newJournaledService(backend, nil)
+		if !(Auth{S: s2}).Authorize(grant.BroadcastID, grant.Token, "publisher") {
+			t.Fatal("broadcast journaled after torn-tail truncation did not survive restart")
+		}
+	})
+}

@@ -8,9 +8,11 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -79,10 +81,18 @@ type PlatformConfig struct {
 	// at /metrics (typed snapshot) and /debug/vars (flat expvar-style map).
 	Metrics *metrics.Registry
 	// Journal provides each origin's write-ahead log backend keyed by site
-	// ID (journal.NewMem for tests, journal.OpenFile for deployments).
-	// Required for KillOrigin/RestartOrigin to recover broadcast state;
-	// nil disables origin journaling.
+	// ID (journal.NewMem for tests, journal.OpenFile for deployments). The
+	// control plane journals onto Journal("control"). Required for
+	// KillOrigin/RestartOrigin and KillControl/RestartControl to recover
+	// state; nil disables journaling.
 	Journal func(siteID string) journal.Backend
+	// Partitions, when set, is the link-cut registry the platform's
+	// network boundaries consult (DESIGN.md §6.3's partition matrix):
+	// node→control heartbeats stop crossing a cut "<role>:<site>"→
+	// "control" or role-level "<role>"→"control" link, and the origin
+	// auth path degrades to cached grants behind a cut "origin"→"control"
+	// link. Nil disables partition injection.
+	Partitions *netsim.Partitions
 }
 
 // Platform is the assembled, runnable livestreaming service.
@@ -94,6 +104,11 @@ type Platform struct {
 	Health  *health.Registry
 	metrics *metrics.Registry
 
+	// AuthCache is the degraded-mode grant cache fronting Ctrl on the
+	// origin auth path: publishers and viewers the control plane already
+	// admitted keep reconnecting through a control crash or partition.
+	AuthCache *control.AuthCache
+
 	mu         sync.Mutex
 	rtmpAddrs  map[string]string // origin ID → listen address
 	rtmpsAddrs map[string]string // origin ID → TLS listen address
@@ -101,11 +116,16 @@ type Platform struct {
 	tlsCreds   *security.TLSCredentials
 	limiter    *control.RateLimiter
 	endedAt    map[string]time.Time // broadcast → end time, for the janitor
-	httpLn     net.Listener
-	httpSrv    *http.Server
-	cancel     context.CancelFunc
-	runCtx     context.Context // the Start context; RestartOrigin re-listens under it
-	started    bool
+	// pendingEnds are broadcasts whose data-plane end raced a control
+	// outage: ForceEnd answered ErrUnavailable, so the end is replayed
+	// after RestartControl — without this a broadcast whose publisher
+	// disconnected mid-outage would stay live at the control plane forever.
+	pendingEnds map[string]bool
+	httpLn      net.Listener
+	httpSrv     *http.Server
+	cancel      context.CancelFunc
+	runCtx      context.Context // the Start context; RestartOrigin re-listens under it
+	started     bool
 
 	recovery *metrics.Histogram // origin_recovery_seconds
 }
@@ -144,19 +164,35 @@ func NewPlatform(cfg PlatformConfig) *Platform {
 		routes.RTMPSAddr = p.rtmpsAddr
 		routes.TLSCertPEM = p.tlsCreds.CertPEM
 	}
-	p.Ctrl = control.NewService(control.Config{
+	ctrlCfg := control.Config{
 		RTMPViewerLimit: cfg.RTMPViewerLimit,
 		Seed:            cfg.Seed,
 		Routes:          routes,
+		Metrics:         p.metrics,
+	}
+	if cfg.Journal != nil {
+		ctrlCfg.Journal = cfg.Journal("control")
+	}
+	p.Ctrl = control.NewService(ctrlCfg)
+	// Origins authorize against the cache, not the service directly: a
+	// control crash or an origin→control partition downgrades auth to
+	// cached grants instead of rejecting every reconnect.
+	p.AuthCache = control.NewAuthCache(control.AuthCacheConfig{
+		Service: p.Ctrl,
+		Metrics: p.metrics,
+		Gate: func() error {
+			return cfg.Partitions.Check(cdn.RoleOrigin, "control")
+		},
 	})
+	p.pendingEnds = make(map[string]bool)
 	p.Topo = cdn.Build(cdn.TopologyConfig{
 		OriginSites:    cfg.OriginSites,
 		EdgeSites:      cfg.EdgeSites,
 		ChunkDuration:  cfg.ChunkDuration,
 		Retention:      cfg.Retention,
 		ViewerCap:      valueOr(cfg.RTMPViewerLimit, control.DefaultRTMPViewerLimit),
-		Auth:           control.Auth{S: p.Ctrl},
-		OnBroadcastEnd: func(id string) { p.Ctrl.ForceEnd(id) },
+		Auth:           p.AuthCache,
+		OnBroadcastEnd: p.forceEnd,
 		Net:            cfg.Net,
 		DisableGateway: cfg.DisableGateway,
 		WrapUpstream:   cfg.WrapUpstream,
@@ -211,6 +247,47 @@ func NewPlatform(cfg PlatformConfig) *Platform {
 // healthNodeID names a node in the registry: "edge:<site>" / "origin:<site>".
 func healthNodeID(role, siteID string) string { return role + ":" + siteID }
 
+// forceEnd propagates a data-plane broadcast end (publisher disconnect,
+// origin timeout) to the control plane. When control is unavailable the end
+// is parked in pendingEnds and replayed by RestartControl — delivery already
+// stopped, only the control record lags.
+func (p *Platform) forceEnd(id string) {
+	err := p.Ctrl.ForceEnd(id)
+	if errors.Is(err, control.ErrUnavailable) {
+		p.mu.Lock()
+		p.pendingEnds[id] = true
+		p.mu.Unlock()
+	}
+}
+
+// KillControl crashes the control plane: the journal writer drains what was
+// acknowledged, volatile state is wiped, and every API call answers 503
+// until RestartControl. Live delivery continues — origins keep admitting
+// cached publishers/viewers through the AuthCache and edges keep serving
+// chunks; only new broadcasts and fresh joins need the control plane.
+func (p *Platform) KillControl() {
+	p.Ctrl.Crash()
+}
+
+// RestartControl recovers the control plane from its journal (torn tails
+// truncated, recovery latency lands in control_recovery_seconds) and then
+// replays the broadcast ends that raced the outage, so nothing stays
+// falsely live. Ends are flushed in sorted order for determinism.
+func (p *Platform) RestartControl() {
+	p.Ctrl.Recover()
+	p.mu.Lock()
+	ends := make([]string, 0, len(p.pendingEnds))
+	for id := range p.pendingEnds {
+		ends = append(ends, id)
+	}
+	p.pendingEnds = make(map[string]bool)
+	p.mu.Unlock()
+	sort.Strings(ends)
+	for _, id := range ends {
+		p.forceEnd(id)
+	}
+}
+
 // heartbeats beats every live node into the registry each interval. A killed
 // edge stops beating — exactly what a crashed process looks like from the
 // control plane — so the miss-count detector degrades it to suspect and then
@@ -225,18 +302,28 @@ func (p *Platform) heartbeats(ctx context.Context) {
 		case <-ticker.C:
 		}
 		for _, o := range p.Topo.Origins {
-			if o.Killed() {
+			if o.Killed() || p.partitionedFromControl(cdn.RoleOrigin, o.Site().ID) {
 				continue
 			}
 			p.Health.Heartbeat(healthNodeID(cdn.RoleOrigin, o.Site().ID))
 		}
 		for _, e := range p.Topo.Edges {
-			if e.Killed() {
+			if e.Killed() || p.partitionedFromControl(cdn.RoleEdge, e.Site().ID) {
 				continue
 			}
 			p.Health.Heartbeat(healthNodeID(cdn.RoleEdge, e.Site().ID))
 		}
 	}
+}
+
+// partitionedFromControl reports whether a node's heartbeat path to the
+// control plane is cut — at role granularity ("edge"→"control") or node
+// granularity ("edge:sfo"→"control"). A partitioned node keeps serving
+// traffic; it only looks dead to the health detector, exactly the
+// false-suspicion an asymmetric partition produces in the paper's topology.
+func (p *Platform) partitionedFromControl(role, siteID string) bool {
+	return p.cfg.Partitions.IsCut(role, "control") ||
+		p.cfg.Partitions.IsCut(healthNodeID(role, siteID), "control")
 }
 
 // recoveryBuckets resolve origin crash-recovery time: journal replay plus
@@ -539,6 +626,8 @@ func (p *Platform) Stop() {
 		// writer, so everything acknowledged before shutdown is durable.
 		o.Close()
 	}
+	// Same for the control plane's journal writer.
+	p.Ctrl.Close()
 }
 
 // BaseURL returns the platform's HTTP root.
@@ -588,4 +677,5 @@ func (p *Platform) Stats() (framesIn, framesOut int64) {
 // /metrics once the platform starts.
 func (p *Platform) Metrics() *metrics.Registry { return p.metrics }
 
-var _ rtmp.Auth = control.Auth{} // the control plane satisfies origin auth
+var _ rtmp.Auth = control.Auth{}            // the control plane satisfies origin auth
+var _ rtmp.Auth = (*control.AuthCache)(nil) // …and so does its degraded-mode cache

@@ -1,0 +1,156 @@
+package faults_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/netsim"
+	"repro/internal/testutil"
+)
+
+// TestPartitionSchedulerRunsPlan: wait, cut, wait, heal against the planned
+// link — asymmetric by default, symmetric on request.
+func TestPartitionSchedulerRunsPlan(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	parts := netsim.NewPartitions()
+	links := []netsim.Link{
+		{From: "control", To: "edge"},
+		{From: "control", To: "origin"},
+	}
+	ps := faults.NewPartitionScheduler(faults.PartitionPlan{
+		Link:     1,
+		After:    time.Millisecond,
+		Duration: 50 * time.Millisecond,
+	}, parts, links)
+	if ps.Link() != links[1] {
+		t.Fatalf("link = %v, want %v", ps.Link(), links[1])
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- ps.Run(context.Background()) }()
+
+	// Mid-schedule the link must be cut — and only the planned direction.
+	deadline := time.Now().Add(5 * time.Second)
+	for !parts.IsCut("control", "origin") && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !parts.IsCut("control", "origin") {
+		t.Fatal("link never cut")
+	}
+	if parts.IsCut("origin", "control") {
+		t.Fatal("asymmetric plan cut the reverse direction")
+	}
+	if parts.IsCut("control", "edge") {
+		t.Fatal("unplanned link cut")
+	}
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if parts.IsCut("control", "origin") {
+		t.Fatal("link still cut after the schedule completed")
+	}
+	st := ps.Stats()
+	if st.Cuts != 1 || st.Heals != 1 || st.Link != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestPartitionSchedulerSeededLink: a negative link index draws
+// deterministically from the seed — same seed, same link.
+func TestPartitionSchedulerSeededLink(t *testing.T) {
+	links := []netsim.Link{
+		{From: "viewer", To: "control"},
+		{From: "control", To: "edge"},
+		{From: "control", To: "origin"},
+		{From: "edge", To: "origin"},
+	}
+	pick := func(seed uint64) netsim.Link {
+		ps := faults.NewPartitionScheduler(faults.PartitionPlan{Seed: seed, Link: -1},
+			netsim.NewPartitions(), links)
+		return ps.Link()
+	}
+	for seed := uint64(0); seed < 10; seed++ {
+		if pick(seed) != pick(seed) {
+			t.Fatalf("seed %d drew different links across runs", seed)
+		}
+	}
+	distinct := map[netsim.Link]bool{}
+	for seed := uint64(0); seed < 32; seed++ {
+		distinct[pick(seed)] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("32 seeds all drew the same link")
+	}
+}
+
+// TestPartitionSchedulerHealsOnCancel: cancelling mid-partition must still
+// heal the link, so a shared registry is never left broken.
+func TestPartitionSchedulerHealsOnCancel(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	parts := netsim.NewPartitions()
+	links := []netsim.Link{{From: "control", To: "edge"}}
+	ps := faults.NewPartitionScheduler(faults.PartitionPlan{
+		Link:      0,
+		Duration:  time.Hour,
+		Symmetric: true,
+	}, parts, links)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- ps.Run(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for !parts.IsCut("control", "edge") && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !parts.IsCut("edge", "control") {
+		t.Fatal("symmetric plan did not cut both directions")
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+	if parts.IsCut("control", "edge") || parts.IsCut("edge", "control") {
+		t.Fatal("cancelled run left the link cut")
+	}
+}
+
+// TestPartitionTransportFailsFast: requests across a cut link fail with
+// ErrPartitioned/ErrInjected without reaching the wire — in either
+// direction, since an HTTP exchange needs both.
+func TestPartitionTransportFailsFast(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	var served int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+	}))
+	defer srv.Close()
+
+	parts := netsim.NewPartitions()
+	client := &http.Client{Transport: faults.PartitionTransport(parts, "viewer", "control", nil)}
+
+	if _, err := client.Get(srv.URL); err != nil {
+		t.Fatalf("healthy link: %v", err)
+	}
+	parts.Cut("viewer", "control")
+	if _, err := client.Get(srv.URL); !errors.Is(err, netsim.ErrPartitioned) || !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("cut link err = %v, want ErrPartitioned wrapping ErrInjected", err)
+	}
+	parts.Heal("viewer", "control")
+	// The return path alone being cut also kills the exchange.
+	parts.Cut("control", "viewer")
+	if _, err := client.Get(srv.URL); !errors.Is(err, netsim.ErrPartitioned) {
+		t.Fatalf("cut return path err = %v, want ErrPartitioned", err)
+	}
+	parts.HealAll()
+	if _, err := client.Get(srv.URL); err != nil {
+		t.Fatalf("healed link: %v", err)
+	}
+	if served != 2 {
+		t.Fatalf("served = %d requests, want 2 (partitioned calls must not reach the wire)", served)
+	}
+}

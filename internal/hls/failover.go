@@ -30,9 +30,19 @@ type FailoverConfig struct {
 	// edge (404 for a broadcast the session has already played) fail over
 	// immediately regardless.
 	FailureThreshold int
-	// MaxFailovers bounds edge switches across the session (each resolve
-	// round counts). Zero means 8; negative means unlimited.
+	// MaxFailovers bounds edge switches across the session. Zero means 8;
+	// negative means unlimited. Control-plane resolve failures do NOT
+	// consume this budget — they are retried separately (see
+	// ResolveRetries), so a control outage cannot exhaust a session's
+	// tolerance for actual edge failures.
 	MaxFailovers int
+	// ResolveRetries bounds consecutive resolve attempts (with capped
+	// backoff) when the control plane is failing and no last-known edge is
+	// cached; a session that has already resolved once falls back to its
+	// cached edge instead of burning retries. Zero means 6; negative means
+	// unlimited. Resolve errors marked resilience.Permanent (authoritative
+	// rejections like "no such broadcast") are never retried.
+	ResolveRetries int
 	// Backoff schedules the wait between failover rounds; the zero value
 	// uses the resilience defaults.
 	Backoff resilience.Policy
@@ -48,9 +58,11 @@ type FailoverConfig struct {
 // failoverMetrics are the registered instruments behind the accessor
 // methods; shared across sessions registered against one registry.
 type failoverMetrics struct {
-	failovers  *metrics.Counter
-	overloads  *metrics.Counter
-	drainHints *metrics.Counter
+	failovers      *metrics.Counter
+	overloads      *metrics.Counter
+	drainHints     *metrics.Counter
+	resolveRetries *metrics.Counter
+	staleResolves  *metrics.Counter
 }
 
 // FailoverPoller is an HLS viewer session that survives edge failures: when
@@ -77,6 +89,9 @@ func NewFailoverPoller(broadcastID string, cfg FailoverConfig) *FailoverPoller {
 	if cfg.MaxFailovers == 0 {
 		cfg.MaxFailovers = 8
 	}
+	if cfg.ResolveRetries == 0 {
+		cfg.ResolveRetries = 6
+	}
 	if cfg.Poller.Interval <= 0 {
 		cfg.Poller.Interval = 2 * time.Second
 	}
@@ -93,9 +108,11 @@ func NewFailoverPoller(broadcastID string, cfg FailoverConfig) *FailoverPoller {
 		broadcastID: broadcastID,
 		cfg:         cfg,
 		m: &failoverMetrics{
-			failovers:  reg.Counter("hls_failovers_total"),
-			overloads:  reg.Counter("hls_overloads_total"),
-			drainHints: reg.Counter("hls_drain_hints_total"),
+			failovers:      reg.Counter("hls_failovers_total"),
+			overloads:      reg.Counter("hls_overloads_total"),
+			drainHints:     reg.Counter("hls_drain_hints_total"),
+			resolveRetries: reg.Counter("hls_resolve_retries_total"),
+			staleResolves:  reg.Counter("hls_stale_resolves_total"),
 		},
 	}
 }
@@ -110,6 +127,14 @@ func (fp *FailoverPoller) Overloads() int64 { return fp.m.overloads.Value() }
 
 // DrainHints returns how many edges hinted the session away mid-stream.
 func (fp *FailoverPoller) DrainHints() int64 { return fp.m.drainHints.Value() }
+
+// ResolveRetries returns how many control-plane resolve calls failed
+// transiently and were retried (or absorbed by the cached-edge fallback).
+func (fp *FailoverPoller) ResolveRetries() int64 { return fp.m.resolveRetries.Value() }
+
+// StaleResolves returns how many failover rounds fell back to the cached
+// last-known edge because the control plane was unreachable.
+func (fp *FailoverPoller) StaleResolves() int64 { return fp.m.staleResolves.Value() }
 
 // LastSeq returns the highest chunk sequence delivered so far.
 func (fp *FailoverPoller) LastSeq() uint64 { return fp.lastSeq.Load() }
@@ -149,13 +174,12 @@ func (fp *FailoverPoller) Run(ctx context.Context) error {
 		}
 		rounds++
 
-		baseURL, err := fp.cfg.Resolve(ctx)
+		baseURL, err := fp.resolveEdge(ctx)
 		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			lastErr = fmt.Errorf("hls: resolve edge: %w", err)
-			continue
+			return fmt.Errorf("hls: resolve edge: %w", err)
 		}
 		fp.baseURL.Store(baseURL)
 		client := fp.cfg.NewClient(baseURL)
@@ -180,6 +204,40 @@ func (fp *FailoverPoller) Run(ctx context.Context) error {
 		}
 		if err != nil {
 			lastErr = err
+		}
+	}
+}
+
+// resolveEdge asks the control plane for an edge, retrying transient
+// failures with capped backoff. A resolve failure is a control-plane
+// problem, not an edge problem, so it never consumes the failover budget or
+// counts as a failover; and a session that has already streamed holds a
+// last-known edge, so after the first failed attempt it degrades to that
+// cached mapping (counted in hls_stale_resolves_total) instead of blocking
+// the viewer on a dead control plane. Permanent-marked errors return
+// immediately — the control plane answered, and the answer was no.
+func (fp *FailoverPoller) resolveEdge(ctx context.Context) (string, error) {
+	for n := 0; ; n++ {
+		baseURL, err := fp.cfg.Resolve(ctx)
+		if err == nil {
+			return baseURL, nil
+		}
+		if ctx.Err() != nil {
+			return "", ctx.Err()
+		}
+		if resilience.IsPermanent(err) {
+			return "", err
+		}
+		fp.m.resolveRetries.Inc()
+		if cached := fp.BaseURL(); cached != "" {
+			fp.m.staleResolves.Inc()
+			return cached, nil
+		}
+		if fp.cfg.ResolveRetries > 0 && n+1 >= fp.cfg.ResolveRetries {
+			return "", err
+		}
+		if err := resilience.SleepCtx(ctx, fp.cfg.Backoff.Delay(n)); err != nil {
+			return "", err
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -480,5 +481,168 @@ func TestFailoverPollerExhaustsBudget(t *testing.T) {
 	}
 	if fp.Failovers() != 2 {
 		t.Fatalf("Failovers = %d, want exactly MaxFailovers=2", fp.Failovers())
+	}
+}
+
+// TestFailoverPollerRetriesTransientResolve is the regression test for the
+// bug where a control-plane resolve failure consumed the failover budget:
+// with MaxFailovers=1 and five consecutive resolve failures before the first
+// success, the old loop died with "failover budget exhausted" before ever
+// reaching an edge. Resolve retries must ride their own capped backoff,
+// leave the budget untouched, and count zero failovers.
+func TestFailoverPollerRetriesTransientResolve(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	p := newEdgePair(t, nil)
+	for _, c := range makeChunks(3) {
+		p.store.add("b1", c)
+	}
+	p.store.end("b1")
+
+	var calls atomic.Int64
+	cfg := fastFailoverCfg(p, nil)
+	cfg.MaxFailovers = 1
+	cfg.Resolve = func(ctx context.Context) (string, error) {
+		if calls.Add(1) <= 5 {
+			return "", errors.New("control plane down")
+		}
+		return p.resolve(ctx)
+	}
+	fp := NewFailoverPoller("b1", cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := fp.Run(ctx); err != nil {
+		t.Fatalf("Run = %v, want clean end despite transient resolve failures", err)
+	}
+	if fp.Failovers() != 0 {
+		t.Fatalf("Failovers = %d, want 0: resolve retries must not consume the budget", fp.Failovers())
+	}
+	if fp.ResolveRetries() != 5 {
+		t.Fatalf("ResolveRetries = %d, want 5", fp.ResolveRetries())
+	}
+	if fp.LastSeq() == 0 {
+		t.Fatal("no chunks delivered")
+	}
+}
+
+// TestFailoverPollerResolveRetriesAreBounded: with no cached edge and a
+// control plane that never answers, the session must stop after
+// ResolveRetries attempts — capped backoff, not an infinite loop.
+func TestFailoverPollerResolveRetriesAreBounded(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	p := newEdgePair(t, nil)
+	var calls atomic.Int64
+	cfg := fastFailoverCfg(p, nil)
+	cfg.ResolveRetries = 4
+	cfg.Resolve = func(ctx context.Context) (string, error) {
+		calls.Add(1)
+		return "", errors.New("control plane down")
+	}
+	fp := NewFailoverPoller("b1", cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := fp.Run(ctx); err == nil || errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Run = %v, want the resolve error after bounded retries", err)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("resolve attempts = %d, want exactly ResolveRetries=4", got)
+	}
+}
+
+// TestFailoverPollerFallsBackToCachedEdgeDuringOutage: a session that has
+// already resolved once keeps streaming from its last-known edge when a
+// mid-session failover coincides with a control outage.
+func TestFailoverPollerFallsBackToCachedEdgeDuringOutage(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	// Edge A sheds a burst of polls mid-stream (outlasting the client's
+	// internal retry budget), forcing a failover round while the control
+	// plane is down: the session must fall back to the cached mapping for A
+	// and finish the stream there.
+	var shed atomic.Int64
+	p := newEdgePair(t, func(h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.HasSuffix(r.URL.Path, ".m3u8") && shed.Load() > 0 {
+				shed.Add(-1)
+				w.Header().Set(RetryAfterHeader, "0")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				return
+			}
+			h.ServeHTTP(w, r)
+		})
+	})
+	chunks := makeChunks(6)
+	for _, c := range chunks[:3] {
+		p.store.add("b1", c)
+	}
+
+	var controlDown atomic.Bool
+	var mu sync.Mutex
+	var seqs []uint64
+	cfg := fastFailoverCfg(p, func(ev ChunkEvent) {
+		mu.Lock()
+		seqs = append(seqs, ev.Ref.Seq)
+		n := len(seqs)
+		mu.Unlock()
+		if n == 2 {
+			controlDown.Store(true)
+			shed.Store(3)
+		}
+	})
+	inner := cfg.Resolve
+	cfg.Resolve = func(ctx context.Context) (string, error) {
+		if controlDown.Load() {
+			return "", errors.New("control plane down")
+		}
+		return inner(ctx)
+	}
+	fp := NewFailoverPoller("b1", cfg)
+
+	done := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() { done <- fp.Run(ctx) }()
+
+	for _, c := range chunks[3:] {
+		time.Sleep(10 * time.Millisecond)
+		p.store.add("b1", c)
+	}
+	time.Sleep(20 * time.Millisecond)
+	p.store.end("b1")
+
+	if err := <-done; err != nil {
+		t.Fatalf("Run = %v, want clean end via cached-edge fallback", err)
+	}
+	if fp.StaleResolves() < 1 {
+		t.Fatalf("StaleResolves = %d, want ≥ 1", fp.StaleResolves())
+	}
+	if fp.BaseURL() != p.a.URL+"/hls" {
+		t.Fatalf("BaseURL = %q, want the cached edge %q", fp.BaseURL(), p.a.URL+"/hls")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seqs) != len(chunks) {
+		t.Fatalf("delivered %d chunks, want %d (seqs=%v)", len(seqs), len(chunks), seqs)
+	}
+}
+
+// TestFailoverPollerStopsOnPermanentResolve: an authoritative rejection from
+// a healthy control plane must surface immediately, not retry.
+func TestFailoverPollerStopsOnPermanentResolve(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	terminal := errors.New("no such broadcast")
+	var calls atomic.Int64
+	fp := NewFailoverPoller("b1", FailoverConfig{
+		Resolve: func(ctx context.Context) (string, error) {
+			calls.Add(1)
+			return "", resilience.Permanent(terminal)
+		},
+		Backoff: resilience.Policy{BaseDelay: time.Millisecond, MaxDelay: time.Millisecond},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := fp.Run(ctx); !errors.Is(err, terminal) {
+		t.Fatalf("Run = %v, want the permanent resolve error", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("resolve attempts = %d, want 1 for a permanent error", calls.Load())
 	}
 }

@@ -14,6 +14,10 @@ func FuzzRecordRoundTrip(f *testing.F) {
 	f.Add(uint8(RecordSeal), "broadcast-with-long-id", []byte("payload"))
 	f.Add(uint8(RecordEnd), "", []byte{})
 	f.Add(uint8(255), "x", bytes.Repeat([]byte{0xAA}, 1024))
+	// Control-plane records: JSON payloads under the same framing.
+	f.Add(uint8(RecordCtrlRegister), "", []byte(`{"id":7,"name":"alice"}`))
+	f.Add(uint8(RecordCtrlStart), "bcast-1", []byte(`{"token":"t0k","broadcaster":7,"started_at":123}`))
+	f.Add(uint8(RecordCtrlJoin), "bcast-1", []byte(`{"user_id":9,"at":456,"viewer_token":"vt"}`))
 	f.Fuzz(func(t *testing.T, typ uint8, id string, payload []byte) {
 		if len(id) > 1<<16-1 {
 			id = id[:1<<16-1]
@@ -55,6 +59,13 @@ func FuzzReplay(f *testing.F) {
 	corrupt := append([]byte(nil), clean...)
 	corrupt[len(corrupt)-1] ^= 1
 	f.Add(corrupt)
+	// A control-plane journal stream, clean and with a torn tail: the
+	// same truncate-and-continue contract covers both record spaces.
+	ctrl := AppendRecord(nil, Record{Type: RecordCtrlRegister, Payload: []byte(`{"id":1}`)})
+	ctrl = AppendRecord(ctrl, Record{Type: RecordCtrlStart, BroadcastID: "bcast-1", Payload: []byte(`{"token":"t","broadcaster":1}`)})
+	ctrl = AppendRecord(ctrl, Record{Type: RecordCtrlEnd, BroadcastID: "bcast-1", Payload: []byte(`{"ended_at":9}`)})
+	f.Add(ctrl)
+	f.Add(ctrl[:len(ctrl)-5])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		n := 0
 		st, err := Replay(data, func(r Record) error {

@@ -46,6 +46,27 @@ const (
 	RecordEnd
 )
 
+// Control-plane state transitions (DESIGN.md §6.3). The control journal
+// shares the framing with the origin journal but lives in its own backend,
+// so the type spaces never mix in one stream; the offset just keeps them
+// visually distinct in hex dumps. BroadcastID carries the broadcast these
+// records belong to (empty for CtrlRegister, which is keyed by user);
+// payloads are the JSON codecs in internal/control.
+const (
+	// RecordCtrlRegister journals one user registration.
+	RecordCtrlRegister RecordType = iota + 16
+	// RecordCtrlStart journals a broadcast start: token, broadcaster,
+	// origin assignment, addresses, location, private allow-list.
+	RecordCtrlStart
+	// RecordCtrlEnd journals a broadcast end (clean or forced).
+	RecordCtrlEnd
+	// RecordCtrlKey journals a broadcaster public-key registration (§7.2).
+	RecordCtrlKey
+	// RecordCtrlJoin journals one viewer join (and, for private
+	// broadcasts, the minted per-viewer token the origin validates).
+	RecordCtrlJoin
+)
+
 // Record is one journal entry.
 type Record struct {
 	Type        RecordType

@@ -1,0 +1,116 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file models network partitions on top of the WAN delay model: a
+// registry of directed links that are currently cut. The paper's deployment
+// spans control plane, origins, edges, and viewers across providers
+// (§4.1); the links between those roles can fail independently — and
+// asymmetrically, since routing problems routinely break one direction
+// while the reverse path still carries traffic. Components consult the
+// registry at their network boundaries (HTTP transports, heartbeat loops),
+// so a cut link fails fast and deterministically instead of hanging on a
+// real socket.
+
+// ErrPartitioned is the terminal error a cut link produces.
+var ErrPartitioned = errors.New("netsim: link partitioned")
+
+// Link is one directed edge in the partition graph, named by role or node
+// ("viewer"→"control", "edge:sfo"→"origin:nyc").
+type Link struct {
+	From, To string
+}
+
+// Partitions tracks which directed links are cut. The zero value and the
+// nil pointer both mean "nothing is cut", so components can hold an
+// optional *Partitions and skip the feature entirely when unwired.
+type Partitions struct {
+	mu  sync.RWMutex
+	cut map[Link]bool
+}
+
+// NewPartitions returns an empty registry.
+func NewPartitions() *Partitions {
+	return &Partitions{cut: make(map[Link]bool)}
+}
+
+// Cut severs the directed link from→to. Idempotent.
+func (p *Partitions) Cut(from, to string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cut == nil {
+		p.cut = make(map[Link]bool)
+	}
+	p.cut[Link{From: from, To: to}] = true
+}
+
+// CutBoth severs both directions between a and b — the symmetric partition.
+func (p *Partitions) CutBoth(a, b string) {
+	p.Cut(a, b)
+	p.Cut(b, a)
+}
+
+// Heal restores the directed link from→to. Idempotent.
+func (p *Partitions) Heal(from, to string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.cut, Link{From: from, To: to})
+}
+
+// HealBoth restores both directions between a and b.
+func (p *Partitions) HealBoth(a, b string) {
+	p.Heal(a, b)
+	p.Heal(b, a)
+}
+
+// HealAll restores every link.
+func (p *Partitions) HealAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cut = make(map[Link]bool)
+}
+
+// IsCut reports whether the directed link from→to is severed. Nil-safe: a
+// nil registry never cuts anything.
+func (p *Partitions) IsCut(from, to string) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.cut[Link{From: from, To: to}]
+}
+
+// Check returns ErrPartitioned (wrapped with the link names) when from→to
+// is cut, nil otherwise. Nil-safe like IsCut.
+func (p *Partitions) Check(from, to string) error {
+	if p.IsCut(from, to) {
+		return fmt.Errorf("%w: %s -> %s", ErrPartitioned, from, to)
+	}
+	return nil
+}
+
+// Links returns the currently cut links, sorted for deterministic output.
+func (p *Partitions) Links() []Link {
+	if p == nil {
+		return nil
+	}
+	p.mu.RLock()
+	out := make([]Link, 0, len(p.cut))
+	for l := range p.cut {
+		out = append(out, l)
+	}
+	p.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}

@@ -1,0 +1,108 @@
+package netsim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestPartitionsDirectedCuts(t *testing.T) {
+	p := NewPartitions()
+	if p.IsCut("a", "b") {
+		t.Fatal("fresh registry cut a->b")
+	}
+	p.Cut("a", "b")
+	if !p.IsCut("a", "b") {
+		t.Fatal("a->b not cut after Cut")
+	}
+	if p.IsCut("b", "a") {
+		t.Fatal("asymmetric cut severed the reverse direction")
+	}
+	if err := p.Check("a", "b"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("Check = %v, want ErrPartitioned", err)
+	}
+	if err := p.Check("b", "a"); err != nil {
+		t.Fatalf("reverse Check = %v, want nil", err)
+	}
+	p.Heal("a", "b")
+	if p.IsCut("a", "b") {
+		t.Fatal("a->b still cut after Heal")
+	}
+}
+
+func TestPartitionsSymmetricAndHealAll(t *testing.T) {
+	p := NewPartitions()
+	p.CutBoth("control", "edge")
+	p.Cut("viewer", "control")
+	if !p.IsCut("control", "edge") || !p.IsCut("edge", "control") {
+		t.Fatal("CutBoth missed a direction")
+	}
+	links := p.Links()
+	if len(links) != 3 {
+		t.Fatalf("Links = %v, want 3 cuts", links)
+	}
+	// Sorted: deterministic across runs.
+	want := []Link{
+		{From: "control", To: "edge"},
+		{From: "edge", To: "control"},
+		{From: "viewer", To: "control"},
+	}
+	for i, l := range links {
+		if l != want[i] {
+			t.Fatalf("Links[%d] = %v, want %v", i, l, want[i])
+		}
+	}
+	p.HealBoth("control", "edge")
+	if p.IsCut("control", "edge") || p.IsCut("edge", "control") {
+		t.Fatal("HealBoth missed a direction")
+	}
+	p.HealAll()
+	if len(p.Links()) != 0 {
+		t.Fatalf("Links after HealAll = %v", p.Links())
+	}
+}
+
+func TestPartitionsNilAndZeroValueSafe(t *testing.T) {
+	var nilP *Partitions
+	if nilP.IsCut("a", "b") {
+		t.Fatal("nil registry cut a link")
+	}
+	if err := nilP.Check("a", "b"); err != nil {
+		t.Fatalf("nil Check = %v", err)
+	}
+	if nilP.Links() != nil {
+		t.Fatal("nil Links != nil")
+	}
+	var zero Partitions
+	if zero.IsCut("a", "b") {
+		t.Fatal("zero-value registry cut a link")
+	}
+	zero.Cut("a", "b")
+	if !zero.IsCut("a", "b") {
+		t.Fatal("zero-value registry ignored Cut")
+	}
+}
+
+func TestPartitionsConcurrentAccess(t *testing.T) {
+	p := NewPartitions()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				switch j % 4 {
+				case 0:
+					p.CutBoth("control", "edge")
+				case 1:
+					p.IsCut("control", "edge")
+				case 2:
+					p.HealBoth("control", "edge")
+				case 3:
+					p.Links()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

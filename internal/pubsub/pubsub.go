@@ -143,9 +143,14 @@ func (h *Hub) Remove(broadcastID string) {
 		return
 	}
 	// Count the retained events outside h.mu: ch.mu must never nest under
-	// the hub lock (locksend invariant).
+	// the hub lock (locksend invariant). Wake parked waiters too: the
+	// channel is already unreachable through the hub, so an un-woken Wait
+	// would block until its context expired — a goroutine leak for every
+	// long-poll viewer on a garbage-collected broadcast. Woken waiters
+	// re-lookup the channel and surface ErrNoChannel.
 	ch.mu.Lock()
 	buffered := len(ch.events)
+	ch.wakeLocked()
 	ch.mu.Unlock()
 	m := h.m.Load()
 	m.channels.Add(-1)

@@ -240,3 +240,168 @@ func TestHTTPLongPoll(t *testing.T) {
 		t.Fatal("long poll never returned")
 	}
 }
+
+// waitResult carries one Wait return across the goroutine boundary.
+type waitResult struct {
+	evs    []Event
+	closed bool
+	err    error
+}
+
+// startWaiters parks n Wait calls on a channel and returns their results
+// channel plus a gate that confirms all n are actually blocked (parked
+// waiters registered, not racing the wake).
+func startWaiters(h *Hub, id string, n int) chan waitResult {
+	results := make(chan waitResult, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			evs, closed, err := h.Wait(context.Background(), id, 0)
+			results <- waitResult{evs: evs, closed: closed, err: err}
+		}()
+	}
+	// Wait until all n are parked in ch.waiters.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ch, err := h.channel(id)
+		if err != nil {
+			break // channel already gone; waiters error out on their own
+		}
+		ch.mu.Lock()
+		parked := len(ch.waiters)
+		ch.mu.Unlock()
+		if parked >= n {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return results
+}
+
+// TestWaitWokenByClose: a mid-wait Close must wake every parked waiter with
+// closed=true — no waiting out the context.
+func TestWaitWokenByClose(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	h := NewHub(0)
+	h.Open("b1")
+	results := startWaiters(h, "b1", 3)
+	h.Close("b1")
+	for i := 0; i < 3; i++ {
+		select {
+		case r := <-results:
+			if r.err != nil || !r.closed {
+				t.Fatalf("waiter %d: (closed=%v, err=%v), want clean closed wake", i, r.closed, r.err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("waiter %d still parked after Close", i)
+		}
+	}
+}
+
+// TestWaitWokenByRemove is the regression test for Remove leaking parked
+// waiters: deleting a channel mid-wait must wake every waiter, which then
+// surfaces ErrNoChannel — not block until its context expires.
+func TestWaitWokenByRemove(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	h := NewHub(0)
+	h.Open("b1")
+	results := startWaiters(h, "b1", 3)
+	h.Remove("b1")
+	for i := 0; i < 3; i++ {
+		select {
+		case r := <-results:
+			if !errors.Is(r.err, ErrNoChannel) {
+				t.Fatalf("waiter %d: err = %v, want ErrNoChannel after Remove", i, r.err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("waiter %d still parked after Remove: leaked until ctx expiry", i)
+		}
+	}
+}
+
+// TestWaitCancelledByContext: context cancellation frees a parked waiter
+// without disturbing the channel, and the goroutine does not leak.
+func TestWaitCancelledByContext(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	h := NewHub(0)
+	h.Open("b1")
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := h.Wait(ctx, "b1", 0)
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ch, _ := h.channel("b1")
+		ch.mu.Lock()
+		parked := len(ch.waiters)
+		ch.mu.Unlock()
+		if parked > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Wait after cancel = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter never returned")
+	}
+	// The channel still works for everyone else.
+	if _, err := h.Publish("b1", Event{UserID: "u1", Kind: KindHeart}); err != nil {
+		t.Fatalf("publish after cancelled wait: %v", err)
+	}
+}
+
+// TestWaitCloseRemoveHammer drives Wait against concurrent Publish, Close,
+// and Remove across many channels; under -race this is the lock-ordering
+// check, and CheckGoroutines asserts nothing stays parked.
+func TestWaitCloseRemoveHammer(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	h := NewHub(-1)
+	const channels = 8
+	const waitersPerChannel = 4
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	done := make(chan struct{}, channels*waitersPerChannel)
+	for c := 0; c < channels; c++ {
+		id := fmt.Sprintf("b%d", c)
+		h.Open(id)
+		for w := 0; w < waitersPerChannel; w++ {
+			go func(id string) {
+				var since uint64
+				for {
+					evs, closed, err := h.Wait(ctx, id, since)
+					if err != nil || closed {
+						done <- struct{}{}
+						return
+					}
+					since += uint64(len(evs))
+				}
+			}(id)
+		}
+	}
+	for c := 0; c < channels; c++ {
+		id := fmt.Sprintf("b%d", c)
+		go func(id string) {
+			for i := 0; i < 20; i++ {
+				h.Publish(id, Event{UserID: "u", Kind: KindHeart})
+			}
+			if id == "b0" || id == "b1" {
+				h.Remove(id) // waiters must exit via ErrNoChannel
+			} else {
+				h.Close(id) // waiters must exit via closed=true
+			}
+		}(id)
+	}
+	for i := 0; i < channels*waitersPerChannel; i++ {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			t.Fatalf("only %d/%d waiters exited: waiters leaked", i, channels*waitersPerChannel)
+		}
+	}
+}
