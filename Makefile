@@ -5,7 +5,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build test race lint vet fmt tidy vuln bench benchguard metrics crash partition-soak fuzz ci clean
+.PHONY: all build test race lint vet fmt tidy vuln bench benchguard metrics crash partition-soak scale-smoke fuzz ci clean
 
 all: build test lint
 
@@ -65,6 +65,13 @@ crash:
 partition-soak:
 	$(GO) test -race -count=1 -run 'TestPlatformControlCrashRecoverySoak|TestPlatformControlEdgePartitionSoak' -v ./internal/core/
 
+# scale-smoke runs a 1:200-scale simulated day through the million-viewer
+# event engine (DESIGN.md §10) under -race, with the real-socket fidelity
+# slice watching a concurrent loopback broadcast, and asserts the Fig. 11
+# delay shape. Seeded, so a failure replays deterministically.
+scale-smoke:
+	$(GO) test -race -count=1 -run 'TestScaleSmoke' -v ./internal/viewersim/
+
 # fuzz smoke: a short bounded run of each journal fuzz target (round-trip
 # encode/decode and replay over corrupted logs). `go test -fuzz` accepts one
 # target per invocation, hence the two runs.
@@ -83,7 +90,7 @@ benchguard:
 metrics:
 	$(GO) run ./cmd/livesim -snapshot
 
-ci: build race lint vuln crash partition-soak fuzz benchguard metrics
+ci: build race lint vuln crash partition-soak scale-smoke fuzz benchguard metrics
 
 clean:
 	rm -rf $(BIN)

@@ -16,16 +16,19 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/cdn"
+	"repro/internal/clock"
 	"repro/internal/control"
 	"repro/internal/experiments"
 	"repro/internal/geo"
 	"repro/internal/journal"
 	"repro/internal/media"
 	"repro/internal/rtmp"
+	"repro/internal/viewersim"
 	"repro/internal/wire"
 )
 
@@ -425,6 +428,148 @@ func BenchmarkEdgePoll(b *testing.B) {
 					}
 				}
 			})
+		})
+	}
+}
+
+// --- Scale engine benchmarks (BENCH_scale.json) ------------------------------
+//
+// These measure the million-viewer event engine (DESIGN.md §10): the sharded
+// timer wheel against the Virtual clock's binary heap under a million pending
+// timers, and internal/viewersim end to end at growing fleet sizes. Work per
+// sub-benchmark is fixed (a full drain / a full simulated broadcast), so the
+// guarded metrics are the per-event ones reported via ReportMetric:
+// allocs/event must hold the BENCH_scale.json budget, and the wheel must keep
+// its recorded speedup over the heap. Run with -benchtime 1x.
+
+// timerChurn is a population of self-rescheduling timers: each of the
+// `pending` timers fires rounds+1 times on its own cadence, so the engine
+// holds the full population at all times — the heap's worst case (every
+// operation pays the log₂(pending) sift) and the wheel's common case (every
+// operation is a bucket append at a fixed offset).
+type timerChurn struct {
+	schedule func(owner uint64, d time.Duration, fn func(time.Time))
+	cbs      []func(time.Time)
+	left     []int32
+	fired    atomic.Int64
+}
+
+func cadenceOf(i int) time.Duration {
+	return time.Millisecond + time.Duration(i%997)*37*time.Microsecond
+}
+
+func newTimerChurn(pending, rounds int, schedule func(uint64, time.Duration, func(time.Time))) *timerChurn {
+	c := &timerChurn{schedule: schedule, cbs: make([]func(time.Time), pending), left: make([]int32, pending)}
+	for i := range c.cbs {
+		i := i
+		c.left[i] = int32(rounds)
+		c.cbs[i] = func(time.Time) {
+			c.fired.Add(1)
+			// left[i] is only touched by owner i's callbacks, which every
+			// engine runs serially per owner.
+			if c.left[i] > 0 {
+				c.left[i]--
+				c.schedule(uint64(i), cadenceOf(i), c.cbs[i])
+			}
+		}
+	}
+	return c
+}
+
+// prime schedules the whole population; the engine's drain runs it down.
+func (c *timerChurn) prime() {
+	for i := range c.cbs {
+		c.schedule(uint64(i), cadenceOf(i), c.cbs[i])
+	}
+}
+
+// reportPerEvent emits the per-event metrics benchguard judges.
+func reportPerEvent(b *testing.B, events int64, wall time.Duration, mallocs uint64) {
+	b.Helper()
+	if events == 0 {
+		b.Fatal("no events fired")
+	}
+	b.ReportMetric(float64(mallocs)/float64(events), "allocs/event")
+	b.ReportMetric(float64(wall.Nanoseconds())/float64(events), "ns/event")
+	b.ReportMetric(float64(events)/wall.Seconds(), "events/sec")
+}
+
+// BenchmarkWheel races the sharded timer wheel against the Virtual clock's
+// heap at one million pending self-rescheduling timers. BENCH_scale.json pins
+// the wheel's minimum speedup (ns/event ratio) and both engines' allocs/event.
+func BenchmarkWheel(b *testing.B) {
+	const pending = 1 << 20
+	const rounds = 7
+	epoch := time.Unix(0, 0)
+
+	b.Run(fmt.Sprintf("engine=wheel/pending=%d", pending), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			wh := clock.NewWheel(clock.WheelConfig{Epoch: epoch})
+			churn := newTimerChurn(pending, rounds, func(o uint64, d time.Duration, fn func(time.Time)) {
+				wh.Schedule(o, d, fn)
+			})
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			t0 := time.Now()
+			churn.prime()
+			wh.Run()
+			wall := time.Since(t0)
+			runtime.ReadMemStats(&ms1)
+			wh.Close()
+			reportPerEvent(b, churn.fired.Load(), wall, ms1.Mallocs-ms0.Mallocs)
+		}
+	})
+
+	b.Run(fmt.Sprintf("engine=virtual/pending=%d", pending), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			clk := clock.NewVirtual(epoch)
+			churn := newTimerChurn(pending, rounds, func(_ uint64, d time.Duration, fn func(time.Time)) {
+				clk.Schedule(d, fn)
+			})
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			t0 := time.Now()
+			churn.prime()
+			clk.Run()
+			wall := time.Since(t0)
+			runtime.ReadMemStats(&ms1)
+			reportPerEvent(b, churn.fired.Load(), wall, ms1.Mallocs-ms0.Mallocs)
+		}
+	})
+}
+
+// BenchmarkViewerEngine runs internal/viewersim end to end: one broadcast
+// with a growing concurrent audience, every viewer a live state machine on
+// the wheel. allocs/event is the guarded signal — the pooled viewer/broadcast
+// objects must keep per-event allocations flat as the fleet grows 100×.
+func BenchmarkViewerEngine(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		n := n
+		b.Run(fmt.Sprintf("viewers=%d", n), func(b *testing.B) {
+			if testing.Short() && n > 10_000 {
+				b.Skip("large fleets under -short")
+			}
+			for i := 0; i < b.N; i++ {
+				var ms0, ms1 runtime.MemStats
+				runtime.ReadMemStats(&ms0)
+				t0 := time.Now()
+				sum, err := viewersim.Run(viewersim.Config{
+					Seed:                uint64(i + 1),
+					Broadcasts:          1,
+					ViewersPerBroadcast: n,
+					BroadcastDuration:   12 * time.Second,
+					Engine:              "wheel",
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				wall := time.Since(t0)
+				runtime.ReadMemStats(&ms1)
+				if sum.Views != int64(n) {
+					b.Fatalf("views = %d, want %d", sum.Views, n)
+				}
+				reportPerEvent(b, sum.Events, wall, ms1.Mallocs-ms0.Mallocs)
+			}
 		})
 	}
 }

@@ -9,8 +9,15 @@
 // control-plane recovery path (full journal replay of a 256-record control
 // log; a replay that re-journals or decodes lazily shows up here).
 //
+// It also runs the scale-engine benchmarks (BenchmarkWheel,
+// BenchmarkViewerEngine) against BENCH_scale.json: per-event allocation
+// budgets with a percentage tolerance, plus the sharded timer wheel's
+// minimum ns/event speedup over the Virtual clock's heap at one million
+// pending timers — the PR-8 invariant that the event engine stays O(1).
+//
 // Allocations are the guarded signal because they are deterministic for a
-// fixed code path; ns/op depends on the host and is reported but not judged.
+// fixed code path; ns/op depends on the host and is reported but not judged
+// (the wheel-vs-heap ratio is judged instead of raw ns, for the same reason).
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -164,5 +172,137 @@ func run() error {
 		return fmt.Errorf("%d benchmark(s) regressed past baseline+%d allocs/op", failures, tolerance)
 	}
 	fmt.Println("benchguard: all hot-path alloc budgets hold")
+	return runScale()
+}
+
+type scaleMeasurement struct {
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+type scaleEntry struct {
+	After scaleMeasurement `json:"after"`
+}
+
+type scaleFile struct {
+	Wheel        map[string]json.RawMessage `json:"wheel"`
+	ViewerEngine map[string]json.RawMessage `json:"viewer_engine"`
+	TolerancePct float64                    `json:"tolerance_pct"`
+}
+
+// scaleBenchLine matches one scale-benchmark result line; the per-event
+// metrics follow ns/op as ReportMetric pairs, e.g.
+//
+//	BenchmarkWheel/engine=wheel/pending=1048576  1  19091485 ns/op  0.22 allocs/event  4624123 events/sec  216.3 ns/event
+var scaleBenchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+[\d.]+ ns/op(.*)$`)
+var metricPair = regexp.MustCompile(`([\d.eE+]+) (allocs/event|ns/event|events/sec)`)
+
+// runScale judges the scale-engine benchmarks against BENCH_scale.json:
+// allocs/event within a percentage tolerance of baseline, and the wheel's
+// ns/event speedup over the Virtual heap at or above the recorded floor.
+func runScale() error {
+	raw, err := os.ReadFile("BENCH_scale.json")
+	if err != nil {
+		return err
+	}
+	var base scaleFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse BENCH_scale.json: %w", err)
+	}
+
+	budgets := make(map[string]float64) // name -> baseline allocs/event
+	addBudgets := func(bench, keyPrefix string, entries map[string]json.RawMessage) error {
+		for sub, rawEntry := range entries {
+			if !strings.HasPrefix(sub, keyPrefix) {
+				continue // skip prose keys like "note" and "min_speedup"
+			}
+			var e scaleEntry
+			if err := json.Unmarshal(rawEntry, &e); err != nil {
+				return fmt.Errorf("%s %q: %w", bench, sub, err)
+			}
+			budgets[bench+"/"+sub] = e.After.AllocsPerEvent
+		}
+		return nil
+	}
+	if err := addBudgets("BenchmarkWheel", "engine=", base.Wheel); err != nil {
+		return err
+	}
+	if err := addBudgets("BenchmarkViewerEngine", "viewers=", base.ViewerEngine); err != nil {
+		return err
+	}
+	var minSpeedup float64
+	if err := json.Unmarshal(base.Wheel["min_speedup"], &minSpeedup); err != nil {
+		return fmt.Errorf("wheel min_speedup: %w", err)
+	}
+	if len(budgets) == 0 || base.TolerancePct <= 0 {
+		return fmt.Errorf("no scale baselines found in BENCH_scale.json")
+	}
+
+	// Fixed single-iteration runs: each sub-benchmark already does a fixed
+	// amount of work (a full 8M-event drain / a full broadcast) and reports
+	// per-event metrics, so more iterations would only add wall time.
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", "BenchmarkWheel$|BenchmarkViewerEngine", "-benchtime", "1x", ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("scale bench run failed: %w\n%s", err, out)
+	}
+
+	metrics := make(map[string]map[string]float64)
+	for _, line := range strings.Split(string(out), "\n") {
+		m := scaleBenchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		vals := make(map[string]float64)
+		for _, pair := range metricPair.FindAllStringSubmatch(m[2], -1) {
+			v, _ := strconv.ParseFloat(pair[1], 64)
+			vals[pair[2]] = v
+		}
+		metrics[m[1]] = vals
+	}
+
+	failures := 0
+	var missing []string
+	for name, budget := range budgets {
+		vals, ok := metrics[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		allocs := vals["allocs/event"]
+		limit := budget * (1 + base.TolerancePct/100)
+		verdict := "ok"
+		if allocs > limit {
+			verdict = "REGRESSION"
+			failures++
+		}
+		fmt.Printf("%-50s allocs/event=%.3f baseline=%.3f %s (ns/event=%.1f)\n",
+			name, allocs, budget, verdict, vals["ns/event"])
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("scale benchmarks missing from run output: %s", strings.Join(missing, ", "))
+	}
+
+	const wheelName = "BenchmarkWheel/engine=wheel/pending=1048576"
+	const heapName = "BenchmarkWheel/engine=virtual/pending=1048576"
+	wheelNs := metrics[wheelName]["ns/event"]
+	heapNs := metrics[heapName]["ns/event"]
+	if wheelNs <= 0 || heapNs <= 0 {
+		return fmt.Errorf("missing ns/event for the wheel speedup check")
+	}
+	speedup := heapNs / wheelNs
+	verdict := "ok"
+	if speedup < minSpeedup {
+		verdict = "REGRESSION"
+		failures++
+	}
+	fmt.Printf("%-50s speedup=%.1fx floor=%gx %s\n", "wheel vs virtual heap @1M pending", speedup, minSpeedup, verdict)
+
+	if failures > 0 {
+		return fmt.Errorf("%d scale benchmark(s) regressed past BENCH_scale.json", failures)
+	}
+	fmt.Println("benchguard: scale-engine budgets hold")
 	return nil
 }

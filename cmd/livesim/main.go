@@ -4,7 +4,9 @@
 // the crawler (cmd/crawl) has something to measure. With -snapshot it boots
 // a small platform, drives one scripted broadcast through ingest, the edge,
 // an HLS viewer, and the message hub, prints the metrics snapshot, and exits
-// — the smoke path `make metrics` runs in CI.
+// — the smoke path `make metrics` runs in CI. With -simday it replays a full
+// simulated day of the paper's workload through the viewer event engine
+// (internal/viewersim) and prints the Fig. 11 delay decomposition.
 package main
 
 import (
@@ -49,6 +51,14 @@ func main() {
 	if *snapshot {
 		if err := runSnapshot(); err != nil {
 			fmt.Fprintf(os.Stderr, "livesim: snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *simday {
+		chunk := time.Duration(*chunkSecs * float64(time.Second))
+		if err := runSimday(*seed, chunk, *rtmpCap); err != nil {
+			fmt.Fprintf(os.Stderr, "livesim: simday: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -10,7 +10,6 @@
 package clock
 
 import (
-	"container/heap"
 	"context"
 	"sync"
 	"time"
@@ -36,13 +35,17 @@ type Real struct{}
 func NewReal() Real { return Real{} }
 
 // Now implements Clock.
-func (Real) Now() time.Time { return time.Now() }
+func (Real) Now() time.Time {
+	//lint:allow walltime Real is the wall-clock boundary everything else injects
+	return time.Now()
+}
 
 // Sleep implements Clock.
 func (Real) Sleep(ctx context.Context, d time.Duration) error {
 	if d <= 0 {
 		return ctx.Err()
 	}
+	//lint:allow walltime Real is the wall-clock boundary everything else injects
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -54,44 +57,23 @@ func (Real) Sleep(ctx context.Context, d time.Duration) error {
 }
 
 // After implements Clock.
-func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
-
-// event is a scheduled callback in the virtual event queue.
-type event struct {
-	at  time.Time
-	seq uint64 // tie-break so equal-time events run in schedule order
-	fn  func(now time.Time)
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if !h[i].at.Equal(h[j].at) {
-		return h[i].at.Before(h[j].at)
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+func (Real) After(d time.Duration) <-chan time.Time {
+	//lint:allow walltime Real is the wall-clock boundary everything else injects
+	return time.After(d)
 }
 
 // Virtual is a deterministic discrete-event clock. Time advances only through
-// Run, RunUntil, or Advance, which execute scheduled events in timestamp
-// order. It is safe for concurrent scheduling, but event execution is
-// single-threaded: determinism is the point.
+// Run, RunUntil, Step, or Advance, which execute scheduled events in
+// timestamp order. It is safe for concurrent scheduling, but event execution
+// is single-threaded: determinism is the point. Event nodes are pooled, and
+// every Schedule/ScheduleAt returns a cancellable Timer handle, so the heap
+// allocates nothing in steady state.
 type Virtual struct {
 	mu     sync.Mutex
 	now    time.Time
 	seq    uint64
-	events eventHeap
+	events nodeHeap
+	free   *timerNode // recycled nodes, linked through next
 }
 
 // Epoch is the default start time for virtual clocks: the first day of the
@@ -114,29 +96,82 @@ func (v *Virtual) Now() time.Time {
 	return v.now
 }
 
-// Schedule registers fn to run when the clock reaches v.Now().Add(d).
-// Negative delays run at the current time, after already-queued events for
-// that instant.
-func (v *Virtual) Schedule(d time.Duration, fn func(now time.Time)) {
+// Schedule registers fn to run when the clock reaches v.Now().Add(d) and
+// returns a handle that can Stop or Reset it. Negative delays run at the
+// current time, after already-queued events for that instant.
+func (v *Virtual) Schedule(d time.Duration, fn func(now time.Time)) Timer {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if d < 0 {
 		d = 0
 	}
-	v.seq++
-	heap.Push(&v.events, &event{at: v.now.Add(d), seq: v.seq, fn: fn})
+	return v.scheduleLocked(v.now.Add(d), fn)
 }
 
 // ScheduleAt registers fn to run at absolute time at. Times in the past run
 // at the current instant.
-func (v *Virtual) ScheduleAt(at time.Time, fn func(now time.Time)) {
+func (v *Virtual) ScheduleAt(at time.Time, fn func(now time.Time)) Timer {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if at.Before(v.now) {
 		at = v.now
 	}
+	return v.scheduleLocked(at, fn)
+}
+
+func (v *Virtual) scheduleLocked(at time.Time, fn func(now time.Time)) Timer {
+	n := v.free
+	if n != nil {
+		v.free = n.next
+		n.next = nil
+	} else {
+		n = &timerNode{heapIx: -1}
+	}
 	v.seq++
-	heap.Push(&v.events, &event{at: at, seq: v.seq, fn: fn})
+	n.at = at
+	n.seq = v.seq
+	n.fn = fn
+	v.events.push(n)
+	return Timer{n: n, gen: n.gen, s: v}
+}
+
+// releaseLocked invalidates every outstanding handle to n and returns it to
+// the freelist.
+func (v *Virtual) releaseLocked(n *timerNode) {
+	n.gen++
+	n.fn = nil
+	n.next = v.free
+	n.prev = nil
+	v.free = n
+}
+
+// stopTimer implements timerSched.
+func (v *Virtual) stopTimer(n *timerNode, gen uint64) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if n.gen != gen || n.heapIx < 0 {
+		return false
+	}
+	v.events.remove(n.heapIx)
+	v.releaseLocked(n)
+	return true
+}
+
+// resetTimer implements timerSched.
+func (v *Virtual) resetTimer(n *timerNode, gen uint64, d time.Duration) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if n.gen != gen || n.heapIx < 0 {
+		return false
+	}
+	if d < 0 {
+		d = 0
+	}
+	n.at = v.now.Add(d)
+	v.seq++
+	n.seq = v.seq
+	v.events.fix(n.heapIx)
+	return true
 }
 
 // step pops and runs the earliest event if it is at or before limit.
@@ -147,17 +182,25 @@ func (v *Virtual) step(limit time.Time) bool {
 		v.mu.Unlock()
 		return false
 	}
-	e := v.events[0]
-	if e.at.After(limit) {
+	n := v.events[0]
+	if n.at.After(limit) {
 		v.mu.Unlock()
 		return false
 	}
-	heap.Pop(&v.events)
-	v.now = e.at
+	v.events.pop()
+	at, fn := n.at, n.fn
+	v.now = at
+	v.releaseLocked(n)
 	v.mu.Unlock()
-	e.fn(e.at)
+	fn(at)
 	return true
 }
+
+// Step executes the single earliest pending event if its timestamp is at or
+// before limit, reporting whether one ran. It is the building block external
+// drivers (the viewersim goroutine-reference coordinator) use to interleave
+// event execution with their own scheduling.
+func (v *Virtual) Step(limit time.Time) bool { return v.step(limit) }
 
 // Run executes all events until the queue drains, returning the final time.
 func (v *Virtual) Run() time.Time {

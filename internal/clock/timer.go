@@ -1,0 +1,154 @@
+package clock
+
+import "time"
+
+// timerNode is the pooled scheduling record shared by the Virtual clock's
+// event heap and the Wheel's slot buckets / overflow heaps. Nodes are
+// intrusive: they carry their own doubly-linked bucket links and their heap
+// index, so moving a timer between a bucket, a heap and the freelist never
+// allocates. A node is owned by exactly one scheduler (a Virtual or one
+// wheel shard) for its whole life; the owning scheduler's mutex guards every
+// field.
+type timerNode struct {
+	next, prev *timerNode // bucket list links; next doubles as the freelist link
+	heapIx     int        // index in the owning heap, -1 when not heaped
+	at         time.Time  // absolute deadline on the owning clock
+	tick       int64      // wheel deadline in resolution ticks (wheel only)
+	seq        uint64     // schedule order, tie-break for equal deadlines
+	gen        uint64     // generation; bumped whenever the node is detached
+	owner      uint64     // shard-affinity key (wheel only)
+	fn         func(now time.Time)
+}
+
+// timerSched is the private contract a Timer handle uses to reach back into
+// the scheduler that issued it.
+type timerSched interface {
+	stopTimer(n *timerNode, gen uint64) bool
+	resetTimer(n *timerNode, gen uint64, d time.Duration) bool
+}
+
+// Timer is a cancellable handle to one scheduled callback, returned by
+// Virtual.Schedule/ScheduleAt and Wheel.Schedule/ScheduleAt. The zero Timer
+// is valid and inert. Handles are single-shot: once the callback has been
+// dispatched (or the timer stopped), Stop and Reset return false and the
+// underlying node may be reused for an unrelated timer — a generation
+// counter makes stale handles safe, so Timer values can be kept, copied and
+// dropped freely without coordination.
+type Timer struct {
+	n   *timerNode
+	gen uint64
+	s   timerSched
+}
+
+// Stop cancels the timer. It reports true if the callback was still pending
+// and will now never run, false if it already ran, was already stopped, or
+// the handle is zero.
+func (t Timer) Stop() bool {
+	if t.s == nil {
+		return false
+	}
+	return t.s.stopTimer(t.n, t.gen)
+}
+
+// Reset reschedules a still-pending timer to fire d from the scheduler's
+// current time, keeping its callback, and reports whether it succeeded.
+// A false return means the timer already fired or was stopped; re-arm it
+// with a fresh Schedule call in that case.
+func (t Timer) Reset(d time.Duration) bool {
+	if t.s == nil {
+		return false
+	}
+	return t.s.resetTimer(t.n, t.gen, d)
+}
+
+// nodeHeap is a binary min-heap of timer nodes ordered by (at, seq),
+// maintaining heapIx so arbitrary removal (Stop) is O(log n). It is written
+// out rather than layered on container/heap to keep the wheel's overflow
+// path free of interface dispatch.
+type nodeHeap []*timerNode
+
+func nodeLess(a, b *timerNode) bool {
+	if !a.at.Equal(b.at) {
+		return a.at.Before(b.at)
+	}
+	return a.seq < b.seq
+}
+
+func (h *nodeHeap) push(n *timerNode) {
+	*h = append(*h, n)
+	n.heapIx = len(*h) - 1
+	h.up(n.heapIx)
+}
+
+func (h *nodeHeap) pop() *timerNode {
+	s := *h
+	n := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[0].heapIx = 0
+	s[last] = nil
+	*h = s[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	n.heapIx = -1
+	return n
+}
+
+// remove detaches the node at index i.
+func (h *nodeHeap) remove(i int) {
+	s := *h
+	n := s[i]
+	last := len(s) - 1
+	if i != last {
+		s[i] = s[last]
+		s[i].heapIx = i
+	}
+	s[last] = nil
+	*h = s[:last]
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+	n.heapIx = -1
+}
+
+// fix restores heap order after s[i].at changed in place.
+func (h *nodeHeap) fix(i int) {
+	h.down(i)
+	h.up(i)
+}
+
+func (h nodeHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !nodeLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		h[i].heapIx = i
+		h[parent].heapIx = parent
+		i = parent
+	}
+}
+
+func (h nodeHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		small := l
+		if r := l + 1; r < n && nodeLess(h[r], h[l]) {
+			small = r
+		}
+		if !nodeLess(h[small], h[i]) {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		h[i].heapIx = i
+		h[small].heapIx = small
+		i = small
+	}
+}

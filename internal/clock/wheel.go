@@ -1,0 +1,534 @@
+package clock
+
+import (
+	"context"
+	"math"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WheelConfig parameterizes a sharded timer wheel.
+type WheelConfig struct {
+	// Epoch is the wheel's start time; zero means clock.Epoch.
+	Epoch time.Time
+	// Shards is the number of independent timer shards, one worker
+	// goroutine each. Zero means min(GOMAXPROCS, 8). Timers are
+	// FNV-hashed onto shards by owner key, so all timers of one owner
+	// fire on one shard and the owner's state needs no locking.
+	Shards int
+	// Resolution is the tick width: every deadline is rounded up to the
+	// next tick boundary. Zero means 10 ms — coarse enough that a full
+	// simulated day is ~8.6M ticks, fine enough that a 2.8 s poll
+	// interval quantizes below 0.4% error.
+	Resolution time.Duration
+	// Slots is the number of wheel slots per shard (rounded up to a
+	// power of two; zero means 512). Deadlines within Slots×Resolution
+	// of now go to an O(1) slot bucket; farther deadlines wait in a
+	// per-shard overflow heap.
+	Slots int
+}
+
+// Wheel is a sharded hashed timer wheel: the scheduler behind the
+// million-viewer event engine (internal/viewersim). Like Virtual it is a
+// discrete-event virtual clock — time advances only through Advance /
+// RunUntil / Run — but it is built for volume where Virtual is built for
+// strict global ordering:
+//
+//   - Schedule/Stop/Reset are O(1) for near deadlines (a doubly-linked slot
+//     bucket) and O(log overflow) for far ones, against a per-shard mutex
+//     instead of one global lock.
+//   - Timer nodes are pooled per shard; steady-state scheduling allocates
+//     nothing.
+//   - Now is lock-free: a single atomic tick counter, readable from any
+//     callback or foreign goroutine.
+//   - Ticks with work on several shards fire those shards' batches in
+//     parallel on persistent per-shard workers.
+//
+// The determinism contract is correspondingly weaker than Virtual's: within
+// one (shard, tick) batch, callbacks run in a reproducible order (overflow
+// arrivals by schedule order, then bucket FIFO), but callbacks of different
+// shards due at the same tick run concurrently. Engines that need
+// reproducible results must pin each mutable object to one owner key and
+// make all cross-owner effects commutative (atomic counters, histogram
+// adds) — the discipline internal/viewersim follows.
+//
+// Callbacks must not block on the wheel's own time (Sleep/After inside a
+// callback deadlocks the driving goroutine, exactly as with Virtual).
+type Wheel struct {
+	epoch   time.Time
+	res     time.Duration
+	slots   int
+	mask    int64
+	nowTick atomic.Int64
+	fired   atomic.Int64
+	shards  []*wheelShard
+
+	fireWG sync.WaitGroup // open fire dispatches during one tick
+
+	runMu  sync.Mutex // serializes Advance/RunUntil/Run drivers
+	busy   []*wheelShard
+	closed bool
+
+	workerWG sync.WaitGroup
+}
+
+// wheelShard is one independently locked timer domain. The padding keeps
+// neighbouring shards' mutexes off one cache line.
+type wheelShard struct {
+	w        *Wheel
+	mu       sync.Mutex
+	buckets  []wheelBucket
+	occ      []uint64 // occupancy bitmap over buckets
+	overflow nodeHeap
+	free     *timerNode
+	batch    []*timerNode // reusable detach buffer for fire
+	seq      uint64
+	pending  int
+	work     chan int64
+	_        [64]byte
+}
+
+type wheelBucket struct {
+	head, tail *timerNode
+}
+
+// NewWheel builds the wheel and starts its per-shard workers. Callers own a
+// Close when done; an un-Closed wheel leaks its worker goroutines.
+func NewWheel(cfg WheelConfig) *Wheel {
+	if cfg.Epoch.IsZero() {
+		cfg.Epoch = Epoch
+	}
+	if cfg.Resolution <= 0 {
+		cfg.Resolution = 10 * time.Millisecond
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+		if cfg.Shards > 8 {
+			cfg.Shards = 8
+		}
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 512
+	}
+	slots := 64 // bitmap scan works in whole 64-bit words
+	for slots < cfg.Slots {
+		slots <<= 1
+	}
+	w := &Wheel{
+		epoch:  cfg.Epoch,
+		res:    cfg.Resolution,
+		slots:  slots,
+		mask:   int64(slots - 1),
+		shards: make([]*wheelShard, cfg.Shards),
+		busy:   make([]*wheelShard, 0, cfg.Shards),
+	}
+	for i := range w.shards {
+		s := &wheelShard{
+			w:       w,
+			buckets: make([]wheelBucket, slots),
+			occ:     make([]uint64, slots/64),
+			work:    make(chan int64),
+		}
+		w.shards[i] = s
+		w.workerWG.Add(1)
+		go func() {
+			defer w.workerWG.Done()
+			for tick := range s.work {
+				s.fire(tick, w.timeOf(tick))
+				w.fireWG.Done()
+			}
+		}()
+	}
+	return w
+}
+
+// Close stops the worker goroutines. The wheel must not be driven or
+// scheduled against afterwards.
+func (w *Wheel) Close() {
+	w.runMu.Lock()
+	defer w.runMu.Unlock()
+	if w.closed {
+		return
+	}
+	w.closed = true
+	for _, s := range w.shards {
+		close(s.work)
+	}
+	w.workerWG.Wait()
+}
+
+// Now implements Clock. It is lock-free — one atomic load — so the hottest
+// callbacks and foreign goroutines (the real-socket fidelity slice's
+// metrics, cdn stamps) can read time without contending with scheduling.
+func (w *Wheel) Now() time.Time {
+	return w.epoch.Add(time.Duration(w.nowTick.Load()) * w.res)
+}
+
+// Shards returns the shard count (the engine sizes its worker-local state
+// from it).
+func (w *Wheel) Shards() int { return len(w.shards) }
+
+// Resolution returns the tick width.
+func (w *Wheel) Resolution() time.Duration { return w.res }
+
+// Fired returns the total number of callbacks dispatched so far.
+func (w *Wheel) Fired() int64 { return w.fired.Load() }
+
+// timeOf converts a tick index to clock time.
+func (w *Wheel) timeOf(tick int64) time.Time {
+	return w.epoch.Add(time.Duration(tick) * w.res)
+}
+
+// tickOf converts an absolute time to the last tick at or before it.
+func (w *Wheel) tickOf(t time.Time) int64 {
+	d := t.Sub(w.epoch) // saturates at ±2^63-1 ns for distant times
+	if d < 0 {
+		return 0
+	}
+	return int64(d / w.res)
+}
+
+// shardOf hashes an owner key onto a shard with FNV-1a over its 8 bytes.
+func (w *Wheel) shardOf(owner uint64) *wheelShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= owner & 0xff
+		h *= prime64
+		owner >>= 8
+	}
+	return w.shards[h%uint64(len(w.shards))]
+}
+
+// Schedule registers fn to run d after the wheel's current time, on the
+// shard owning the given key, and returns a cancellable handle. The
+// deadline is rounded up to the next tick boundary. Zero and negative
+// delays fire at the current tick — during a drive, that means later in the
+// same tick's drain.
+//
+//livesim:hotpath — one mutex, pooled node, no allocation in steady state.
+func (w *Wheel) Schedule(owner uint64, d time.Duration, fn func(now time.Time)) Timer {
+	if d < 0 {
+		d = 0
+	}
+	now := w.nowTick.Load()
+	tick := now + int64((d+w.res-1)/w.res)
+	return w.shardOf(owner).schedule(owner, tick, fn)
+}
+
+// ScheduleAt registers fn at an absolute time, rounded up to a tick.
+func (w *Wheel) ScheduleAt(owner uint64, at time.Time, fn func(now time.Time)) Timer {
+	d := at.Sub(w.Now())
+	return w.Schedule(owner, d, fn)
+}
+
+// schedule inserts a node due at tick (already clamped ≥ the current tick
+// at computation time) into a slot bucket or the overflow heap.
+//
+//livesim:hotpath
+func (s *wheelShard) schedule(owner uint64, tick int64, fn func(now time.Time)) Timer {
+	s.mu.Lock()
+	n := s.free
+	if n != nil {
+		s.free = n.next
+		n.next = nil
+	} else {
+		n = &timerNode{heapIx: -1}
+	}
+	s.seq++
+	n.at = s.w.timeOf(tick)
+	n.tick = tick
+	n.seq = s.seq
+	n.owner = owner
+	n.fn = fn
+	s.insertLocked(n)
+	s.pending++
+	t := Timer{n: n, gen: n.gen, s: s}
+	s.mu.Unlock()
+	return t
+}
+
+//livesim:hotpath
+func (s *wheelShard) insertLocked(n *timerNode) {
+	now := s.w.nowTick.Load()
+	if n.tick < now {
+		// The driver advanced past the deadline between the caller's
+		// tick computation and this insert; fire at the current tick.
+		n.tick = now
+		n.at = s.w.timeOf(now)
+	}
+	if n.tick-now < int64(s.w.slots) {
+		slot := n.tick & s.w.mask
+		b := &s.buckets[slot]
+		n.prev = b.tail
+		n.next = nil
+		if b.tail != nil {
+			b.tail.next = n
+		} else {
+			b.head = n
+		}
+		b.tail = n
+		s.occ[slot>>6] |= 1 << uint(slot&63)
+		return
+	}
+	s.overflow.push(n)
+}
+
+// unlinkLocked removes a pending node from wherever it sits (bucket or
+// overflow heap). The caller must hold s.mu and own a valid generation.
+func (s *wheelShard) unlinkLocked(n *timerNode) {
+	if n.heapIx >= 0 {
+		s.overflow.remove(n.heapIx)
+		return
+	}
+	slot := n.tick & s.w.mask
+	b := &s.buckets[slot]
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		b.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		b.tail = n.prev
+	}
+	n.next, n.prev = nil, nil
+	if b.head == nil {
+		s.occ[slot>>6] &^= 1 << uint(slot&63)
+	}
+}
+
+func (s *wheelShard) releaseLocked(n *timerNode) {
+	n.gen++
+	n.fn = nil
+	n.prev = nil
+	n.next = s.free
+	s.free = n
+}
+
+// stopTimer implements timerSched.
+func (s *wheelShard) stopTimer(n *timerNode, gen uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n.gen != gen {
+		return false
+	}
+	s.unlinkLocked(n)
+	s.pending--
+	s.releaseLocked(n)
+	return true
+}
+
+// resetTimer implements timerSched.
+func (s *wheelShard) resetTimer(n *timerNode, gen uint64, d time.Duration) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n.gen != gen {
+		return false
+	}
+	if d < 0 {
+		d = 0
+	}
+	s.unlinkLocked(n)
+	now := s.w.nowTick.Load()
+	n.tick = now + int64((d+s.w.res-1)/s.w.res)
+	n.at = s.w.timeOf(n.tick)
+	s.seq++
+	n.seq = s.seq
+	s.insertLocked(n)
+	return true
+}
+
+// due returns the earliest tick this shard has work for, or math.MaxInt64.
+func (s *wheelShard) due(now int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	best := int64(math.MaxInt64)
+	if len(s.overflow) > 0 {
+		best = s.overflow[0].tick
+	}
+	if t := s.nextBucketTickLocked(now); t < best {
+		best = t
+	}
+	return best
+}
+
+// nextBucketTickLocked scans the occupancy bitmap for the first occupied
+// slot at or after now, wrapping once around the wheel.
+//
+//livesim:hotpath
+func (s *wheelShard) nextBucketTickLocked(now int64) int64 {
+	slots := s.w.slots
+	slot0 := int(now & s.w.mask)
+	w0 := slot0 >> 6
+	off := uint(slot0 & 63)
+	words := slots >> 6
+	// First word: bits at or above slot0 cover [now, next word boundary).
+	if x := s.occ[w0] >> off; x != 0 {
+		return now + int64(bits.TrailingZeros64(x))
+	}
+	for i := 1; i <= words; i++ {
+		wi := (w0 + i) % words
+		x := s.occ[wi]
+		if i == words {
+			// Back at the first word after a full wrap: only the
+			// bits strictly below slot0 remain unseen.
+			x &= 1<<off - 1
+		}
+		if x != 0 {
+			slot := wi<<6 + bits.TrailingZeros64(x)
+			delta := slot - slot0
+			if delta <= 0 {
+				delta += slots
+			}
+			return now + int64(delta)
+		}
+	}
+	return math.MaxInt64
+}
+
+// fire runs every callback due at tick on this shard: overflow arrivals
+// first (schedule order), then the slot bucket FIFO. Nodes are detached and
+// generation-bumped under the lock, callbacks run outside it, and the nodes
+// return to the freelist in one batch.
+//
+//livesim:hotpath
+func (s *wheelShard) fire(tick int64, now time.Time) {
+	s.mu.Lock()
+	batch := s.batch[:0]
+	for len(s.overflow) > 0 && s.overflow[0].tick <= tick {
+		n := s.overflow.pop()
+		n.gen++
+		batch = append(batch, n)
+	}
+	slot := tick & s.w.mask
+	b := &s.buckets[slot]
+	for n := b.head; n != nil; n = n.next {
+		n.gen++
+		batch = append(batch, n)
+	}
+	b.head, b.tail = nil, nil
+	s.occ[slot>>6] &^= 1 << uint(slot&63)
+	s.pending -= len(batch)
+	s.mu.Unlock()
+
+	for _, n := range batch {
+		n.fn(now)
+	}
+	s.w.fired.Add(int64(len(batch)))
+
+	s.mu.Lock()
+	for i, n := range batch {
+		n.fn = nil
+		n.prev = nil
+		n.next = s.free
+		s.free = n
+		batch[i] = nil
+	}
+	s.batch = batch[:0]
+	s.mu.Unlock()
+}
+
+// Pending returns the number of scheduled, unfired timers.
+func (w *Wheel) Pending() int {
+	total := 0
+	for _, s := range w.shards {
+		s.mu.Lock()
+		total += s.pending
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// RunUntil executes every timer with a deadline ≤ t, then sets the clock to
+// t. Ticks where only one shard has work fire inline on the calling
+// goroutine; ticks with work on several shards fan out to the per-shard
+// workers and barrier before the clock moves again.
+func (w *Wheel) RunUntil(t time.Time) {
+	w.runMu.Lock()
+	defer w.runMu.Unlock()
+	w.runLocked(w.tickOf(t))
+	if limit := w.tickOf(t); w.nowTick.Load() < limit {
+		w.nowTick.Store(limit)
+	}
+}
+
+// Run executes timers until none remain, returning the final clock time.
+func (w *Wheel) Run() time.Time {
+	w.runMu.Lock()
+	defer w.runMu.Unlock()
+	w.runLocked(math.MaxInt64)
+	return w.Now()
+}
+
+// Advance moves the clock forward by d, firing every timer due in the
+// window, and returns the new current time.
+func (w *Wheel) Advance(d time.Duration) time.Time {
+	w.RunUntil(w.Now().Add(d))
+	return w.Now()
+}
+
+func (w *Wheel) runLocked(limit int64) {
+	for {
+		next := int64(math.MaxInt64)
+		busy := w.busy[:0]
+		now := w.nowTick.Load()
+		for _, s := range w.shards {
+			d := s.due(now)
+			if d < next {
+				next = d
+				busy = busy[:0]
+			}
+			if d == next && d != math.MaxInt64 {
+				busy = append(busy, s)
+			}
+		}
+		w.busy = busy // retain the grown backing array for the next pass
+		if next == math.MaxInt64 || next > limit {
+			return
+		}
+		if next < now {
+			// A racing external Schedule targeted an already-passed
+			// tick; fire it at the current tick.
+			next = now
+		}
+		w.nowTick.Store(next)
+		at := w.timeOf(next)
+		if len(busy) == 1 {
+			busy[0].fire(next, at)
+			continue
+		}
+		w.fireWG.Add(len(busy))
+		for _, s := range busy {
+			s.work <- next
+		}
+		w.fireWG.Wait()
+	}
+}
+
+// Sleep implements Clock, for components written against the interface. As
+// with Virtual, someone else must drive the wheel forward.
+func (w *Wheel) Sleep(ctx context.Context, d time.Duration) error {
+	done := make(chan struct{})
+	w.Schedule(0, d, func(time.Time) { close(done) })
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-done:
+		return nil
+	}
+}
+
+// After implements Clock.
+func (w *Wheel) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	w.Schedule(0, d, func(now time.Time) { ch <- now })
+	return ch
+}

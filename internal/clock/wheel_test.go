@@ -1,0 +1,460 @@
+package clock
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestWheel(t *testing.T, cfg WheelConfig) *Wheel {
+	t.Helper()
+	w := NewWheel(cfg)
+	t.Cleanup(w.Close)
+	return w
+}
+
+func TestWheelStartsAtEpoch(t *testing.T) {
+	w := newTestWheel(t, WheelConfig{})
+	if !w.Now().Equal(Epoch) {
+		t.Fatalf("Now() = %v, want %v", w.Now(), Epoch)
+	}
+}
+
+func TestWheelFiresInTickOrder(t *testing.T) {
+	w := newTestWheel(t, WheelConfig{Shards: 1, Resolution: 10 * time.Millisecond})
+	var got []time.Duration
+	for _, d := range []time.Duration{50 * time.Millisecond, 10 * time.Millisecond, 30 * time.Millisecond} {
+		d := d
+		w.Schedule(1, d, func(now time.Time) { got = append(got, now.Sub(Epoch)) })
+	}
+	w.Run()
+	want := []time.Duration{10 * time.Millisecond, 30 * time.Millisecond, 50 * time.Millisecond}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d timers, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWheelRoundsUpToResolution(t *testing.T) {
+	w := newTestWheel(t, WheelConfig{Shards: 1, Resolution: 10 * time.Millisecond})
+	var at time.Time
+	w.Schedule(1, 14*time.Millisecond, func(now time.Time) { at = now })
+	w.Run()
+	if want := Epoch.Add(20 * time.Millisecond); !at.Equal(want) {
+		t.Fatalf("fired at %v, want %v (rounded up)", at, want)
+	}
+}
+
+func TestWheelOverflowBeyondWindow(t *testing.T) {
+	// 64 slots × 10 ms = 640 ms window: far timers must take the
+	// overflow heap and still fire at the right time.
+	w := newTestWheel(t, WheelConfig{Shards: 1, Resolution: 10 * time.Millisecond, Slots: 64})
+	var order []string
+	w.Schedule(1, 5*time.Second, func(time.Time) { order = append(order, "far") })
+	w.Schedule(1, 100*time.Millisecond, func(time.Time) { order = append(order, "near") })
+	if got := w.Pending(); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+	end := w.Run()
+	if want := Epoch.Add(5 * time.Second); !end.Equal(want) {
+		t.Fatalf("Run ended at %v, want %v", end, want)
+	}
+	if len(order) != 2 || order[0] != "near" || order[1] != "far" {
+		t.Fatalf("fire order = %v", order)
+	}
+}
+
+func TestWheelSameTickFIFOAndOwnerAffinity(t *testing.T) {
+	w := newTestWheel(t, WheelConfig{Shards: 4, Resolution: time.Millisecond})
+	const owner = 7
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		w.Schedule(owner, 5*time.Millisecond, func(time.Time) { got = append(got, i) })
+	}
+	w.Run()
+	// One owner → one shard → strict FIFO within the tick, and no data
+	// race on got even with four shards configured.
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-tick fire order broken at %d: %v", i, got[:i+1])
+		}
+	}
+	if len(got) != 100 {
+		t.Fatalf("fired %d, want 100", len(got))
+	}
+}
+
+func TestWheelStop(t *testing.T) {
+	w := newTestWheel(t, WheelConfig{Shards: 1, Resolution: 10 * time.Millisecond, Slots: 64})
+	fired := 0
+	near := w.Schedule(1, 50*time.Millisecond, func(time.Time) { fired++ })
+	far := w.Schedule(1, time.Minute, func(time.Time) { fired++ })
+	keep := w.Schedule(1, 70*time.Millisecond, func(time.Time) { fired++ })
+	if !near.Stop() || !far.Stop() {
+		t.Fatal("Stop on pending timers returned false")
+	}
+	if near.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	w.Run()
+	if fired != 1 {
+		t.Fatalf("fired %d callbacks, want 1 (only keep)", fired)
+	}
+	if keep.Stop() {
+		t.Fatal("Stop after firing returned true")
+	}
+}
+
+func TestWheelReset(t *testing.T) {
+	w := newTestWheel(t, WheelConfig{Shards: 1, Resolution: 10 * time.Millisecond})
+	var at time.Time
+	tm := w.Schedule(1, 20*time.Millisecond, func(now time.Time) { at = now })
+	if !tm.Reset(200 * time.Millisecond) {
+		t.Fatal("Reset on pending timer returned false")
+	}
+	w.Run()
+	if want := Epoch.Add(200 * time.Millisecond); !at.Equal(want) {
+		t.Fatalf("fired at %v, want %v", at, want)
+	}
+	if tm.Reset(time.Second) {
+		t.Fatal("Reset after firing returned true")
+	}
+}
+
+func TestWheelZeroTimerHandle(t *testing.T) {
+	var tm Timer
+	if tm.Stop() || tm.Reset(time.Second) {
+		t.Fatal("zero Timer must be inert")
+	}
+}
+
+func TestWheelNodePoolingReuses(t *testing.T) {
+	w := newTestWheel(t, WheelConfig{Shards: 1, Resolution: time.Millisecond})
+	// Warm one node, then measure steady-state schedule+fire cycles.
+	w.Schedule(1, time.Millisecond, func(time.Time) {})
+	w.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		w.Schedule(1, time.Millisecond, func(time.Time) {})
+		w.Run()
+	})
+	if allocs > 0.5 {
+		t.Fatalf("steady-state schedule+fire allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestWheelRescheduleFromCallback(t *testing.T) {
+	w := newTestWheel(t, WheelConfig{Shards: 2, Resolution: 10 * time.Millisecond})
+	var ticks []time.Duration
+	var loop func(now time.Time)
+	loop = func(now time.Time) {
+		ticks = append(ticks, now.Sub(Epoch))
+		if len(ticks) < 5 {
+			w.Schedule(3, 30*time.Millisecond, loop)
+		}
+	}
+	w.Schedule(3, 30*time.Millisecond, loop)
+	w.Run()
+	if len(ticks) != 5 {
+		t.Fatalf("looped %d times, want 5", len(ticks))
+	}
+	for i, d := range ticks {
+		if want := time.Duration(i+1) * 30 * time.Millisecond; d != want {
+			t.Fatalf("iteration %d at +%v, want +%v", i, d, want)
+		}
+	}
+}
+
+func TestWheelRunUntilSetsNow(t *testing.T) {
+	w := newTestWheel(t, WheelConfig{Shards: 1})
+	fired := false
+	w.Schedule(1, time.Hour, func(time.Time) { fired = true })
+	w.RunUntil(Epoch.Add(30 * time.Minute))
+	if fired {
+		t.Fatal("timer beyond the limit fired")
+	}
+	if want := Epoch.Add(30 * time.Minute); !w.Now().Equal(want) {
+		t.Fatalf("Now = %v, want %v", w.Now(), want)
+	}
+	w.RunUntil(Epoch.Add(2 * time.Hour))
+	if !fired {
+		t.Fatal("timer within the limit did not fire")
+	}
+}
+
+func TestWheelNowLockFreeDuringRun(t *testing.T) {
+	// Foreign goroutines may read Now while callbacks fire; under -race
+	// this checks the atomic-epoch claim.
+	w := newTestWheel(t, WheelConfig{Shards: 4, Resolution: time.Millisecond})
+	for owner := uint64(0); owner < 64; owner++ {
+		for i := 0; i < 50; i++ {
+			w.Schedule(owner, time.Duration(i)*time.Millisecond, func(time.Time) {})
+		}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for g := 0; g < 2; g++ {
+		go func() {
+			defer wg.Done()
+			last := w.Now()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				now := w.Now()
+				if now.Before(last) {
+					t.Error("Now went backwards")
+					return
+				}
+				last = now
+			}
+		}()
+	}
+	w.Run()
+	close(done)
+	wg.Wait()
+}
+
+func TestWheelSleepAndAfter(t *testing.T) {
+	w := newTestWheel(t, WheelConfig{Shards: 1, Resolution: 10 * time.Millisecond})
+	ch := w.After(50 * time.Millisecond)
+	go w.Advance(time.Second)
+	at := <-ch
+	if want := Epoch.Add(50 * time.Millisecond); !at.Equal(want) {
+		t.Fatalf("After delivered %v, want %v", at, want)
+	}
+}
+
+// firing is one observed callback dispatch, for equivalence comparison.
+type firing struct {
+	owner uint64
+	id    int
+	at    time.Duration
+}
+
+// wheelHarness adapts Wheel and Virtual to one scheduling surface so the
+// same randomized workload can drive both.
+type schedHarness struct {
+	schedule func(owner uint64, d time.Duration, fn func(time.Time)) Timer
+	run      func()
+	now      func() time.Time
+}
+
+// TestWheelVirtualEquivalence drives an identical randomized timer workload
+// — schedules from callbacks, stops, resets, near and far deadlines, all at
+// resolution multiples — through the Virtual heap and through wheels with 1
+// and 4 shards, and requires every owner's observed firing sequence
+// (id + timestamp) to be identical. This is the contract that lets
+// internal/viewersim treat the two schedulers as interchangeable.
+func TestWheelVirtualEquivalence(t *testing.T) {
+	const res = 10 * time.Millisecond
+	// lcg steps a deterministic pseudo-random state; each owner carries
+	// its own so callback-driven draws stay identical no matter how the
+	// wheel interleaves owners across shards.
+	lcg := func(state *uint64, n int) int {
+		*state = *state*6364136223846793005 + 1442695040888963407
+		return int((*state >> 33) % uint64(n))
+	}
+	type ownerState struct {
+		state  uint64
+		nextID int
+		fired  []firing
+	}
+	workload := func(h schedHarness) map[uint64][]firing {
+		const owners = 16
+		states := make([]*ownerState, owners)
+		var tick func(o *ownerState, idx uint64) func(time.Time)
+		tick = func(o *ownerState, idx uint64) func(time.Time) {
+			id := o.nextID
+			o.nextID++
+			return func(now time.Time) {
+				o.fired = append(o.fired, firing{idx, id, now.Sub(Epoch)})
+				if lcg(&o.state, 100) < 40 {
+					h.schedule(idx, time.Duration(1+lcg(&o.state, 200))*res, tick(o, idx))
+				}
+			}
+		}
+		// Setup runs single-threaded and identically for both engines.
+		setup := uint64(0x9e3779b97f4a7c15)
+		for owner := uint64(0); owner < owners; owner++ {
+			o := &ownerState{state: owner*0x9e3779b9 + 1}
+			states[owner] = o
+			var cancels []Timer
+			for i := 0; i < 30; i++ {
+				d := time.Duration(1+lcg(&setup, 1000)) * res // spans bucket window and overflow
+				tm := h.schedule(owner, d, tick(o, owner))
+				if lcg(&setup, 100) < 20 {
+					cancels = append(cancels, tm)
+				} else if lcg(&setup, 100) < 10 {
+					tm.Reset(time.Duration(1+lcg(&setup, 500)) * res)
+				}
+			}
+			for _, tm := range cancels {
+				tm.Stop()
+			}
+		}
+		h.run()
+		got := map[uint64][]firing{}
+		for owner, o := range states {
+			got[uint64(owner)] = o.fired
+		}
+		return got
+	}
+
+	virtual := func() map[uint64][]firing {
+		v := NewVirtual(time.Time{})
+		return workload(schedHarness{
+			schedule: func(owner uint64, d time.Duration, fn func(time.Time)) Timer {
+				return v.Schedule(d, fn)
+			},
+			run: func() { v.Run() },
+			now: v.Now,
+		})
+	}
+	wheel := func(shards int) map[uint64][]firing {
+		w := NewWheel(WheelConfig{Shards: shards, Resolution: res, Slots: 128})
+		defer w.Close()
+		return workload(schedHarness{
+			schedule: w.Schedule,
+			run:      func() { w.Run() },
+			now:      w.Now,
+		})
+	}
+
+	ref := virtual()
+	for _, shards := range []int{1, 4} {
+		got := wheel(shards)
+		if len(got) != len(ref) {
+			t.Fatalf("shards=%d: %d owners fired, want %d", shards, len(got), len(ref))
+		}
+		for owner, want := range ref {
+			have := got[owner]
+			if len(have) != len(want) {
+				t.Fatalf("shards=%d owner=%d: %d firings, want %d", shards, owner, len(have), len(want))
+			}
+			for i := range want {
+				if have[i] != want[i] {
+					t.Fatalf("shards=%d owner=%d firing %d: got %+v, want %+v",
+						shards, owner, i, have[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestWheelEquivalenceFuzzSeeds runs a smaller version of the equivalence
+// workload across several seeds, comparing the multiset of (owner, time)
+// firings between Virtual and a 4-shard wheel.
+func TestWheelEquivalenceFuzzSeeds(t *testing.T) {
+	const res = 10 * time.Millisecond
+	run := func(seed uint64, h schedHarness) []string {
+		var mu sync.Mutex
+		var fired []string
+		state := seed
+		rnd := func(n int) int {
+			state = state*6364136223846793005 + 1442695040888963407
+			return int((state >> 33) % uint64(n))
+		}
+		for owner := uint64(0); owner < 8; owner++ {
+			owner := owner
+			for i := 0; i < 40; i++ {
+				i := i
+				h.schedule(owner, time.Duration(1+rnd(300))*res, func(now time.Time) {
+					mu.Lock()
+					fired = append(fired, fmt.Sprintf("%d/%d@%v", owner, i, now.Sub(Epoch)))
+					mu.Unlock()
+				})
+			}
+		}
+		h.run()
+		sort.Strings(fired)
+		return fired
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		v := NewVirtual(time.Time{})
+		ref := run(seed, schedHarness{
+			schedule: func(o uint64, d time.Duration, fn func(time.Time)) Timer { return v.Schedule(d, fn) },
+			run:      func() { v.Run() },
+		})
+		w := NewWheel(WheelConfig{Shards: 4, Resolution: res, Slots: 64})
+		got := run(seed, schedHarness{schedule: w.Schedule, run: func() { w.Run() }})
+		w.Close()
+		if len(got) != len(ref) {
+			t.Fatalf("seed %d: %d firings vs %d", seed, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("seed %d firing %d: %s vs %s", seed, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestVirtualTimerStopReset(t *testing.T) {
+	v := NewVirtual(time.Time{})
+	fired := 0
+	a := v.Schedule(time.Second, func(time.Time) { fired++ })
+	b := v.Schedule(2*time.Second, func(time.Time) { fired++ })
+	c := v.Schedule(3*time.Second, func(time.Time) { fired++ })
+	if !a.Stop() {
+		t.Fatal("Stop pending returned false")
+	}
+	if a.Stop() {
+		t.Fatal("double Stop returned true")
+	}
+	if !b.Reset(5 * time.Second) {
+		t.Fatal("Reset pending returned false")
+	}
+	end := v.Run()
+	if fired != 2 {
+		t.Fatalf("fired %d, want 2", fired)
+	}
+	if want := v.Now(); !end.Equal(want) {
+		t.Fatalf("Run returned %v, want %v", end, want)
+	}
+	if want := Epoch.Add(5 * time.Second); !v.Now().Equal(want) {
+		t.Fatalf("final time %v, want %v (reset deadline)", v.Now(), want)
+	}
+	if c.Stop() || b.Reset(time.Second) {
+		t.Fatal("handles must be dead after firing")
+	}
+}
+
+func TestVirtualPooledNodesAreGenerationSafe(t *testing.T) {
+	v := NewVirtual(time.Time{})
+	first := v.Schedule(time.Second, func(time.Time) {})
+	v.Run()
+	// The node is back on the freelist; this schedule reuses it.
+	reused := v.Schedule(time.Second, func(time.Time) {})
+	if first.Stop() {
+		t.Fatal("stale handle stopped a reused node")
+	}
+	if !reused.Stop() {
+		t.Fatal("fresh handle failed to stop")
+	}
+	if v.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", v.Pending())
+	}
+}
+
+func TestVirtualScheduleSteadyStateAllocs(t *testing.T) {
+	v := NewVirtual(time.Time{})
+	v.Schedule(time.Millisecond, func(time.Time) {})
+	v.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		v.Schedule(time.Millisecond, func(time.Time) {})
+		v.Run()
+	})
+	if allocs > 0.5 {
+		t.Fatalf("steady-state Virtual schedule+fire allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -95,8 +95,8 @@ func RunControlled(cfg ControlledConfig) (rtmpAvg, hlsAvg Components) {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
-	rHists := newComponentHists(reg, "rtmp")
-	hHists := newComponentHists(reg, "hls")
+	rHists := NewComponentHists(reg, "rtmp")
+	hHists := NewComponentHists(reg, "hls")
 	for rep := 0; rep < cfg.Repetitions; rep++ {
 		model := netsim.NewModel(netsim.Params{}, src.Split("rep"))
 		tr := GenTrace(TraceConfig{
@@ -112,7 +112,7 @@ func RunControlled(cfg ControlledConfig) (rtmpAvg, hlsAvg Components) {
 			LastMile:  cfg.ViewerProfile,
 			PreBuffer: cfg.RTMPPreBuffer,
 		}
-		rHists.observe(RTMPComponents(tr, origin, rtmpView, model))
+		rHists.Observe(RTMPComponents(tr, origin, rtmpView, model))
 
 		path := EdgePath{Edge: edge, GatewayOverhead: DefaultGatewayOverhead}
 		if gw != nil && !geo.CoLocated(*gw, edge) {
@@ -125,9 +125,9 @@ func RunControlled(cfg ControlledConfig) (rtmpAvg, hlsAvg Components) {
 			PollPhase:    time.Duration(src.Float64() * float64(cfg.PollInterval)),
 			PreBuffer:    cfg.HLSPreBuffer,
 		}
-		hHists.observe(HLSComponents(tr, origin, path, hlsView, model))
+		hHists.Observe(HLSComponents(tr, origin, path, hlsView, model))
 	}
-	return rHists.means(), hHists.means()
+	return rHists.Means(), hHists.Means()
 }
 
 func gatewayFor(origin geo.Datacenter) *geo.Datacenter {
@@ -140,12 +140,13 @@ func gatewayFor(origin geo.Datacenter) *geo.Datacenter {
 	return nil
 }
 
-// componentHists bundles the six per-component delay histograms for one
-// protocol. A shared registry may carry observations from earlier runs (the
-// platform's live traffic, a prior RunControlled), so each histogram's count
-// and sum are recorded at construction and means() reports the delta — the
-// average over exactly this experiment's observations.
-type componentHists struct {
+// ComponentHists bundles the six per-component delay histograms for one
+// protocol — the shared accounting surface of RunControlled and the
+// viewersim engines. A shared registry may carry observations from earlier
+// runs (the platform's live traffic, a prior RunControlled), so each
+// histogram's count and sum are recorded at construction and Means reports
+// the delta — the average over exactly this experiment's observations.
+type ComponentHists struct {
 	hists [6]*metrics.Histogram
 	base  [6]histBase
 }
@@ -155,7 +156,10 @@ type histBase struct {
 	sum   time.Duration
 }
 
-func newComponentHists(reg *metrics.Registry, proto string) *componentHists {
+// NewComponentHists registers (or re-attaches to) the six delay-component
+// histograms labelled proto=<proto> and snapshots their current totals as
+// the Means baseline.
+func NewComponentHists(reg *metrics.Registry, proto string) *ComponentHists {
 	l := metrics.L("proto", proto)
 	names := [6]string{
 		metrics.DelayUpload,
@@ -165,7 +169,7 @@ func newComponentHists(reg *metrics.Registry, proto string) *componentHists {
 		metrics.DelayLastMile,
 		metrics.DelayBuffering,
 	}
-	ch := &componentHists{}
+	ch := &ComponentHists{}
 	for i, name := range names {
 		h := reg.Histogram(name, metrics.DelayBuckets, l)
 		ch.hists[i] = h
@@ -174,14 +178,17 @@ func newComponentHists(reg *metrics.Registry, proto string) *componentHists {
 	return ch
 }
 
-func (ch *componentHists) observe(c Components) {
+// Observe records one value into each component histogram.
+func (ch *ComponentHists) Observe(c Components) {
 	vals := [6]time.Duration{c.Upload, c.Chunking, c.Wowza2Fastly, c.Polling, c.LastMile, c.Buffering}
 	for i, h := range ch.hists {
 		h.Observe(vals[i])
 	}
 }
 
-func (ch *componentHists) means() Components {
+// Means returns the per-component averages over the observations made since
+// construction.
+func (ch *ComponentHists) Means() Components {
 	var vals [6]time.Duration
 	for i, h := range ch.hists {
 		n := h.Count() - ch.base[i].count

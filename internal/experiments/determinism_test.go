@@ -15,6 +15,7 @@ func TestDeterministicExperiments(t *testing.T) {
 		"fig7", "fig9", "fig11", "fig12", "fig13", "fig15", "fig16",
 		"fig17", "ablation_chunksize", "ablation_gateway",
 		"ablation_rtmpcap", "ablation_overlay", "sec1_interactivity",
+		"simday",
 	}
 	for _, id := range deterministic {
 		id := id

@@ -28,7 +28,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig16", "fig17", "sec7", "sec1_interactivity",
 		"ablation_chunksize", "ablation_pollinterval", "ablation_gateway",
 		"ablation_rtmpcap", "ablation_signature", "ablation_overlay",
-		"ablation_rtmps",
+		"ablation_rtmps", "simday",
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {
@@ -230,6 +230,27 @@ func TestFig17Shape(t *testing.T) {
 	}
 	if v["delay_p6s"] > v["delay_p9s"]*0.75 {
 		t.Fatalf("P=6 delay (%v) not clearly below P=9 (%v)", v["delay_p6s"], v["delay_p9s"])
+	}
+}
+
+func TestSimdayShape(t *testing.T) {
+	v := run(t, "simday").Values
+	// Quick mode is 1:2000 scale → ≈100 broadcasts, a few thousand views.
+	if v["broadcasts"] < 50 || v["broadcasts"] > 300 {
+		t.Fatalf("broadcasts = %v", v["broadcasts"])
+	}
+	if v["views"] < 10*v["broadcasts"] {
+		t.Fatalf("views = %v, want ≈36/broadcast", v["views"])
+	}
+	if v["hls_total"] <= 2*v["rtmp_total"] {
+		t.Fatalf("HLS (%vs) should dominate RTMP (%vs) as in Fig. 11",
+			v["hls_total"], v["rtmp_total"])
+	}
+	if v["hls_buffering"] < v["hls_chunking"] {
+		t.Fatal("buffering should dominate chunking")
+	}
+	if v["deliveries"] <= v["views"] {
+		t.Fatalf("deliveries = %v with %v views: engine barely ran", v["deliveries"], v["views"])
 	}
 }
 

@@ -24,6 +24,18 @@ func TestWalltimeUnrestricted(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.Walltime, "wtok")
 }
 
+// TestWalltimeClock: the clock engines themselves may not read the wall
+// clock — only Real does, behind reasoned //lint:allow suppressions.
+func TestWalltimeClock(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Walltime, "clock")
+}
+
+// TestWalltimeViewersim: the viewer event engine's determinism contract bans
+// the global rand source and host-clock pacing.
+func TestWalltimeViewersim(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Walltime, "viewersim")
+}
+
 func TestAtomiccounter(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.Atomiccounter, "atomiccounter")
 }

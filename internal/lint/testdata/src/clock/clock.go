@@ -1,0 +1,33 @@
+// Fixture for the walltime analyzer over the clock package itself: the wheel
+// and Virtual engines define simulated time, so any wall-clock read inside
+// them silently desynchronizes a run. The directory is named "clock" so the
+// package path matches the restricted set.
+package clock
+
+import "time"
+
+type shard struct {
+	tick int64
+}
+
+// badTick reads the wall clock to stamp a simulated tick.
+func (s *shard) badTick() time.Time {
+	s.tick++
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// badDrain paces a simulated drain off a real timer.
+func badDrain(done chan struct{}) {
+	t := time.NewTimer(time.Millisecond) // want `time\.NewTimer reads the wall clock`
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-done:
+	}
+}
+
+// goodTick derives the tick's time from the epoch and resolution alone —
+// pure arithmetic, exactly what the wheel does.
+func goodTick(epoch time.Time, res time.Duration, tick int64) time.Time {
+	return epoch.Add(res * time.Duration(tick))
+}

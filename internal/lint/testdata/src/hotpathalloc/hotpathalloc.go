@@ -38,3 +38,44 @@ func encodeGood(dst []byte, seq uint64) []byte {
 	dst = append(dst, byte(seq))
 	return dst
 }
+
+// Timer-wheel-shaped cases: a per-shard bucket expiring timers through
+// callbacks, as the event engine's fire path does.
+
+type timer struct {
+	owner uint64
+	fn    func()
+}
+
+type bucket struct {
+	timers  []timer
+	expired []timer
+}
+
+// fireBad drains a slot but labels each fire with Sprintf and hands the
+// expired batch to a closure that appends through the captured slice.
+//
+//livesim:hotpath
+func (b *bucket) fireBad(tick int64) []string {
+	var labels []string
+	collect := func(t timer) {
+		labels = append(labels, fmt.Sprintf("t%d@%d", t.owner, tick)) // want `append to "labels" captured by a closure on the fireBad hot path` `fmt\.Sprintf allocates on the fireBad hot path`
+	}
+	for _, t := range b.timers {
+		collect(t)
+	}
+	return labels
+}
+
+// fireGood drains the same slot within budget: the expired batch reuses a
+// scratch slice owned by the bucket, callbacks run directly, and the slot is
+// recycled by re-slicing.
+//
+//livesim:hotpath
+func (b *bucket) fireGood() {
+	b.expired = append(b.expired[:0], b.timers...)
+	b.timers = b.timers[:0]
+	for i := range b.expired {
+		b.expired[i].fn()
+	}
+}

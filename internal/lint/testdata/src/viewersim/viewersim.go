@@ -1,0 +1,29 @@
+// Fixture for the walltime analyzer over the viewer-simulation package: the
+// wheel and goroutine engines must produce byte-identical days from a seed,
+// so every draw must come from a keyed rng stream and every timestamp from
+// the simulated clock. The directory is named "viewersim" so the package path
+// matches the restricted set.
+package viewersim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// badJitter draws a viewer's poll phase from the global source: two runs of
+// the same seed would diverge.
+func badJitter(interval time.Duration) time.Duration {
+	return time.Duration(rand.Float64() * float64(interval)) // want `rand\.Float64 uses the global math/rand source`
+}
+
+// badThrottle paces simulated deliveries against the host clock.
+func badThrottle() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}
+
+// goodPhase derives the same jitter from a seeded source — the constructor
+// path internal/rng wraps — and pure duration arithmetic.
+func goodPhase(seed int64, interval time.Duration) time.Duration {
+	r := rand.New(rand.NewSource(seed))
+	return time.Duration(r.Float64() * float64(interval))
+}

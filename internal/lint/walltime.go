@@ -12,7 +12,12 @@ import (
 // and the delay decomposition (§4.2–4.3) are meaningless if a run's outcome
 // depends on the host's wall clock or the global math/rand source. These
 // packages must take time from internal/clock and randomness from
-// internal/rng. Matching is by the final import-path element.
+// internal/rng. clock itself is restricted — a stray time.Now inside the
+// wheel or Virtual engines would silently desynchronize simulated time (only
+// Real touches the wall clock, behind reasoned //lint:allow suppressions) —
+// as is viewersim, whose cross-engine byte-equality contract dies the moment
+// an event draws from anything but its seeded stream. Matching is by the
+// final import-path element.
 var walltimePackages = map[string]bool{
 	"netsim":      true,
 	"delay":       true,
@@ -23,6 +28,8 @@ var walltimePackages = map[string]bool{
 	"cdn":         true,
 	"hls":         true,
 	"metrics":     true,
+	"clock":       true,
+	"viewersim":   true,
 }
 
 // walltimeFuncs are the time package entry points that read or schedule off

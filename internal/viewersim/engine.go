@@ -1,0 +1,322 @@
+package viewersim
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cdn"
+	"repro/internal/clock"
+	"repro/internal/delay"
+	"repro/internal/media"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// sim carries the run state both engines share: the CDN under test, the
+// delay histograms, the atomic counters, and the entity pools. Everything an
+// event handler touches is either entity-private (viewer/broadcast state,
+// serialized per owner), lock-protected inside the cdn package, or a
+// commutative atomic — so wheel shards may fire one tick's events in
+// parallel without perturbing the deterministic outcome.
+type sim struct {
+	cfg Config
+	w   *world
+	reg *metrics.Registry
+	ctx context.Context
+
+	clk    clock.Clock
+	wheel  *clock.Wheel
+	origin *cdn.Origin
+	edge   *cdn.Edge
+
+	rh, hh *delay.ComponentHists
+	ctr    counters
+
+	bpool sync.Pool
+	vpool sync.Pool
+
+	payload []byte
+
+	end    time.Time
+	events int64
+}
+
+type counters struct {
+	views      atomic.Int64
+	rtmpViews  atomic.Int64
+	hlsViews   atomic.Int64
+	chunks     atomic.Int64
+	polls      atomic.Int64
+	deliveries atomic.Int64
+}
+
+func newSim(cfg Config, w *world) *sim {
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &sim{
+		cfg:     cfg,
+		w:       w,
+		reg:     reg,
+		ctx:     context.Background(),
+		rh:      delay.NewComponentHists(reg, "rtmp"),
+		hh:      delay.NewComponentHists(reg, "hls"),
+		payload: make([]byte, 32),
+	}
+	s.bpool.New = func() interface{} { return &bcastRun{s: s} }
+	s.vpool.New = func() interface{} {
+		v := &viewer{}
+		v.fireFn = func(time.Time) { s.wheelViewer(v) }
+		return v
+	}
+	return s
+}
+
+// buildCDN stands up the in-process origin and edge on the engine's clock.
+// The origin chunks at FrameDuration so one Ingest call seals exactly one
+// chunk — the trace already decided chunk boundaries, the origin just has to
+// publish them through the real invalidation path.
+func (s *sim) buildCDN(clk clock.Clock) {
+	s.clk = clk
+	s.origin = cdn.NewOrigin(cdn.OriginConfig{
+		Site:          s.w.origin,
+		ChunkDuration: media.FrameDuration,
+		Clock:         clk,
+		Metrics:       s.reg,
+	})
+	s.edge = cdn.NewEdge(cdn.EdgeConfig{
+		Site: s.w.edge,
+		Resolve: func(string) (cdn.Upstream, error) {
+			return cdn.Upstream{Store: s.origin}, nil
+		},
+		Clock:   clk,
+		Metrics: s.reg,
+	})
+	s.origin.RegisterEdge(s.edge)
+}
+
+// bcastRun is one live broadcast's mutable state. All of it is touched only
+// from the broadcast's own owner key (one wheel shard / one reference
+// goroutine at a time) except remaining, which viewers decrement from their
+// own shards.
+type bcastRun struct {
+	s         *sim
+	sp        bcastSpec
+	id        string
+	start     time.Time
+	tr        btrace
+	joins     []time.Duration
+	nextJoin  int
+	nextChunk int
+	remaining atomic.Int64
+
+	fireIngest func(time.Time)
+	fireJoin   func(time.Time)
+}
+
+func (b *bcastRun) abs(off time.Duration) time.Time { return b.start.Add(off) }
+
+// setupBroadcast materializes a spec at its start time: trace, join
+// schedule, liveness count (viewers + the broadcaster's ingest chain).
+func (s *sim) setupBroadcast(sp bcastSpec) *bcastRun {
+	b := s.bpool.Get().(*bcastRun)
+	b.sp = sp
+	b.id = "b" + strconv.Itoa(sp.idx)
+	b.start = s.w.start.Add(sp.start)
+	src := rng.NewStream(s.cfg.Seed, bcastKey(sp.idx))
+	genTrace(s.w, sp, src, &b.tr)
+	b.joins = b.joins[:0]
+	for i := 0; i < sp.views; i++ {
+		// Audiences are front-loaded (Fig. 6: most viewers arrive near
+		// the start): dur·u² biases joins toward the beginning.
+		u := src.Float64()
+		b.joins = append(b.joins, time.Duration(float64(sp.dur)*u*u))
+	}
+	sort.Slice(b.joins, func(i, j int) bool { return b.joins[i] < b.joins[j] })
+	b.nextJoin = 0
+	b.nextChunk = 0
+	b.remaining.Store(int64(sp.views) + 1)
+	return b
+}
+
+// ingestChunk feeds the next sealed chunk into the origin at its trace
+// ready time, flowing through the real invalidate path to the edge.
+//
+//livesim:hotpath
+func (s *sim) ingestChunk(b *bcastRun) {
+	c := b.nextChunk
+	b.nextChunk++
+	s.origin.Ingest(b.id, media.Frame{
+		Seq:        uint64(c),
+		CapturedAt: b.abs(b.tr.capturedOf(c)),
+		Keyframe:   true,
+		Payload:    s.payload,
+	}, s.clk.Now())
+	s.ctr.chunks.Add(1)
+}
+
+// newViewer builds the session for join index idx, or counts an empty view
+// and returns nil when the viewer joined too late to see any content.
+func (s *sim) newViewer(b *bcastRun, idx int) *viewer {
+	v := s.vpool.Get().(*viewer)
+	v.reset(s, b, idx)
+	if v.init() {
+		return v
+	}
+	s.countView(v.isRTMP)
+	s.releaseViewer(v)
+	s.userDone(b)
+	return nil
+}
+
+func (s *sim) countView(isRTMP bool) {
+	if isRTMP {
+		s.ctr.rtmpViews.Add(1)
+	} else {
+		s.ctr.hlsViews.Add(1)
+	}
+	s.ctr.views.Add(1)
+}
+
+// deliver runs one viewer event: HLS sessions touch the real edge chunklist
+// (the in-process fast path every poll exercises), then the state machine
+// advances. done means the session finished and was torn down.
+//
+//livesim:hotpath
+func (s *sim) deliver(v *viewer) (next time.Duration, done bool) {
+	if !v.isRTMP {
+		s.ctr.polls.Add(1)
+		_, _ = s.edge.ChunkListRaw(s.ctx, v.b.id)
+	}
+	s.ctr.deliveries.Add(1)
+	next, done = v.advance()
+	if done {
+		s.finishViewer(v)
+		return 0, true
+	}
+	return next, false
+}
+
+// finishViewer observes the session's mean component decomposition into the
+// proto-labelled histograms and releases it.
+func (s *sim) finishViewer(v *viewer) {
+	comp := v.components()
+	if v.isRTMP {
+		s.rh.Observe(comp)
+	} else {
+		s.hh.Observe(comp)
+	}
+	s.countView(v.isRTMP)
+	b := v.b
+	s.releaseViewer(v)
+	s.userDone(b)
+}
+
+func (s *sim) releaseViewer(v *viewer) {
+	v.s = nil
+	v.b = nil
+	v.model = nil
+	s.vpool.Put(v)
+}
+
+// userDone retires one participant (viewer or broadcaster); the last one out
+// removes the broadcast from the CDN and recycles its state.
+func (s *sim) userDone(b *bcastRun) {
+	if b.remaining.Add(-1) == 0 {
+		s.origin.Remove(b.id)
+		s.edge.Evict(b.id)
+		s.bpool.Put(b)
+	}
+}
+
+func (s *sim) summary() *Summary {
+	return &Summary{
+		Broadcasts: len(s.w.specs),
+		Views:      s.ctr.views.Load(),
+		RTMPViews:  s.ctr.rtmpViews.Load(),
+		HLSViews:   s.ctr.hlsViews.Load(),
+		Chunks:     s.ctr.chunks.Load(),
+		Polls:      s.ctr.polls.Load(),
+		Deliveries: s.ctr.deliveries.Load(),
+		Events:     s.events,
+		RTMP:       s.rh.Means(),
+		HLS:        s.hh.Means(),
+		Start:      s.w.start,
+		End:        s.end,
+	}
+}
+
+// runWheel drives the day on the sharded timer wheel: every broadcast start
+// is scheduled up front on the broadcast's owner key, and all subsequent
+// events (ingest chain, join chain, per-viewer delivery chains) are
+// rescheduled from callbacks on their owners' shards.
+func (s *sim) runWheel() {
+	wh := clock.NewWheel(clock.WheelConfig{
+		Epoch:      s.w.start,
+		Shards:     s.cfg.Shards,
+		Resolution: s.cfg.Resolution,
+		Slots:      s.cfg.Slots,
+	})
+	s.wheel = wh
+	s.buildCDN(wh)
+	for i := range s.w.specs {
+		sp := s.w.specs[i]
+		wh.ScheduleAt(bcastKey(sp.idx), s.w.start.Add(sp.start), func(time.Time) {
+			s.wheelStart(sp)
+		})
+	}
+	s.end = wh.Run()
+	s.events = wh.Fired()
+	wh.Close()
+	_ = s.origin.Close()
+}
+
+func (s *sim) wheelStart(sp bcastSpec) {
+	b := s.setupBroadcast(sp)
+	if b.fireIngest == nil {
+		// Bound to the pooled object once; reuses survive recycling
+		// because the closures indirect through b.
+		b.fireIngest = func(time.Time) { s.wheelIngest(b) }
+		b.fireJoin = func(time.Time) { s.wheelJoin(b) }
+	}
+	s.wheel.ScheduleAt(bcastKey(sp.idx), b.abs(b.tr.readyAt[0]), b.fireIngest)
+	if len(b.joins) > 0 {
+		s.wheel.ScheduleAt(bcastKey(sp.idx), b.abs(b.joins[0]), b.fireJoin)
+	}
+}
+
+//livesim:hotpath
+func (s *sim) wheelIngest(b *bcastRun) {
+	s.ingestChunk(b)
+	if b.nextChunk < b.tr.chunks() {
+		s.wheel.ScheduleAt(bcastKey(b.sp.idx), b.abs(b.tr.readyAt[b.nextChunk]), b.fireIngest)
+		return
+	}
+	s.userDone(b) // broadcaster leaves
+}
+
+//livesim:hotpath
+func (s *sim) wheelJoin(b *bcastRun) {
+	idx := b.nextJoin
+	b.nextJoin++
+	if b.nextJoin < len(b.joins) {
+		s.wheel.ScheduleAt(bcastKey(b.sp.idx), b.abs(b.joins[b.nextJoin]), b.fireJoin)
+	}
+	if v := s.newViewer(b, idx); v != nil {
+		s.wheel.ScheduleAt(v.key, b.abs(v.nextAt), v.fireFn)
+	}
+}
+
+//livesim:hotpath
+func (s *sim) wheelViewer(v *viewer) {
+	next, done := s.deliver(v)
+	if done {
+		return
+	}
+	s.wheel.ScheduleAt(v.key, v.b.abs(next), v.fireFn)
+}

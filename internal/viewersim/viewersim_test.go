@@ -1,0 +1,241 @@
+package viewersim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/player"
+	"repro/internal/rng"
+)
+
+// protoHists extracts the proto-labelled delay histograms — the series both
+// engines must reproduce bit-for-bit. Site-labelled cdn instruments are
+// excluded on purpose: which same-tick viewer wins the pull race is
+// scheduling-dependent, and the equivalence contract only covers the
+// trace-derived accounting.
+func protoHists(reg *metrics.Registry) []metrics.HistogramValue {
+	var out []metrics.HistogramValue
+	for _, h := range reg.Snapshot().Histograms {
+		if h.Labels["proto"] != "" {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// comparable strips the fields allowed to differ between engines: Events
+// counts different things (timer fires vs coordinator sleeps) and End is
+// tick-rounded on the wheel.
+func comparable(s *Summary) Summary {
+	c := *s
+	c.Events = 0
+	c.End = time.Time{}
+	return c
+}
+
+func TestPlayAccMatchesSimulate(t *testing.T) {
+	src := rng.New(41)
+	base := time.Unix(0, 0)
+	for run := 0; run < 300; run++ {
+		n := 1 + src.Intn(40)
+		pre := time.Duration(src.Float64() * 12e9)
+		if run%7 == 0 {
+			pre = 0
+		}
+		var items []player.Item
+		var acc playAcc
+		acc.reset(pre)
+		arr := time.Duration(src.Float64() * 5e9)
+		for i := 0; i < n; i++ {
+			dur := time.Duration(1+src.Intn(4000)) * time.Millisecond
+			items = append(items, player.Item{Seq: uint64(i), Duration: dur, ArriveAt: base.Add(arr)})
+			acc.add(arr, dur)
+			// Monotone arrivals, the clamp invariant both protocols hold.
+			arr += time.Duration(src.Float64() * 6e9)
+		}
+		want := player.Simulate(items, player.Config{PreBuffer: pre})
+		got := acc.mean()
+		if got != want.MeanBufferingDelay {
+			t.Fatalf("run %d: playAcc mean %v, Simulate %v (n=%d pre=%v)", run, got, want.MeanBufferingDelay, n, pre)
+		}
+		if acc.played != want.Played {
+			t.Fatalf("run %d: playAcc played %d, Simulate %d", run, acc.played, want.Played)
+		}
+	}
+}
+
+// equivCfg is small enough for the goroutine reference (one goroutine per
+// viewer) while still covering both protocols, multi-chunk traces, late
+// joins, and broadcast overlap.
+func equivCfg(seed uint64) Config {
+	return Config{
+		Seed:      seed,
+		Scale:     5000,
+		ViewerCap: 150,
+		// A low RTMP cap makes HLS overflow common even in a small
+		// day, so every seed exercises both protocol paths.
+		RTMPCap: 20,
+	}
+}
+
+func TestWheelMatchesGoroutineReference(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 23} {
+		cfg := equivCfg(seed)
+
+		cfg.Engine = "wheel"
+		cfg.Metrics = metrics.NewRegistry()
+		wheelSum, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: wheel: %v", seed, err)
+		}
+		wheelHists := protoHists(cfg.Metrics)
+
+		cfg.Engine = "goroutine"
+		cfg.Metrics = metrics.NewRegistry()
+		refSum, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: goroutine: %v", seed, err)
+		}
+		refHists := protoHists(cfg.Metrics)
+
+		if got, want := comparable(wheelSum), comparable(refSum); !reflect.DeepEqual(got, want) {
+			t.Errorf("seed %d: summaries diverge\nwheel:     %+v\ngoroutine: %+v", seed, got, want)
+		}
+		if !reflect.DeepEqual(wheelHists, refHists) {
+			t.Errorf("seed %d: proto-labelled delay histograms diverge between engines", seed)
+		}
+		if wheelSum.Views == 0 || wheelSum.HLSViews == 0 || wheelSum.RTMPViews == 0 {
+			t.Fatalf("seed %d: degenerate workload: %+v", seed, wheelSum)
+		}
+	}
+}
+
+func TestWheelDeterministicAcrossShardCounts(t *testing.T) {
+	var sums []*Summary
+	var hists [][]metrics.HistogramValue
+	for _, shards := range []int{1, 3, 16} {
+		cfg := equivCfg(99)
+		cfg.Engine = "wheel"
+		cfg.Shards = shards
+		cfg.Metrics = metrics.NewRegistry()
+		sum, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		sums = append(sums, sum)
+		hists = append(hists, protoHists(cfg.Metrics))
+	}
+	for i := 1; i < len(sums); i++ {
+		if !reflect.DeepEqual(sums[0], sums[i]) {
+			t.Errorf("summary varies with shard count:\n%+v\n%+v", sums[0], sums[i])
+		}
+		if !reflect.DeepEqual(hists[0], hists[i]) {
+			t.Errorf("histograms vary with shard count (run %d)", i)
+		}
+	}
+}
+
+func TestWheelRepeatedRunsByteIdentical(t *testing.T) {
+	run := func() (*Summary, []metrics.HistogramValue) {
+		cfg := equivCfg(5)
+		cfg.Engine = "wheel"
+		cfg.Metrics = metrics.NewRegistry()
+		sum, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum, protoHists(cfg.Metrics)
+	}
+	s1, h1 := run()
+	s2, h2 := run()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Errorf("repeated seeded runs differ:\n%+v\n%+v", s1, s2)
+	}
+	if !reflect.DeepEqual(h1, h2) {
+		t.Errorf("repeated seeded runs produce different histograms")
+	}
+}
+
+func TestFixedFanoutCounts(t *testing.T) {
+	cfg := Config{
+		Seed:                3,
+		Scale:               1000,
+		Broadcasts:          3,
+		ViewersPerBroadcast: 5,
+		BroadcastDuration:   10 * time.Second,
+		Engine:              "wheel",
+	}
+	sum, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Broadcasts != 3 {
+		t.Errorf("broadcasts = %d, want 3", sum.Broadcasts)
+	}
+	if sum.Views != 15 {
+		t.Errorf("views = %d, want 15", sum.Views)
+	}
+	// 10 s at 3 s chunks → 4 chunks per broadcast.
+	if sum.Chunks != 12 {
+		t.Errorf("chunks = %d, want 12", sum.Chunks)
+	}
+	if sum.RTMPViews != 15 || sum.HLSViews != 0 {
+		t.Errorf("5 viewers under the RTMP cap should all take RTMP: %+v", sum)
+	}
+}
+
+func TestUnknownEngineRejected(t *testing.T) {
+	if _, err := Run(Config{Engine: "bogus", Broadcasts: 1, ViewersPerBroadcast: 1}); err == nil {
+		t.Fatal("want error for unknown engine")
+	}
+}
+
+// TestScaleSmoke is the CI gate behind `make scale-smoke`: a 1:200-scale
+// simulated day on the wheel engine under -race, with the real-socket
+// fidelity slice running concurrently, asserting the Fig. 11 shape — HLS
+// delay dominated by chunking+polling+buffering, an order beyond RTMP.
+func TestScaleSmoke(t *testing.T) {
+	cfg := Config{
+		Seed:         11,
+		Scale:        200,
+		ViewerCap:    500,
+		Engine:       "wheel",
+		RealHLS:      2,
+		RealRTMP:     2,
+		RealDuration: time.Second,
+		Metrics:      metrics.NewRegistry(),
+	}
+	sum, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Broadcasts == 0 || sum.Views == 0 || sum.Chunks == 0 || sum.Deliveries == 0 {
+		t.Fatalf("degenerate day: %+v", sum)
+	}
+	rtmpTotal := sum.RTMP.Total()
+	hlsTotal := sum.HLS.Total()
+	if rtmpTotal < 200*time.Millisecond || rtmpTotal > 10*time.Second {
+		t.Errorf("RTMP total delay %v outside the Fig. 11 band", rtmpTotal)
+	}
+	if hlsTotal < 4*time.Second || hlsTotal > 60*time.Second {
+		t.Errorf("HLS total delay %v outside the Fig. 11 band", hlsTotal)
+	}
+	if hlsTotal < 2*rtmpTotal {
+		t.Errorf("HLS (%v) should dominate RTMP (%v) as in Fig. 11", hlsTotal, rtmpTotal)
+	}
+	if sum.HLS.Polling <= 0 || sum.HLS.Polling > cfg.PollInterval+2800*time.Millisecond {
+		t.Errorf("HLS polling %v outside (0, interval]", sum.HLS.Polling)
+	}
+	if math.Abs(float64(sum.HLS.Chunking-3*time.Second)) > float64(time.Second) {
+		t.Errorf("HLS chunking %v should sit near the 3 s chunk duration", sum.HLS.Chunking)
+	}
+	if sum.RealFrames == 0 {
+		t.Errorf("real RTMP slice drained no frames")
+	}
+	if sum.RealPolls == 0 {
+		t.Errorf("real HLS slice made no polls")
+	}
+}

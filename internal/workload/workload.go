@@ -355,6 +355,17 @@ func clearSet(m map[int32]struct{}) {
 	}
 }
 
+// DrawDuration samples one broadcast duration from the profile's truncated
+// lognormal (Fig. 3). Exported so trace-driven simulators (viewersim) draw
+// from exactly the distribution Generate uses.
+func (p Profile) DrawDuration(src *rng.Source) time.Duration { return drawDuration(p, src) }
+
+// DrawViews samples one broadcast's total and mobile view counts, including
+// the zero-viewer probability and the follower notification effect (Fig. 7).
+func (p Profile) DrawViews(src *rng.Source, followers int) (total, mobile int32) {
+	return drawViews(p, src, followers)
+}
+
 func drawDuration(p Profile, src *rng.Source) time.Duration {
 	d := time.Duration(float64(p.DurationMedian) * src.LogNormal(0, p.DurationSigma))
 	if d < 5*time.Second {
