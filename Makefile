@@ -5,7 +5,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build test race lint vet fmt tidy vuln bench benchguard metrics crash partition-soak scale-smoke fuzz ci clean
+.PHONY: all build test race lint vet analyze fmt tidy vuln bench benchguard metrics crash partition-soak scale-smoke fuzz ci clean
 
 all: build test lint
 
@@ -28,6 +28,19 @@ FORCE:
 vet: $(BIN)/vetlivesim
 	$(GO) vet ./...
 	$(GO) vet -vettool=$(BIN)/vetlivesim ./...
+
+$(BIN)/escapecheck: FORCE
+	$(GO) build -o $(BIN)/escapecheck ./cmd/escapecheck
+
+# analyze is the full static-analysis suite (DESIGN.md §8): the seven AST
+# analyzers run standalone in dependency order with whole-program fact
+# propagation, then the compiler-assisted hotpathescape pass recompiles
+# every //livesim:hotpath package with -m=2. Budgeted like benchguard: the
+# suite must finish inside ANALYZE_BUDGET seconds (timeout exits 124) so it
+# stays cheap enough to gate every push.
+ANALYZE_BUDGET ?= 60
+analyze: $(BIN)/vetlivesim $(BIN)/escapecheck
+	timeout $(ANALYZE_BUDGET) $(BIN)/vetlivesim -escape ./...
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -90,7 +103,7 @@ benchguard:
 metrics:
 	$(GO) run ./cmd/livesim -snapshot
 
-ci: build race lint vuln crash partition-soak scale-smoke fuzz benchguard metrics
+ci: build race lint analyze vuln crash partition-soak scale-smoke fuzz benchguard metrics
 
 clean:
 	rm -rf $(BIN)

@@ -1,0 +1,53 @@
+// Command escapecheck verifies that every //livesim:hotpath function is
+// escape-free: it recompiles each package containing the directive with
+// `go tool compile -m=2` (against the export data `go list -export`
+// provides, bypassing the build cache that swallows warm-run diagnostics)
+// and fails if the compiler reports a moved-to-heap local, a heap-escaping
+// allocation, or a heap-leaking parameter inside a hotpath function. This
+// turns the 2-allocs/frame fan-out and ~2.5-allocs/event engine budgets
+// from benchmark-enforced (cmd/benchguard) into compile-time-enforced.
+//
+// Deliberate allocations are suppressed in place with
+// //lint:allow hotpathescape <reason>; stale suppressions are findings.
+//
+// Exit status: 0 clean, 1 usage/internal error, 2 findings (matching
+// vetlivesim).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint/escape"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "suppress the summary line on success")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "escapecheck:", err)
+		os.Exit(1)
+	}
+	findings, stats, err := escape.Check(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "escapecheck:", err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "escapecheck: %d finding(s)\n", len(findings))
+		os.Exit(2)
+	}
+	if !*quiet {
+		fmt.Printf("escapecheck: %d hotpath function(s) in %d package(s) proved escape-free\n",
+			stats.Functions, stats.Packages)
+	}
+}

@@ -1,20 +1,27 @@
 // Command vetlivesim runs the repo's custom analyzers (internal/lint):
-// locksend, walltime, atomiccounter, hotpathalloc, ctxplumb.
+// locksend, walltime, atomiccounter, hotpathalloc, ctxplumb, lockorder,
+// goroleak.
 //
 // It speaks two protocols:
 //
 //   - Standalone: `vetlivesim ./...` loads packages itself (via
-//     `go list -export`) and prints findings. This is what `make lint`
-//     uses and what runs in CI.
+//     `go list -export`) and prints findings. Packages are analyzed in
+//     dependency order against one shared fact store, so lockorder and
+//     goroleak see the whole program. `vetlivesim -escape ./...` also runs
+//     the hotpathescape compiler-assisted pass (cmd/escapecheck) after the
+//     AST analyzers — the full-suite orchestration `make analyze` uses.
 //
 //   - Vet tool: `go vet -vettool=$(which vetlivesim) ./...`. The go
 //     command probes the tool with -V=full (version fingerprint for the
 //     build cache) and -flags (supported analyzer flags, as JSON), then
 //     invokes it once per package with a JSON config file argument ending
 //     in .cfg — the same contract golang.org/x/tools' unitchecker
-//     implements. Dependencies arrive as VetxOnly configs that only need
-//     a facts file written; this suite keeps no cross-package facts, so
-//     those are empty.
+//     implements. Dependency units arrive as VetxOnly configs: for module
+//     packages the analyzers run for their facts alone (diagnostics
+//     dropped) and the accumulated fact store is gob-encoded into the
+//     VetxOutput .vetx file; dependents decode the .vetx files of their
+//     imports (PackageVetx) to seed their own store. Non-module units just
+//     merge and re-emit their imports' facts.
 //
 // Exit status: 0 clean, 1 usage/internal error, 2 findings (matching
 // unitchecker so `go vet` reports findings as findings, not tool crashes).
@@ -35,10 +42,19 @@ import (
 	"strings"
 
 	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/escape"
 	"repro/internal/lint/loader"
 )
 
+// modulePrefix identifies this module's packages in unitchecker configs;
+// only they are analyzed (the invariants target this repo, and running the
+// suite over the standard library would cost every `go vet` user seconds
+// for facts nothing consumes).
+const modulePrefix = "repro"
+
 func main() {
+	analysis.RegisterFactTypes(lint.Analyzers())
 	args := os.Args[1:]
 	// Protocol probes from the go command. These can arrive regardless of
 	// other arguments and must answer before anything else.
@@ -56,7 +72,12 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(unitcheck(args[0]))
 	}
-	os.Exit(standalone(args))
+	runEscape := false
+	if len(args) > 0 && args[0] == "-escape" {
+		runEscape = true
+		args = args[1:]
+	}
+	os.Exit(standalone(args, runEscape))
 }
 
 // printVersion emulates unitchecker's -V=full output, which the go command
@@ -77,8 +98,10 @@ func printVersion() {
 	fmt.Printf("%s version devel\n", name)
 }
 
-// standalone loads the named patterns (default ./...) and prints findings.
-func standalone(patterns []string) int {
+// standalone loads the named patterns (default ./...) and prints findings,
+// analyzing in dependency order against one shared fact store. With
+// escape=true the hotpathescape pass runs afterwards.
+func standalone(patterns []string, runEscape bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -92,9 +115,10 @@ func standalone(patterns []string) int {
 		fmt.Fprintln(os.Stderr, "vetlivesim:", err)
 		return 1
 	}
+	facts := analysis.NewFactStore()
 	total := 0
 	for _, pkg := range pkgs {
-		findings, err := lint.Run(pkg, lint.Analyzers())
+		findings, err := lint.RunFacts(pkg, lint.Analyzers(), facts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "vetlivesim:", err)
 			return 1
@@ -103,6 +127,21 @@ func standalone(patterns []string) int {
 			fmt.Println(f)
 		}
 		total += len(findings)
+	}
+	if runEscape {
+		findings, stats, err := escape.Check(wd, patterns...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vetlivesim:", err)
+			return 1
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		total += len(findings)
+		if len(findings) == 0 {
+			fmt.Printf("hotpathescape: %d hotpath function(s) in %d package(s) proved escape-free\n",
+				stats.Functions, stats.Packages)
+		}
 	}
 	if total > 0 {
 		fmt.Fprintf(os.Stderr, "vetlivesim: %d finding(s)\n", total)
@@ -133,6 +172,12 @@ type importerFunc func(path string) (*types.Package, error)
 
 func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
+// inModule reports whether a unit's import path (possibly the bracketed
+// test variant) belongs to this module.
+func inModule(importPath string) bool {
+	return importPath == modulePrefix || strings.HasPrefix(importPath, modulePrefix+"/")
+}
+
 func unitcheck(cfgFile string) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
@@ -144,16 +189,42 @@ func unitcheck(cfgFile string) int {
 		fmt.Fprintf(os.Stderr, "vetlivesim: parsing %s: %v\n", cfgFile, err)
 		return 1
 	}
-	// The suite exports no facts, so a dependency-only run just has to
-	// leave an (empty) facts file where the go command expects one.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, "vetlivesim:", err)
+
+	// Seed the fact store from the .vetx files of this unit's imports.
+	// Each unit re-exports everything it read, so direct imports carry the
+	// transitive closure.
+	facts := analysis.NewFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			continue // a dependency with no facts file contributes nothing
+		}
+		if err := facts.Decode(data); err != nil {
+			fmt.Fprintf(os.Stderr, "vetlivesim: reading facts %s: %v\n", vetx, err)
 			return 1
 		}
 	}
-	if cfg.VetxOnly {
+
+	writeVetx := func() int {
+		if cfg.VetxOutput == "" {
+			return 0
+		}
+		data, err := facts.Encode()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vetlivesim:", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "vetlivesim:", err)
+			return 1
+		}
 		return 0
+	}
+
+	// Units outside the module (standard library, vendored deps) are not
+	// analyzed: their facts file is just the merge of their imports'.
+	if !inModule(cfg.ImportPath) {
+		return writeVetx()
 	}
 
 	fset := token.NewFileSet()
@@ -208,10 +279,16 @@ func unitcheck(cfgFile string) int {
 		Types:      tpkg,
 		TypesInfo:  info,
 	}
-	all, err := lint.Run(pkg, lint.Analyzers())
+	all, err := lint.RunFacts(pkg, lint.Analyzers(), facts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vetlivesim:", err)
 		return 1
+	}
+	if code := writeVetx(); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
 	}
 	// The invariants target production code. The standalone loader analyzes
 	// only non-test GoFiles; under `go vet` the test-variant compilation

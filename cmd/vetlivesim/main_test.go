@@ -1,0 +1,171 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles the vetlivesim binary into a temp dir.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	exe := filepath.Join(t.TempDir(), "vetlivesim")
+	out, err := exec.Command("go", "build", "-o", exe, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building vetlivesim: %v\n%s", err, out)
+	}
+	return exe
+}
+
+// writeModule lays out a throwaway module whose path shares this repo's
+// module prefix, so its units are analyzed under the vet protocol.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestUnitcheckerFactRoundTrip drives the real `go vet -vettool` protocol
+// over a module with a cross-package AB/BA lock inversion: liba's LockSet
+// fact must survive the .vetx gob round-trip between separate tool
+// invocations for libb to close the cycle.
+func TestUnitcheckerFactRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and runs go vet")
+	}
+	exe := buildTool(t)
+	mod := writeModule(t, map[string]string{
+		"go.mod": "module repro/vetlivesime2e\n\ngo 1.24\n",
+		"liba/liba.go": `package liba
+
+import "sync"
+
+type Registry struct {
+	sync.Mutex
+	n int
+}
+
+func (r *Registry) Refresh() {
+	r.Lock()
+	defer r.Unlock()
+	r.n++
+}
+`,
+		"libb/libb.go": `package libb
+
+import (
+	"sync"
+
+	"repro/vetlivesime2e/liba"
+)
+
+type Hub struct {
+	mu sync.Mutex
+}
+
+func (h *Hub) Sync(r *liba.Registry) {
+	h.mu.Lock()
+	r.Refresh()
+	h.mu.Unlock()
+}
+
+func (h *Hub) Rebalance(r *liba.Registry) {
+	r.Lock()
+	h.mu.Lock()
+	h.mu.Unlock()
+	r.Unlock()
+}
+`,
+	})
+
+	cmd := exec.Command("go", "vet", "-vettool="+exe, "./...")
+	cmd.Dir = mod
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet succeeded; want the cross-package lock-order cycle\n%s", out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "lock-order cycle") {
+		t.Errorf("output lacks the cycle diagnostic:\n%s", text)
+	}
+	for _, class := range []string{"liba.Registry.Mutex", "libb.Hub.mu"} {
+		if !strings.Contains(text, class) {
+			t.Errorf("cycle diagnostic does not name %s:\n%s", class, text)
+		}
+	}
+}
+
+// TestUnitcheckerClean: the same protocol over a module with a consistent
+// lock order and terminating goroutines reports nothing.
+func TestUnitcheckerClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and runs go vet")
+	}
+	exe := buildTool(t)
+	mod := writeModule(t, map[string]string{
+		"go.mod": "module repro/vetlivesime2e\n\ngo 1.24\n",
+		"liba/liba.go": `package liba
+
+import "sync"
+
+type Registry struct {
+	sync.Mutex
+	n int
+}
+
+func (r *Registry) Refresh() {
+	r.Lock()
+	defer r.Unlock()
+	r.n++
+}
+`,
+		"libb/libb.go": `package libb
+
+import (
+	"sync"
+
+	"repro/vetlivesime2e/liba"
+)
+
+type Hub struct {
+	mu sync.Mutex
+}
+
+func (h *Hub) Sync(r *liba.Registry) {
+	h.mu.Lock()
+	r.Refresh()
+	h.mu.Unlock()
+}
+
+func (h *Hub) Drain(r *liba.Registry, ctx <-chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-ctx:
+				return
+			default:
+				r.Refresh()
+			}
+		}
+	}()
+}
+`,
+	})
+
+	cmd := exec.Command("go", "vet", "-vettool="+exe, "./...")
+	cmd.Dir = mod
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet on a clean module failed: %v\n%s", err, out)
+	}
+}

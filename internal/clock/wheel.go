@@ -239,6 +239,7 @@ func (s *wheelShard) schedule(owner uint64, tick int64, fn func(now time.Time)) 
 		s.free = n.next
 		n.next = nil
 	} else {
+		//lint:allow hotpathescape free-list miss only; fired and stopped nodes recycle through s.free
 		n = &timerNode{heapIx: -1}
 	}
 	s.seq++

@@ -29,6 +29,11 @@ type Analyzer struct {
 	// delivered through pass.Report; the result value is unused by this
 	// driver and exists only for x/tools signature compatibility.
 	Run func(*Pass) (interface{}, error)
+
+	// FactTypes lists the concrete fact types this analyzer exports, one
+	// zero value per type, so the driver can register them for gob
+	// serialization across units (see facts.go).
+	FactTypes []Fact
 }
 
 // Diagnostic is a finding at a source position.
@@ -44,6 +49,10 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+
+	// Facts is the cross-unit fact store (nil when the driver propagates
+	// no facts; the Import/Export methods then degrade to no-ops).
+	Facts *FactStore
 
 	// Report delivers a diagnostic to the driver.
 	Report func(Diagnostic)

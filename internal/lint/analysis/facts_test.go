@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// testFact is a minimal gob-encodable fact.
+type testFact struct{ N int }
+
+func (*testFact) AFact() {}
+
+// newMethod builds a *types.Func method on a named type in pkg, the object
+// shape facts are most often attached to.
+func newMethod(pkg *types.Package, typeName, method string, ptrRecv bool) *types.Func {
+	tn := types.NewTypeName(token.NoPos, pkg, typeName, nil)
+	named := types.NewNamed(tn, types.NewStruct(nil, nil), nil)
+	var recvType types.Type = named
+	if ptrRecv {
+		recvType = types.NewPointer(named)
+	}
+	recv := types.NewVar(token.NoPos, pkg, "r", recvType)
+	sig := types.NewSignatureType(recv, nil, nil, nil, nil, false)
+	return types.NewFunc(token.NoPos, pkg, method, sig)
+}
+
+// TestObjectFactRoundTrip exports a fact against an object from one
+// types.Package, serializes the store, and imports it against a distinct
+// types.Object with the same structure — the source-checked vs
+// export-data-imported identity split the structural keys exist to bridge.
+func TestObjectFactRoundTrip(t *testing.T) {
+	RegisterFactTypes([]*Analyzer{{Name: "t", FactTypes: []Fact{(*testFact)(nil)}}})
+
+	srcPkg := types.NewPackage("repro/internal/x", "x")
+	exporter := &Pass{Pkg: srcPkg, Facts: NewFactStore()}
+	exporter.ExportObjectFact(newMethod(srcPkg, "T", "M", true), &testFact{N: 7})
+	exporter.ExportPackageFact(&testFact{N: 9})
+
+	data, err := exporter.Facts.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+
+	store := NewFactStore()
+	if err := store.Decode(data); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if store.Len() != 2 {
+		t.Fatalf("want 2 facts after round-trip, got %d", store.Len())
+	}
+
+	// A dependent unit sees the same declarations through export data:
+	// fresh types.Package and types.Object values, same structure.
+	impPkg := types.NewPackage("repro/internal/x", "x")
+	importer := &Pass{Pkg: types.NewPackage("repro/internal/y", "y"), Facts: store}
+
+	var got testFact
+	if !importer.ImportObjectFact(newMethod(impPkg, "T", "M", true), &got) {
+		t.Fatal("object fact not found through a structurally equal object")
+	}
+	if got.N != 7 {
+		t.Errorf("object fact N = %d, want 7", got.N)
+	}
+	var pf testFact
+	if !importer.ImportPackageFact(impPkg, &pf) {
+		t.Fatal("package fact not found")
+	}
+	if pf.N != 9 {
+		t.Errorf("package fact N = %d, want 9", pf.N)
+	}
+
+	// A value receiver is a different method identity: no match.
+	if importer.ImportObjectFact(newMethod(impPkg, "T", "M", false), &got) {
+		t.Error("value-receiver lookup matched a pointer-receiver fact")
+	}
+}
+
+// TestDecodeEmpty: the .vetx file of a unit that exported nothing merges
+// nothing and is not an error.
+func TestDecodeEmpty(t *testing.T) {
+	store := NewFactStore()
+	if err := store.Decode(nil); err != nil {
+		t.Fatalf("Decode(nil): %v", err)
+	}
+	if store.Len() != 0 {
+		t.Errorf("want empty store, got %d facts", store.Len())
+	}
+}
+
+// TestPkgKeyTestVariant: the bracketed test-variant suffix is stripped so
+// the plain and test units address the same facts.
+func TestPkgKeyTestVariant(t *testing.T) {
+	if got := pkgKey("repro/internal/x [repro/internal/x.test]"); got != "repro/internal/x" {
+		t.Errorf("pkgKey test variant = %q", got)
+	}
+	if got := pkgKey("repro/internal/x"); got != "repro/internal/x" {
+		t.Errorf("pkgKey plain = %q", got)
+	}
+}

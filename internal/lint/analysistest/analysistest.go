@@ -48,6 +48,47 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, dir string) {
 	Check(t, pkg, a.Name, got)
 }
 
+// RunSuite analyzes several fixture packages in dependency order with
+// cross-package fact propagation: between packages the fact store is
+// gob-encoded and decoded into a fresh store, so the test exercises the
+// same wire path — and the same structural fact keys — the vet driver uses
+// when facts cross a .vetx file. Each package's diagnostics are checked
+// against its own // want comments.
+func RunSuite(t *testing.T, testdata string, a *analysis.Analyzer, dirs ...string) {
+	t.Helper()
+	analysis.RegisterFactTypes([]*analysis.Analyzer{a})
+	facts := analysis.NewFactStore()
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(filepath.Join(testdata, "src", dir))
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", dir, err)
+		}
+		var got []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Facts:     facts,
+			Report:    func(d analysis.Diagnostic) { got = append(got, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("%s on fixture %s: %v", a.Name, dir, err)
+		}
+		Check(t, pkg, a.Name, got)
+
+		data, err := facts.Encode()
+		if err != nil {
+			t.Fatalf("encoding facts after %s: %v", dir, err)
+		}
+		facts = analysis.NewFactStore()
+		if err := facts.Decode(data); err != nil {
+			t.Fatalf("decoding facts after %s: %v", dir, err)
+		}
+	}
+}
+
 // Check diffs diagnostics against the fixture's // want comments. Exposed
 // so the driver test can validate post-suppression findings the same way.
 func Check(t *testing.T, pkg *loader.Package, name string, got []analysis.Diagnostic) {

@@ -1,0 +1,343 @@
+// Package escape implements hotpathescape, the compiler-assisted member of
+// the lint suite (DESIGN.md §8): every //livesim:hotpath function must be
+// escape-free, so the 2-allocs/frame fan-out and ~2.5-allocs/event engine
+// budgets hold by construction rather than by benchmark.
+//
+// go/types cannot see escapes — they are a property of the gc backend's
+// escape analysis — so this pass asks the compiler itself: each package
+// containing a hotpath directive is recompiled with `go tool compile -m=2`
+// against the export data `go list -export` already produced (the same
+// files the lint loader imports), and the emitted escape diagnostics are
+// mapped back onto the hotpath functions' source ranges. Invoking the
+// compiler directly instead of `go build -gcflags=-m=2` sidesteps the build
+// cache, which swallows diagnostics on every warm run.
+//
+// Two diagnostic shapes fail the check inside a hotpath function:
+//
+//	moved to heap: x        — a local was forced to the heap (one
+//	                          allocation per call)
+//	<expr> escapes to heap  — an allocation the function performs
+//
+// "leaking param" diagnostics are deliberately NOT failures: a leaking
+// pointer parameter costs nothing per call when the pointee is already
+// heap-resident (a method receiver, a connection, a store), which is every
+// hot-path signature in this repo — the allocation, if any, surfaces as
+// "moved to heap" at the caller, where this check sees it if the caller is
+// itself a hotpath function.
+//
+// Deliberate, budgeted allocations are suppressed in place with
+// //lint:allow hotpathescape <reason>, same contract as the AST analyzers;
+// a stale suppression is itself a finding.
+package escape
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/lint/loader"
+)
+
+const hotpathDirective = "livesim:hotpath"
+
+// Finding is one escape regression (or directive problem) in a hotpath
+// function.
+type Finding struct {
+	File    string
+	Line    int
+	Col     int
+	Func    string // hotpath function containing the escape
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: hotpathescape: %s", f.File, f.Line, f.Col, f.Message)
+}
+
+// Stats summarizes a clean run for reporting.
+type Stats struct {
+	Packages  int // packages containing hotpath functions
+	Functions int // hotpath functions proved escape-free
+}
+
+// Check runs the escape pass over the module packages matched by patterns
+// (relative to dir). It returns the surviving findings and run statistics.
+func Check(dir string, patterns ...string) ([]Finding, Stats, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	lps, err := loader.List(dir, patterns...)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	exports := make(map[string]string, len(lps))
+	for _, lp := range lps {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+
+	// Select the module packages that mention the directive at all; the
+	// per-file grep is far cheaper than a compile.
+	var targets []*loader.ListPkg
+	for _, lp := range lps {
+		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 || lp.Error != nil {
+			continue
+		}
+		if packageMentionsHotpath(lp) {
+			targets = append(targets, lp)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, Stats{}, nil
+	}
+
+	tmp, err := os.MkdirTemp("", "escapecheck")
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	defer os.RemoveAll(tmp)
+	importcfg := filepath.Join(tmp, "importcfg")
+	if err := writeImportcfg(importcfg, exports); err != nil {
+		return nil, Stats{}, err
+	}
+
+	var (
+		mu       sync.Mutex
+		all      []Finding
+		stats    Stats
+		firstErr error
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, runtime.NumCPU())
+	)
+	for i, lp := range targets {
+		wg.Add(1)
+		go func(i int, lp *loader.ListPkg) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fs, nfuncs, err := checkPackage(lp, importcfg, filepath.Join(tmp, fmt.Sprintf("pkg%d.o", i)))
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			all = append(all, fs...)
+			stats.Packages++
+			stats.Functions += nfuncs
+		}(i, lp)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, Stats{}, firstErr
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].File != all[j].File {
+			return all[i].File < all[j].File
+		}
+		if all[i].Line != all[j].Line {
+			return all[i].Line < all[j].Line
+		}
+		return all[i].Col < all[j].Col
+	})
+	return all, stats, nil
+}
+
+// packageMentionsHotpath reports whether any non-test Go file in the
+// package contains the hotpath directive.
+func packageMentionsHotpath(lp *loader.ListPkg) bool {
+	for _, f := range lp.GoFiles {
+		data, err := os.ReadFile(filepath.Join(lp.Dir, f))
+		if err == nil && bytes.Contains(data, []byte("//"+hotpathDirective)) {
+			return true
+		}
+	}
+	return false
+}
+
+func writeImportcfg(path string, exports map[string]string) error {
+	paths := make([]string, 0, len(exports))
+	for p := range exports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var b strings.Builder
+	for _, p := range paths {
+		fmt.Fprintf(&b, "packagefile %s=%s\n", p, exports[p])
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o666)
+}
+
+// hotRange is the source extent of one hotpath function.
+type hotRange struct {
+	name       string
+	file       string
+	start, end int // line numbers, inclusive
+}
+
+// allowDir is one //lint:allow hotpathescape directive.
+type allowDir struct {
+	file string
+	line int // directive's own line; it covers line and line+1
+	used bool
+}
+
+// checkPackage compiles one package with -m=2 and maps the diagnostics onto
+// its hotpath functions. Returns findings and the number of hotpath
+// functions checked.
+func checkPackage(lp *loader.ListPkg, importcfg, objOut string) ([]Finding, int, error) {
+	fset := token.NewFileSet()
+	var (
+		files  []string
+		ranges []hotRange
+		allows []*allowDir
+	)
+	for _, name := range lp.GoFiles {
+		path := filepath.Join(lp.Dir, name)
+		files = append(files, path)
+		af, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, decl := range af.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(strings.TrimPrefix(c.Text, "//"), hotpathDirective) {
+					ranges = append(ranges, hotRange{
+						name:  fd.Name.Name,
+						file:  path,
+						start: fset.Position(fd.Pos()).Line,
+						end:   fset.Position(fd.End()).Line,
+					})
+					break
+				}
+			}
+		}
+		for _, cg := range af.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, "lint:allow") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "lint:allow"))
+				if len(fields) >= 2 && fields[0] == "hotpathescape" {
+					allows = append(allows, &allowDir{file: path, line: fset.Position(c.Pos()).Line})
+				}
+			}
+		}
+	}
+	if len(ranges) == 0 {
+		return nil, 0, nil
+	}
+
+	args := append([]string{"tool", "compile",
+		"-p", lp.ImportPath, "-importcfg", importcfg, "-m=2", "-o", objOut}, files...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = lp.Dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return nil, 0, fmt.Errorf("escapecheck: compiling %s: %v\n%s", lp.ImportPath, err, out.String())
+	}
+
+	findings := diagnose(out.Bytes(), ranges, allows)
+	for _, a := range allows {
+		if !a.used {
+			findings = append(findings, Finding{
+				File: a.file, Line: a.line, Func: "",
+				Message: "stale //lint:allow hotpathescape: no escape diagnostic here; delete the directive",
+			})
+		}
+	}
+	return findings, len(ranges), nil
+}
+
+// diagLine matches one compiler diagnostic: file:line:col: message.
+var diagLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// escapeMessage classifies a -m=2 diagnostic, returning a normalized
+// message for ones that mean "this function puts something on the heap".
+func escapeMessage(msg string) (string, bool) {
+	msg = strings.TrimSuffix(msg, ":")
+	switch {
+	case strings.HasPrefix(msg, "moved to heap: "):
+		return msg, true
+	case strings.HasSuffix(msg, "escapes to heap"):
+		return msg, true
+	}
+	return "", false
+}
+
+// diagnose maps diagnostics onto hotpath ranges, applying and consuming
+// allow directives.
+func diagnose(out []byte, ranges []hotRange, allows []*allowDir) []Finding {
+	byFile := make(map[string][]hotRange)
+	for _, r := range ranges {
+		byFile[r.file] = append(byFile[r.file], r)
+	}
+	allowAt := make(map[[2]interface{}]*allowDir)
+	for _, a := range allows {
+		allowAt[[2]interface{}{a.file, a.line}] = a
+		allowAt[[2]interface{}{a.file, a.line + 1}] = a
+	}
+
+	var findings []Finding
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := diagLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		file := m[1]
+		line, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		msg, bad := escapeMessage(m[4])
+		if !bad {
+			continue
+		}
+		var fn string
+		for _, r := range byFile[file] {
+			if line >= r.start && line <= r.end {
+				fn = r.name
+				break
+			}
+		}
+		if fn == "" {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d:%d", file, line, col)
+		if seen[key] {
+			// -m=2 describes one escape several ways at one position
+			// ("moved to heap: x" and "x escapes to heap"); one finding.
+			continue
+		}
+		seen[key] = true
+		if a, ok := allowAt[[2]interface{}{file, line}]; ok {
+			a.used = true
+			continue
+		}
+		findings = append(findings, Finding{
+			File: file, Line: line, Col: col, Func: fn,
+			Message: fmt.Sprintf("%s in //livesim:hotpath function %s; hot-path data must stay on the stack or in pooled buffers (DESIGN.md §8)", msg, fn),
+		})
+	}
+	return findings
+}

@@ -9,14 +9,26 @@
 //	hotpathalloc  — //livesim:hotpath functions stay allocation-lean
 //	ctxplumb      — HTTP requests carry contexts; request paths derive from
 //	                the caller's context rather than context.Background
+//	lockorder     — the whole-program lock-acquisition graph is acyclic
+//	                (no AB/BA deadlocks), propagated across packages via
+//	                facts
+//	goroleak      — every `go` statement has a provable termination path
+//
+// A ninth check, hotpathescape, lives in cmd/escapecheck: it is
+// compiler-assisted (parses `go tool compile -m=2` escape diagnostics) and
+// cannot run under the unitchecker protocol, but shares this package's
+// //lint:allow directive namespace.
 //
 // False positives are suppressed in place with a reasoned directive:
 //
 //	//lint:allow <analyzer> <reason>
 //
-// on the flagged line or on the line directly above it. Directives naming
-// an unknown analyzer, or carrying no reason, are themselves diagnostics —
-// a stale or typo'd suppression must not silently disable a check.
+// on the flagged line or on the line directly above it. A directive is
+// scoped to the named analyzer at that position; it does not blanket the
+// line for other analyzers. Directives naming an unknown analyzer, carrying
+// no reason, or matching no finding (stale — the code was fixed but the
+// suppression lingered, ready to mask the next regression) are themselves
+// diagnostics.
 package lint
 
 import (
@@ -38,7 +50,16 @@ func Analyzers() []*analysis.Analyzer {
 		Atomiccounter,
 		Hotpathalloc,
 		Ctxplumb,
+		Lockorder,
+		Goroleak,
 	}
+}
+
+// ExternalAllowNames are analyzer names that are valid in //lint:allow
+// directives but enforced by a separate binary (cmd/escapecheck), so this
+// driver can neither match nor stale-check their directives.
+var ExternalAllowNames = map[string]bool{
+	"hotpathescape": true,
 }
 
 // Finding is one post-suppression diagnostic.
@@ -59,6 +80,14 @@ type allowKey struct {
 	line     int
 }
 
+// directive is one well-formed //lint:allow, tracked for staleness.
+type directive struct {
+	name     string
+	pos      token.Position
+	external bool
+	used     bool
+}
+
 const allowPrefix = "lint:allow"
 
 // collectAllows parses every //lint:allow directive in the files. A
@@ -66,8 +95,9 @@ const allowPrefix = "lint:allow"
 // comment) and on the following line (standalone comment above the
 // statement). Malformed or unknown-analyzer directives are returned as
 // findings so they fail the build like any other diagnostic.
-func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) (map[allowKey]bool, []Finding) {
-	allows := make(map[allowKey]bool)
+func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) (map[allowKey]*directive, []*directive, []Finding) {
+	allows := make(map[allowKey]*directive)
+	var directives []*directive
 	var bad []Finding
 	for _, file := range files {
 		for _, cg := range file.Comments {
@@ -86,7 +116,7 @@ func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool
 					continue
 				}
 				name := fields[0]
-				if !known[name] {
+				if !known[name] && !ExternalAllowNames[name] {
 					bad = append(bad, Finding{
 						Analyzer: "lintdirective", Pos: pos,
 						Message: fmt.Sprintf("//lint:allow names unknown analyzer %q (known: %s)", name, knownNames(known)),
@@ -100,32 +130,48 @@ func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool
 					})
 					continue
 				}
-				allows[allowKey{name, pos.Filename, pos.Line}] = true
-				allows[allowKey{name, pos.Filename, pos.Line + 1}] = true
+				d := &directive{name: name, pos: pos, external: ExternalAllowNames[name]}
+				directives = append(directives, d)
+				allows[allowKey{name, pos.Filename, pos.Line}] = d
+				allows[allowKey{name, pos.Filename, pos.Line + 1}] = d
 			}
 		}
 	}
-	return allows, bad
+	return allows, directives, bad
 }
 
 func knownNames(known map[string]bool) string {
-	names := make([]string, 0, len(known))
+	names := make([]string, 0, len(known)+len(ExternalAllowNames))
 	for n := range known {
+		names = append(names, n)
+	}
+	for n := range ExternalAllowNames {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	return strings.Join(names, ", ")
 }
 
-// Run applies the analyzers to one loaded package and returns the findings
-// that survive //lint:allow suppression, plus any directive diagnostics,
-// sorted by position.
+// Run applies the analyzers to one loaded package with a private fact
+// store: fine for single-package use where cross-package facts cannot
+// matter. Drivers analyzing a whole program use RunFacts with a store
+// shared across packages in dependency order.
 func Run(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	return RunFacts(pkg, analyzers, analysis.NewFactStore())
+}
+
+// RunFacts applies the analyzers to one loaded package against a shared
+// fact store and returns the findings that survive //lint:allow
+// suppression, plus directive diagnostics (malformed, unknown, reasonless,
+// or stale), sorted by position. Analyzers export facts into the store even
+// for suppressed findings, so suppression never poisons downstream
+// packages' view of the program.
+func RunFacts(pkg *loader.Package, analyzers []*analysis.Analyzer, facts *analysis.FactStore) ([]Finding, error) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
-	allows, findings := collectAllows(pkg.Fset, pkg.Syntax, known)
+	allows, directives, findings := collectAllows(pkg.Fset, pkg.Syntax, known)
 
 	for _, a := range analyzers {
 		pass := &analysis.Pass{
@@ -134,11 +180,13 @@ func Run(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error)
 			Files:     pkg.Syntax,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
+			Facts:     facts,
 		}
 		name := a.Name
 		pass.Report = func(d analysis.Diagnostic) {
 			pos := pkg.Fset.Position(d.Pos)
-			if allows[allowKey{name, pos.Filename, pos.Line}] {
+			if dir, ok := allows[allowKey{name, pos.Filename, pos.Line}]; ok {
+				dir.used = true
 				return
 			}
 			findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
@@ -147,6 +195,21 @@ func Run(pkg *loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error)
 			return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
 		}
 	}
+
+	// A directive that suppressed nothing is stale: the finding it covered
+	// was fixed, and the lingering suppression would silently swallow the
+	// next one at that position. External analyzers (hotpathescape) are
+	// matched by their own driver.
+	for _, d := range directives {
+		if d.used || d.external {
+			continue
+		}
+		findings = append(findings, Finding{
+			Analyzer: "lintdirective", Pos: d.pos,
+			Message: fmt.Sprintf("stale //lint:allow %s: no %s finding here; delete the directive (it would mask the next real finding at this position)", d.name, d.name),
+		})
+	}
+
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos
 		if a.Filename != b.Filename {

@@ -54,6 +54,29 @@ func TestCtxplumbIgnoredCtx(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.Ctxplumb, "cdn")
 }
 
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Lockorder, "lockorder")
+}
+
+// TestLockorderCrossPackage seeds an AB/BA inversion across two fixture
+// packages: the hub→registry edge exists only through liba's LockSet fact
+// on Refresh, round-tripped through the gob wire format between packages.
+func TestLockorderCrossPackage(t *testing.T) {
+	analysistest.RunSuite(t, "testdata", lint.Lockorder,
+		filepath.Join("lockorderx", "liba"), filepath.Join("lockorderx", "libb"))
+}
+
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Goroleak, "goroleak")
+}
+
+// TestGoroleakCrossPackage spawns a forever-blocking function declared in a
+// dependency: the spawn is flagged via the imported NeverReturns fact.
+func TestGoroleakCrossPackage(t *testing.T) {
+	analysistest.RunSuite(t, "testdata", lint.Goroleak,
+		filepath.Join("goroleakx", "liba"), filepath.Join("goroleakx", "libb"))
+}
+
 // TestAllowDirectives drives lint.Run over the directives fixture and checks
 // the suppression contract: a reasoned //lint:allow <analyzer> silences that
 // analyzer on the next line; a directive naming an unknown analyzer or
@@ -97,15 +120,24 @@ func TestAllowDirectives(t *testing.T) {
 	if got := count("lintdirective", "has no reason"); got != 1 {
 		t.Errorf("want 1 missing-reason directive finding, got %d", got)
 	}
-	if got := len(findings); got != 4 {
-		t.Errorf("want 4 findings total (2 sends + 2 directive diagnostics), got %d", got)
+	// The directive that suppressed nothing is stale — itself a finding.
+	if got := count("lintdirective", "stale //lint:allow locksend"); got != 1 {
+		t.Errorf("want 1 stale-directive finding, got %d", got)
+	}
+	// The hotpathescape directive is valid (external analyzer) and exempt
+	// from this driver's stale check: no finding for it.
+	if got := count("lintdirective", "//lint:allow hotpathescape"); got != 0 {
+		t.Errorf("want 0 findings about the hotpathescape directive, got %d", got)
+	}
+	if got := len(findings); got != 5 {
+		t.Errorf("want 5 findings total (2 sends + 3 directive diagnostics), got %d", got)
 	}
 }
 
 // TestSuiteNames pins the analyzer names the //lint:allow directives and the
 // CI job reference: renaming one silently orphans every suppression.
 func TestSuiteNames(t *testing.T) {
-	want := []string{"locksend", "walltime", "atomiccounter", "hotpathalloc", "ctxplumb"}
+	want := []string{"locksend", "walltime", "atomiccounter", "hotpathalloc", "ctxplumb", "lockorder", "goroleak"}
 	as := lint.Analyzers()
 	if len(as) != len(want) {
 		t.Fatalf("want %d analyzers, got %d", len(want), len(as))

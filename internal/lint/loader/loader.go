@@ -33,8 +33,8 @@ type Package struct {
 	TypesInfo  *types.Info
 }
 
-// listPkg is the subset of `go list -json` output the loader consumes.
-type listPkg struct {
+// ListPkg is the subset of `go list -json` output the loader consumes.
+type ListPkg struct {
 	Dir        string
 	ImportPath string
 	Name       string
@@ -45,8 +45,17 @@ type listPkg struct {
 	Error      *struct{ Err string }
 }
 
+// List runs `go list -e -export -json -deps` in dir and decodes the JSON
+// stream: every package in the import graph of patterns, dependencies
+// first, each with the path of its gc export-data file. Exported for
+// cmd/escapecheck, which feeds the Export files to `go tool compile` as an
+// importcfg.
+func List(dir string, patterns ...string) ([]*ListPkg, error) {
+	return list(dir, patterns)
+}
+
 // list runs `go list -export -json -deps` in dir and decodes the JSON stream.
-func list(dir string, patterns []string) ([]*listPkg, error) {
+func list(dir string, patterns []string) ([]*ListPkg, error) {
 	args := append([]string{"list", "-e", "-export", "-json", "-deps"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -56,10 +65,10 @@ func list(dir string, patterns []string) ([]*listPkg, error) {
 	if err != nil {
 		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
 	}
-	var pkgs []*listPkg
+	var pkgs []*ListPkg
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
-		p := new(listPkg)
+		p := new(ListPkg)
 		if err := dec.Decode(p); err == io.EOF {
 			break
 		} else if err != nil {
@@ -182,7 +191,23 @@ func LoadDir(dir string) (*Package, error) {
 		}
 	}
 	fset = token.NewFileSet()
-	return check(fset, filepath.Base(dir), dir, files, exportImporter(fset, exports))
+	return check(fset, dirImportPath(dir), dir, files, exportImporter(fset, exports))
+}
+
+// dirImportPath resolves the module import path of a directory (testdata
+// packages included — the go tool only skips testdata when expanding
+// wildcards, not for explicit arguments). Cross-package facts are keyed by
+// import path, so a fixture package analyzed from source must carry the
+// same path its dependents see in export data; the directory base name is
+// only a fallback for directories outside any module.
+func dirImportPath(dir string) string {
+	// list emits dependencies first, so the directory's own package is the
+	// last entry.
+	lps, err := list(dir, []string{"."})
+	if err == nil && len(lps) > 0 && lps[len(lps)-1].ImportPath != "" {
+		return lps[len(lps)-1].ImportPath
+	}
+	return filepath.Base(dir)
 }
 
 // check parses files and type-checks them as one package.

@@ -21,18 +21,23 @@ import (
 // each function body it tracks, statement by statement, which mutexes are
 // held (keyed by the receiver expression, e.g. "s.mu"), treating
 // `defer mu.Unlock()` as holding the lock until the function returns.
-// Function literals are analyzed as separate roots with an empty lock set,
-// since they run at call time, not at definition time.
+// Receiver keys are normalized through embedded-struct promotion (see
+// lockclass.go), so `e.Lock()` on a struct embedding a sync.Mutex and
+// `e.Mutex.Unlock()` pair up instead of leaving a phantom held lock.
+// Read locks (RLock) are tracked the same way — readers block writers, so
+// a blocking operation under an RLock stalls the whole fan-out just as
+// effectively. Function literals are analyzed as separate roots with an
+// empty lock set, since they run at call time, not at definition time.
 var Locksend = &analysis.Analyzer{
 	Name: "locksend",
 	Doc: "flags channel sends, time.Sleep, network I/O, and nested lock " +
-		"acquisition while a sync.Mutex/RWMutex is held (the fan-out " +
-		"invariant of DESIGN.md §5a)",
+		"acquisition while a sync.Mutex/RWMutex is held or read-held (the " +
+		"fan-out invariant of DESIGN.md §5a)",
 	Run: runLocksend,
 }
 
 func runLocksend(pass *analysis.Pass) (interface{}, error) {
-	ls := &locksendPass{pass: pass}
+	ls := &locksendPass{pass: pass, tracker: newLockTracker(pass)}
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch fn := n.(type) {
@@ -50,34 +55,14 @@ func runLocksend(pass *analysis.Pass) (interface{}, error) {
 }
 
 type locksendPass struct {
-	pass *analysis.Pass
+	pass    *analysis.Pass
+	tracker *lockTracker
 }
 
-// lockOp classifies a statement as a lock/unlock call on a sync mutex and
-// returns the receiver expression string that keys the lock.
-type lockOp struct {
-	key     string // rendered receiver expression, e.g. "s.mu"
-	acquire bool
-	pos     token.Pos
-}
-
-// mutexOp returns the lock operation a call expression performs, if any.
-func (ls *locksendPass) mutexOp(call *ast.CallExpr) (lockOp, bool) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return lockOp{}, false
-	}
-	fn, ok := ls.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return lockOp{}, false
-	}
-	switch fn.Name() {
-	case "Lock", "RLock":
-		return lockOp{key: types.ExprString(sel.X), acquire: true, pos: call.Pos()}, true
-	case "Unlock", "RUnlock":
-		return lockOp{key: types.ExprString(sel.X), acquire: false, pos: call.Pos()}, true
-	}
-	return lockOp{}, false
+// mutexOp returns the lock operation a call expression performs, if any,
+// with the receiver key normalized through embedded-struct promotion.
+func (ls *locksendPass) mutexOp(call *ast.CallExpr) (mutexCall, bool) {
+	return ls.tracker.mutexOp(call)
 }
 
 // checkStmts walks a statement list in order, maintaining the held-lock set.
@@ -97,12 +82,12 @@ func (ls *locksendPass) checkStmts(stmts []ast.Stmt, held map[string]token.Pos) 
 							for k, pos := range held {
 								ls.pass.Reportf(call.Pos(),
 									"acquiring %s while %s is held (locked at %s); nested locking on the fan-out path risks deadlock and head-of-line blocking",
-									op.key, k, ls.pass.Position(pos))
+									op.recvKey, k, ls.pass.Position(pos))
 							}
 						}
-						held[op.key] = op.pos
+						held[op.recvKey] = op.pos
 					} else {
-						delete(held, op.key)
+						delete(held, op.recvKey)
 					}
 					continue
 				}
@@ -197,7 +182,7 @@ func (ls *locksendPass) flagBlocking(n ast.Node, held map[string]token.Pos) {
 			ls.report(e.Pos(), "channel send", held)
 		case *ast.CallExpr:
 			if op, ok := ls.mutexOp(e); ok && op.acquire {
-				ls.report(e.Pos(), "acquiring "+op.key, held)
+				ls.report(e.Pos(), "acquiring "+op.recvKey, held)
 				return false
 			}
 			if name, ok := ls.blockingCall(e); ok {

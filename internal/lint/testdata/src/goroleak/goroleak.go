@@ -1,0 +1,117 @@
+// Fixture for the goroleak analyzer: `go` statements whose bodies provably
+// never terminate, and the termination shapes that clear them.
+package goroleak
+
+import (
+	"context"
+	"os"
+	"sync"
+)
+
+// spinLit spawns a bare busy loop: nothing can ever stop it.
+func spinLit() {
+	go func() { // want `no provable termination path`
+		for {
+		}
+	}()
+}
+
+// blockLit spawns select{}: blocked forever by construction.
+func blockLit() {
+	go func() { // want `no provable termination path`
+		select {}
+	}()
+}
+
+// run never returns; spawnRun is flagged at the spawn site, where the stop
+// signal would have to be threaded in.
+func run() {
+	for {
+	}
+}
+
+func spawnRun() {
+	go run() // want `spawns run, which never returns`
+}
+
+// viaCall never returns because it unconditionally calls run; spawning it
+// is flagged through the NeverReturns fixpoint.
+func viaCall() {
+	run()
+}
+
+func spawnViaCall() {
+	go viaCall() // want `spawns viaCall, which never returns`
+}
+
+// selectBreakTrap is the classic mistake: `break` inside a select case
+// exits the select, not the for, so the loop is still unconditional.
+func selectBreakTrap(ch chan int) {
+	go func() { // want `no provable termination path`
+		for {
+			select {
+			case <-ch:
+				break
+			}
+		}
+	}()
+}
+
+// ctxLoop exits when the context is cancelled: terminates.
+func ctxLoop(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ch:
+			}
+		}
+	}()
+}
+
+// labeledBreak exits the outer loop from inside the select: terminates.
+func labeledBreak(ch chan int) {
+	go func() {
+	loop:
+		for {
+			select {
+			case v := <-ch:
+				if v == 0 {
+					break loop
+				}
+			}
+		}
+	}()
+}
+
+// bounded runs a conditional loop: terminates.
+func bounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+		}
+	}()
+}
+
+// accounted is WaitGroup-accounted: Wait() surfaces it at join points, so
+// the spawn is exempt even though the loop is unconditional.
+func accounted(wg *sync.WaitGroup, ch chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			<-ch
+		}
+	}()
+}
+
+// fatalLoop ends the process from inside the loop: not a leak.
+func fatalLoop(ch chan error) {
+	go func() {
+		for {
+			if err := <-ch; err != nil {
+				os.Exit(1)
+			}
+		}
+	}()
+}

@@ -1,0 +1,17 @@
+// Fixture dependency for the cross-package goroleak test: a function that
+// provably never returns, exported to dependents as a NeverReturns fact.
+package liba
+
+// Forever blocks until process exit.
+func Forever() {
+	select {}
+}
+
+// Bounded returns; no fact is exported for it.
+func Bounded(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}

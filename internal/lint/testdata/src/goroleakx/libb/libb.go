@@ -1,0 +1,19 @@
+// Fixture for the cross-package goroleak test: spawning liba.Forever is
+// flagged at the spawn site, through the imported NeverReturns fact — the
+// loop is not visible in this package.
+package libb
+
+import "repro/internal/lint/testdata/src/goroleakx/liba"
+
+// SpawnForever leaks: the spawned function never returns and no stop signal
+// can reach it.
+func SpawnForever() {
+	go liba.Forever() // want `spawns Forever, which never returns`
+}
+
+// SpawnBounded terminates; no diagnostic.
+func SpawnBounded() {
+	go func() {
+		_ = liba.Bounded(100)
+	}()
+}

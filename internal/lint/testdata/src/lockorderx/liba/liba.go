@@ -1,0 +1,21 @@
+// Fixture dependency for the cross-package lockorder test: a registry whose
+// lock is embedded (so dependents acquire it directly via the promoted
+// Lock) and a method that acquires it internally (so dependents inherit the
+// class only through this package's exported LockSet fact).
+package liba
+
+import "sync"
+
+// Registry guards a counter with an embedded mutex.
+type Registry struct {
+	sync.Mutex
+	n int
+}
+
+// Refresh acquires the registry lock internally; nothing in a dependent
+// package's source shows the acquisition — only the fact does.
+func (r *Registry) Refresh() {
+	r.Lock()
+	defer r.Unlock()
+	r.n++
+}

@@ -1,0 +1,32 @@
+// Fixture for the cross-package lockorder test: this package closes an
+// AB/BA inversion against liba. The hub→registry edge exists only through
+// liba's exported LockSet fact on Refresh — without fact propagation the
+// cycle is invisible.
+package libb
+
+import (
+	"sync"
+
+	"repro/internal/lint/testdata/src/lockorderx/liba"
+)
+
+// Hub holds its own lock.
+type Hub struct {
+	mu sync.Mutex
+}
+
+// Sync orders hub before registry: the edge comes from Refresh's imported
+// LockSet fact, not from any Lock visible in this package.
+func (h *Hub) Sync(r *liba.Registry) {
+	h.mu.Lock()
+	r.Refresh() // want `lock-order cycle: .*libb\.Hub\.mu → .*liba\.Registry\.Mutex → .*libb\.Hub\.mu`
+	h.mu.Unlock()
+}
+
+// Rebalance orders registry before hub, directly, via the promoted Lock.
+func (h *Hub) Rebalance(r *liba.Registry) {
+	r.Lock()
+	h.mu.Lock()
+	h.mu.Unlock()
+	r.Unlock()
+}

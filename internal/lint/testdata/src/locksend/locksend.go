@@ -98,3 +98,52 @@ func (h *hub) goodGoroutine(ch chan int) {
 	}()
 	h.mu.Unlock()
 }
+
+type rwhub struct {
+	mu      sync.RWMutex
+	viewers []chan int
+}
+
+// badReadSend: a read lock still blocks writers, so sends under RLock
+// serialize the fan-out behind the slowest viewer exactly like Lock does.
+func (h *rwhub) badReadSend(v int) {
+	h.mu.RLock()
+	for _, ch := range h.viewers {
+		ch <- v // want `channel send while h\.mu is held`
+	}
+	h.mu.RUnlock()
+}
+
+// goodReadSnapshot releases the read lock before sending.
+func (h *rwhub) goodReadSnapshot(v int) {
+	h.mu.RLock()
+	snap := make([]chan int, len(h.viewers))
+	copy(snap, h.viewers)
+	h.mu.RUnlock()
+	for _, ch := range snap {
+		ch <- v
+	}
+}
+
+type embedded struct {
+	sync.Mutex
+	ch chan int
+}
+
+// badEmbedded: the promoted e.Lock() and the explicit e.Mutex path are the
+// same lock — both normalize to the embedded field — so the send is under
+// it however the pair is spelled.
+func (e *embedded) badEmbedded() {
+	e.Lock()
+	e.ch <- 1 // want `channel send while e\.Mutex is held`
+	e.Mutex.Unlock()
+}
+
+// goodEmbedded: the explicit unlock releases the promoted lock before the
+// send; without normalization the mismatched spellings would leave a
+// phantom held lock.
+func (e *embedded) goodEmbedded() {
+	e.Lock()
+	e.Mutex.Unlock()
+	e.ch <- 1
+}
