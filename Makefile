@@ -5,7 +5,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build test race lint vet analyze fmt tidy vuln bench benchguard metrics crash partition-soak scale-smoke fuzz ci clean
+.PHONY: all build test race lint vet analyze fmt tidy vuln bench benchguard metrics crash partition-soak tenant-soak scale-smoke fuzz ci clean
 
 all: build test lint
 
@@ -78,6 +78,14 @@ crash:
 partition-soak:
 	$(GO) test -race -count=1 -run 'TestPlatformControlCrashRecoverySoak|TestPlatformControlEdgePartitionSoak' -v ./internal/core/
 
+# tenant-soak is the noisy-neighbor soak (DESIGN.md §11): one over-quota
+# tenant hammers joins while two compliant tenants stream through a control
+# crash/recover. Asserts the loud tenant throttles at exactly its plan
+# limits, compliant viewers see every chunk exactly once, and the journaled
+# usage rollups match the per-tenant delivery metrics. Always under -race.
+tenant-soak:
+	$(GO) test -race -count=1 -run 'TestPlatformNoisyNeighborSoak' -v ./internal/core/
+
 # scale-smoke runs a 1:200-scale simulated day through the million-viewer
 # event engine (DESIGN.md §10) under -race, with the real-socket fidelity
 # slice watching a concurrent loopback broadcast, and asserts the Fig. 11
@@ -103,7 +111,7 @@ benchguard:
 metrics:
 	$(GO) run ./cmd/livesim -snapshot
 
-ci: build race lint analyze vuln crash partition-soak scale-smoke fuzz benchguard metrics
+ci: build race lint analyze vuln crash partition-soak tenant-soak scale-smoke fuzz benchguard metrics
 
 clean:
 	rm -rf $(BIN)

@@ -249,11 +249,31 @@ func preframedFrames(n, payload int) [][]byte {
 // BenchmarkFanout measures ns/frame and allocs/frame for one broadcaster
 // fanning out to N viewers — the hot path behind Fig. 14's RTMP curve. The
 // publisher pipelines at most 512 frames ahead of the slowest viewer so the
-// per-viewer queues never overflow into evictions.
+// per-viewer queues never overflow into evictions. The metered variant runs
+// the same fan-out with tenant attribution active (per-tenant instruments +
+// a control.TenantMeter usage sink): its allocation budget is identical to
+// the unmetered path, pinning the tenancy layer's zero-allocs/frame promise.
 func BenchmarkFanout(b *testing.B) {
-	for _, nViewers := range []int{10, 100} {
-		b.Run(fmt.Sprintf("viewers=%d", nViewers), func(b *testing.B) {
-			s := rtmp.NewServer(rtmp.ServerConfig{ViewerQueue: 8192})
+	cases := []struct {
+		name     string
+		nViewers int
+		metered  bool
+	}{
+		{"viewers=10", 10, false},
+		{"viewers=100", 100, false},
+		{"viewers=100,metered", 100, true},
+	}
+	for _, tc := range cases {
+		nViewers := tc.nViewers
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := rtmp.ServerConfig{ViewerQueue: 8192}
+			var meter *control.TenantMeter
+			if tc.metered {
+				meter = &control.TenantMeter{}
+				cfg.TenantOf = func(string) string { return "tnt-bench" }
+				cfg.TenantUsage = func(string) rtmp.FrameUsage { return meter }
+			}
+			s := rtmp.NewServer(cfg)
 			ctx, cancel := context.WithCancel(context.Background())
 			defer cancel()
 			ln, err := s.Listen(ctx, "127.0.0.1:0")
@@ -304,6 +324,14 @@ func BenchmarkFanout(b *testing.B) {
 			b.StopTimer()
 			if got := s.Stats().ActiveViewers; got != int64(nViewers) {
 				b.Fatalf("viewers evicted during benchmark: %d of %d left", got, nViewers)
+			}
+			if tc.metered {
+				frames, _, bytes := meter.Totals()
+				if want := int64(b.N) * int64(nViewers); frames < want {
+					b.Fatalf("usage meter saw %d delivered frames, want >= %d", frames, want)
+				} else if bytes == 0 {
+					b.Fatal("usage meter saw no delivered bytes")
+				}
 			}
 			wire.WriteMessage(pub, wire.Message{Type: wire.MsgEnd})
 			pub.Close()

@@ -6,7 +6,10 @@
 // an HLS viewer, and the message hub, prints the metrics snapshot, and exits
 // — the smoke path `make metrics` runs in CI. With -simday it replays a full
 // simulated day of the paper's workload through the viewer event engine
-// (internal/viewersim) and prints the Fig. 11 delay decomposition.
+// (internal/viewersim) and prints the Fig. 11 delay decomposition. With
+// -tenants N it provisions N tenants with API keys at startup; -demo
+// broadcasts then round-robin across those keys and the final per-tenant
+// usage rollups print at shutdown.
 package main
 
 import (
@@ -45,6 +48,8 @@ func main() {
 		snapshot     = flag.Bool("snapshot", false, "run one scripted broadcast on a small platform, print the metrics snapshot, exit")
 		metricsEvery = flag.Duration("metrics-every", 0, "log a one-line metrics summary at this interval (0 disables)")
 		journalDir   = flag.String("journal-dir", "", "directory for per-origin write-ahead logs; origins recover live broadcasts from them after a crash (empty disables journaling)")
+		tenants      = flag.Int("tenants", 0, "provision this many tenants with API keys at startup; -demo broadcasts round-robin across them and final /usage rollups print at shutdown")
+		tenantQuota  = flag.Int64("tenant-quota", 1<<30, "per-tenant daily delivered-bytes quota for -tenants plans (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -109,14 +114,58 @@ func main() {
 	fmt.Printf("  origins     : %d RTMP listeners\n", len(p.Topo.Origins))
 	fmt.Printf("  edges       : %d HLS caches\n", len(p.Topo.Edges))
 
+	var keys []string
+	var tenantIDs []string
+	if *tenants > 0 {
+		plan := control.Plan{
+			Name:                    "livesim",
+			MaxConcurrentBroadcasts: 8,
+			MaxJoinRPS:              50,
+			DailyBytesQuota:         *tenantQuota,
+		}
+		for i := 1; i <= *tenants; i++ {
+			tn, err := p.Ctrl.CreateTenant(fmt.Sprintf("tenant-%d", i), plan)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "livesim: create tenant: %v\n", err)
+				os.Exit(1)
+			}
+			key, err := p.Ctrl.IssueAPIKey(tn.ID)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "livesim: issue key: %v\n", err)
+				os.Exit(1)
+			}
+			tenantIDs = append(tenantIDs, tn.ID)
+			keys = append(keys, key.Key)
+			fmt.Printf("  tenant      : %s  key=%s  usage=%s/usage?tenant=%s\n",
+				tn.ID, key.Key, p.ControlURL(), tn.ID)
+		}
+	}
+
 	if *demo {
-		go runDemo(ctx, p, *demoRate, *seed)
+		go runDemo(ctx, p, *demoRate, *seed, keys)
 	}
 	if *metricsEvery > 0 {
 		go logMetrics(ctx, p, *metricsEvery)
 	}
 	<-ctx.Done()
 	fmt.Println("\nshutting down")
+	if len(tenantIDs) > 0 {
+		p.Ctrl.FlushUsage()
+		for _, id := range tenantIDs {
+			days, err := p.Ctrl.Usage(id)
+			if err != nil {
+				continue
+			}
+			var frames, chunks, bytes int64
+			for _, d := range days {
+				frames += d.Frames
+				chunks += d.Chunks
+				bytes += d.Bytes
+			}
+			fmt.Printf("usage %s: frames=%d chunks=%d bytes=%d over %d day(s)\n",
+				id, frames, chunks, bytes, len(days))
+		}
+	}
 }
 
 // logMetrics prints a one-line summary of the busiest counters each tick —
@@ -236,9 +285,17 @@ func runSnapshot() error {
 	return nil
 }
 
-// runDemo continuously starts short broadcasts with a few viewers each.
-func runDemo(ctx context.Context, p *core.Platform, rate float64, seed uint64) {
-	cc := &control.Client{BaseURL: p.ControlURL()}
+// runDemo continuously starts short broadcasts with a few viewers each. When
+// API keys are provisioned (-tenants), broadcasts round-robin across them so
+// per-tenant usage rollups accrue; otherwise they run untenanted.
+func runDemo(ctx context.Context, p *core.Platform, rate float64, seed uint64, keys []string) {
+	clients := []*control.Client{{BaseURL: p.ControlURL()}}
+	if len(keys) > 0 {
+		clients = clients[:0]
+		for _, k := range keys {
+			clients = append(clients, &control.Client{BaseURL: p.ControlURL(), APIKey: k})
+		}
+	}
 	src := rng.New(seed)
 	cities := geo.CityCatalog()
 	interval := time.Duration(float64(time.Second) / rate)
@@ -253,11 +310,11 @@ func runDemo(ctx context.Context, p *core.Platform, rate float64, seed uint64) {
 		}
 		n++
 		loc := cities[src.Intn(len(cities))]
-		go runDemoBroadcast(ctx, cc, uint64(n), loc, src.Uint64())
+		go runDemoBroadcast(ctx, p, clients[n%len(clients)], uint64(n), loc, src.Uint64())
 	}
 }
 
-func runDemoBroadcast(ctx context.Context, cc *control.Client, n uint64, loc geo.Location, seed uint64) {
+func runDemoBroadcast(ctx context.Context, p *core.Platform, cc *control.Client, n uint64, loc geo.Location, seed uint64) {
 	uid, err := cc.Register(ctx, fmt.Sprintf("demo-%d", n))
 	if err != nil {
 		return
@@ -270,6 +327,9 @@ func runDemoBroadcast(ctx context.Context, cc *control.Client, n uint64, loc geo
 	if err != nil {
 		return
 	}
+	// One HLS viewer per demo broadcast: it is what moves chunks through the
+	// edges, so delivery metrics — and per-tenant usage rollups — accrue.
+	go runDemoViewer(ctx, p, grant.BroadcastID, loc)
 	src := rng.New(seed)
 	enc := media.NewEncoder(media.EncoderConfig{}, src)
 	mc := &pubsub.Client{BaseURL: grant.MessageURL}
@@ -294,4 +354,25 @@ func runDemoBroadcast(ctx context.Context, cc *control.Client, n uint64, loc geo
 		}
 	}
 	pub.End()
+}
+
+// runDemoViewer polls a demo broadcast's HLS stream from its nearest edge
+// until the end marker, giving every demo broadcast real delivered chunks.
+func runDemoViewer(ctx context.Context, p *core.Platform, broadcastID string, loc geo.Location) {
+	hc := &hls.Client{BaseURL: p.EdgeURL(p.Topo.NearestEdge(loc)), Metrics: p.Metrics()}
+	// Poll treats not-found as terminal, so wait for the first chunk.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if cl, err := hc.FetchChunkList(ctx, broadcastID, 0); err == nil && len(cl.Chunks) > 0 {
+			break
+		}
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	hc.Poll(ctx, broadcastID, hls.PollerConfig{
+		Interval:  200 * time.Millisecond,
+		PreBuffer: 400 * time.Millisecond,
+	})
 }

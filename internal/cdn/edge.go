@@ -25,12 +25,27 @@ type Upstream struct {
 	TransferDelay func() time.Duration
 }
 
+// ChunkUsage sinks delivered-chunk counts for usage metering. The edge
+// resolves one per cached broadcast at entry creation (cold path) and calls
+// MeterChunks when a chunk is served — implementations must be
+// allocation-free atomic accumulators (control.TenantMeter is the real one).
+type ChunkUsage interface {
+	MeterChunks(chunks, bytes int64)
+}
+
 // EdgeConfig configures an Edge.
 type EdgeConfig struct {
 	// Site is the edge's datacenter.
 	Site geo.Datacenter
 	// Resolve maps a broadcast to its upstream. Required.
 	Resolve func(broadcastID string) (Upstream, error)
+	// TenantOf maps a broadcast to its owning tenant ("" for untenanted).
+	// Resolved on pull paths, never under a shard lock (it reaches into the
+	// control plane, which takes its own mutex). Nil disables attribution.
+	TenantOf func(broadcastID string) string
+	// TenantUsage resolves the usage accumulator for a broadcast's tenant
+	// (nil for untenanted). Same calling discipline as TenantOf.
+	TenantUsage func(broadcastID string) ChunkUsage
 	// Retry bounds upstream pull attempts on transient errors. The zero
 	// value uses 3 attempts with a 5 ms base delay capped at 100 ms —
 	// short enough that a viewer poll absorbs the retries.
@@ -175,6 +190,56 @@ type edgeEntry struct {
 	// (timestamp ⑪), for measurement.
 	chunkArrivedAt map[uint64]time.Time
 	chunks         map[uint64]*media.Chunk
+	// Tenant attribution handles, resolved outside the shard lock on pull
+	// paths and cached here so the chunk-serve path is atomic adds on cached
+	// pointers — zero allocations per serve. All nil for untenanted
+	// broadcasts (and until the control plane knows the broadcast; pulls
+	// re-resolve, so attribution self-heals after a control recovery).
+	tChunks *metrics.Counter
+	tBytes  *metrics.Counter
+	usage   ChunkUsage
+}
+
+// tenantTaps carries one broadcast's resolved attribution handles between
+// the (lock-free) resolution and the shard-locked cache entry.
+type tenantTaps struct {
+	chunks *metrics.Counter
+	bytes  *metrics.Counter
+	delay  *metrics.Histogram
+	usage  ChunkUsage
+}
+
+// resolveTenant resolves per-tenant attribution for a broadcast. MUST be
+// called outside any shard lock: TenantOf/TenantUsage reach into the control
+// plane, which takes its own mutex, and nesting that under a shard lock
+// would order locks across layers.
+func (e *Edge) resolveTenant(id string) tenantTaps {
+	var t tenantTaps
+	if e.cfg.TenantOf == nil {
+		return t
+	}
+	tenant := e.cfg.TenantOf(id)
+	if tenant == "" {
+		return t
+	}
+	ls := []metrics.Label{metrics.L("site", e.cfg.Site.ID), metrics.L("tenant", tenant)}
+	t.chunks = e.cfg.Metrics.Counter("cdn_tenant_chunks_out_total", ls...)
+	t.bytes = e.cfg.Metrics.Counter("cdn_tenant_bytes_out_total", ls...)
+	t.delay = e.cfg.Metrics.Histogram("cdn_tenant_origin_edge_seconds", metrics.DelayBuckets, ls...)
+	if e.cfg.TenantUsage != nil {
+		t.usage = e.cfg.TenantUsage(id)
+	}
+	return t
+}
+
+// setTapsLocked caches resolved attribution on the entry. Called with the
+// shard lock held; no-op when the resolution came back empty, so an entry
+// attributed once keeps its handles.
+func (ent *edgeEntry) setTapsLocked(t tenantTaps) {
+	if t.chunks == nil {
+		return
+	}
+	ent.tChunks, ent.tBytes, ent.usage = t.chunks, t.bytes, t.usage
 }
 
 // NewEdge builds an Edge.
@@ -566,6 +631,7 @@ func (e *Edge) pullUpstream(ctx context.Context, id string) (*media.ChunkList, e
 	e.m.listPulls.Inc()
 
 	// Copy chunks we do not have yet (the ⑪ transfer).
+	taps := e.resolveTenant(id)
 	sh := e.shard(id)
 	sh.mu.Lock()
 	ent, ok := sh.cache[id]
@@ -576,6 +642,7 @@ func (e *Edge) pullUpstream(ctx context.Context, id string) (*media.ChunkList, e
 		}
 		sh.cache[id] = ent
 	}
+	ent.setTapsLocked(taps)
 	var missing []media.ChunkRef
 	for _, ref := range list.Chunks {
 		if _, have := ent.chunks[ref.Seq]; !have {
@@ -615,6 +682,9 @@ func (e *Edge) pullUpstream(ctx context.Context, id string) (*media.ChunkList, e
 		ent.chunkArrivedAt[ref.Seq] = arrived
 		sh.mu.Unlock()
 		e.m.originEdge.Observe(arrived.Sub(copyStart))
+		if taps.delay != nil {
+			taps.delay.Observe(arrived.Sub(copyStart))
+		}
 	}
 
 	sh.mu.Lock()
@@ -644,13 +714,18 @@ func (e *Edge) chunk(ctx context.Context, id string, seq uint64) (*media.Chunk, 
 	sh.mu.Lock()
 	if ent, ok := sh.cache[id]; ok {
 		if c, ok := ent.chunks[seq]; ok {
+			// Copy the attribution handles out before unlocking; the
+			// metering itself (atomic adds) runs outside the shard lock.
+			tChunks, tBytes, usage := ent.tChunks, ent.tBytes, ent.usage
 			sh.mu.Unlock()
 			e.m.chunkHits.Inc()
+			meterChunkServe(tChunks, tBytes, usage, c)
 			return c, nil
 		}
 	}
 	sh.mu.Unlock()
 
+	taps := e.resolveTenant(id)
 	br := e.breaker(id)
 	c, err := resilience.RetryValue(ctx, e.cfg.Retry, func(ctx context.Context) (*media.Chunk, error) {
 		if err := br.Allow(); err != nil {
@@ -664,7 +739,11 @@ func (e *Edge) chunk(ctx context.Context, id string, seq uint64) (*media.Chunk, 
 		}
 		br.Report(err)
 		if err == nil {
-			e.m.originEdge.Observe(e.cfg.Clock.Now().Sub(fetchStart))
+			d := e.cfg.Clock.Now().Sub(fetchStart)
+			e.m.originEdge.Observe(d)
+			if taps.delay != nil {
+				taps.delay.Observe(d)
+			}
 		}
 		return c, err
 	})
@@ -681,10 +760,26 @@ func (e *Edge) chunk(ctx context.Context, id string, seq uint64) (*media.Chunk, 
 		}
 		sh.cache[id] = ent
 	}
+	ent.setTapsLocked(taps)
 	ent.chunks[seq] = c
 	ent.chunkArrivedAt[seq] = e.cfg.Clock.Now()
 	sh.mu.Unlock()
+	meterChunkServe(taps.chunks, taps.bytes, taps.usage, c)
 	return c, nil
+}
+
+// meterChunkServe attributes one served chunk to its tenant: cached handles
+// and atomic adds only, no allocations. No-op for untenanted broadcasts.
+func meterChunkServe(chunks, bytes *metrics.Counter, usage ChunkUsage, c *media.Chunk) {
+	if chunks == nil {
+		return
+	}
+	n := int64(c.Size())
+	chunks.Add(1)
+	bytes.Add(n)
+	if usage != nil {
+		usage.MeterChunks(1, n)
+	}
 }
 
 // fetchChunk performs one upstream chunk fetch attempt.

@@ -52,6 +52,15 @@ type TopologyConfig struct {
 	// OnBroadcastEnd is invoked when any origin's broadcaster session
 	// ends (the platform uses it to close the control-plane record).
 	OnBroadcastEnd func(broadcastID string)
+	// TenantOf maps a broadcast to its owning tenant ("" for untenanted);
+	// threaded to every origin's RTMP server and every edge so delivery is
+	// attributed per tenant (control.Service.TenantOf in the assembled
+	// platform). Nil disables attribution.
+	TenantOf func(broadcastID string) string
+	// TenantFrameUsage and TenantChunkUsage resolve the usage accumulators
+	// the RTMP fan-out and edge chunk-serve paths meter into.
+	TenantFrameUsage func(broadcastID string) rtmp.FrameUsage
+	TenantChunkUsage func(broadcastID string) ChunkUsage
 	// Retention keeps ended broadcasts queryable at origins for this
 	// long before Sweep removes them; zero keeps them indefinitely.
 	Retention time.Duration
@@ -117,9 +126,11 @@ func Build(cfg TopologyConfig) *Topology {
 			Metrics:       cfg.Metrics,
 			Journal:       backend,
 			RTMP: rtmp.ServerConfig{
-				ViewerCap: cfg.ViewerCap,
-				Auth:      cfg.Auth,
-				OnEnd:     cfg.OnBroadcastEnd,
+				ViewerCap:   cfg.ViewerCap,
+				Auth:        cfg.Auth,
+				OnEnd:       cfg.OnBroadcastEnd,
+				TenantOf:    cfg.TenantOf,
+				TenantUsage: cfg.TenantFrameUsage,
 			},
 		}))
 	}
@@ -135,6 +146,8 @@ func Build(cfg TopologyConfig) *Topology {
 			QueueWait:      cfg.EdgeQueueWait,
 			ShedRetryAfter: cfg.EdgeShedRetryAfter,
 			Metrics:        cfg.Metrics,
+			TenantOf:       cfg.TenantOf,
+			TenantUsage:    cfg.TenantChunkUsage,
 		})
 		t.Edges = append(t.Edges, edge)
 	}

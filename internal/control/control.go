@@ -164,8 +164,11 @@ type broadcastState struct {
 	endedAt     time.Time
 	ended       bool
 	loc         geo.Location
-	joins       []ViewerJoin
-	pubKey      ed25519.PublicKey
+	// tenantID is the owning tenant for key-authenticated broadcasts;
+	// empty for the legacy anonymous surface.
+	tenantID string
+	joins    []ViewerJoin
+	pubKey   ed25519.PublicKey
 	// started closes once the start-side effects (OnStart callbacks: pubsub
 	// channel open, topology assignment) have finished. End paths wait on it
 	// before firing OnEnd, so a data-plane end racing the start can never
@@ -191,6 +194,12 @@ type Service struct {
 	// ErrUnavailable (503 over HTTP) until Recover replays the journal.
 	crashed atomic.Bool
 
+	// joins is the per-tenant join limiter: one keyed bucket map, rates
+	// derived from each tenant's plan at the Allow call (DESIGN.md §11).
+	// It sits outside s.mu (it has its own lock) and outside the journaled
+	// state — throttle buckets are volatile by design.
+	joins *KeyedLimiter
+
 	mu         sync.Mutex
 	src        *rng.Source
 	jw         *journal.Writer
@@ -200,6 +209,13 @@ type Service struct {
 	liveIDs    []string // maintained for O(1) random sampling
 	livePos    map[string]int
 	nextBcast  uint64
+	// Tenancy state (journaled, wiped by Crash like everything above).
+	nextTenant uint64
+	tenants    map[string]*tenantState
+	keys       map[string]*APIKey
+	// meters accumulate data-plane delivery between usage flushes. They
+	// deliberately survive Crash — see TenantMeter.
+	meters map[string]*TenantMeter
 
 	// listeners are notified on start/end, used by the platform to open
 	// and close pubsub channels and topology assignments.
@@ -235,7 +251,11 @@ func NewService(cfg Config) *Service {
 		users:      make(map[uint64]User),
 		broadcasts: make(map[string]*broadcastState),
 		livePos:    make(map[string]int),
+		tenants:    make(map[string]*tenantState),
+		keys:       make(map[string]*APIKey),
+		meters:     make(map[string]*TenantMeter),
 	}
+	s.joins = NewKeyedLimiter(s.clock)
 	s.mu.Lock()
 	s.openJournalLocked()
 	s.mu.Unlock()
@@ -333,6 +353,14 @@ func (s *Service) StartPrivateBroadcast(userID uint64, loc geo.Location, allowed
 }
 
 func (s *Service) startBroadcast(userID uint64, loc geo.Location, allowed map[uint64]bool) (BroadcastGrant, error) {
+	return s.startBroadcastAs(userID, loc, allowed, "")
+}
+
+// startBroadcastAs is the shared start path; tenantID is empty for the
+// legacy anonymous surface and set for key-authenticated starts, in which
+// case plan admission (max concurrent broadcasts) runs inside the same
+// critical section that creates the broadcast.
+func (s *Service) startBroadcastAs(userID uint64, loc geo.Location, allowed map[uint64]bool, tenantID string) (BroadcastGrant, error) {
 	if s.crashed.Load() {
 		return BroadcastGrant{}, ErrUnavailable
 	}
@@ -350,6 +378,27 @@ func (s *Service) startBroadcast(userID uint64, loc geo.Location, allowed map[ui
 		rtmpsAddr = s.cfg.Routes.RTMPSAddr(originID)
 	}
 	s.mu.Lock()
+	var tenant *tenantState
+	if tenantID != "" {
+		ts, ok := s.tenants[tenantID]
+		if !ok {
+			s.mu.Unlock()
+			return BroadcastGrant{}, ErrNoTenant
+		}
+		// Re-check under the lock: the key resolution ran outside it.
+		if ts.t.Suspended {
+			s.mu.Unlock()
+			return BroadcastGrant{}, ErrTenantSuspended
+		}
+		if max := ts.t.Plan.MaxConcurrentBroadcasts; max > 0 && ts.live >= max {
+			s.mu.Unlock()
+			return BroadcastGrant{}, &QuotaError{
+				Reason:     "concurrent broadcasts at plan limit",
+				RetryAfter: time.Second,
+			}
+		}
+		tenant = ts
+	}
 	s.nextBcast++
 	id := fmt.Sprintf("bcast-%d", s.nextBcast)
 	st := &broadcastState{
@@ -363,10 +412,14 @@ func (s *Service) startBroadcast(userID uint64, loc geo.Location, allowed map[ui
 		loc:         loc,
 		private:     private,
 		allowed:     allowed,
+		tenantID:    tenantID,
 		started:     make(chan struct{}),
 	}
 	if private {
 		st.viewerTokens = make(map[string]bool)
+	}
+	if tenant != nil {
+		tenant.live++
 	}
 	s.broadcasts[id] = st
 	if !private {
@@ -385,6 +438,7 @@ func (s *Service) startBroadcast(userID uint64, loc geo.Location, allowed map[ui
 		Lat:         loc.Lat,
 		Lon:         loc.Lon,
 		Private:     private,
+		TenantID:    tenantID,
 	}
 	for u := range allowed {
 		rec.Allowed = append(rec.Allowed, u)
@@ -505,6 +559,11 @@ func (s *Service) endLocked(st *broadcastState) {
 	}
 	st.ended = true
 	st.endedAt = s.clock.Now()
+	if st.tenantID != "" {
+		if ts, ok := s.tenants[st.tenantID]; ok && ts.live > 0 {
+			ts.live--
+		}
+	}
 	s.removeLiveLocked(st.id)
 	s.appendLocked(journal.Record{
 		Type:        journal.RecordCtrlEnd,
@@ -614,10 +673,23 @@ func (s *Service) ResolveEdge(broadcastID string, loc geo.Location) (string, err
 		return "", ErrUnavailable
 	}
 	s.mu.Lock()
-	_, ok := s.broadcasts[broadcastID]
+	st, ok := s.broadcasts[broadcastID]
+	var quotaErr *QuotaError
+	if ok && st.tenantID != "" {
+		// Quota-exceeded admission extends to failover re-resolves: an
+		// over-quota tenant's viewers get 429 + Retry-After here, which
+		// rides the FailoverPoller's resolve backoff (it honors the hint
+		// and degrades to its cached edge when it has one).
+		if ts, tok := s.tenants[st.tenantID]; tok {
+			quotaErr = s.quotaCheckLocked(ts)
+		}
+	}
 	s.mu.Unlock()
 	if !ok {
 		return "", ErrNoBroadcast
+	}
+	if quotaErr != nil {
+		return "", quotaErr
 	}
 	if s.cfg.Routes.AssignEdge == nil {
 		return "", errors.New("control: no edge route configured")

@@ -11,6 +11,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -85,6 +86,54 @@ type resolveEdgeResp struct {
 	HLSBaseURL string `json:"hls_base_url"`
 }
 
+// Tenancy API payloads. Plans travel as planRec (the same codec the journal
+// uses), so the wire shape and the durable shape cannot drift apart.
+
+type tenantCreateReq struct {
+	Name string  `json:"name"`
+	Plan planRec `json:"plan"`
+}
+
+type tenantJSON struct {
+	ID        string    `json:"id"`
+	Name      string    `json:"name,omitempty"`
+	Plan      planRec   `json:"plan"`
+	Suspended bool      `json:"suspended,omitempty"`
+	CreatedAt time.Time `json:"created_at"`
+}
+
+func toTenantJSON(t Tenant) tenantJSON {
+	return tenantJSON{
+		ID:        t.ID,
+		Name:      t.Name,
+		Plan:      planRecOf(t.Plan),
+		Suspended: t.Suspended,
+		CreatedAt: t.CreatedAt,
+	}
+}
+
+type keyIssueResp struct {
+	Key string `json:"key"`
+}
+
+type keyRevokeReq struct {
+	Key string `json:"key"`
+}
+
+type usageResp struct {
+	TenantID string     `json:"tenant_id"`
+	Days     []UsageDay `json:"days"`
+}
+
+// apiKeyHeader authenticates tenant-owned start/join requests. Presence of
+// the header selects the key-authenticated path.
+const apiKeyHeader = "X-API-Key"
+
+// errCodeHeader disambiguates error statuses for the client: 403 is both
+// "bad broadcast token" and "revoked key / suspended tenant", 401 both "not
+// invited" and "bad API key". The body stays human-readable.
+const errCodeHeader = "X-Control-Error"
+
 type summaryJSON struct {
 	BroadcastID string    `json:"broadcast_id"`
 	Broadcaster uint64    `json:"broadcaster"`
@@ -155,9 +204,17 @@ func Handler(prefix string, s *Service) http.Handler {
 		loc := geo.Location{City: req.City, Lat: req.Lat, Lon: req.Lon}
 		var grant BroadcastGrant
 		var err error
-		if req.Private {
+		switch key := r.Header.Get(apiKeyHeader); {
+		case key != "" && req.Private:
+			// Private broadcasts are invite-keyed per user; tenant-owned
+			// private starts are not a thing yet.
+			http.Error(w, "private broadcasts cannot be key-authenticated", http.StatusBadRequest)
+			return
+		case key != "":
+			grant, err = s.StartBroadcastKey(key, req.UserID, loc)
+		case req.Private:
 			grant, err = s.StartPrivateBroadcast(req.UserID, loc, req.Allowed)
-		} else {
+		default:
 			grant, err = s.StartBroadcast(req.UserID, loc)
 		}
 		if respondErr(w, err) {
@@ -199,7 +256,14 @@ func Handler(prefix string, s *Service) http.Handler {
 			if !decodeJSON(w, r, &req) {
 				return
 			}
-			grant, err := s.Join(req.UserID, id, geo.Location{City: req.City, Lat: req.Lat, Lon: req.Lon})
+			loc := geo.Location{City: req.City, Lat: req.Lat, Lon: req.Lon}
+			var grant ViewerGrant
+			var err error
+			if key := r.Header.Get(apiKeyHeader); key != "" {
+				grant, err = s.JoinKey(key, req.UserID, id, loc)
+			} else {
+				grant, err = s.Join(req.UserID, id, loc)
+			}
 			if respondErr(w, err) {
 				return
 			}
@@ -244,6 +308,108 @@ func Handler(prefix string, s *Service) http.Handler {
 			http.NotFound(w, r)
 		}
 	})
+	mux.HandleFunc(prefix+"/tenants", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			var req tenantCreateReq
+			if !decodeJSON(w, r, &req) {
+				return
+			}
+			t, err := s.CreateTenant(req.Name, req.Plan.plan())
+			if respondErr(w, err) {
+				return
+			}
+			writeJSON(w, toTenantJSON(t))
+		case http.MethodGet:
+			if s.Down() {
+				respondErr(w, ErrUnavailable)
+				return
+			}
+			list := s.Tenants()
+			out := make([]tenantJSON, 0, len(list))
+			for _, t := range list {
+				out = append(out, toTenantJSON(t))
+			}
+			writeJSON(w, struct {
+				Tenants []tenantJSON `json:"tenants"`
+			}{out})
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc(prefix+"/tenants/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, prefix+"/tenants/")
+		parts := strings.Split(rest, "/")
+		id := parts[0]
+		switch {
+		case len(parts) == 1 && r.Method == http.MethodGet:
+			t, err := s.TenantInfo(id)
+			if respondErr(w, err) {
+				return
+			}
+			writeJSON(w, toTenantJSON(t))
+		case len(parts) == 2 && parts[1] == "plan" && r.Method == http.MethodPost:
+			var req planRec
+			if !decodeJSON(w, r, &req) {
+				return
+			}
+			if respondErr(w, s.SetTenantPlan(id, req.plan())) {
+				return
+			}
+			writeJSON(w, struct{}{})
+		case len(parts) == 2 && parts[1] == "keys" && r.Method == http.MethodPost:
+			k, err := s.IssueAPIKey(id)
+			if respondErr(w, err) {
+				return
+			}
+			writeJSON(w, keyIssueResp{Key: k.Key})
+		case len(parts) == 2 && parts[1] == "suspend" && r.Method == http.MethodPost:
+			if respondErr(w, s.SuspendTenant(id)) {
+				return
+			}
+			writeJSON(w, struct{}{})
+		case len(parts) == 2 && parts[1] == "resume" && r.Method == http.MethodPost:
+			if respondErr(w, s.ResumeTenant(id)) {
+				return
+			}
+			writeJSON(w, struct{}{})
+		default:
+			http.NotFound(w, r)
+		}
+	})
+	mux.HandleFunc(prefix+"/keys/revoke", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var req keyRevokeReq
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		if respondErr(w, s.RevokeAPIKey(req.Key)) {
+			return
+		}
+		writeJSON(w, struct{}{})
+	})
+	mux.HandleFunc(prefix+"/usage", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		tenantID := r.URL.Query().Get("tenant")
+		if tenantID == "" {
+			http.Error(w, "missing tenant parameter", http.StatusBadRequest)
+			return
+		}
+		days, err := s.Usage(tenantID)
+		if respondErr(w, err) {
+			return
+		}
+		if days == nil {
+			days = []UsageDay{}
+		}
+		writeJSON(w, usageResp{TenantID: tenantID, Days: days})
+	})
 	return mux
 }
 
@@ -256,27 +422,66 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 	return true
 }
 
+// errCode is the X-Control-Error value for each sentinel; do is the inverse.
 func respondErr(w http.ResponseWriter, err error) bool {
-	switch {
-	case err == nil:
+	if err == nil {
 		return false
+	}
+	var qe *QuotaError
+	switch {
 	case errors.Is(err, ErrNoBroadcast):
+		w.Header().Set(errCodeHeader, "no_broadcast")
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, ErrNoTenant):
+		w.Header().Set(errCodeHeader, "no_tenant")
 		http.Error(w, err.Error(), http.StatusNotFound)
 	case errors.Is(err, ErrBadToken):
+		w.Header().Set(errCodeHeader, "bad_token")
 		http.Error(w, err.Error(), http.StatusForbidden)
-	case errors.Is(err, ErrNotInvited):
+	case errors.Is(err, ErrKeyRevoked):
+		w.Header().Set(errCodeHeader, "key_revoked")
+		http.Error(w, err.Error(), http.StatusForbidden)
+	case errors.Is(err, ErrTenantSuspended):
+		w.Header().Set(errCodeHeader, "tenant_suspended")
+		http.Error(w, err.Error(), http.StatusForbidden)
+	case errors.Is(err, ErrBadAPIKey):
+		w.Header().Set(errCodeHeader, "bad_api_key")
 		http.Error(w, err.Error(), http.StatusUnauthorized)
+	case errors.Is(err, ErrNotInvited):
+		w.Header().Set(errCodeHeader, "not_invited")
+		http.Error(w, err.Error(), http.StatusUnauthorized)
+	case errors.As(err, &qe):
+		// Quota and plan-rate rejections: 429 with the server-computed wait.
+		// FailoverPoller rides this via the RetryAfterHint on the client's
+		// reconstructed QuotaError.
+		w.Header().Set(errCodeHeader, "quota")
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(qe.RetryAfter)))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
 	case errors.Is(err, ErrEnded):
+		w.Header().Set(errCodeHeader, "ended")
 		http.Error(w, err.Error(), http.StatusGone)
 	case errors.Is(err, ErrUnavailable):
 		// The crashed control plane's 503 is the degraded-mode trigger:
-		// clients fall back to cached grants and retry with backoff.
+		// clients fall back to cached grants and retry with backoff. Auth
+		// fails closed here: key-authenticated calls get the same 503, never
+		// a tenancy answer derived from wiped state.
+		w.Header().Set(errCodeHeader, "unavailable")
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 	return true
+}
+
+// retryAfterSeconds rounds a wait up to whole seconds (the Retry-After unit),
+// floor 1 so clients never busy-loop.
+func retryAfterSeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
@@ -291,6 +496,9 @@ type Client struct {
 	// BaseURL includes the prefix, e.g. "http://ctrl:8080/api".
 	BaseURL    string
 	HTTPClient *http.Client
+	// APIKey, when set, is attached as X-API-Key to every request, selecting
+	// the key-authenticated (tenant-owned) start/join paths.
+	APIKey string
 }
 
 func (c *Client) http() *http.Client {
@@ -310,6 +518,9 @@ func (c *Client) post(ctx context.Context, path string, in, out interface{}) err
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.APIKey != "" {
+		req.Header.Set(apiKeyHeader, c.APIKey)
+	}
 	return c.do(req, out)
 }
 
@@ -317,6 +528,9 @@ func (c *Client) get(ctx context.Context, path string, out interface{}) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
 		return err
+	}
+	if c.APIKey != "" {
+		req.Header.Set(apiKeyHeader, c.APIKey)
 	}
 	return c.do(req, out)
 }
@@ -327,8 +541,49 @@ func (c *Client) do(req *http.Request, out interface{}) error {
 		return fmt.Errorf("control: %s %s: %w", req.Method, req.URL.Path, err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		if err := errFromResponse(resp); err != nil {
+			return err
+		}
+		return fmt.Errorf("control: %s %s: status %d", req.Method, req.URL.Path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// errFromResponse reconstructs the service error from a non-200 response:
+// the X-Control-Error code when present (it disambiguates statuses that
+// carry two meanings), the historical status mapping otherwise.
+func errFromResponse(resp *http.Response) error {
+	switch resp.Header.Get(errCodeHeader) {
+	case "no_broadcast":
+		return ErrNoBroadcast
+	case "no_tenant":
+		return ErrNoTenant
+	case "bad_token":
+		return ErrBadToken
+	case "key_revoked":
+		return ErrKeyRevoked
+	case "tenant_suspended":
+		return ErrTenantSuspended
+	case "bad_api_key":
+		return ErrBadAPIKey
+	case "not_invited":
+		return ErrNotInvited
+	case "ended":
+		return ErrEnded
+	case "unavailable":
+		return ErrUnavailable
+	case "quota":
+		retry := time.Second
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+			retry = time.Duration(s) * time.Second
+		}
+		return &QuotaError{Reason: "server quota rejection", RetryAfter: retry}
+	}
 	switch resp.StatusCode {
-	case http.StatusOK:
 	case http.StatusNotFound:
 		return ErrNoBroadcast
 	case http.StatusForbidden:
@@ -339,13 +594,8 @@ func (c *Client) do(req *http.Request, out interface{}) error {
 		return ErrEnded
 	case http.StatusServiceUnavailable:
 		return ErrUnavailable
-	default:
-		return fmt.Errorf("control: %s %s: status %d", req.Method, req.URL.Path, resp.StatusCode)
 	}
-	if out == nil {
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return nil
 }
 
 // Register creates a user.
@@ -467,6 +717,54 @@ func (c *Client) GlobalList(ctx context.Context) ([]Summary, error) {
 		})
 	}
 	return out, nil
+}
+
+// CreateTenant registers a tenant (admin surface).
+func (c *Client) CreateTenant(ctx context.Context, name string, plan Plan) (Tenant, error) {
+	var resp tenantJSON
+	if err := c.post(ctx, "/tenants", tenantCreateReq{Name: name, Plan: planRecOf(plan)}, &resp); err != nil {
+		return Tenant{}, err
+	}
+	return Tenant{
+		ID:        resp.ID,
+		Name:      resp.Name,
+		Plan:      resp.Plan.plan(),
+		Suspended: resp.Suspended,
+		CreatedAt: resp.CreatedAt,
+	}, nil
+}
+
+// IssueAPIKey mints a key for the tenant (admin surface).
+func (c *Client) IssueAPIKey(ctx context.Context, tenantID string) (string, error) {
+	var resp keyIssueResp
+	if err := c.post(ctx, "/tenants/"+tenantID+"/keys", struct{}{}, &resp); err != nil {
+		return "", err
+	}
+	return resp.Key, nil
+}
+
+// RevokeAPIKey invalidates a key (admin surface).
+func (c *Client) RevokeAPIKey(ctx context.Context, key string) error {
+	return c.post(ctx, "/keys/revoke", keyRevokeReq{Key: key}, nil)
+}
+
+// SuspendTenant blocks a tenant's key-authenticated calls (admin surface).
+func (c *Client) SuspendTenant(ctx context.Context, tenantID string) error {
+	return c.post(ctx, "/tenants/"+tenantID+"/suspend", struct{}{}, nil)
+}
+
+// ResumeTenant lifts a suspension (admin surface).
+func (c *Client) ResumeTenant(ctx context.Context, tenantID string) error {
+	return c.post(ctx, "/tenants/"+tenantID+"/resume", struct{}{}, nil)
+}
+
+// Usage fetches a tenant's per-day delivery rollups.
+func (c *Client) Usage(ctx context.Context, tenantID string) ([]UsageDay, error) {
+	var resp usageResp
+	if err := c.get(ctx, "/usage?tenant="+url.QueryEscape(tenantID), &resp); err != nil {
+		return nil, err
+	}
+	return resp.Days, nil
 }
 
 // Info fetches one broadcast summary.

@@ -49,6 +49,7 @@ type ctrlStartRec struct {
 	Lon         float64  `json:"lon,omitempty"`
 	Private     bool     `json:"private,omitempty"`
 	Allowed     []uint64 `json:"allowed,omitempty"`
+	TenantID    string   `json:"tenant,omitempty"`
 }
 
 type ctrlEndRec struct {
@@ -65,6 +66,79 @@ type ctrlJoinRec struct {
 	// ViewerToken is set for private-broadcast joins: the origin validates
 	// it at RTMPS handshake, so it must survive a control restart.
 	ViewerToken string `json:"viewer_token,omitempty"`
+}
+
+// Tenancy codecs (DESIGN.md §11). The tenant ID (or, for key records, the
+// API key) travels in the record frame's BroadcastID field.
+
+// planRec is the journaled form of a Plan.
+type planRec struct {
+	Name          string  `json:"name,omitempty"`
+	MaxBroadcasts int     `json:"max_broadcasts,omitempty"`
+	MaxJoinRPS    float64 `json:"max_join_rps,omitempty"`
+	JoinBurst     float64 `json:"join_burst,omitempty"`
+	DailyBytes    int64   `json:"daily_bytes,omitempty"`
+}
+
+func planRecOf(p Plan) planRec {
+	return planRec{
+		Name:          p.Name,
+		MaxBroadcasts: p.MaxConcurrentBroadcasts,
+		MaxJoinRPS:    p.MaxJoinRPS,
+		JoinBurst:     p.JoinBurst,
+		DailyBytes:    p.DailyBytesQuota,
+	}
+}
+
+func (r planRec) plan() Plan {
+	return Plan{
+		Name:                    r.Name,
+		MaxConcurrentBroadcasts: r.MaxBroadcasts,
+		MaxJoinRPS:              r.MaxJoinRPS,
+		JoinBurst:               r.JoinBurst,
+		DailyBytesQuota:         r.DailyBytes,
+	}
+}
+
+type ctrlTenantRec struct {
+	Name      string  `json:"name,omitempty"`
+	Plan      planRec `json:"plan"`
+	Suspended bool    `json:"suspended,omitempty"`
+	CreatedAt int64   `json:"created_at"` // unix nanos
+}
+
+func tenantRecOf(t Tenant) ctrlTenantRec {
+	return ctrlTenantRec{
+		Name:      t.Name,
+		Plan:      planRecOf(t.Plan),
+		Suspended: t.Suspended,
+		CreatedAt: t.CreatedAt.UnixNano(),
+	}
+}
+
+type ctrlTenantPlanRec struct {
+	Plan planRec `json:"plan"`
+}
+
+type ctrlTenantStatusRec struct {
+	Suspended bool `json:"suspended"`
+}
+
+type ctrlKeyIssueRec struct {
+	Tenant   string `json:"tenant"`
+	IssuedAt int64  `json:"issued_at"` // unix nanos
+}
+
+type ctrlKeyRevokeRec struct{}
+
+// ctrlUsageRec carries ABSOLUTE cumulative day totals (see
+// journal.RecordCtrlUsage): replay assigns, so a torn tail can lose the
+// newest rollup but never double-counts an older one.
+type ctrlUsageRec struct {
+	Day    string `json:"day"`
+	Frames int64  `json:"frames"`
+	Chunks int64  `json:"chunks"`
+	Bytes  int64  `json:"bytes"`
 }
 
 // encodeCtrl marshals a payload codec. The codecs are plain structs of
@@ -169,8 +243,13 @@ func (s *Service) openJournalLocked() {
 
 // bcastSeq extracts N from a "bcast-N" broadcast ID; replay uses it to
 // restore the sequential-ID counter past every journaled broadcast.
-func bcastSeq(id string) (uint64, bool) {
-	rest, ok := strings.CutPrefix(id, "bcast-")
+func bcastSeq(id string) (uint64, bool) { return seqOf(id, "bcast-") }
+
+// tntSeq does the same for "tnt-N" tenant IDs.
+func tntSeq(id string) (uint64, bool) { return seqOf(id, "tnt-") }
+
+func seqOf(id, prefix string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(id, prefix)
 	if !ok {
 		return 0, false
 	}
@@ -216,7 +295,17 @@ func (s *Service) applyRecordLocked(r journal.Record) error {
 			startedAt:   time.Unix(0, rec.StartedAt),
 			loc:         geo.Location{City: rec.City, Lat: rec.Lat, Lon: rec.Lon},
 			private:     rec.Private,
+			tenantID:    rec.TenantID,
 			started:     closedStart,
+		}
+		if rec.TenantID != "" {
+			// The owning tenant's record always precedes the start in the
+			// journal (both were appended under s.mu); a missing row means a
+			// tenant record was skipped as undecodable — count live anyway so
+			// a later tenant upsert sees consistent admission state.
+			if ts, ok := s.tenants[rec.TenantID]; ok {
+				ts.live++
+			}
 		}
 		if rec.Private {
 			st.allowed = make(map[uint64]bool, len(rec.Allowed))
@@ -245,6 +334,11 @@ func (s *Service) applyRecordLocked(r journal.Record) error {
 		}
 		st.ended = true
 		st.endedAt = time.Unix(0, rec.EndedAt)
+		if st.tenantID != "" {
+			if ts, tok := s.tenants[st.tenantID]; tok && ts.live > 0 {
+				ts.live--
+			}
+		}
 		s.removeLiveLocked(r.BroadcastID)
 	case journal.RecordCtrlKey:
 		st, ok := s.broadcasts[r.BroadcastID]
@@ -270,6 +364,86 @@ func (s *Service) applyRecordLocked(r journal.Record) error {
 		st.joins = append(st.joins, ViewerJoin{UserID: rec.UserID, At: time.Unix(0, rec.At)})
 		if rec.ViewerToken != "" && st.viewerTokens != nil {
 			st.viewerTokens[rec.ViewerToken] = true
+		}
+	case journal.RecordCtrlTenant:
+		var rec ctrlTenantRec
+		if json.Unmarshal(r.Payload, &rec) != nil {
+			s.logf("control: journal tenant record %q undecodable", r.BroadcastID)
+			return nil
+		}
+		id := r.BroadcastID
+		t := Tenant{
+			ID:        id,
+			Name:      rec.Name,
+			Plan:      rec.Plan.plan(),
+			Suspended: rec.Suspended,
+			CreatedAt: time.Unix(0, rec.CreatedAt),
+		}
+		if ts, ok := s.tenants[id]; ok {
+			// Upsert: keep live count and rollups accumulated so far.
+			ts.t = t
+		} else {
+			s.tenants[id] = &tenantState{t: t, usage: make(map[string]UsageDay)}
+		}
+		if n, ok := tntSeq(id); ok && n > s.nextTenant {
+			s.nextTenant = n
+		}
+	case journal.RecordCtrlTenantPlan:
+		ts, ok := s.tenants[r.BroadcastID]
+		if !ok {
+			return nil
+		}
+		var rec ctrlTenantPlanRec
+		if json.Unmarshal(r.Payload, &rec) != nil {
+			s.logf("control: journal tenant plan record %q undecodable", r.BroadcastID)
+			return nil
+		}
+		ts.t.Plan = rec.Plan.plan()
+	case journal.RecordCtrlTenantStatus:
+		ts, ok := s.tenants[r.BroadcastID]
+		if !ok {
+			return nil
+		}
+		var rec ctrlTenantStatusRec
+		if json.Unmarshal(r.Payload, &rec) != nil {
+			s.logf("control: journal tenant status record %q undecodable", r.BroadcastID)
+			return nil
+		}
+		ts.t.Suspended = rec.Suspended
+	case journal.RecordCtrlKeyIssue:
+		var rec ctrlKeyIssueRec
+		if json.Unmarshal(r.Payload, &rec) != nil || rec.Tenant == "" {
+			s.logf("control: journal key issue record undecodable")
+			return nil
+		}
+		s.keys[r.BroadcastID] = &APIKey{
+			Key:      r.BroadcastID,
+			TenantID: rec.Tenant,
+			IssuedAt: time.Unix(0, rec.IssuedAt),
+		}
+	case journal.RecordCtrlKeyRevoke:
+		if k, ok := s.keys[r.BroadcastID]; ok {
+			k.Revoked = true
+		}
+	case journal.RecordCtrlUsage:
+		ts, ok := s.tenants[r.BroadcastID]
+		if !ok {
+			return nil
+		}
+		var rec ctrlUsageRec
+		if json.Unmarshal(r.Payload, &rec) != nil || rec.Day == "" {
+			s.logf("control: journal usage record %q undecodable", r.BroadcastID)
+			return nil
+		}
+		// ASSIGN the absolute totals — never add. Later records for the same
+		// day simply carry larger totals, so replaying any prefix of the
+		// journal (a torn tail) yields exact counts as of the last durable
+		// flush, with no double-counting.
+		ts.usage[rec.Day] = UsageDay{
+			Day:    rec.Day,
+			Frames: rec.Frames,
+			Chunks: rec.Chunks,
+			Bytes:  rec.Bytes,
 		}
 	default:
 		// Unknown record types are skipped, not fatal: a journal written by
@@ -302,6 +476,14 @@ func (s *Service) Crash() {
 	s.livePos = make(map[string]int)
 	s.nextUser = 0
 	s.nextBcast = 0
+	// Tenancy state is journaled and wiped like everything else — auth fails
+	// closed (ErrUnavailable) until Recover replays tenants and keys. The
+	// meters map deliberately survives: those are data-plane accumulators
+	// (like the origins' own counters), and delivery metered during the
+	// outage must land in the post-Recover rollups, not vanish.
+	s.tenants = make(map[string]*tenantState)
+	s.keys = make(map[string]*APIKey)
+	s.nextTenant = 0
 	s.mu.Unlock()
 }
 

@@ -262,10 +262,100 @@ func TestControlPrivateBroadcastRecovery(t *testing.T) {
 	}
 }
 
+// TestTenantUsageTornTailNoDoubleCount: usage records carry ABSOLUTE day
+// totals, so a crash that tears the newest rollup off the journal loses at
+// most that one flush — replay can never double-count, and the next flush
+// re-journals a total that includes everything the torn record covered.
+func TestTenantUsageTornTailNoDoubleCount(t *testing.T) {
+	backend := journal.NewMem()
+	s := newJournaledService(backend, metrics.NewRegistry())
+	tn, err := s.CreateTenant("acme", Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _ := s.IssueAPIKey(tn.ID)
+	u := s.Register("alice")
+	grant, err := s.StartBroadcastKey(k.Key, u.ID, geo.Location{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Meter(grant.BroadcastID)
+
+	m.MeterFrames(10, 100)
+	if s.FlushUsage() != 1 { // journals {frames: 10, bytes: 100}
+		t.Fatal("first flush")
+	}
+	m.MeterFrames(15, 150)
+	if s.FlushUsage() != 1 { // journals {frames: 25, bytes: 250} — absolute
+		t.Fatal("second flush")
+	}
+
+	s.Crash()
+	backend.CorruptTail(3) // tear the newest usage record mid-append
+
+	s.Recover()
+	days, err := s.Usage(tn.ID)
+	if err != nil || len(days) != 1 {
+		t.Fatalf("usage after torn-tail recovery = %+v, err %v", days, err)
+	}
+	// Exactly the first flush: never 350 (double-counted) or 250 (the torn
+	// record must not have replayed).
+	if days[0].Frames != 10 || days[0].Bytes != 100 {
+		t.Fatalf("rollup after torn tail = %+v, want frames=10 bytes=100", days[0])
+	}
+
+	// The delivery the torn flush covered is gone from the rollup (meters
+	// were drained), but new metering folds in cleanly and the re-journaled
+	// absolute total reaches the next incarnation intact.
+	m2 := s.Meter(grant.BroadcastID)
+	m2.MeterChunks(4, 40)
+	if s.FlushUsage() != 1 {
+		t.Fatal("post-recovery flush")
+	}
+	s.Crash()
+	s2 := newJournaledService(backend, nil)
+	days, err = s2.Usage(tn.ID)
+	if err != nil || len(days) != 1 || days[0].Frames != 10 || days[0].Chunks != 4 || days[0].Bytes != 140 {
+		t.Fatalf("restarted rollup = %+v, err %v", days, err)
+	}
+}
+
+// TestTenantReplayOrdering: replay applies tenancy records in journal order —
+// a plan set after a key issue, a revocation after a re-issue, a suspension
+// after a resume all land in their final states.
+func TestTenantReplayOrdering(t *testing.T) {
+	backend := journal.NewMem()
+	s := newJournaledService(backend, nil)
+	tn, _ := s.CreateTenant("flip", Plan{Name: "v1"})
+	s.SetTenantPlan(tn.ID, Plan{Name: "v2"})
+	s.SetTenantPlan(tn.ID, Plan{Name: "v3", MaxJoinRPS: 9})
+	s.SuspendTenant(tn.ID)
+	s.ResumeTenant(tn.ID)
+	k1, _ := s.IssueAPIKey(tn.ID)
+	s.RevokeAPIKey(k1.Key)
+	k2, _ := s.IssueAPIKey(tn.ID)
+	s.Crash()
+
+	s2 := newJournaledService(backend, nil)
+	got, err := s2.TenantInfo(tn.ID)
+	if err != nil || got.Plan.Name != "v3" || got.Plan.MaxJoinRPS != 9 || got.Suspended {
+		t.Fatalf("replayed tenant = %+v, err %v", got, err)
+	}
+	u := s2.Register("alice")
+	if _, err := s2.StartBroadcastKey(k1.Key, u.ID, geo.Location{}); !errors.Is(err, ErrKeyRevoked) {
+		t.Fatalf("revoked key after replay: err = %v", err)
+	}
+	if _, err := s2.StartBroadcastKey(k2.Key, u.ID, geo.Location{}); err != nil {
+		t.Fatalf("live key after replay: %v", err)
+	}
+}
+
 // FuzzControlJournalRecovery: an arbitrary byte soup in the backend —
 // including corrupted encodings of real control records — must never panic
 // service construction, and the surviving journal must be extendable: state
 // acknowledged by the recovered service replays into the next incarnation.
+// The seed corpus covers the tenancy record types (32–37) alongside the
+// broadcast ones so mutations hit their codecs too.
 func FuzzControlJournalRecovery(f *testing.F) {
 	seed := func() []byte {
 		backend := journal.NewMem()
@@ -274,6 +364,17 @@ func FuzzControlJournalRecovery(f *testing.F) {
 		grant, _ := s.StartBroadcast(u.ID, geo.Location{City: "NYC"})
 		s.Join(u.ID, grant.BroadcastID, geo.Location{})
 		s.EndBroadcast(grant.BroadcastID, grant.Token)
+		tn, _ := s.CreateTenant("acme", Plan{Name: "pro", MaxJoinRPS: 10, DailyBytesQuota: 1 << 20})
+		s.SetTenantPlan(tn.ID, Plan{Name: "pro2", MaxConcurrentBroadcasts: 2})
+		key, _ := s.IssueAPIKey(tn.ID)
+		g2, _ := s.StartBroadcastKey(key.Key, u.ID, geo.Location{})
+		if m := s.Meter(g2.BroadcastID); m != nil {
+			m.MeterFrames(5, 500)
+		}
+		s.FlushUsage()
+		s.RevokeAPIKey(key.Key)
+		s.SuspendTenant(tn.ID)
+		s.ResumeTenant(tn.ID)
 		s.Crash()
 		data, _ := backend.Load()
 		return data

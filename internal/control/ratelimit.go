@@ -11,10 +11,80 @@ import (
 
 // Periscope rate-limited API clients; the paper's crawlers ran from a
 // whitelisted IP range and still "were unable to keep up with the growing
-// volume of broadcasts" (§3.1). RateLimiter reproduces that surface: a
-// per-client token bucket over the control API with a whitelist bypass.
+// volume of broadcasts" (§3.1). KeyedLimiter is the shared token-bucket
+// core: a bucket map over arbitrary string keys where every Allow call
+// carries its own rate and burst, so one instance serves both fixed-rate
+// per-client limiting (RateLimiter below) and plan-derived per-tenant join
+// limiting (Service.JoinKey) with one sweep.
 
-// RateLimiterConfig tunes the limiter.
+// KeyedLimiter is a clock-injected token-bucket map. Rates arrive per call
+// rather than per limiter, which is what lets tenant plans differ without a
+// limiter per tenant.
+type KeyedLimiter struct {
+	clock clock.Clock
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewKeyedLimiter builds a limiter on clk (nil means the real clock).
+func NewKeyedLimiter(clk clock.Clock) *KeyedLimiter {
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	return &KeyedLimiter{clock: clk, buckets: make(map[string]*bucket)}
+}
+
+// Allow reports whether one request under key may proceed now, refilling at
+// rps up to burst. A key's bucket starts full. Rate changes between calls
+// (e.g. a tenant plan change) apply immediately; accumulated tokens are
+// clamped to the new burst.
+func (kl *KeyedLimiter) Allow(key string, rps, burst float64) bool {
+	now := kl.clock.Now()
+	kl.mu.Lock()
+	defer kl.mu.Unlock()
+	b, ok := kl.buckets[key]
+	if !ok {
+		b = &bucket{tokens: burst, last: now}
+		kl.buckets[key] = b
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * rps
+		b.last = now
+	}
+	if b.tokens > burst {
+		b.tokens = burst
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Sweep drops buckets idle longer than maxIdle, bounding memory; returns
+// the number removed.
+func (kl *KeyedLimiter) Sweep(maxIdle time.Duration) int {
+	now := kl.clock.Now()
+	kl.mu.Lock()
+	defer kl.mu.Unlock()
+	n := 0
+	for k, b := range kl.buckets {
+		if now.Sub(b.last) > maxIdle {
+			delete(kl.buckets, k)
+			n++
+		}
+	}
+	return n
+}
+
+// RateLimiterConfig tunes the per-client API limiter.
 type RateLimiterConfig struct {
 	// RequestsPerSecond is the sustained per-client rate (default 5).
 	RequestsPerSecond float64
@@ -27,19 +97,12 @@ type RateLimiterConfig struct {
 	Clock clock.Clock
 }
 
-// RateLimiter is an http middleware enforcing per-client token buckets.
+// RateLimiter is an http middleware enforcing per-client token buckets,
+// built on a KeyedLimiter keyed by client host.
 type RateLimiter struct {
 	cfg       RateLimiterConfig
-	clock     clock.Clock
+	keyed     *KeyedLimiter
 	whitelist map[string]bool
-
-	mu      sync.Mutex
-	buckets map[string]*bucket
-}
-
-type bucket struct {
-	tokens float64
-	last   time.Time
 }
 
 // NewRateLimiter builds a RateLimiter.
@@ -50,18 +113,14 @@ func NewRateLimiter(cfg RateLimiterConfig) *RateLimiter {
 	if cfg.Burst <= 0 {
 		cfg.Burst = 10
 	}
-	if cfg.Clock == nil {
-		cfg.Clock = clock.NewReal()
-	}
 	wl := make(map[string]bool, len(cfg.Whitelist))
 	for _, h := range cfg.Whitelist {
 		wl[h] = true
 	}
 	return &RateLimiter{
 		cfg:       cfg,
-		clock:     cfg.Clock,
+		keyed:     NewKeyedLimiter(cfg.Clock),
 		whitelist: wl,
-		buckets:   make(map[string]*bucket),
 	}
 }
 
@@ -70,27 +129,7 @@ func (rl *RateLimiter) Allow(client string) bool {
 	if rl.whitelist[client] {
 		return true
 	}
-	now := rl.clock.Now()
-	rl.mu.Lock()
-	defer rl.mu.Unlock()
-	b, ok := rl.buckets[client]
-	if !ok {
-		b = &bucket{tokens: rl.cfg.Burst, last: now}
-		rl.buckets[client] = b
-	}
-	elapsed := now.Sub(b.last).Seconds()
-	if elapsed > 0 {
-		b.tokens += elapsed * rl.cfg.RequestsPerSecond
-		if b.tokens > rl.cfg.Burst {
-			b.tokens = rl.cfg.Burst
-		}
-		b.last = now
-	}
-	if b.tokens < 1 {
-		return false
-	}
-	b.tokens--
-	return true
+	return rl.keyed.Allow(client, rl.cfg.RequestsPerSecond, rl.cfg.Burst)
 }
 
 // Wrap applies the limiter to a handler, answering 429 when exhausted.
@@ -112,15 +151,5 @@ func (rl *RateLimiter) Wrap(next http.Handler) http.Handler {
 // Sweep drops buckets idle longer than maxIdle, bounding memory; returns
 // the number removed.
 func (rl *RateLimiter) Sweep(maxIdle time.Duration) int {
-	now := rl.clock.Now()
-	rl.mu.Lock()
-	defer rl.mu.Unlock()
-	n := 0
-	for k, b := range rl.buckets {
-		if now.Sub(b.last) > maxIdle {
-			delete(rl.buckets, k)
-			n++
-		}
-	}
-	return n
+	return rl.keyed.Sweep(maxIdle)
 }

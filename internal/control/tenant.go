@@ -1,0 +1,513 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/journal"
+)
+
+// Tenancy layer (DESIGN.md §11): the control plane's answer to "who owns
+// this request". The paper's platform is a single implicit operator, but a
+// production service meters everything per customer — a few huge channels
+// must not starve thousands of small ones (the Twitch-style crowdsourced
+// workload of PAPERS.md). Every entity here — tenant, plan, API key, usage
+// rollup — is journaled with the same PR-7 semantics as broadcasts: appended
+// under s.mu through the group-commit writer, wiped by Crash, rebuilt by
+// Recover, with auth failing closed while the control plane is down.
+
+// Tenancy errors. QuotaError wraps ErrQuotaExceeded with a Retry-After hint
+// so the HTTP layer can answer 429 + Retry-After and the hls.FailoverPoller
+// backoff path can honor the server-provided wait.
+var (
+	ErrBadAPIKey       = errors.New("control: unknown API key")
+	ErrKeyRevoked      = errors.New("control: API key revoked")
+	ErrTenantSuspended = errors.New("control: tenant suspended")
+	ErrNoTenant        = errors.New("control: no such tenant")
+	ErrQuotaExceeded   = errors.New("control: quota exceeded")
+)
+
+// QuotaError reports a plan-limit or quota rejection: which limit tripped
+// and how long the caller should wait before retrying.
+type QuotaError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("control: quota exceeded: %s (retry after %s)", e.Reason, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrQuotaExceeded) true for every QuotaError.
+func (e *QuotaError) Is(target error) bool { return target == ErrQuotaExceeded }
+
+// RetryAfterHint exposes the wait for hls.FailoverPoller's resolve backoff.
+func (e *QuotaError) RetryAfterHint() time.Duration { return e.RetryAfter }
+
+// Plan is a tenant's service level. Zero values mean unlimited — the
+// implicit plan of the pre-tenancy platform.
+type Plan struct {
+	// Name labels the plan ("free", "pro"); informational.
+	Name string
+	// MaxConcurrentBroadcasts caps simultaneously live broadcasts.
+	MaxConcurrentBroadcasts int
+	// MaxJoinRPS is the sustained key-authenticated join rate; JoinBurst
+	// is the bucket depth (zero means 2×MaxJoinRPS, floor 1).
+	MaxJoinRPS float64
+	JoinBurst  float64
+	// DailyBytesQuota caps delivered bytes (RTMP fan-out + HLS chunks) per
+	// UTC day; admission answers 429 once the rollups cross it.
+	DailyBytesQuota int64
+}
+
+// joinBurst resolves the effective bucket depth for a plan.
+func joinBurst(p Plan) float64 {
+	if p.JoinBurst > 0 {
+		return p.JoinBurst
+	}
+	b := 2 * p.MaxJoinRPS
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Tenant is one metered customer of the platform.
+type Tenant struct {
+	ID        string
+	Name      string
+	Plan      Plan
+	Suspended bool
+	CreatedAt time.Time
+}
+
+// APIKey authenticates requests to a tenant. Keys are minted with the same
+// crypto/rand entropy as broadcast tokens and journaled, so they survive a
+// control crash exactly like broadcast tokens do.
+type APIKey struct {
+	Key      string
+	TenantID string
+	Revoked  bool
+	IssuedAt time.Time
+}
+
+// UsageDay is one per-tenant per-day delivery rollup. Values are cumulative
+// absolute totals for the day.
+type UsageDay struct {
+	Day    string `json:"day"` // "2006-01-02", UTC
+	Frames int64  `json:"frames"`
+	Chunks int64  `json:"chunks"`
+	Bytes  int64  `json:"bytes"`
+}
+
+// usageDayLayout formats clock time into rollup day keys.
+const usageDayLayout = "2006-01-02"
+
+// tenantState is the service-side row: the public Tenant plus live counters
+// and flushed rollups.
+type tenantState struct {
+	t Tenant
+	// live counts this tenant's currently live broadcasts (the
+	// MaxConcurrentBroadcasts admission input).
+	live int
+	// usage holds flushed per-day rollups, keyed by day.
+	usage map[string]UsageDay
+}
+
+// TenantMeter accumulates a tenant's delivered frames/chunks/bytes between
+// usage flushes. The data plane resolves one per broadcast at session setup
+// (cold path) and calls the Meter methods from fan-out and chunk-serve paths
+// — atomic adds only, zero allocations. Meters deliberately survive Crash():
+// they are data-plane accumulators, like the origins' own counters, so
+// delivery metered during a control outage lands in the rollups after
+// Recover instead of vanishing.
+type TenantMeter struct {
+	tenantID string
+	frames   atomic.Int64
+	chunks   atomic.Int64
+	bytes    atomic.Int64
+}
+
+// MeterFrames records frames delivered over RTMP fan-out (rtmp.FrameUsage).
+func (m *TenantMeter) MeterFrames(frames, bytes int64) {
+	m.frames.Add(frames)
+	m.bytes.Add(bytes)
+}
+
+// MeterChunks records chunks delivered from an HLS edge (cdn.ChunkUsage).
+func (m *TenantMeter) MeterChunks(chunks, bytes int64) {
+	m.chunks.Add(chunks)
+	m.bytes.Add(bytes)
+}
+
+// pendingBytes reads the unflushed byte count (quota admission folds it in
+// so a tenant cannot stream past its quota between flushes).
+func (m *TenantMeter) pendingBytes() int64 { return m.bytes.Load() }
+
+// Totals reads the meter's unflushed counts — a debugging/benchmark window
+// into what the next FlushUsage will fold in.
+func (m *TenantMeter) Totals() (frames, chunks, bytes int64) {
+	return m.frames.Load(), m.chunks.Load(), m.bytes.Load()
+}
+
+// CreateTenant registers a tenant with sequential "tnt-N" IDs and journals
+// the row.
+func (s *Service) CreateTenant(name string, plan Plan) (Tenant, error) {
+	if s.crashed.Load() {
+		return Tenant{}, ErrUnavailable
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextTenant++
+	t := Tenant{
+		ID:        fmt.Sprintf("tnt-%d", s.nextTenant),
+		Name:      name,
+		Plan:      plan,
+		CreatedAt: s.clock.Now(),
+	}
+	s.tenants[t.ID] = &tenantState{t: t, usage: make(map[string]UsageDay)}
+	s.appendLocked(journal.Record{
+		Type:        journal.RecordCtrlTenant,
+		BroadcastID: t.ID,
+		Payload:     encodeCtrl(tenantRecOf(t)),
+	})
+	return t, nil
+}
+
+// TenantInfo returns one tenant row.
+func (s *Service) TenantInfo(id string) (Tenant, error) {
+	if s.crashed.Load() {
+		return Tenant{}, ErrUnavailable
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts, ok := s.tenants[id]
+	if !ok {
+		return Tenant{}, ErrNoTenant
+	}
+	return ts.t, nil
+}
+
+// Tenants lists all tenant rows sorted by ID.
+func (s *Service) Tenants() []Tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Tenant, 0, len(s.tenants))
+	for _, ts := range s.tenants {
+		out = append(out, ts.t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SetTenantPlan replaces a tenant's plan and journals the change.
+func (s *Service) SetTenantPlan(id string, plan Plan) error {
+	if s.crashed.Load() {
+		return ErrUnavailable
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts, ok := s.tenants[id]
+	if !ok {
+		return ErrNoTenant
+	}
+	ts.t.Plan = plan
+	s.appendLocked(journal.Record{
+		Type:        journal.RecordCtrlTenantPlan,
+		BroadcastID: id,
+		Payload:     encodeCtrl(ctrlTenantPlanRec{Plan: planRecOf(plan)}),
+	})
+	return nil
+}
+
+// SuspendTenant blocks every key-authenticated call for the tenant (403)
+// until ResumeTenant.
+func (s *Service) SuspendTenant(id string) error { return s.setSuspended(id, true) }
+
+// ResumeTenant lifts a suspension.
+func (s *Service) ResumeTenant(id string) error { return s.setSuspended(id, false) }
+
+func (s *Service) setSuspended(id string, suspended bool) error {
+	if s.crashed.Load() {
+		return ErrUnavailable
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts, ok := s.tenants[id]
+	if !ok {
+		return ErrNoTenant
+	}
+	ts.t.Suspended = suspended
+	s.appendLocked(journal.Record{
+		Type:        journal.RecordCtrlTenantStatus,
+		BroadcastID: id,
+		Payload:     encodeCtrl(ctrlTenantStatusRec{Suspended: suspended}),
+	})
+	return nil
+}
+
+// IssueAPIKey mints and journals a key for the tenant.
+func (s *Service) IssueAPIKey(tenantID string) (APIKey, error) {
+	if s.crashed.Load() {
+		return APIKey{}, ErrUnavailable
+	}
+	secret, err := newToken()
+	if err != nil {
+		return APIKey{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tenants[tenantID]; !ok {
+		return APIKey{}, ErrNoTenant
+	}
+	k := APIKey{Key: "key-" + secret, TenantID: tenantID, IssuedAt: s.clock.Now()}
+	s.keys[k.Key] = &k
+	s.appendLocked(journal.Record{
+		Type:        journal.RecordCtrlKeyIssue,
+		BroadcastID: k.Key,
+		Payload:     encodeCtrl(ctrlKeyIssueRec{Tenant: tenantID, IssuedAt: k.IssuedAt.UnixNano()}),
+	})
+	return k, nil
+}
+
+// RevokeAPIKey invalidates a key; every later use answers 403.
+func (s *Service) RevokeAPIKey(key string) error {
+	if s.crashed.Load() {
+		return ErrUnavailable
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k, ok := s.keys[key]
+	if !ok {
+		return ErrBadAPIKey
+	}
+	k.Revoked = true
+	s.appendLocked(journal.Record{
+		Type:        journal.RecordCtrlKeyRevoke,
+		BroadcastID: key,
+		Payload:     encodeCtrl(ctrlKeyRevokeRec{}),
+	})
+	return nil
+}
+
+// resolveKeyLocked authenticates an API key: unknown keys answer 401-class
+// ErrBadAPIKey, revoked keys and suspended tenants 403-class errors. Called
+// with s.mu held.
+func (s *Service) resolveKeyLocked(key string) (*tenantState, error) {
+	k, ok := s.keys[key]
+	if !ok {
+		return nil, ErrBadAPIKey
+	}
+	if k.Revoked {
+		return nil, ErrKeyRevoked
+	}
+	ts, ok := s.tenants[k.TenantID]
+	if !ok {
+		// A key whose tenant row is gone is as dead as a revoked one.
+		return nil, ErrBadAPIKey
+	}
+	if ts.t.Suspended {
+		return nil, ErrTenantSuspended
+	}
+	return ts, nil
+}
+
+// StartBroadcastKey is the key-authenticated StartBroadcast: the broadcast
+// is owned by (and admission-checked against) the key's tenant.
+func (s *Service) StartBroadcastKey(key string, userID uint64, loc geo.Location) (BroadcastGrant, error) {
+	if s.crashed.Load() {
+		return BroadcastGrant{}, ErrUnavailable
+	}
+	s.mu.Lock()
+	ts, err := s.resolveKeyLocked(key)
+	if err != nil {
+		s.mu.Unlock()
+		return BroadcastGrant{}, err
+	}
+	tenantID := ts.t.ID
+	s.mu.Unlock()
+	return s.startBroadcastAs(userID, loc, nil, tenantID)
+}
+
+// JoinKey is the key-authenticated Join: the caller's tenant pays the join
+// rate (plan MaxJoinRPS through the keyed limiter) and must be inside its
+// daily delivered-bytes quota.
+func (s *Service) JoinKey(key string, userID uint64, broadcastID string, loc geo.Location) (ViewerGrant, error) {
+	if s.crashed.Load() {
+		return ViewerGrant{}, ErrUnavailable
+	}
+	s.mu.Lock()
+	ts, err := s.resolveKeyLocked(key)
+	if err != nil {
+		s.mu.Unlock()
+		return ViewerGrant{}, err
+	}
+	tenantID, plan := ts.t.ID, ts.t.Plan
+	quotaErr := s.quotaCheckLocked(ts)
+	s.mu.Unlock()
+	if plan.MaxJoinRPS > 0 && !s.joins.Allow(tenantID, plan.MaxJoinRPS, joinBurst(plan)) {
+		return ViewerGrant{}, &QuotaError{Reason: "join rate above plan limit", RetryAfter: rateRetryAfter(plan.MaxJoinRPS)}
+	}
+	if quotaErr != nil {
+		return ViewerGrant{}, quotaErr
+	}
+	return s.Join(userID, broadcastID, loc)
+}
+
+// rateRetryAfter suggests a wait long enough to earn one token back.
+func rateRetryAfter(rps float64) time.Duration {
+	if rps <= 0 {
+		return time.Second
+	}
+	d := time.Duration(float64(time.Second) / rps)
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// quotaCheckLocked reports whether the tenant is over its daily bytes quota:
+// flushed rollups for the current day plus the meter's unflushed pending
+// bytes. Called with s.mu held.
+func (s *Service) quotaCheckLocked(ts *tenantState) *QuotaError {
+	q := ts.t.Plan.DailyBytesQuota
+	if q <= 0 {
+		return nil
+	}
+	now := s.clock.Now().UTC()
+	used := ts.usage[now.Format(usageDayLayout)].Bytes
+	if m := s.meters[ts.t.ID]; m != nil {
+		used += m.pendingBytes()
+	}
+	if used < q {
+		return nil
+	}
+	return &QuotaError{Reason: "daily delivered-bytes quota", RetryAfter: untilNextDay(now)}
+}
+
+// untilNextDay is the Retry-After for a spent daily quota: time to the next
+// UTC day boundary, clamped to [1s, 1h] so clients neither spin nor park for
+// a literal day.
+func untilNextDay(now time.Time) time.Duration {
+	next := now.Truncate(24 * time.Hour).Add(24 * time.Hour)
+	d := next.Sub(now)
+	if d > time.Hour {
+		d = time.Hour
+	}
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// TenantOf returns the tenant owning a broadcast, or "" for untenanted
+// (legacy anonymous) broadcasts. The data plane calls it at session setup to
+// label per-tenant instruments.
+func (s *Service) TenantOf(broadcastID string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.broadcasts[broadcastID]; ok {
+		return st.tenantID
+	}
+	return ""
+}
+
+// Meter returns the usage accumulator for a broadcast's owning tenant, or
+// nil for untenanted broadcasts. Called by the data plane at session setup
+// (cold path); the returned meter's methods are the hot-path sinks.
+func (s *Service) Meter(broadcastID string) *TenantMeter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.broadcasts[broadcastID]
+	if !ok || st.tenantID == "" {
+		return nil
+	}
+	return s.meterLocked(st.tenantID)
+}
+
+// meterLocked returns (creating if needed) the tenant's meter. Meters live
+// outside the journaled state: Crash keeps them, so data-plane accounting
+// during an outage survives into the post-Recover flush.
+func (s *Service) meterLocked(tenantID string) *TenantMeter {
+	m, ok := s.meters[tenantID]
+	if !ok {
+		m = &TenantMeter{tenantID: tenantID}
+		s.meters[tenantID] = m
+	}
+	return m
+}
+
+// FlushUsage drains every meter's pending counts into the current UTC day's
+// rollup and journals the new ABSOLUTE day totals (RecordCtrlUsage). Replay
+// assigns those totals, so a torn tail mid-rollup loses at most the newest
+// flush — it can never double-count. Returns how many tenants had activity.
+// A crashed control plane skips the flush entirely; the atomics keep
+// accumulating and the next flush after Recover picks them up.
+func (s *Service) FlushUsage() int {
+	if s.crashed.Load() {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	day := s.clock.Now().UTC().Format(usageDayLayout)
+	flushed := 0
+	for tenantID, m := range s.meters {
+		frames, chunks, bytes := m.frames.Swap(0), m.chunks.Swap(0), m.bytes.Swap(0)
+		if frames == 0 && chunks == 0 && bytes == 0 {
+			continue
+		}
+		ts, ok := s.tenants[tenantID]
+		if !ok {
+			// Tenant deleted underneath a live meter: drop the counts, a
+			// rollup without an owner row is unreachable anyway.
+			continue
+		}
+		u := ts.usage[day]
+		u.Day = day
+		u.Frames += frames
+		u.Chunks += chunks
+		u.Bytes += bytes
+		ts.usage[day] = u
+		s.appendLocked(journal.Record{
+			Type:        journal.RecordCtrlUsage,
+			BroadcastID: tenantID,
+			Payload: encodeCtrl(ctrlUsageRec{
+				Day:    day,
+				Frames: u.Frames,
+				Chunks: u.Chunks,
+				Bytes:  u.Bytes,
+			}),
+		})
+		flushed++
+	}
+	return flushed
+}
+
+// Usage returns a tenant's flushed per-day rollups sorted by day.
+func (s *Service) Usage(tenantID string) ([]UsageDay, error) {
+	if s.crashed.Load() {
+		return nil, ErrUnavailable
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts, ok := s.tenants[tenantID]
+	if !ok {
+		return nil, ErrNoTenant
+	}
+	out := make([]UsageDay, 0, len(ts.usage))
+	for _, u := range ts.usage {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Day < out[j].Day })
+	return out, nil
+}
+
+// Sweep drops idle per-tenant join buckets (shared mechanism with the
+// per-client API RateLimiter; the platform janitor calls both).
+func (s *Service) Sweep(maxIdle time.Duration) int {
+	return s.joins.Sweep(maxIdle)
+}

@@ -56,6 +56,11 @@ type PlatformConfig struct {
 	// limits the paper's crawler ran into (§3.1). Whitelisted hosts are
 	// exempt, like the paper's measurement range.
 	APIRate *control.RateLimiterConfig
+	// UsageFlushInterval is how often the platform rolls the per-tenant
+	// delivery meters into journaled daily usage records (and thus how much
+	// metered usage a control crash can leave pending — the meters survive
+	// and flush after recovery). Zero means 5 s.
+	UsageFlushInterval time.Duration
 	// WrapUpstream, when set, intercepts every store an edge pulls from.
 	// The chaos tests pass a faults.Injector wrapper here to exercise the
 	// origin↔edge hop under loss.
@@ -193,6 +198,22 @@ func NewPlatform(cfg PlatformConfig) *Platform {
 		ViewerCap:      valueOr(cfg.RTMPViewerLimit, control.DefaultRTMPViewerLimit),
 		Auth:           p.AuthCache,
 		OnBroadcastEnd: p.forceEnd,
+		TenantOf:       p.Ctrl.TenantOf,
+		// The adapters return untyped nil for untenanted broadcasts so the
+		// data plane's interface nil-checks actually skip the metering (a
+		// typed-nil *TenantMeter inside the interface would not).
+		TenantFrameUsage: func(id string) rtmp.FrameUsage {
+			if m := p.Ctrl.Meter(id); m != nil {
+				return m
+			}
+			return nil
+		},
+		TenantChunkUsage: func(id string) cdn.ChunkUsage {
+			if m := p.Ctrl.Meter(id); m != nil {
+				return m
+			}
+			return nil
+		},
 		Net:            cfg.Net,
 		DisableGateway: cfg.DisableGateway,
 		WrapUpstream:   cfg.WrapUpstream,
@@ -502,7 +523,30 @@ func (p *Platform) SweepEnded(now time.Time) int {
 	if p.limiter != nil {
 		p.limiter.Sweep(10 * p.cfg.Retention)
 	}
+	// Per-tenant join buckets share the sweep cadence with the per-client
+	// API buckets.
+	p.Ctrl.Sweep(10 * p.cfg.Retention)
 	return len(expired)
+}
+
+// usageFlusher periodically rolls the per-tenant delivery meters into
+// journaled daily usage records; a final flush runs at Stop so clean
+// shutdowns account everything delivered.
+func (p *Platform) usageFlusher(ctx context.Context) {
+	interval := p.cfg.UsageFlushInterval
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			p.Ctrl.FlushUsage()
+		}
+	}
 }
 
 func valueOr(v, def int) int {
@@ -597,6 +641,7 @@ func (p *Platform) Start(ctx context.Context) error {
 	if p.cfg.Retention > 0 {
 		go p.janitor(ctx)
 	}
+	go p.usageFlusher(ctx)
 	go p.heartbeats(ctx)
 	go p.Health.Run(ctx)
 	go func() {
@@ -626,7 +671,9 @@ func (p *Platform) Stop() {
 		// writer, so everything acknowledged before shutdown is durable.
 		o.Close()
 	}
-	// Same for the control plane's journal writer.
+	// Final usage flush before the control journal writer drains, so a clean
+	// shutdown accounts every delivered frame and chunk.
+	p.Ctrl.FlushUsage()
 	p.Ctrl.Close()
 }
 

@@ -236,11 +236,36 @@ func (fp *FailoverPoller) resolveEdge(ctx context.Context) (string, error) {
 		if fp.cfg.ResolveRetries > 0 && n+1 >= fp.cfg.ResolveRetries {
 			return "", err
 		}
-		if err := resilience.SleepCtx(ctx, fp.cfg.Backoff.Delay(n)); err != nil {
+		delay := fp.cfg.Backoff.Delay(n)
+		// A server-provided Retry-After (a 429 quota rejection from the
+		// control plane) overrides a shorter backoff: retrying sooner than
+		// the quota window reopens is guaranteed wasted load. Capped so a
+		// day-long quota wait cannot park the session for hours.
+		var h RetryAfterHinter
+		if errors.As(err, &h) {
+			if hint := h.RetryAfterHint(); hint > delay {
+				if hint > maxRetryAfterHint {
+					hint = maxRetryAfterHint
+				}
+				delay = hint
+			}
+		}
+		if err := resilience.SleepCtx(ctx, delay); err != nil {
 			return "", err
 		}
 	}
 }
+
+// RetryAfterHinter is implemented by resolve errors that carry a
+// server-provided wait (control.QuotaError over the wire or in-process); the
+// resolve loop honors the hint in place of a shorter backoff delay.
+type RetryAfterHinter interface {
+	RetryAfterHint() time.Duration
+}
+
+// maxRetryAfterHint caps honored Retry-After hints; a spent daily quota
+// should degrade the session to retries on this cadence, not freeze it.
+const maxRetryAfterHint = 5 * time.Second
 
 // pollEdge runs the poll loop against one edge until the broadcast ends, a
 // failover trigger fires (returning the triggering error), or ctx is done.

@@ -646,3 +646,60 @@ func TestFailoverPollerStopsOnPermanentResolve(t *testing.T) {
 		t.Fatalf("resolve attempts = %d, want 1 for a permanent error", calls.Load())
 	}
 }
+
+// quotaHintErr mimics control.QuotaError over the resolve path: a transient
+// rejection carrying a server-computed Retry-After.
+type quotaHintErr struct{ hint time.Duration }
+
+func (e *quotaHintErr) Error() string                 { return "quota exceeded" }
+func (e *quotaHintErr) RetryAfterHint() time.Duration { return e.hint }
+
+// TestFailoverResolveHonorsRetryAfterHint: a 429 resolve rejection with a
+// Retry-After longer than the backoff delay must pace the retry on the
+// server's hint — retrying sooner than the quota window reopens is wasted
+// load.
+func TestFailoverResolveHonorsRetryAfterHint(t *testing.T) {
+	var calls atomic.Int64
+	fp := NewFailoverPoller("b1", FailoverConfig{
+		Resolve: func(ctx context.Context) (string, error) {
+			if calls.Add(1) == 1 {
+				return "", &quotaHintErr{hint: 60 * time.Millisecond}
+			}
+			return "http://edge-1/hls", nil
+		},
+		Backoff: resilience.Policy{BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+	})
+	start := time.Now()
+	url, err := fp.resolveEdge(context.Background())
+	if err != nil || url != "http://edge-1/hls" {
+		t.Fatalf("resolveEdge = (%q, %v)", url, err)
+	}
+	if elapsed := time.Since(start); elapsed < 55*time.Millisecond {
+		t.Fatalf("retry after %v, want the 60ms Retry-After hint honored", elapsed)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("resolve attempts = %d, want 2", calls.Load())
+	}
+}
+
+// TestFailoverResolveHintKeepsSessionCancelable: even a huge hint (a spent
+// daily quota) leaves the session responsive to cancellation — the sleep is
+// context-bounded, and the hint itself is capped at maxRetryAfterHint.
+func TestFailoverResolveHintKeepsSessionCancelable(t *testing.T) {
+	fp := NewFailoverPoller("b1", FailoverConfig{
+		Resolve: func(ctx context.Context) (string, error) {
+			return "", &quotaHintErr{hint: 10 * time.Hour}
+		},
+		Backoff: resilience.Policy{BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := fp.resolveEdge(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("resolveEdge = %v, want DeadlineExceeded", err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 60*time.Millisecond || elapsed > maxRetryAfterHint {
+		t.Fatalf("canceled after %v, want ~80ms (sleeping on the capped hint)", elapsed)
+	}
+}

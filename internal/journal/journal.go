@@ -67,6 +67,30 @@ const (
 	RecordCtrlJoin
 )
 
+// Tenancy state transitions (DESIGN.md §11). Same stream as the control
+// records above, offset again so the ranges stay visually distinct.
+// BroadcastID is reused to carry the tenant ID (tenant rows, usage rollups)
+// or the API key (issue/revoke); payloads are JSON codecs in
+// internal/control.
+const (
+	// RecordCtrlTenant journals a tenant creation: the full tenant row,
+	// replayed as an idempotent upsert.
+	RecordCtrlTenant RecordType = iota + 32
+	// RecordCtrlTenantPlan journals a plan change for an existing tenant.
+	RecordCtrlTenantPlan
+	// RecordCtrlTenantStatus journals a suspend or resume.
+	RecordCtrlTenantStatus
+	// RecordCtrlKeyIssue journals an API-key issuance.
+	RecordCtrlKeyIssue
+	// RecordCtrlKeyRevoke journals an API-key revocation.
+	RecordCtrlKeyRevoke
+	// RecordCtrlUsage journals one per-tenant per-day usage rollup. The
+	// payload carries ABSOLUTE cumulative day totals, never deltas: replay
+	// assigns, so a torn tail can lose the newest rollup but can never
+	// double-count an older one.
+	RecordCtrlUsage
+)
+
 // Record is one journal entry.
 type Record struct {
 	Type        RecordType

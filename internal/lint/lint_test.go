@@ -36,6 +36,12 @@ func TestWalltimeViewersim(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.Walltime, "viewersim")
 }
 
+// TestWalltimeControl: the control plane's tenancy layer (rate-limiter
+// refills, quota windows, usage-day keys) must follow the injected clock.
+func TestWalltimeControl(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Walltime, "control")
+}
+
 func TestAtomiccounter(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.Atomiccounter, "atomiccounter")
 }

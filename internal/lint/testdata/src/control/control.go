@@ -1,0 +1,44 @@
+// Fixture for the walltime analyzer over the control plane. The directory is
+// named "control" so the package path matches the restricted set: rate-limit
+// refills, quota windows, and usage-rollup day keys must read the injected
+// clock, or tenancy tests driven by a clock.Virtual would mix time bases.
+package control
+
+import "time"
+
+type clock interface {
+	Now() time.Time
+}
+
+type limiter struct {
+	clk  clock
+	last time.Time
+}
+
+func (l *limiter) allowBad() bool {
+	elapsed := time.Since(l.last) // want `time\.Since reads the wall clock`
+	return elapsed > time.Second
+}
+
+func (l *limiter) allowGood() bool {
+	now := l.clk.Now()
+	elapsed := now.Sub(l.last)
+	l.last = now
+	return elapsed > time.Second
+}
+
+func usageDayBad() string {
+	return time.Now().UTC().Format("2006-01-02") // want `time\.Now reads the wall clock`
+}
+
+func usageDayGood(clk clock) string {
+	return clk.Now().UTC().Format("2006-01-02")
+}
+
+func retryAfterOK(d time.Duration) time.Duration {
+	// Pure duration arithmetic never touches the wall clock.
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}

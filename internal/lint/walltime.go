@@ -16,8 +16,10 @@ import (
 // wheel or Virtual engines would silently desynchronize simulated time (only
 // Real touches the wall clock, behind reasoned //lint:allow suppressions) —
 // as is viewersim, whose cross-engine byte-equality contract dies the moment
-// an event draws from anything but its seeded stream. Matching is by the
-// final import-path element.
+// an event draws from anything but its seeded stream. control is restricted
+// too: quota windows, rate-limiter refills, and usage-rollup day keys must
+// follow the injected clock or tenancy tests against a clock.Virtual would
+// silently mix time bases. Matching is by the final import-path element.
 var walltimePackages = map[string]bool{
 	"netsim":      true,
 	"delay":       true,
@@ -30,6 +32,7 @@ var walltimePackages = map[string]bool{
 	"metrics":     true,
 	"clock":       true,
 	"viewersim":   true,
+	"control":     true,
 }
 
 // walltimeFuncs are the time package entry points that read or schedule off

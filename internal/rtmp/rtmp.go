@@ -57,10 +57,25 @@ var AllowAll = AuthFunc(func(string, string, string) bool { return true })
 // feed the HLS chunker.
 type FrameTap func(broadcastID string, f media.Frame, arrivedAt time.Time)
 
+// FrameUsage sinks delivered-frame counts for usage metering. The server
+// resolves one per broadcast at session setup (cold path) and calls
+// MeterFrames from the fan-out hot path — implementations must be
+// allocation-free atomic accumulators (control.TenantMeter is the real one).
+type FrameUsage interface {
+	MeterFrames(frames, bytes int64)
+}
+
 // ServerConfig configures a Server.
 type ServerConfig struct {
 	// Auth validates handshakes; nil means AllowAll.
 	Auth Auth
+	// TenantOf maps a broadcast to its owning tenant ("" for untenanted);
+	// resolved once per publisher session to label the per-tenant
+	// instruments. Nil disables tenant attribution.
+	TenantOf func(broadcastID string) string
+	// TenantUsage resolves the usage accumulator for a broadcast's tenant
+	// (nil for untenanted). Called once per publisher session.
+	TenantUsage func(broadcastID string) FrameUsage
 	// ViewerCap is the per-broadcast RTMP viewer limit; beyond it
 	// handshakes are refused with StatusFull so clients fall back to HLS
 	// (§4.1: ≈100). Zero means unlimited.
@@ -185,6 +200,15 @@ type Server struct {
 type broadcast struct {
 	id     string
 	pubKey ed25519.PublicKey
+
+	// Per-tenant attribution, resolved once at publisher handshake (cold
+	// path) so the fan-out hot path is nil-checks and atomic adds — zero
+	// allocations per frame (DESIGN.md §5a budget, benchguard-enforced).
+	// All nil for untenanted broadcasts.
+	tFramesOut *metrics.Counter
+	tBytesOut  *metrics.Counter
+	tDelay     *metrics.Histogram
+	usage      FrameUsage
 
 	// mu serializes membership changes — join, leave, eviction, end. The
 	// fan-out path never takes it: it reads the copy-on-write snapshot
@@ -539,6 +563,19 @@ func (s *Server) handleBroadcaster(conn net.Conn, hs wire.Handshake) {
 		id:     hs.BroadcastID,
 		pubKey: s.cfg.Auth.PublicKey(hs.BroadcastID),
 	}
+	if s.cfg.TenantOf != nil {
+		if tenant := s.cfg.TenantOf(hs.BroadcastID); tenant != "" {
+			labels := make([]metrics.Label, 0, len(s.cfg.MetricsLabels)+1)
+			labels = append(labels, s.cfg.MetricsLabels...)
+			labels = append(labels, metrics.L("tenant", tenant))
+			b.tFramesOut = s.cfg.Metrics.Counter("rtmp_tenant_frames_out_total", labels...)
+			b.tBytesOut = s.cfg.Metrics.Counter("rtmp_tenant_bytes_out_total", labels...)
+			b.tDelay = s.cfg.Metrics.Histogram("rtmp_tenant_push_latency_seconds", pushLatencyBuckets, labels...)
+			if s.cfg.TenantUsage != nil {
+				b.usage = s.cfg.TenantUsage(hs.BroadcastID)
+			}
+		}
+	}
 	s.mu.Lock()
 	if _, dup := s.broadcasts[hs.BroadcastID]; dup {
 		s.mu.Unlock()
@@ -644,7 +681,8 @@ func (s *Server) acceptFrame(b *broadcast, enc wire.Encoded) bool {
 	// other on sibling broadcasts).
 	pushStart := s.cfg.Clock.Now()
 	var evicted []*viewerConn
-	for _, v := range b.snapshot() {
+	vs := b.snapshot()
+	for _, v := range vs {
 		select {
 		case v.out <- enc:
 		default:
@@ -653,7 +691,20 @@ func (s *Server) acceptFrame(b *broadcast, enc wire.Encoded) bool {
 			evicted = append(evicted, v)
 		}
 	}
-	s.m.pushLatency.Observe(s.cfg.Clock.Now().Sub(pushStart))
+	pushDur := s.cfg.Clock.Now().Sub(pushStart)
+	s.m.pushLatency.Observe(pushDur)
+	// Tenant attribution: cached handles resolved at handshake, so this is
+	// nil-checks and atomic adds — no per-frame allocations.
+	if b.tFramesOut != nil {
+		if delivered := int64(len(vs) - len(evicted)); delivered > 0 {
+			b.tFramesOut.Add(delivered)
+			b.tBytesOut.Add(delivered * int64(len(body)))
+			if b.usage != nil {
+				b.usage.MeterFrames(delivered, delivered*int64(len(body)))
+			}
+		}
+		b.tDelay.Observe(pushDur)
+	}
 	if evicted != nil {
 		s.m.slowEvictions.Add(int64(len(evicted)))
 		b.remove(evicted...)
